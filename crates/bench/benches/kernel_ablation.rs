@@ -1,0 +1,65 @@
+//! Kernel ablations (design choices called out in DESIGN.md):
+//!
+//! * blocked TTM (Austin et al. §5 — no explicit unfolding) vs the naive
+//!   unfold-multiply-fold kernel,
+//! * GEMM vs SYRK for Gram matrices (SYRK exploits symmetry),
+//! * tridiagonalization+QL EVD vs cyclic Jacobi.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tucker_linalg::{gemm, jacobi_evd, sym_evd, syrk, Matrix, Transpose};
+use tucker_tensor::ttm::{ttm, ttm_explicit_unfold};
+use tucker_tensor::{DenseTensor, Shape};
+
+fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+}
+
+fn rand_mat(r: usize, cc: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    Matrix::random(r, cc, &dist, &mut rng)
+}
+
+fn bench_ttm_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ttm_kernel_ablation");
+    g.sample_size(10);
+    let t = rand_tensor(&[48, 40, 36], 1);
+    for mode in [0usize, 1, 2] {
+        let f = rand_mat(12, t.shape().dim(mode), 2);
+        g.bench_function(format!("blocked_mode{mode}"), |b| {
+            b.iter(|| ttm(black_box(&t), mode, black_box(&f)))
+        });
+        g.bench_function(format!("explicit_unfold_mode{mode}"), |b| {
+            b.iter(|| ttm_explicit_unfold(black_box(&t), mode, black_box(&f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gram_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_kernel_ablation");
+    g.sample_size(10);
+    let a = rand_mat(96, 800, 3);
+    g.bench_function("syrk", |b| b.iter(|| syrk(black_box(&a))));
+    g.bench_function("gemm_aat", |b| {
+        b.iter(|| gemm(black_box(&a), Transpose::No, black_box(&a), Transpose::Yes, 1.0))
+    });
+    g.finish();
+}
+
+fn bench_evd_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evd_solver_ablation");
+    g.sample_size(10);
+    let a0 = rand_mat(72, 72, 4);
+    let a = Matrix::from_fn(72, 72, |i, j| 0.5 * (a0[(i, j)] + a0[(j, i)]));
+    g.bench_function("tridiag_ql", |b| b.iter(|| sym_evd(black_box(&a)).eigenvalues[0]));
+    g.bench_function("cyclic_jacobi", |b| b.iter(|| jacobi_evd(black_box(&a)).eigenvalues[0]));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ttm_kernels, bench_gram_kernels, bench_evd_solvers);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench for Table 1 (§4.2): grid counting and enumeration cost.
+//!
+//! The paper argues the optimal static grid can be found by exhaustive
+//! search "in negligible time"; this bench quantifies that claim on this
+//! machine: ψ(P, N) evaluation, full enumeration, and the valid-grid
+//! enumeration the planner actually uses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tucker_distsim::{count_grids, enumerate_grids, enumerate_valid_grids};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_grid_enum");
+    g.sample_size(20);
+
+    // psi(P, N) via prime factorization — the Table 1 cells.
+    g.bench_function("psi_P32_N5..10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in 5..=10u32 {
+                acc += count_grids(black_box(1 << 5), n);
+            }
+            acc
+        })
+    });
+    g.bench_function("psi_P2e20_N10", |b| {
+        b.iter(|| count_grids(black_box(1 << 20), black_box(10)))
+    });
+
+    // Full enumeration at the paper's working point (P = 32, N = 5, 6).
+    g.bench_function("enumerate_P32_N5", |b| {
+        b.iter(|| enumerate_grids(black_box(32), black_box(5)).len())
+    });
+    g.bench_function("enumerate_P32_N6", |b| {
+        b.iter(|| enumerate_grids(black_box(32), black_box(6)).len())
+    });
+    // The heavy tail: P = 1024, N = 6 (ψ = 3003).
+    g.bench_function("enumerate_P1024_N6", |b| {
+        b.iter(|| enumerate_grids(black_box(1024), black_box(6)).len())
+    });
+
+    // Valid-grid enumeration with a realistic core.
+    let core = [80usize, 80, 10, 40, 10];
+    g.bench_function("enumerate_valid_P32", |b| {
+        b.iter(|| enumerate_valid_grids(black_box(32), black_box(&core)).len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,462 @@
+//! Regenerate every table and figure of the paper's evaluation (§6).
+//!
+//! ```text
+//! cargo run --release -p tucker-bench --bin experiments -- all
+//! cargo run --release -p tucker-bench --bin experiments -- table1
+//! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
+//! ```
+//!
+//! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
+//! full-size benchmark — load and volume are machine-independent (§6.2).
+//! Measured experiments (Figures 10a/b/c, 11a/b/e) execute the simulated
+//! engine on metadata scaled to fit this machine; EXPERIMENTS.md records the
+//! scaling. CSV series land in `results/`.
+
+use tucker_bench::{scale_for_measurement, write_csv};
+use tucker_core::engine::{run_distributed_hooi, ExecutionStats};
+use tucker_core::planner::{GridStrategy, Plan, Planner, TreeStrategy};
+use tucker_core::TuckerMeta;
+use tucker_distsim::count_grids;
+use tucker_suite::driver::{gridding_comparison, load_comparison};
+use tucker_suite::fields::hash_noise;
+use tucker_suite::generator::{benchmark_5d, benchmark_6d, full_enumeration};
+use tucker_suite::percentile::{normalized_percentiles, PercentileCurve};
+use tucker_suite::real::{real_tensors, scaled_real_tensors};
+
+/// Ranks used by measured experiments (kept small: the host machine
+/// timeshares the simulated ranks).
+const MEASURE_RANKS: usize = 8;
+/// Ranks used by analytic experiments (the paper uses 32 BG/Q nodes).
+const ANALYTIC_RANKS: usize = 32;
+/// Cardinality cap for scaled measured tensors.
+const MEASURE_MAX_CARD: f64 = 2.0e6;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let sample = args
+        .iter()
+        .position(|a| a == "--sample")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16usize);
+
+    match what {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig10a" => fig10_overall(5, sample),
+        "fig10b" => fig10_overall(6, sample),
+        "fig10c" => fig10c_real(),
+        "fig11a" => fig11ab_compute_time(5, sample),
+        "fig11b" => fig11ab_compute_time(6, sample),
+        "fig11c" => fig11cd_load(5),
+        "fig11d" => fig11cd_load(6),
+        "fig11e" => fig11e_comm_time(sample),
+        "fig11f" => fig11f_volume(),
+        "summary" => summary(),
+        "all" => {
+            table1();
+            table2();
+            fig11cd_load(5);
+            fig11cd_load(6);
+            fig11f_volume();
+            fig10_overall(5, sample);
+            fig10_overall(6, sample);
+            fig11ab_compute_time(5, sample);
+            fig11ab_compute_time(6, sample);
+            fig11e_comm_time(sample);
+            fig10c_real();
+            summary();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: all table1 table2 \
+                 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1: number of grids ψ(P, N).
+fn table1() {
+    println!("== Table 1: number of grids psi(P, N) ==");
+    println!("{:>8} {:>10} {:>12} {:>14}", "N", "P=2^5", "P=2^10", "P=2^20");
+    let mut rows = Vec::new();
+    for n in 5u32..=10 {
+        let a = count_grids(1 << 5, n);
+        let b = count_grids(1 << 10, n);
+        let c = count_grids(1 << 20, n);
+        println!("{n:>8} {a:>10} {b:>12} {c:>14}");
+        rows.push(format!("{n},{a},{b},{c}"));
+    }
+    let p = write_csv("table1_grid_counts.csv", "N,P32,P1024,P1048576", &rows);
+    println!("-> {}\n", p.display());
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Table 2: the real tensors.
+fn table2() {
+    println!("== Table 2: real tensors ==");
+    let mut rows = Vec::new();
+    for rt in real_tensors() {
+        println!(
+            "{:>6}: {:<28} -> {:<28} (compression {:>7.1}x)",
+            rt.name,
+            rt.meta.input().to_string(),
+            rt.meta.core().to_string(),
+            rt.meta.compression_ratio()
+        );
+        rows.push(format!(
+            "{},{},{},{:.2}",
+            rt.name,
+            rt.meta.input(),
+            rt.meta.core(),
+            rt.meta.compression_ratio()
+        ));
+    }
+    let p = write_csv("table2_real_tensors.csv", "name,input,core,compression", &rows);
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------- Figures 11c / 11d
+
+/// Figures 11c/d: computational-load percentiles over the full benchmark
+/// (analytic; exactly the paper's machine-independent metric).
+fn fig11cd_load(order: usize) {
+    let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
+    println!("== Fig 11{} : normalized computational load ({order}D, {} tensors) ==",
+        if order == 5 { 'c' } else { 'd' }, suite.len());
+
+    let mut chain_k = Vec::new();
+    let mut chain_h = Vec::new();
+    let mut balanced = Vec::new();
+    let mut opt = Vec::new();
+    for meta in &suite {
+        let (ck, ch, b, o) = load_comparison(meta);
+        chain_k.push(ck);
+        chain_h.push(ch);
+        balanced.push(b);
+        opt.push(o);
+    }
+    let curves = [
+        ("chain-K", normalized_percentiles(&chain_k, &opt)),
+        ("chain-h", normalized_percentiles(&chain_h, &opt)),
+        ("balanced", normalized_percentiles(&balanced, &opt)),
+    ];
+    print_curves(&curves);
+    let rows = curve_rows(&curves);
+    let p = write_csv(
+        &format!("fig11{}_load_{order}d.csv", if order == 5 { 'c' } else { 'd' }),
+        "percentile,chain_K,chain_h,balanced",
+        &rows,
+    );
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------------- Figure 11f
+
+/// Figure 11f: communication-volume percentiles, static vs dynamic gridding
+/// on the optimal tree (analytic, full benchmark, both orders).
+fn fig11f_volume() {
+    println!("== Fig 11f: normalized communication volume (static vs dynamic) ==");
+    let mut curves = Vec::new();
+    for order in [5usize, 6] {
+        let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
+        let mut stat = Vec::new();
+        let mut dynv = Vec::new();
+        for meta in &suite {
+            let (s, d) = gridding_comparison(meta, ANALYTIC_RANKS);
+            stat.push(s);
+            dynv.push(d);
+        }
+        let label: &'static str = if order == 5 { "static-5D" } else { "static-6D" };
+        curves.push((label, normalized_percentiles(&stat, &dynv)));
+    }
+    let named: Vec<(&str, PercentileCurve)> = curves;
+    print_curves(&named);
+    for (name, c) in &named {
+        println!(
+            "   {name}: >=3x gain on {:.0}% of tensors (paper: ~90%)",
+            c.fraction_at_least(3.0) * 100.0
+        );
+    }
+    let rows = curve_rows(&named);
+    let p = write_csv("fig11f_volume.csv", "percentile,static_5d,static_6d", &rows);
+    println!("-> {}\n", p.display());
+}
+
+// -------------------------------------------------- measured-run machinery
+
+/// Measured strategies of Figures 10a/b and 11a/b.
+fn measured_lineup(planner: &Planner) -> Vec<Plan> {
+    planner.paper_lineup()
+}
+
+/// Fill value for measured tensors ("random data", §6.1) — deterministic
+/// across ranks.
+fn fill(c: &[usize]) -> f64 {
+    hash_noise(c, 0xBEEF)
+}
+
+/// Run one plan once and return its per-sweep stats.
+fn run_once(plan: &Plan) -> ExecutionStats {
+    run_distributed_hooi(fill, plan, 1).per_sweep.remove(0)
+}
+
+/// Deterministic measured sample: subsample the suite, scale each tensor to
+/// measurable size, skip the ones whose cores collapse below the rank count.
+fn measured_sample(order: usize, n: usize) -> Vec<TuckerMeta> {
+    let all = full_enumeration(order);
+    let picked = tucker_suite::generator::paper_sized_subsample(&all, n.min(all.len()));
+    let mut out = Vec::new();
+    let mut skipped = 0;
+    for meta in &picked {
+        match scale_for_measurement(meta, MEASURE_MAX_CARD, MEASURE_RANKS) {
+            Some(s) => out.push(s),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        println!("   ({skipped} of {} sample tensors skipped: core too small after scaling)", picked.len());
+    }
+    out
+}
+
+// ------------------------------------------------------- Figures 10a / 10b
+
+/// Figures 10a/b: overall execution-time percentiles, measured on the scaled
+/// sample. Normalized against (opt-tree, dynamic).
+fn fig10_overall(order: usize, sample: usize) {
+    println!("== Fig 10{}: overall time percentiles ({order}D, measured, P={MEASURE_RANKS}) ==",
+        if order == 5 { 'a' } else { 'b' });
+    let metas = measured_sample(order, sample);
+    println!("   measuring {} scaled tensors x 4 strategies ...", metas.len());
+
+    let mut times: [Vec<f64>; 4] = Default::default();
+    for meta in &metas {
+        let planner = Planner::new(meta.clone(), MEASURE_RANKS);
+        for (i, plan) in measured_lineup(&planner).into_iter().enumerate() {
+            let s = run_once(&plan);
+            times[i].push(s.wall.as_secs_f64());
+        }
+    }
+    let opt = times[3].clone();
+    let curves = [
+        ("chain-K", normalized_percentiles(&times[0], &opt)),
+        ("chain-h", normalized_percentiles(&times[1], &opt)),
+        ("balanced", normalized_percentiles(&times[2], &opt)),
+    ];
+    print_curves(&curves);
+    for (name, c) in &curves {
+        println!("   {name}: median {:.2}x, max {:.2}x", c.median(), c.max());
+    }
+    let rows = curve_rows(&curves);
+    let p = write_csv(
+        &format!("fig10{}_overall_{order}d.csv", if order == 5 { 'a' } else { 'b' }),
+        "percentile,chain_K,chain_h,balanced",
+        &rows,
+    );
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------- Figures 11a / 11b
+
+/// Figures 11a/b: TTM computation-time percentiles (measured), heuristics vs
+/// (opt-tree, static).
+fn fig11ab_compute_time(order: usize, sample: usize) {
+    println!("== Fig 11{}: TTM computation time ({order}D, measured, P={MEASURE_RANKS}) ==",
+        if order == 5 { 'a' } else { 'b' });
+    let metas = measured_sample(order, sample);
+    println!("   measuring {} scaled tensors x 4 strategies ...", metas.len());
+
+    let strategies = [
+        (TreeStrategy::chain_k(), "chain-K"),
+        (TreeStrategy::chain_h(), "chain-h"),
+        (TreeStrategy::Balanced, "balanced"),
+        (TreeStrategy::Optimal, "opt-tree"),
+    ];
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for meta in &metas {
+        let planner = Planner::new(meta.clone(), MEASURE_RANKS);
+        for (i, (ts, _)) in strategies.iter().enumerate() {
+            let plan = planner.plan(*ts, GridStrategy::StaticOptimal);
+            let s = run_once(&plan);
+            times[i].push(s.ttm_compute.as_secs_f64().max(1e-9));
+        }
+    }
+    let opt = times[3].clone();
+    let curves = [
+        ("chain-K", normalized_percentiles(&times[0], &opt)),
+        ("chain-h", normalized_percentiles(&times[1], &opt)),
+        ("balanced", normalized_percentiles(&times[2], &opt)),
+    ];
+    print_curves(&curves);
+    for (name, c) in &curves {
+        println!("   {name}: median {:.2}x, max {:.2}x", c.median(), c.max());
+    }
+    let rows = curve_rows(&curves);
+    let p = write_csv(
+        &format!("fig11{}_compute_time_{order}d.csv", if order == 5 { 'a' } else { 'b' }),
+        "percentile,chain_K,chain_h,balanced",
+        &rows,
+    );
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------------- Figure 11e
+
+/// Figure 11e: communication-time percentiles, (opt-tree, static) vs
+/// (opt-tree, dynamic), measured. Communication time = TTM reduce-scatter +
+/// regrid time.
+fn fig11e_comm_time(sample: usize) {
+    println!("== Fig 11e: communication time (measured, P={MEASURE_RANKS}) ==");
+    let mut curves = Vec::new();
+    for order in [5usize, 6] {
+        let metas = measured_sample(order, sample);
+        println!("   {order}D: measuring {} scaled tensors x 2 gridding schemes ...", metas.len());
+        let mut stat = Vec::new();
+        let mut dynt = Vec::new();
+        for meta in &metas {
+            let planner = Planner::new(meta.clone(), MEASURE_RANKS);
+            let sp = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+            let dp = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
+            let ss = run_once(&sp);
+            let ds = run_once(&dp);
+            let s_comm = (ss.ttm_comm + ss.regrid_comm).as_secs_f64().max(1e-9);
+            let d_comm = (ds.ttm_comm + ds.regrid_comm).as_secs_f64().max(1e-9);
+            stat.push(s_comm);
+            dynt.push(d_comm);
+        }
+        let label: &'static str = if order == 5 { "static-5D" } else { "static-6D" };
+        curves.push((label, normalized_percentiles(&stat, &dynt)));
+    }
+    print_curves(&curves);
+    for (name, c) in &curves {
+        println!("   {name}: median {:.2}x, max {:.2}x", c.median(), c.max());
+    }
+    let rows = curve_rows(&curves);
+    let p = write_csv("fig11e_comm_time.csv", "percentile,static_5d,static_6d", &rows);
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------------- Figure 10c
+
+/// Figure 10c: per-strategy time breakdown on the real tensors (measured on
+/// scaled variants).
+fn fig10c_real() {
+    println!("== Fig 10c: real-tensor breakdown (scaled /16, measured, P={MEASURE_RANKS}) ==");
+    let mut rows = Vec::new();
+    for rt in scaled_real_tensors(16) {
+        println!("  {} ({})", rt.name, rt.meta);
+        let planner = Planner::new(rt.meta.clone(), MEASURE_RANKS);
+        for plan in measured_lineup(&planner) {
+            let s = run_once(&plan);
+            let comm = s.ttm_comm + s.regrid_comm;
+            println!(
+                "    {:>20}: total {:>9.1?}  svd {:>9.1?}  ttm-comp {:>9.1?}  ttm-comm {:>9.1?}",
+                plan.name(),
+                s.wall,
+                s.svd,
+                s.ttm_compute,
+                comm,
+            );
+            rows.push(format!(
+                "{},{},{:.6},{:.6},{:.6},{:.6}",
+                rt.name,
+                plan.name(),
+                s.wall.as_secs_f64(),
+                s.svd.as_secs_f64(),
+                s.ttm_compute.as_secs_f64(),
+                comm.as_secs_f64()
+            ));
+        }
+    }
+    let p = write_csv(
+        "fig10c_real_breakdown.csv",
+        "tensor,strategy,total_s,svd_s,ttm_compute_s,ttm_comm_s",
+        &rows,
+    );
+    println!("-> {}\n", p.display());
+}
+
+// ----------------------------------------------------------------- summary
+
+/// §6.2 headline numbers from the analytic models on the full benchmark.
+fn summary() {
+    println!("== Summary: headline statistics (analytic, full benchmark, P={ANALYTIC_RANKS}) ==");
+    for order in [5usize, 6] {
+        let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
+        let mut best_prior_load = Vec::new();
+        let mut opt_load = Vec::new();
+        let mut stat_vol = Vec::new();
+        let mut dyn_vol = Vec::new();
+        let mut max_gain = (0.0f64, String::new());
+        let mut min_gain = (f64::INFINITY, String::new());
+        for meta in &suite {
+            let (ck, ch, b, o) = load_comparison(meta);
+            let best = ck.min(ch).min(b);
+            best_prior_load.push(best);
+            opt_load.push(o);
+            let g = best / o;
+            if g > max_gain.0 {
+                max_gain = (g, meta.to_string());
+            }
+            if g < min_gain.0 {
+                min_gain = (g, meta.to_string());
+            }
+            let (s, d) = gridding_comparison(meta, ANALYTIC_RANKS);
+            stat_vol.push(s);
+            dyn_vol.push(d);
+        }
+        let load_curve = normalized_percentiles(&best_prior_load, &opt_load);
+        let vol_curve = normalized_percentiles(&stat_vol, &dyn_vol);
+        println!("  {order}D ({} tensors):", suite.len());
+        println!(
+            "    load gain vs best prior tree: median {:.2}x, max {:.2}x (paper 11c/d: up to 2.8x/3.6x)",
+            load_curve.median(),
+            load_curve.max()
+        );
+        println!("      max-gain tensor: {}", max_gain.1);
+        println!("      min-gain tensor: {}", min_gain.1);
+        println!(
+            "    volume gain dynamic vs static: median {:.2}x, max {:.2}x, >=3x on {:.0}% (paper 11f: up to 6x, >=3x on 90%)",
+            vol_curve.median(),
+            vol_curve.max(),
+            vol_curve.fraction_at_least(3.0) * 100.0
+        );
+    }
+    println!();
+}
+
+// ------------------------------------------------------------- formatting
+
+fn print_curves(curves: &[(&str, PercentileCurve)]) {
+    print!("{:>11}", "percentile");
+    for (name, _) in curves {
+        print!(" {name:>12}");
+    }
+    println!();
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+        print!("{p:>11}");
+        for (_, c) in curves {
+            print!(" {:>12.3}", c.at(p));
+        }
+        println!();
+    }
+}
+
+fn curve_rows(curves: &[(&str, PercentileCurve)]) -> Vec<String> {
+    (1..=100)
+        .map(|p| {
+            let mut row = format!("{p}");
+            for (_, c) in curves {
+                row.push_str(&format!(",{:.6}", c.at(p as f64)));
+            }
+            row
+        })
+        .collect()
+}

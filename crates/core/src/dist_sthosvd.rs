@@ -1,0 +1,241 @@
+//! Distributed STHOSVD — the paper's suggested extension.
+//!
+//! The introduction notes that "the ideas developed in this paper can be
+//! recast and used for improving STHOSVD as well". STHOSVD is a *single*
+//! chain: for each mode in some order, Gram → leading eigenvectors →
+//! truncate. Two of the paper's ideas transfer directly:
+//!
+//! * **Mode ordering**: the TTM cost of the chain is
+//!   `|T| · Σᵢ K_{π(i)} · ∏_{j<i} h_{π(j)}`. An adjacent-exchange argument
+//!   shows the order minimizing it sorts modes by `K_n / (1 − h_n)`
+//!   (ascending; `h_n = 1` modes — no compression — go last). This is the
+//!   single-chain specialization of the §3.3 tree optimization, implemented
+//!   in [`optimal_sthosvd_order`] and validated against brute force over all
+//!   permutations in the tests.
+//! * **Gridding**: each truncation step is a distributed TTM whose
+//!   reduce-scatter volume follows the same `(q_n − 1)|Out|` model, executed
+//!   here under a caller-chosen static grid (a per-step dynamic extension
+//!   would mirror §4.4).
+
+use crate::decomposition::TuckerDecomposition;
+use crate::meta::TuckerMeta;
+use std::time::Duration;
+use tucker_distsim::comm::thread_cpu_time;
+use tucker_distsim::dist_gram::dist_gram;
+use tucker_distsim::dist_ttm::dist_ttm;
+use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
+use tucker_linalg::{leading_from_gram, Matrix};
+
+/// Measurements of one distributed STHOSVD run.
+#[derive(Clone, Debug, Default)]
+pub struct SthosvdStats {
+    /// TTM (truncation) CPU time, max over ranks.
+    pub ttm_compute: Duration,
+    /// Gram + EVD CPU time, max over ranks.
+    pub svd: Duration,
+    /// Elements moved by TTM reduce-scatters.
+    pub ttm_volume: u64,
+    /// Elements moved by the Gram all-gathers/all-reduces.
+    pub gram_volume: u64,
+    /// Relative error of the produced decomposition.
+    pub error: f64,
+}
+
+/// The mode order minimizing the STHOSVD chain's TTM FLOPs: ascending
+/// `K_n / (1 − h_n)`, with incompressible (`h_n = 1`) modes last (they never
+/// shrink the tensor, so multiplying them early only wastes work).
+pub fn optimal_sthosvd_order(meta: &TuckerMeta) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..meta.order()).collect();
+    let key = |n: usize| {
+        let h = meta.h(n);
+        if h >= 1.0 {
+            f64::INFINITY
+        } else {
+            meta.k(n) as f64 / (1.0 - h)
+        }
+    };
+    order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap().then(a.cmp(&b)));
+    order
+}
+
+/// TTM FLOPs of an STHOSVD chain processed in `order` (normalized model of
+/// the truncation multiplies only; Gram cost is reported separately by the
+/// stats).
+pub fn sthosvd_chain_flops(meta: &TuckerMeta, order: &[usize]) -> f64 {
+    let mut card = meta.input_cardinality();
+    let mut flops = 0.0;
+    for &n in order {
+        flops += meta.k(n) as f64 * card;
+        card *= meta.h(n);
+    }
+    flops
+}
+
+/// Run distributed STHOSVD on `nranks` simulated ranks under a static grid.
+///
+/// # Panics
+/// Panics if the grid does not match `nranks` or is invalid for the core.
+pub fn run_distributed_sthosvd(
+    global_fn: impl Fn(&[usize]) -> f64 + Sync,
+    meta: &TuckerMeta,
+    grid: &Grid,
+    order: &[usize],
+) -> (TuckerDecomposition, SthosvdStats) {
+    assert!(
+        grid.is_valid_for(meta.core().dims()),
+        "grid {grid} invalid for core {}",
+        meta.core()
+    );
+    let nranks = grid.nranks();
+
+    let out = Universe::run(nranks, |ctx| {
+        let mut cur = DistTensor::from_global_fn(ctx, meta.input(), grid, |c| global_fn(c));
+        let input_norm_sq = cur.global_norm_sq(ctx);
+        let vol0 = ctx.volume();
+        let mut stats = SthosvdStats::default();
+        let mut factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+
+        for &n in order {
+            let cpu0 = thread_cpu_time();
+            let gram = dist_gram(ctx, &cur, n);
+            let svd = leading_from_gram(&gram, meta.k(n));
+            stats.svd += thread_cpu_time().saturating_sub(cpu0);
+
+            let cpu0 = thread_cpu_time();
+            cur = dist_ttm(ctx, &cur, n, &svd.u.transpose());
+            stats.ttm_compute += thread_cpu_time().saturating_sub(cpu0);
+            factors[n] = Some(svd.u);
+        }
+
+        let core_norm_sq = cur.global_norm_sq(ctx);
+        stats.error =
+            tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
+        let vol = ctx.volume().since(&vol0);
+        stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
+        stats.gram_volume = vol.elements(VolumeCategory::Gram);
+
+        let dense_core = cur.allgather_global(ctx);
+        let factors: Vec<Matrix> =
+            factors.into_iter().map(|f| f.expect("all modes processed")).collect();
+        let decomp = (ctx.rank() == 0)
+            .then(|| TuckerDecomposition::new(dense_core, factors));
+        (decomp, stats)
+    });
+
+    let mut agg = SthosvdStats::default();
+    let mut decomp = None;
+    for (d, s) in out.results {
+        agg.ttm_compute = agg.ttm_compute.max(s.ttm_compute);
+        agg.svd = agg.svd.max(s.svd);
+        agg.ttm_volume = agg.ttm_volume.max(s.ttm_volume);
+        agg.gram_volume = agg.gram_volume.max(s.gram_volume);
+        agg.error = s.error;
+        if let Some(d) = d {
+            decomp = Some(d);
+        }
+    }
+    (decomp.expect("rank 0 returns the decomposition"), agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sthosvd::sthosvd_with_order;
+    use tucker_tensor::DenseTensor;
+
+    fn plume(c: &[usize]) -> f64 {
+        let mut s = 0.0;
+        let mut h = 0x9E37_79B9_7F4A_7C15u64;
+        for (i, &x) in c.iter().enumerate() {
+            s += (0.8 + 0.2 * i as f64) * x as f64;
+            h = (h ^ (x as u64 + 3).wrapping_mul(0xff51_afd7_ed55_8ccd))
+                .rotate_left(31)
+                .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        (0.2 * s).sin() + 0.3 * (0.05 * s * s).cos()
+            + 0.03 * ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+    }
+
+    #[test]
+    fn optimal_order_beats_all_permutations_small() {
+        // Brute force over all 4! permutations.
+        let metas = [
+            TuckerMeta::new([20, 50, 100, 400], [16, 10, 20, 40]),
+            TuckerMeta::new([100, 100, 100, 100], [80, 50, 20, 10]),
+            TuckerMeta::new([50, 50, 20, 20], [25, 5, 16, 2]),
+        ];
+        for meta in metas {
+            let best_order = optimal_sthosvd_order(&meta);
+            let best = sthosvd_chain_flops(&meta, &best_order);
+            let modes = [0usize, 1, 2, 3];
+            let mut perms = Vec::new();
+            permute(&modes, &mut vec![], &mut perms);
+            for p in perms {
+                let f = sthosvd_chain_flops(&meta, &p);
+                assert!(
+                    best <= f * (1.0 + 1e-12),
+                    "{meta}: order {best_order:?} ({best}) beaten by {p:?} ({f})"
+                );
+            }
+        }
+    }
+
+    fn permute(rest: &[usize], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for (i, &m) in rest.iter().enumerate() {
+            let mut r = rest.to_vec();
+            r.remove(i);
+            cur.push(m);
+            permute(&r, cur, out);
+            cur.pop();
+        }
+    }
+
+    #[test]
+    fn incompressible_modes_go_last() {
+        let meta = TuckerMeta::new([16, 20, 16], [16, 2, 8]);
+        let order = optimal_sthosvd_order(&meta);
+        assert_eq!(*order.last().unwrap(), 0, "h=1 mode must be processed last");
+    }
+
+    #[test]
+    fn distributed_matches_sequential_sthosvd() {
+        let meta = TuckerMeta::new([8, 10, 6], [3, 4, 2]);
+        let t = DenseTensor::from_fn(meta.input().clone(), plume);
+        let order = optimal_sthosvd_order(&meta);
+        let seq = sthosvd_with_order(&t, &meta, &order);
+
+        let grid = Grid::new([2, 2, 1]);
+        let (dist, stats) = run_distributed_sthosvd(plume, &meta, &grid, &order);
+
+        let seq_err = seq.error(&t);
+        assert!((stats.error - seq_err).abs() < 1e-8, "{} vs {seq_err}", stats.error);
+        for (fd, fs) in dist.factors.iter().zip(&seq.factors) {
+            assert!(fd.max_abs_diff(fs) < 1e-7);
+        }
+        assert!(dist.core.max_abs_diff(&seq.core) < 1e-7);
+    }
+
+    #[test]
+    fn single_rank_run_is_communication_free_for_ttm() {
+        let meta = TuckerMeta::new([6, 6, 6], [2, 2, 2]);
+        let grid = Grid::trivial(3);
+        let order = [0usize, 1, 2];
+        let (_, stats) = run_distributed_sthosvd(plume, &meta, &grid, &order);
+        assert_eq!(stats.ttm_volume, 0);
+        assert_eq!(stats.gram_volume, 0);
+        assert!(stats.error.is_finite());
+    }
+
+    #[test]
+    fn stats_volumes_populated_when_split() {
+        let meta = TuckerMeta::new([8, 8], [4, 4]);
+        let grid = Grid::new([2, 2]);
+        let (_, stats) = run_distributed_sthosvd(plume, &meta, &grid, &[0, 1]);
+        assert!(stats.ttm_volume > 0, "split modes must reduce-scatter");
+        assert!(stats.gram_volume > 0);
+    }
+}

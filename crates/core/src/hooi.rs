@@ -1,0 +1,385 @@
+//! Sequential HOOI (paper §2.2, Figure 2) driven by a TTM-tree.
+//!
+//! One invocation takes the input tensor and a current decomposition and
+//! produces a new decomposition with the same core size and (weakly) smaller
+//! error. The TTM component is executed by walking a TTM-tree: at each
+//! internal node the parent's output is multiplied along the node's mode by
+//! the (transposed) current factor; at each leaf, the Gram matrix of the
+//! mode-`n` unfolding feeds an EVD whose leading `K_n` eigenvectors become
+//! the new factor `F̃_n`.
+//!
+//! Because intermediate tensors are *shared* between chains (that is the
+//! whole point of reuse), all chains use the factors from the start of the
+//! invocation (Jacobi-style update), exactly as the tree formulation in the
+//! paper requires. The new core is computed at the end from the new factors.
+
+use crate::decomposition::TuckerDecomposition;
+use crate::meta::TuckerMeta;
+use crate::tree::{NodeLabel, TtmTree};
+use std::time::{Duration, Instant};
+use tucker_linalg::{leading_from_gram, syrk, Matrix};
+use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::{ttm, unfold, DenseTensor};
+
+/// Timing breakdown of one sequential HOOI invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HooiTimings {
+    /// Time in TTM kernels (the TTM component of the tree + the core chain).
+    pub ttm: Duration,
+    /// Time in Gram + EVD (the SVD component).
+    pub svd: Duration,
+}
+
+/// Result of one HOOI invocation.
+#[derive(Clone, Debug)]
+pub struct HooiOutput {
+    /// The new decomposition `{G̃; F̃₁, …, F̃_N}`.
+    pub decomposition: TuckerDecomposition,
+    /// Relative error of the new decomposition against the input tensor
+    /// (computed from the core norm; the factors are orthonormal).
+    pub error: f64,
+    /// Timing breakdown.
+    pub timings: HooiTimings,
+}
+
+/// Run one HOOI invocation of `tree` on `t`, starting from `current`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or the tree is invalid for the
+/// metadata's order.
+pub fn hooi_invocation(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    current: &TuckerDecomposition,
+    tree: &TtmTree,
+) -> HooiOutput {
+    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
+    assert_eq!(current.factors.len(), meta.order(), "decomposition order mismatch");
+    tree.validate().expect("invalid TTM tree");
+
+    let mut timings = HooiTimings::default();
+    let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+
+    // Walk the tree depth-first, reusing each node's output for all its
+    // children (in-order traversal bounds live intermediates by the depth).
+    let mut stack: Vec<(usize, std::rc::Rc<DenseTensor>)> = Vec::new();
+    let root_tensor = std::rc::Rc::new(t.clone());
+    for &c in tree.node(tree.root()).children.iter().rev() {
+        stack.push((c, std::rc::Rc::clone(&root_tensor)));
+    }
+    while let Some((id, input)) = stack.pop() {
+        match tree.node(id).label {
+            NodeLabel::Root => unreachable!("root is never on the stack"),
+            NodeLabel::Ttm(n) => {
+                let t0 = Instant::now();
+                let ft = current.factors[n].transpose(); // K_n × L_n
+                let out = std::rc::Rc::new(ttm(&input, n, &ft));
+                timings.ttm += t0.elapsed();
+                for &c in tree.node(id).children.iter().rev() {
+                    stack.push((c, std::rc::Rc::clone(&out)));
+                }
+            }
+            NodeLabel::Leaf(n) => {
+                let t0 = Instant::now();
+                let gram = syrk(&unfold(&input, n));
+                let svd = leading_from_gram(&gram, meta.k(n));
+                timings.svd += t0.elapsed();
+                assert!(
+                    new_factors[n].replace(svd.u).is_none(),
+                    "leaf for mode {n} computed twice"
+                );
+            }
+        }
+    }
+
+    let factors: Vec<Matrix> = new_factors
+        .into_iter()
+        .enumerate()
+        .map(|(n, f)| f.unwrap_or_else(|| panic!("no leaf computed mode {n}")))
+        .collect();
+
+    // New core: G̃ = T ×₁ F̃₁ᵀ … ×_N F̃_Nᵀ, multiplying strongest-compressing
+    // modes first to minimize cost (any order is mathematically equal).
+    let t0 = Instant::now();
+    let mut order: Vec<usize> = (0..meta.order()).collect();
+    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
+    let mut core = t.clone();
+    for &n in &order {
+        core = ttm(&core, n, &factors[n].transpose());
+    }
+    timings.ttm += t0.elapsed();
+
+    let decomposition = TuckerDecomposition::new(core, factors);
+    let error = decomposition.error_from_core_norm(fro_norm_sq(t));
+    HooiOutput { decomposition, error, timings }
+}
+
+/// Textbook Gauss–Seidel HOOI invocation (De Lathauwer et al.): modes are
+/// updated one at a time and each TTM-chain uses the **latest** factors.
+///
+/// This variant cannot share intermediate tensors between chains (so it
+/// performs the naive `N·(N−1)` TTMs), but it inherits the classic ALS
+/// guarantee: the error is non-increasing across invocations. The tree-based
+/// [`hooi_invocation`] is the paper's (faster, Jacobi-style) variant; this
+/// one serves as the convergence reference and as an ablation point.
+pub fn hooi_invocation_gauss_seidel(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    current: &TuckerDecomposition,
+) -> HooiOutput {
+    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
+    let n_modes = meta.order();
+    let mut timings = HooiTimings::default();
+    let mut factors: Vec<Matrix> = current.factors.clone();
+
+    for n in 0..n_modes {
+        // Chain over the other modes, strongest compression first.
+        let mut order: Vec<usize> = (0..n_modes).filter(|&j| j != n).collect();
+        order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
+        let t0 = Instant::now();
+        let mut cur = t.clone();
+        for &j in &order {
+            cur = ttm(&cur, j, &factors[j].transpose());
+        }
+        timings.ttm += t0.elapsed();
+        let t0 = Instant::now();
+        let gram = syrk(&unfold(&cur, n));
+        factors[n] = leading_from_gram(&gram, meta.k(n)).u;
+        timings.svd += t0.elapsed();
+    }
+
+    let t0 = Instant::now();
+    let mut order: Vec<usize> = (0..n_modes).collect();
+    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
+    let mut core = t.clone();
+    for &n in &order {
+        core = ttm(&core, n, &factors[n].transpose());
+    }
+    timings.ttm += t0.elapsed();
+
+    let decomposition = TuckerDecomposition::new(core, factors);
+    let error = decomposition.error_from_core_norm(fro_norm_sq(t));
+    HooiOutput { decomposition, error, timings }
+}
+
+/// Iterate HOOI until the error improvement drops below `tol` or
+/// `max_iters` invocations have run. Returns the final output and the error
+/// trace (one entry per invocation).
+pub fn hooi_iterate(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    init: TuckerDecomposition,
+    tree: &TtmTree,
+    max_iters: usize,
+    tol: f64,
+) -> (HooiOutput, Vec<f64>) {
+    assert!(max_iters >= 1, "need at least one iteration");
+    let mut current = init;
+    let mut trace = Vec::with_capacity(max_iters);
+    let mut last: Option<HooiOutput> = None;
+    for _ in 0..max_iters {
+        let out = hooi_invocation(t, meta, &current, tree);
+        trace.push(out.error);
+        let done = match &last {
+            Some(prev) => (prev.error - out.error).abs() < tol,
+            None => false,
+        };
+        current = out.decomposition.clone();
+        last = Some(out);
+        if done {
+            break;
+        }
+    }
+    (last.expect("at least one iteration ran"), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sthosvd::{random_init, sthosvd};
+    use crate::tree::{balanced_tree, chain_tree};
+    use crate::opt_tree::optimal_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tucker_tensor::Shape;
+
+    fn random_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    /// Smooth, compressible but non-separable synthetic field with a small
+    /// deterministic noise floor (keeps errors well above machine epsilon
+    /// and Gram eigenvalues simple).
+    fn smooth_tensor(dims: &[usize]) -> DenseTensor {
+        DenseTensor::from_fn(Shape::new(dims.to_vec()), |c| {
+            let mut s = 0.0;
+            let mut h = 0x9E37_79B9_7F4A_7C15u64;
+            for (i, &x) in c.iter().enumerate() {
+                s += (0.9 + 0.13 * i as f64) * x as f64;
+                h = (h ^ (x as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+                    .rotate_left(31)
+                    .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            }
+            let noise = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (0.21 * s).sin() + 0.5 * (0.043 * s * s).cos() + 0.05 * noise
+        })
+    }
+
+    #[test]
+    fn improves_on_random_init() {
+        let dims = [8usize, 8, 8];
+        let t = random_tensor(&dims, 1);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![3, 3, 3]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let init = random_init(&t, &meta, &mut rng);
+        let e0 = init.error_from_core_norm(fro_norm_sq(&t));
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let out = hooi_invocation(&t, &meta, &init, &tree);
+        assert!(out.error < e0, "HOOI must improve a random init: {e0} -> {}", out.error);
+        assert!(out.decomposition.factors_orthonormal(1e-9));
+    }
+
+    #[test]
+    fn all_trees_produce_identical_factors() {
+        // Same (old) factors in, so every valid tree computes the same new
+        // decomposition (commutativity + deterministic EVD).
+        let dims = [6usize, 7, 5, 4];
+        let t = smooth_tensor(&dims);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![3, 2, 2, 2]);
+        let init = sthosvd(&t, &meta);
+        let perm: Vec<usize> = (0..4).collect();
+        let trees = [
+            chain_tree(&meta, &perm),
+            chain_tree(&meta, &[3, 2, 1, 0]),
+            balanced_tree(&meta, &perm),
+            optimal_tree(&meta).tree,
+        ];
+        let outs: Vec<HooiOutput> =
+            trees.iter().map(|tr| hooi_invocation(&t, &meta, &init, tr)).collect();
+        for o in &outs[1..] {
+            assert!((o.error - outs[0].error).abs() < 1e-10);
+            for (f1, f2) in o.decomposition.factors.iter().zip(&outs[0].decomposition.factors) {
+                assert!(f1.max_abs_diff(f2) < 1e-7, "factor mismatch between trees");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_error_is_monotone() {
+        // The Gauss–Seidel variant carries the classic ALS guarantee.
+        let dims = [8usize, 7, 6];
+        let t = smooth_tensor(&dims);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![3, 3, 2]);
+        let mut cur = sthosvd(&t, &meta);
+        let mut last = cur.error_from_core_norm(fro_norm_sq(&t));
+        for _ in 0..6 {
+            let out = hooi_invocation_gauss_seidel(&t, &meta, &cur);
+            assert!(
+                out.error <= last + 1e-10,
+                "Gauss–Seidel error increased: {last} -> {}",
+                out.error
+            );
+            last = out.error;
+            cur = out.decomposition;
+        }
+    }
+
+    #[test]
+    fn jacobi_tree_sweep_improves_a_random_init() {
+        // Tree-based (Jacobi) HOOI is not guaranteed monotone near a fixed
+        // point, but a single sweep from a random subspace must improve by a
+        // wide margin.
+        let dims = [8usize, 7, 6];
+        let t = smooth_tensor(&dims);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![3, 3, 2]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let init = random_init(&t, &meta, &mut rng);
+        let e0 = init.error_from_core_norm(fro_norm_sq(&t));
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let out = hooi_invocation(&t, &meta, &init, &tree);
+        assert!(out.error < e0 * 0.95, "one sweep must improve: {e0} -> {}", out.error);
+        // And a Gauss–Seidel sweep from the same init does at least as well
+        // as its own theory requires (error <= init error).
+        let gs = hooi_invocation_gauss_seidel(&t, &meta, &init);
+        assert!(gs.error <= e0 + 1e-10);
+    }
+
+    #[test]
+    fn exact_low_rank_stays_exact() {
+        // If the input is exactly low-rank, STHOSVD already nails it and
+        // HOOI must keep error ~0.
+        let meta = TuckerMeta::new([8, 6, 7], [2, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(20);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        let core = DenseTensor::random(meta.core().clone(), &dist, &mut rng);
+        let factors: Vec<Matrix> = (0..3)
+            .map(|n| {
+                tucker_linalg::orthonormal_columns(&Matrix::random(
+                    meta.l(n),
+                    meta.k(n),
+                    &dist,
+                    &mut rng,
+                ))
+            })
+            .collect();
+        let t = TuckerDecomposition::new(core, factors).reconstruct();
+        let init = sthosvd(&t, &meta);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let out = hooi_invocation(&t, &meta, &init, &tree);
+        assert!(out.error < 1e-8, "error {}", out.error);
+    }
+
+    #[test]
+    fn iterate_respects_max_iters_and_traces() {
+        let dims = [6usize, 6, 6];
+        let t = smooth_tensor(&dims);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![2, 2, 2]);
+        let init = sthosvd(&t, &meta);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let (out, trace) = hooi_iterate(&t, &meta, init, &tree, 8, 1e-12);
+        assert!(!trace.is_empty() && trace.len() <= 8);
+        assert_eq!(out.error, *trace.last().unwrap());
+        // Every iterate is a valid decomposition.
+        assert!(out.decomposition.factors_orthonormal(1e-8));
+    }
+
+    #[test]
+    fn iterate_stops_early_when_converged() {
+        // An exactly low-rank tensor converges immediately: the error is 0
+        // after every sweep, so the |Δerror| < tol condition fires at the
+        // second iteration.
+        let meta = TuckerMeta::new([6, 6, 6], [2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(31);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        let core = DenseTensor::random(meta.core().clone(), &dist, &mut rng);
+        let factors: Vec<Matrix> = (0..3)
+            .map(|n| {
+                tucker_linalg::orthonormal_columns(&Matrix::random(
+                    meta.l(n),
+                    meta.k(n),
+                    &dist,
+                    &mut rng,
+                ))
+            })
+            .collect();
+        let t = TuckerDecomposition::new(core, factors).reconstruct();
+        let init = sthosvd(&t, &meta);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let (_, trace) = hooi_iterate(&t, &meta, init, &tree, 50, 1e-12);
+        assert!(trace.len() <= 3, "exact tensor should converge instantly: {trace:?}");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let dims = [10usize, 10, 10];
+        let t = random_tensor(&dims, 3);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![4, 4, 4]);
+        let init = sthosvd(&t, &meta);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let out = hooi_invocation(&t, &meta, &init, &tree);
+        assert!(out.timings.ttm > Duration::ZERO);
+        assert!(out.timings.svd > Duration::ZERO);
+    }
+}

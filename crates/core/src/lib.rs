@@ -1,0 +1,62 @@
+//! **tucker-core** — distributed Tucker decomposition for dense tensors.
+//!
+//! This crate implements the contributions of *"On Optimizing Distributed
+//! Tucker Decomposition for Dense Tensors"* (Chakaravarthy et al., IPDPS
+//! 2017) on top of the workspace substrates (`tucker-tensor`,
+//! `tucker-linalg`, `tucker-distsim`):
+//!
+//! * [`meta`] — problem metadata: input shape `L`, core shape `K`, cost
+//!   factors `K_n` and compression factors `h_n = K_n / L_n`;
+//! * [`tree`] — TTM-trees (§3.1) with the prior-work constructions: chain
+//!   trees, balanced trees (Kaya–Uçar), and mode orderings (§3.2);
+//! * [`cost`] — the FLOP cost model (§3.1);
+//! * [`opt_tree`] — the `O(4^N)` dynamic program for **optimal TTM-trees**
+//!   (§3.3);
+//! * [`volume`] — the communication-volume model `(q_n − 1)·|Out(u)|` and
+//!   optimal **static** grid search (§4.1–4.2);
+//! * [`dyn_grid`] — **dynamic gridding** and the optimal dynamic-grid DP
+//!   (§4.3–4.4);
+//! * [`planner`] — the paper's *planner* module (§5): combines a tree
+//!   strategy and a grid strategy into an executable [`planner::Plan`];
+//! * [`decomposition`], [`hooi`], [`sthosvd`] — sequential reference
+//!   implementations of the decomposition, HOOI sweeps and STHOSVD
+//!   initialization;
+//! * [`engine`] — the distributed *engine* (§5): executes a plan on the
+//!   simulated MPI universe, with per-phase time and volume accounting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tucker_core::meta::TuckerMeta;
+//! use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+//!
+//! // A 4-way tensor compressed 4x along every mode, on 8 ranks.
+//! let meta = TuckerMeta::new([16, 16, 16, 16], [4, 4, 4, 4]);
+//! let planner = Planner::new(meta, 8);
+//! let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
+//! // The optimal tree never loses on FLOPs, and for that tree the dynamic
+//! // gridding scheme never loses on communication volume:
+//! let naive = planner.plan(TreeStrategy::chain_k(), GridStrategy::StaticOptimal);
+//! assert!(plan.flops <= naive.flops);
+//! let opt_static = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+//! assert!(plan.volume <= opt_static.volume);
+//! ```
+
+pub mod brute_force;
+pub mod cost;
+pub mod decomposition;
+pub mod dist_sthosvd;
+pub mod dyn_grid;
+pub mod engine;
+pub mod hooi;
+pub mod meta;
+pub mod opt_tree;
+pub mod planner;
+pub mod sthosvd;
+pub mod tree;
+pub mod volume;
+
+pub use decomposition::TuckerDecomposition;
+pub use meta::TuckerMeta;
+pub use planner::{GridStrategy, Plan, Planner, TreeStrategy};
+pub use tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};

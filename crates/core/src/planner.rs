@@ -1,0 +1,272 @@
+//! The planner module (paper §5).
+//!
+//! The planner consumes only metadata — input and core dimension lengths plus
+//! the processor count — and produces an executable [`Plan`]: a TTM-tree and
+//! a grid assignment for every node, along with the model-predicted FLOP load
+//! and communication volume. It runs once; the engine then reuses the plan
+//! across HOOI invocations.
+
+use crate::cost::tree_flops;
+use crate::dyn_grid::{optimal_dynamic_grids, DynGridObjective, DynGridScheme};
+use crate::meta::TuckerMeta;
+use crate::opt_tree::optimal_tree;
+use crate::tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};
+use crate::volume::optimal_static_grid;
+use tucker_distsim::Grid;
+
+/// Which TTM-tree to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeStrategy {
+    /// Naive chain tree with a mode ordering (§3.2). `Chain(ByCostFactor)`
+    /// and `Chain(ByCompression)` are the paper's "(chain, K)" and
+    /// "(chain, h)" heuristics.
+    Chain(ModeOrdering),
+    /// The Kaya–Uçar balanced tree (§3.2); ordering has little effect, the
+    /// natural one is used.
+    Balanced,
+    /// The "always reuse when available" greedy of the §3.3 Remarks
+    /// (ablation baseline; the DP can strictly beat it).
+    GreedyReuse,
+    /// The optimal tree from the §3.3 dynamic program.
+    Optimal,
+}
+
+impl TreeStrategy {
+    /// The paper's "(chain, K)" heuristic.
+    pub fn chain_k() -> Self {
+        TreeStrategy::Chain(ModeOrdering::ByCostFactor)
+    }
+
+    /// The paper's "(chain, h)" heuristic.
+    pub fn chain_h() -> Self {
+        TreeStrategy::Chain(ModeOrdering::ByCompression)
+    }
+
+    /// Short label used in experiment output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeStrategy::Chain(ModeOrdering::Natural) => "chain",
+            TreeStrategy::Chain(ModeOrdering::ByCostFactor) => "chain-K",
+            TreeStrategy::Chain(ModeOrdering::ByCompression) => "chain-h",
+            TreeStrategy::Balanced => "balanced",
+            TreeStrategy::GreedyReuse => "greedy-reuse",
+            TreeStrategy::Optimal => "opt-tree",
+        }
+    }
+}
+
+/// How to assign grids to tree nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GridStrategy {
+    /// One grid for the whole tree, chosen by exhaustive search (§4.2).
+    StaticOptimal,
+    /// One fixed grid for the whole tree (no search).
+    StaticFixed(Grid),
+    /// The optimal dynamic scheme from the §4.4 DP.
+    Dynamic,
+    /// Dynamic with the paper-literal regrid-target objective (ablation).
+    DynamicChildrenOnly,
+}
+
+impl GridStrategy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GridStrategy::StaticOptimal => "static",
+            GridStrategy::StaticFixed(_) => "static-fixed",
+            GridStrategy::Dynamic => "dynamic",
+            GridStrategy::DynamicChildrenOnly => "dynamic-lit",
+        }
+    }
+}
+
+/// An executable plan: tree + grids + model predictions.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Problem metadata the plan was built for.
+    pub meta: TuckerMeta,
+    /// Number of ranks.
+    pub nranks: usize,
+    /// The TTM-tree.
+    pub tree: TtmTree,
+    /// Grid per node (+ regrid flags + initial grid).
+    pub grids: DynGridScheme,
+    /// Model FLOP count of the TTM component (one HOOI invocation).
+    pub flops: f64,
+    /// Model communication volume in elements (one HOOI invocation).
+    pub volume: f64,
+    /// Strategy labels, e.g. `("opt-tree", "dynamic")`.
+    pub labels: (&'static str, &'static str),
+}
+
+impl Plan {
+    /// `"(tree, grid)"` label like the paper's legends.
+    pub fn name(&self) -> String {
+        format!("({}, {})", self.labels.0, self.labels.1)
+    }
+}
+
+/// Builds plans from metadata (the paper's planner; §5).
+#[derive(Clone, Debug)]
+pub struct Planner {
+    meta: TuckerMeta,
+    nranks: usize,
+}
+
+impl Planner {
+    /// Create a planner for a problem on `nranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if `nranks` is zero or exceeds the core cardinality (then no
+    /// valid grid exists).
+    pub fn new(meta: TuckerMeta, nranks: usize) -> Self {
+        assert!(nranks >= 1, "need at least one rank");
+        assert!(
+            (nranks as f64) <= meta.core_cardinality(),
+            "P = {nranks} exceeds core cardinality; no valid grid exists"
+        );
+        Planner { meta, nranks }
+    }
+
+    /// The metadata this planner serves.
+    pub fn meta(&self) -> &TuckerMeta {
+        &self.meta
+    }
+
+    /// The rank count.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Build the tree for a strategy.
+    pub fn build_tree(&self, strategy: TreeStrategy) -> TtmTree {
+        match strategy {
+            TreeStrategy::Chain(ordering) => {
+                chain_tree(&self.meta, &ordering.permutation(&self.meta))
+            }
+            TreeStrategy::Balanced => {
+                balanced_tree(&self.meta, &(0..self.meta.order()).collect::<Vec<_>>())
+            }
+            TreeStrategy::GreedyReuse => crate::brute_force::greedy_reuse_tree(&self.meta),
+            TreeStrategy::Optimal => optimal_tree(&self.meta).tree,
+        }
+    }
+
+    /// Produce a full plan.
+    pub fn plan(&self, tree_strategy: TreeStrategy, grid_strategy: GridStrategy) -> Plan {
+        let tree = self.build_tree(tree_strategy);
+        let flops = tree_flops(&tree, &self.meta);
+        let grids = match &grid_strategy {
+            GridStrategy::StaticOptimal => {
+                let choice = optimal_static_grid(&tree, &self.meta, self.nranks);
+                DynGridScheme::static_scheme(&tree, &self.meta, choice.grid)
+            }
+            GridStrategy::StaticFixed(g) => {
+                assert_eq!(g.nranks(), self.nranks, "fixed grid has wrong rank count");
+                assert!(
+                    g.is_valid_for(self.meta.core().dims()),
+                    "fixed grid {g} invalid for core {}",
+                    self.meta.core()
+                );
+                DynGridScheme::static_scheme(&tree, &self.meta, g.clone())
+            }
+            GridStrategy::Dynamic => {
+                optimal_dynamic_grids(&tree, &self.meta, self.nranks, DynGridObjective::Exact)
+            }
+            GridStrategy::DynamicChildrenOnly => optimal_dynamic_grids(
+                &tree,
+                &self.meta,
+                self.nranks,
+                DynGridObjective::ChildrenOnly,
+            ),
+        };
+        let volume = grids.volume;
+        Plan {
+            meta: self.meta.clone(),
+            nranks: self.nranks,
+            tree,
+            grids,
+            flops,
+            volume,
+            labels: (tree_strategy.label(), grid_strategy.label()),
+        }
+    }
+
+    /// The four configurations compared throughout the paper's evaluation:
+    /// `(chain, K)`, `(chain, h)`, `(balanced)` — all with optimal static
+    /// grids — and `(opt-tree, dynamic)`.
+    pub fn paper_lineup(&self) -> Vec<Plan> {
+        vec![
+            self.plan(TreeStrategy::chain_k(), GridStrategy::StaticOptimal),
+            self.plan(TreeStrategy::chain_h(), GridStrategy::StaticOptimal),
+            self.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal),
+            self.plan(TreeStrategy::Optimal, GridStrategy::Dynamic),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> Planner {
+        Planner::new(TuckerMeta::new([40, 100, 20, 50], [8, 20, 4, 10]), 16)
+    }
+
+    #[test]
+    fn optimal_plan_dominates_lineup_on_flops() {
+        let p = planner();
+        let lineup = p.paper_lineup();
+        let opt = &lineup[3];
+        for other in &lineup[..3] {
+            assert!(opt.flops <= other.flops + 1e-9, "{}", other.name());
+        }
+        // Volume dominance is guaranteed within the same tree.
+        let opt_static = p.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+        assert!(opt.volume <= opt_static.volume + 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let p = planner();
+        let lineup = p.paper_lineup();
+        assert_eq!(lineup[0].name(), "(chain-K, static)");
+        assert_eq!(lineup[1].name(), "(chain-h, static)");
+        assert_eq!(lineup[2].name(), "(balanced, static)");
+        assert_eq!(lineup[3].name(), "(opt-tree, dynamic)");
+    }
+
+    #[test]
+    fn static_plans_never_regrid() {
+        let p = planner();
+        let plan = p.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal);
+        assert_eq!(plan.grids.regrid_count(), 0);
+        for g in &plan.grids.node_grids {
+            assert_eq!(g, &plan.grids.initial);
+        }
+    }
+
+    #[test]
+    fn fixed_grid_respected() {
+        let p = planner();
+        let g = Grid::new([2, 4, 2, 1]);
+        let plan = p.plan(TreeStrategy::chain_k(), GridStrategy::StaticFixed(g.clone()));
+        assert_eq!(plan.grids.initial, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds core cardinality")]
+    fn too_many_ranks_rejected() {
+        let _ = Planner::new(TuckerMeta::new([4, 4], [2, 2]), 32);
+    }
+
+    #[test]
+    fn plan_predictions_are_consistent() {
+        let p = planner();
+        let plan = p.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
+        let flops = crate::cost::tree_flops(&plan.tree, p.meta());
+        assert!((plan.flops - flops).abs() < flops * 1e-12);
+        let vol = crate::dyn_grid::scheme_volume(&plan.tree, p.meta(), &plan.grids);
+        assert!((plan.volume - vol).abs() <= vol.max(1.0) * 1e-9);
+    }
+}

@@ -1,0 +1,436 @@
+//! The rank runtime and point-to-point messaging layer.
+//!
+//! [`Universe::run`] plays the role of `mpirun`: it spawns `P` threads, hands
+//! each a [`RankCtx`] (its "MPI rank"), runs the same SPMD closure on every
+//! rank, and collects the per-rank results in rank order. Ranks communicate
+//! through unbounded FIFO channels, one per ordered rank pair, so sends never
+//! block and deterministic SPMD programs match sends to receives by (source,
+//! program order) exactly as MPI does with a single tag.
+//!
+//! Two ledgers capture the paper's communication metrics:
+//! * a process-global [`VolumeLedger`] counts every payload byte that crosses
+//!   distinct ranks, split by [`VolumeCategory`];
+//! * a per-rank [`CommTimers`] accumulates wall time spent inside
+//!   communication calls (including waiting), the same accounting an MPI
+//!   profiler would produce.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// CPU time consumed by the calling thread.
+///
+/// Wall-clock phase timing is unreliable when simulated ranks oversubscribe
+/// the host's cores (a rank's "elapsed" includes time spent descheduled
+/// while other ranks compute). Thread CPU time is robust: blocked channel
+/// receives park the thread and accrue nothing, so a delta across a compute
+/// phase measures exactly the work this rank performed.
+pub fn thread_cpu_time() -> Duration {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: ts is a valid out-pointer; the clock id is a constant.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// What a transfer was for; used to split volume/time the way the paper's
+/// plots do (TTM reduce-scatter vs. regridding vs. Gram/SVD support traffic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VolumeCategory {
+    /// Reduce-scatter inside a distributed TTM (paper: `(q_n − 1)|Out(u)|`).
+    TtmReduceScatter,
+    /// All-to-all regridding traffic (paper: `|In(u)|`).
+    Regrid,
+    /// All-gather + all-reduce supporting the Gram/SVD step.
+    Gram,
+    /// Everything else (setup, gathers for verification, …).
+    Other,
+}
+
+const CATEGORY_COUNT: usize = 4;
+
+impl VolumeCategory {
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            VolumeCategory::TtmReduceScatter => 0,
+            VolumeCategory::Regrid => 1,
+            VolumeCategory::Gram => 2,
+            VolumeCategory::Other => 3,
+        }
+    }
+
+    /// All categories in index order.
+    pub fn all() -> [VolumeCategory; CATEGORY_COUNT] {
+        [
+            VolumeCategory::TtmReduceScatter,
+            VolumeCategory::Regrid,
+            VolumeCategory::Gram,
+            VolumeCategory::Other,
+        ]
+    }
+}
+
+/// Process-global byte counters, shared by all ranks of a universe.
+#[derive(Debug, Default)]
+pub struct VolumeLedger {
+    bytes: [AtomicU64; CATEGORY_COUNT],
+}
+
+impl VolumeLedger {
+    fn add(&self, cat: VolumeCategory, bytes: u64) {
+        self.bytes[cat.idx()].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn report(&self) -> VolumeReport {
+        let mut bytes = [0u64; CATEGORY_COUNT];
+        for (o, b) in bytes.iter_mut().zip(&self.bytes) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        VolumeReport { bytes }
+    }
+}
+
+/// Immutable snapshot of a [`VolumeLedger`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VolumeReport {
+    bytes: [u64; CATEGORY_COUNT],
+}
+
+impl VolumeReport {
+    /// Bytes transferred for one category.
+    pub fn bytes(&self, cat: VolumeCategory) -> u64 {
+        self.bytes[cat.idx()]
+    }
+
+    /// Total bytes across categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Elements (f64) transferred for one category.
+    pub fn elements(&self, cat: VolumeCategory) -> u64 {
+        self.bytes(cat) / 8
+    }
+
+    /// Total elements across categories.
+    pub fn total_elements(&self) -> u64 {
+        self.total_bytes() / 8
+    }
+
+    /// Difference of two snapshots (self − earlier).
+    pub fn since(&self, earlier: &VolumeReport) -> VolumeReport {
+        let mut bytes = [0u64; CATEGORY_COUNT];
+        for (o, (a, b)) in bytes.iter_mut().zip(self.bytes.iter().zip(&earlier.bytes)) {
+            *o = a - b;
+        }
+        VolumeReport { bytes }
+    }
+}
+
+/// Per-rank wall-clock time spent inside communication calls, by category.
+#[derive(Clone, Debug, Default)]
+pub struct CommTimers {
+    nanos: [u64; CATEGORY_COUNT],
+}
+
+impl CommTimers {
+    fn add(&mut self, cat: VolumeCategory, d: Duration) {
+        self.nanos[cat.idx()] += d.as_nanos() as u64;
+    }
+
+    /// Time spent in one category.
+    pub fn time(&self, cat: VolumeCategory) -> Duration {
+        Duration::from_nanos(self.nanos[cat.idx()])
+    }
+
+    /// Total communication time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Merge another rank's timers (used when aggregating max/mean).
+    pub fn merge_max(&mut self, other: &CommTimers) {
+        for (a, b) in self.nanos.iter_mut().zip(&other.nanos) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Difference of two snapshots (`self − earlier`), used to attribute
+    /// communication time to an enclosing phase.
+    pub fn since(&self, earlier: &CommTimers) -> CommTimers {
+        let mut nanos = [0u64; CATEGORY_COUNT];
+        for (o, (a, b)) in nanos.iter_mut().zip(self.nanos.iter().zip(&earlier.nanos)) {
+            *o = a.saturating_sub(*b);
+        }
+        CommTimers { nanos }
+    }
+}
+
+/// A message: an operation tag for sanity checking plus the payload.
+struct Msg {
+    tag: u32,
+    payload: Vec<f64>,
+}
+
+/// Handle to one simulated MPI rank. Created by [`Universe::run`]; all
+/// communication goes through methods on this type.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    txs: Vec<Sender<Msg>>,
+    rxs: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+    ledger: Arc<VolumeLedger>,
+    /// Communication-time accounting for this rank.
+    pub timers: CommTimers,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Snapshot of the universe-wide volume ledger.
+    pub fn volume(&self) -> VolumeReport {
+        self.ledger.report()
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&mut self) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        self.timers.add(VolumeCategory::Other, t0.elapsed());
+    }
+
+    /// Send `payload` to `dst`. Never blocks (channels are unbounded).
+    /// Self-sends are delivered but cost no volume.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Vec<f64>, cat: VolumeCategory) {
+        debug_assert!(dst < self.nranks, "bad destination {dst}");
+        if dst != self.rank {
+            self.ledger.add(cat, (payload.len() * 8) as u64);
+        }
+        let t0 = Instant::now();
+        self.txs[dst]
+            .send(Msg { tag, payload })
+            .expect("receiver dropped: a rank panicked");
+        self.timers.add(cat, t0.elapsed());
+    }
+
+    /// Receive the next message from `src`, asserting the expected tag.
+    ///
+    /// # Panics
+    /// Panics if the sender disconnected or the tag does not match (which
+    /// indicates a mismatched SPMD program).
+    pub fn recv(&mut self, src: usize, tag: u32, cat: VolumeCategory) -> Vec<f64> {
+        debug_assert!(src < self.nranks, "bad source {src}");
+        let t0 = Instant::now();
+        let msg = self.rxs[src]
+            .recv()
+            .expect("sender dropped: a rank panicked");
+        self.timers.add(cat, t0.elapsed());
+        assert_eq!(
+            msg.tag, tag,
+            "rank {}: tag mismatch receiving from {src} (got {}, want {tag})",
+            self.rank, msg.tag
+        );
+        msg.payload
+    }
+}
+
+/// Factory for SPMD runs.
+pub struct Universe;
+
+/// Everything a run produces: per-rank results (in rank order) plus the
+/// volume ledger snapshot.
+pub struct RunOutput<R> {
+    /// Closure results, indexed by rank.
+    pub results: Vec<R>,
+    /// Bytes moved between distinct ranks during the run.
+    pub volume: VolumeReport,
+}
+
+impl Universe {
+    /// Run `f` on `nranks` simulated ranks and wait for all of them.
+    ///
+    /// The closure is the SPMD program: it receives this rank's [`RankCtx`]
+    /// and may communicate with peers through it. A panic on any rank
+    /// propagates and fails the run.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or if any rank panics.
+    pub fn run<R, F>(nranks: usize, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        assert!(nranks > 0, "need at least one rank");
+        let ledger = Arc::new(VolumeLedger::default());
+        let barrier = Arc::new(Barrier::new(nranks));
+
+        // channel[(src, dst)]; senders grouped by src, receivers by dst.
+        let mut tx_by_src: Vec<Vec<Sender<Msg>>> = (0..nranks).map(|_| Vec::new()).collect();
+        let mut rx_by_dst: Vec<Vec<Receiver<Msg>>> = (0..nranks).map(|_| Vec::new()).collect();
+        for txs in tx_by_src.iter_mut() {
+            for rxs in rx_by_dst.iter_mut() {
+                let (tx, rx) = unbounded::<Msg>();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+        }
+        // Transpose rx so rank r gets receivers indexed by src.
+        let mut rx_final: Vec<Vec<Receiver<Msg>>> = (0..nranks).map(|_| Vec::new()).collect();
+        for (dst, rxs) in rx_by_dst.into_iter().enumerate() {
+            // rxs[src] is the channel src->dst.
+            rx_final[dst] = rxs;
+        }
+
+        let mut ctxs: Vec<RankCtx> = tx_by_src
+            .into_iter()
+            .zip(rx_final)
+            .enumerate()
+            .map(|(rank, (txs, rxs))| RankCtx {
+                rank,
+                nranks,
+                txs,
+                rxs,
+                barrier: Arc::clone(&barrier),
+                ledger: Arc::clone(&ledger),
+                timers: CommTimers::default(),
+            })
+            .collect();
+
+        let results: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = ctxs
+                .drain(..)
+                .map(|mut ctx| {
+                    let f = &f;
+                    s.spawn(move || f(&mut ctx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Re-raise with the original payload so `should_panic`
+                    // expectations and error messages survive the thread hop.
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
+
+        RunOutput { results, volume: ledger.report() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Universe::run(1, |ctx| ctx.rank() * 10);
+        assert_eq!(out.results, vec![0]);
+        assert_eq!(out.volume.total_bytes(), 0);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = Universe::run(8, |ctx| ctx.rank());
+        assert_eq!(out.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let p = 5;
+        let out = Universe::run(p, |ctx| {
+            let next = (ctx.rank() + 1) % p;
+            let prev = (ctx.rank() + p - 1) % p;
+            ctx.send(next, 7, vec![ctx.rank() as f64], VolumeCategory::Other);
+            let got = ctx.recv(prev, 7, VolumeCategory::Other);
+            got[0] as usize
+        });
+        for (r, &got) in out.results.iter().enumerate() {
+            assert_eq!(got, (r + p - 1) % p);
+        }
+        // p messages of 1 f64 each, none self-sends.
+        assert_eq!(out.volume.total_bytes(), (p * 8) as u64);
+    }
+
+    #[test]
+    fn self_send_costs_nothing() {
+        let out = Universe::run(2, |ctx| {
+            let me = ctx.rank();
+            ctx.send(me, 1, vec![1.0, 2.0], VolumeCategory::Other);
+            ctx.recv(me, 1, VolumeCategory::Other)
+        });
+        assert_eq!(out.results[0], vec![1.0, 2.0]);
+        assert_eq!(out.volume.total_bytes(), 0);
+    }
+
+    #[test]
+    fn volume_categories_are_separate() {
+        let out = Universe::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![0.0; 4], VolumeCategory::Regrid);
+                ctx.send(1, 2, vec![0.0; 2], VolumeCategory::TtmReduceScatter);
+            } else {
+                ctx.recv(0, 1, VolumeCategory::Regrid);
+                ctx.recv(0, 2, VolumeCategory::TtmReduceScatter);
+            }
+        });
+        assert_eq!(out.volume.bytes(VolumeCategory::Regrid), 32);
+        assert_eq!(out.volume.bytes(VolumeCategory::TtmReduceScatter), 16);
+        assert_eq!(out.volume.bytes(VolumeCategory::Gram), 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Universe::run(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let out = Universe::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, i, vec![i as f64], VolumeCategory::Other);
+                }
+                vec![]
+            } else {
+                (0..10)
+                    .map(|i| ctx.recv(0, i, VolumeCategory::Other)[0])
+                    .collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(out.results[1], (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_since_subtracts() {
+        let a = VolumeReport { bytes: [10, 20, 30, 40] };
+        let b = VolumeReport { bytes: [15, 20, 31, 40] };
+        let d = b.since(&a);
+        assert_eq!(d.bytes(VolumeCategory::TtmReduceScatter), 5);
+        assert_eq!(d.bytes(VolumeCategory::Gram), 1);
+        assert_eq!(d.total_bytes(), 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! Distributed Gram matrix computation for the SVD step (paper §5).
+//!
+//! The HOOI leaf for mode `n` needs the leading left singular vectors of the
+//! unfolding `Z(n)`. Following the paper, we compute the `L_n × L_n` Gram
+//! matrix `Z(n) · Z(n)ᵀ` in a distributed fashion and hand it to a
+//! sequential EVD (replicated on every rank — the matrix is small):
+//!
+//! 1. **all-gather along the mode-`n` grid group** so each rank holds
+//!    complete mode-`n` fibers (its block extended to the full `L_n` extent);
+//! 2. **local SYRK** on the local unfolding — `dsyrk` in the paper;
+//! 3. **all-reduce** of the `L_n × L_n` contributions across all ranks.
+//!
+//! All traffic is charged to [`VolumeCategory::Gram`].
+
+use crate::block::chunk;
+use crate::collectives::{allreduce_sum, Group};
+use crate::comm::{RankCtx, VolumeCategory};
+use crate::dist_tensor::DistTensor;
+use tucker_linalg::{syrk, Matrix};
+use tucker_tensor::subtensor::{insert, Region};
+use tucker_tensor::{unfold, DenseTensor};
+
+/// Tag for the mode-group all-gather.
+const GRAM_GATHER_TAG: u32 = 0x6B40;
+/// Tag base for the world all-reduce (uses tag and tag+1).
+const GRAM_REDUCE_TAG: u32 = 0x6B42;
+
+/// Compute the global Gram matrix `Z(n) Z(n)ᵀ` of the distributed tensor.
+/// Every rank returns the same (replicated) `L_n × L_n` matrix.
+pub fn dist_gram(ctx: &mut RankCtx, t: &DistTensor, n: usize) -> Matrix {
+    let slab = gather_mode_fibers(ctx, t, n);
+    // Local contribution: unfold the slab along mode n (rows = L_n) and SYRK.
+    // After the all-gather every member of the mode-n group holds the SAME
+    // slab, so each member contributes only its 1/q_n share of the fibers
+    // (a contiguous column range of the unfolding) — this keeps the compute
+    // balanced and avoids double counting in the world all-reduce.
+    let u = unfold(&slab, n);
+    let qn = t.grid().dim(n);
+    let my_cols = if qn == 1 {
+        u
+    } else {
+        let my_idx = t.grid().coord(ctx.rank())[n];
+        // `chunk` tolerates q > ncols by handing trailing members empty
+        // (zero-length) column ranges.
+        let (c0, clen) = chunk(u.ncols(), qn, my_idx);
+        let mut sub = Matrix::zeros(u.nrows(), clen);
+        for j in 0..clen {
+            sub.col_mut(j).copy_from_slice(u.col(c0 + j));
+        }
+        sub
+    };
+    let mut gram = syrk(&my_cols);
+
+    // Sum contributions over the whole universe.
+    let world = Group::world(ctx);
+    allreduce_sum(ctx, &world, gram.as_mut_slice(), GRAM_REDUCE_TAG, VolumeCategory::Gram);
+    gram
+}
+
+/// All-gather within the mode-`n` grid group so that this rank's block is
+/// extended to the full `L_n` extent along mode `n` (other modes keep their
+/// local extents).
+pub fn gather_mode_fibers(ctx: &mut RankCtx, t: &DistTensor, n: usize) -> DenseTensor {
+    let grid = t.grid();
+    let shape = t.global_shape();
+    let ln = shape.dim(n);
+    let qn = grid.dim(n);
+    let coord = grid.coord(ctx.rank());
+    let my_local_shape = t.local().shape().clone();
+
+    // Target slab: local extents, but full L_n along mode n.
+    let slab_shape = my_local_shape.with_dim(n, ln);
+    let mut slab = DenseTensor::zeros(slab_shape.clone());
+
+    if qn == 1 {
+        // Already complete along mode n.
+        let mut region = Region::full(&slab_shape);
+        region.start[n] = 0;
+        region.len[n] = my_local_shape.dim(n);
+        insert(&mut slab, &region, t.local().as_slice());
+        return slab;
+    }
+
+    let group = grid.mode_group(ctx.rank(), n);
+    let my_idx = coord[n];
+
+    // Direct all-gather of local blocks within the group.
+    for (j, &peer) in group.iter().enumerate() {
+        if j != my_idx {
+            ctx.send(
+                peer,
+                GRAM_GATHER_TAG,
+                t.local().as_slice().to_vec(),
+                VolumeCategory::Gram,
+            );
+        }
+    }
+    for (j, &peer) in group.iter().enumerate() {
+        let data = if j == my_idx {
+            t.local().as_slice().to_vec()
+        } else {
+            ctx.recv(peer, GRAM_GATHER_TAG, VolumeCategory::Gram)
+        };
+        let (start, len) = chunk(ln, qn, j);
+        let mut region = Region::full(&slab_shape);
+        region.start[n] = start;
+        region.len[n] = len;
+        assert_eq!(data.len(), region.cardinality(), "gram gather payload mismatch");
+        insert(&mut slab, &region, &data);
+    }
+    slab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+    use crate::grid::Grid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tucker_tensor::Shape;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    fn check_gram(dims: &[usize], grid_dims: &[usize], n: usize, seed: u64) {
+        let global = rand_tensor(dims, seed);
+        let expect = syrk(&unfold(&global, n));
+        let grid = Grid::new(grid_dims.to_vec());
+        let out = Universe::run(grid.nranks(), |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            dist_gram(ctx, &dt, n)
+        });
+        for g in out.results {
+            assert!(
+                g.max_abs_diff(&expect) < 1e-10,
+                "dims {dims:?} grid {grid_dims:?} mode {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_unsplit_mode() {
+        check_gram(&[5, 6, 4], &[1, 2, 2], 0, 1);
+    }
+
+    #[test]
+    fn matches_sequential_split_mode() {
+        check_gram(&[8, 5, 4], &[4, 1, 1], 0, 2);
+        check_gram(&[5, 8, 4], &[1, 2, 2], 1, 3);
+        check_gram(&[5, 4, 6], &[2, 1, 3], 2, 4);
+    }
+
+    #[test]
+    fn uneven_mode_split() {
+        check_gram(&[7, 6], &[3, 2], 0, 5);
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_psd_diagonal() {
+        let global = rand_tensor(&[6, 5], 6);
+        let grid = Grid::new([2, 2]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            dist_gram(ctx, &dt, 0)
+        });
+        let g = &out.results[0];
+        for i in 0..6 {
+            assert!(g[(i, i)] >= 0.0, "diagonal must be non-negative");
+            for j in 0..6 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_charged_to_gram_category() {
+        let global = rand_tensor(&[8, 4], 7);
+        let grid = Grid::new([2, 2]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            let _ = dist_gram(ctx, &dt, 0);
+        });
+        assert!(out.volume.bytes(VolumeCategory::Gram) > 0);
+        assert_eq!(out.volume.bytes(VolumeCategory::TtmReduceScatter), 0);
+        assert_eq!(out.volume.bytes(VolumeCategory::Regrid), 0);
+    }
+}

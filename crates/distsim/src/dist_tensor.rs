@@ -1,0 +1,209 @@
+//! A tensor distributed across ranks by a Cartesian block distribution.
+
+use crate::block::rank_region;
+use crate::comm::{RankCtx, VolumeCategory};
+use crate::grid::Grid;
+use tucker_tensor::subtensor::{extract, insert, Region};
+use tucker_tensor::{DenseTensor, Shape};
+
+/// The block of a globally distributed tensor owned by one rank.
+///
+/// Every rank of a universe holds one `DistTensor` per logical tensor; the
+/// collection of blocks partitions the global index space according to
+/// [`crate::block::block_region`].
+#[derive(Clone, Debug)]
+pub struct DistTensor {
+    global_shape: Shape,
+    grid: Grid,
+    rank: usize,
+    local: DenseTensor,
+}
+
+impl DistTensor {
+    /// Assemble from parts (the local block must match the region implied by
+    /// `grid` and `rank`).
+    ///
+    /// # Panics
+    /// Panics if the local shape disagrees with the block region.
+    pub fn from_parts(global_shape: Shape, grid: Grid, rank: usize, local: DenseTensor) -> Self {
+        let region = rank_region(&global_shape, &grid, rank);
+        assert_eq!(
+            local.shape().dims(),
+            region.len.as_slice(),
+            "local block shape mismatch for rank {rank} under {grid}"
+        );
+        DistTensor { global_shape, grid, rank, local }
+    }
+
+    /// Build this rank's block by extracting its region from a replicated
+    /// global tensor. (Used for test setup and experiment initialization;
+    /// real data would be read in distributed form.)
+    pub fn scatter_from_global(ctx: &RankCtx, global: &DenseTensor, grid: &Grid) -> Self {
+        assert_eq!(
+            grid.nranks(),
+            ctx.nranks(),
+            "grid {grid} does not match universe size {}",
+            ctx.nranks()
+        );
+        let region = rank_region(global.shape(), grid, ctx.rank());
+        let data = extract(global, &region);
+        let local = DenseTensor::from_vec(region.shape(), data);
+        DistTensor {
+            global_shape: global.shape().clone(),
+            grid: grid.clone(),
+            rank: ctx.rank(),
+            local,
+        }
+    }
+
+    /// Generate a distributed tensor directly from a coordinate function
+    /// (each rank fills only its own block — no global materialization).
+    pub fn from_global_fn(
+        ctx: &RankCtx,
+        shape: &Shape,
+        grid: &Grid,
+        mut f: impl FnMut(&[usize]) -> f64,
+    ) -> Self {
+        assert_eq!(grid.nranks(), ctx.nranks(), "grid/universe mismatch");
+        let region = rank_region(shape, grid, ctx.rank());
+        let local = DenseTensor::from_fn(region.shape(), |c| {
+            let g: Vec<usize> = c.iter().zip(&region.start).map(|(a, b)| a + b).collect();
+            f(&g)
+        });
+        DistTensor { global_shape: shape.clone(), grid: grid.clone(), rank: ctx.rank(), local }
+    }
+
+    /// Global tensor shape.
+    pub fn global_shape(&self) -> &Shape {
+        &self.global_shape
+    }
+
+    /// The distribution grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Owning rank of this block.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The local block.
+    pub fn local(&self) -> &DenseTensor {
+        &self.local
+    }
+
+    /// Mutable access to the local block.
+    pub fn local_mut(&mut self) -> &mut DenseTensor {
+        &mut self.local
+    }
+
+    /// The global region this block covers.
+    pub fn region(&self) -> Region {
+        rank_region(&self.global_shape, &self.grid, self.rank)
+    }
+
+    /// Consume into the local block.
+    pub fn into_local(self) -> DenseTensor {
+        self.local
+    }
+
+    /// Sum of squared elements of the **global** tensor (all-reduced, so
+    /// every rank returns the same value).
+    pub fn global_norm_sq(&self, ctx: &mut RankCtx) -> f64 {
+        let local: f64 = self.local.as_slice().iter().map(|x| x * x).sum();
+        let mut buf = [local];
+        let g = crate::collectives::Group::world(ctx);
+        crate::collectives::allreduce_sum(ctx, &g, &mut buf, 9001, VolumeCategory::Other);
+        buf[0]
+    }
+
+    /// Gather the full tensor on every rank (verification helper; volume is
+    /// charged to [`VolumeCategory::Other`]).
+    pub fn allgather_global(&self, ctx: &mut RankCtx) -> DenseTensor {
+        let g = crate::collectives::Group::world(ctx);
+        let parts = crate::collectives::allgather(
+            ctx,
+            &g,
+            self.local.as_slice().to_vec(),
+            9002,
+            VolumeCategory::Other,
+        );
+        let mut out = DenseTensor::zeros(self.global_shape.clone());
+        for (r, data) in parts.into_iter().enumerate() {
+            let region = rank_region(&self.global_shape, &self.grid, r);
+            insert(&mut out, &region, &data);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let global = rand_tensor(&[6, 5, 4], 1);
+        let grid = Grid::new([2, 1, 2]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            dt.allgather_global(ctx)
+        });
+        for t in out.results {
+            assert_eq!(t.max_abs_diff(&global), 0.0);
+        }
+    }
+
+    #[test]
+    fn from_global_fn_matches_scatter() {
+        let shape = Shape::from([5, 4]);
+        let grid = Grid::new([2, 2]);
+        let f = |c: &[usize]| (c[0] * 10 + c[1]) as f64;
+        let global = DenseTensor::from_fn(shape.clone(), f);
+        let out = Universe::run(4, |ctx| {
+            let a = DistTensor::scatter_from_global(ctx, &global, &grid);
+            let b = DistTensor::from_global_fn(ctx, &shape, &grid, f);
+            a.local().max_abs_diff(b.local())
+        });
+        assert!(out.results.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn global_norm_matches_sequential() {
+        let global = rand_tensor(&[4, 6], 2);
+        let expect = tucker_tensor::norm::fro_norm_sq(&global);
+        let grid = Grid::new([2, 3]);
+        let out = Universe::run(6, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            dt.global_norm_sq(ctx)
+        });
+        for v in out.results {
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_blocks_have_block_shapes() {
+        let global = rand_tensor(&[7, 5], 3);
+        let grid = Grid::new([3, 2]);
+        let out = Universe::run(6, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            dt.local().shape().dims().to_vec()
+        });
+        // mode 0: 7 -> 3,2,2 ; mode 1: 5 -> 3,2
+        assert_eq!(out.results[0], vec![3, 3]);
+        assert_eq!(out.results[1], vec![2, 3]);
+        assert_eq!(out.results[2], vec![2, 3]);
+        assert_eq!(out.results[3], vec![3, 2]);
+    }
+}

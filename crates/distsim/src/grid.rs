@@ -1,0 +1,362 @@
+//! `N`-dimensional processor grids (paper §4).
+//!
+//! A grid `g = q₁ × … × q_N` with `∏ q_n = P` partitions a tensor into `P`
+//! blocks (one per rank). The number of grids — valid or not — is
+//! `ψ(P, N) = ∏_i C(e_i + N − 1, N − 1)` over the prime factorization
+//! `P = ∏ p_i^{e_i}` (paper §4.2, Table 1). A grid is *valid* for a core
+//! shape `K` when `q_n ≤ K_n` for every mode, which rules out empty blocks on
+//! the intermediate tensors (§4.1).
+
+use std::fmt;
+
+/// A processor grid: the per-mode processor counts `(q₀, …, q_{N−1})`.
+///
+/// Rank ↔ grid-coordinate conversion uses the same mode-0-fastest mixed-radix
+/// convention as the tensor layout.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Grid(Vec<usize>);
+
+impl Grid {
+    /// Create a grid from per-mode counts.
+    ///
+    /// # Panics
+    /// Panics if empty or any count is zero.
+    pub fn new(q: impl Into<Vec<usize>>) -> Self {
+        let q = q.into();
+        assert!(!q.is_empty(), "grid must have at least one mode");
+        assert!(q.iter().all(|&v| v > 0), "zero processor count in {q:?}");
+        Grid(q)
+    }
+
+    /// The trivial `1 × 1 × … × 1` grid (single rank).
+    pub fn trivial(order: usize) -> Self {
+        Grid(vec![1; order])
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Processor count along mode `n`.
+    #[inline]
+    pub fn dim(&self, n: usize) -> usize {
+        self.0[n]
+    }
+
+    /// All per-mode counts.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total processors `P = ∏ q_n`.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// `true` iff `q_n ≤ k_n` for all modes (no empty blocks; paper §4.1).
+    pub fn is_valid_for(&self, dims: &[usize]) -> bool {
+        assert_eq!(dims.len(), self.order(), "dimension arity mismatch");
+        self.0.iter().zip(dims).all(|(&q, &k)| q <= k)
+    }
+
+    /// Grid coordinate of `rank` (mode-0-fastest mixed radix).
+    pub fn coord(&self, mut rank: usize) -> Vec<usize> {
+        debug_assert!(rank < self.nranks());
+        let mut c = Vec::with_capacity(self.order());
+        for &q in &self.0 {
+            c.push(rank % q);
+            rank /= q;
+        }
+        c
+    }
+
+    /// Inverse of [`Grid::coord`].
+    pub fn rank(&self, coord: &[usize]) -> usize {
+        debug_assert_eq!(coord.len(), self.order());
+        let mut r = 0;
+        let mut stride = 1;
+        for (c, q) in coord.iter().zip(&self.0) {
+            debug_assert!(c < q);
+            r += c * stride;
+            stride *= q;
+        }
+        r
+    }
+
+    /// The ranks in the same mode-`n` group as `rank` — i.e. those whose grid
+    /// coordinates agree everywhere except mode `n` — ordered by their
+    /// mode-`n` coordinate. This is the "group communicator" the distributed
+    /// TTM reduce-scatters over.
+    pub fn mode_group(&self, rank: usize, n: usize) -> Vec<usize> {
+        let mut coord = self.coord(rank);
+        (0..self.0[n])
+            .map(|i| {
+                coord[n] = i;
+                self.rank(&coord)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Grid<")?;
+        for (i, q) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Prime factorization of `p` as `(prime, exponent)` pairs.
+pub fn factorize(mut p: u64) -> Vec<(u64, u32)> {
+    assert!(p > 0, "cannot factorize zero");
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= p {
+        if p % d == 0 {
+            let mut e = 0;
+            while p % d == 0 {
+                p /= d;
+                e += 1;
+            }
+            out.push((d, e));
+        }
+        d += 1;
+    }
+    if p > 1 {
+        out.push((p, 1));
+    }
+    out
+}
+
+/// Binomial coefficient `C(n, k)` in `u64` (panics on overflow).
+///
+/// The running division is exact: after multiplying by `n − i` the partial
+/// product is `n·(n−1)…(n−i)`, which `(i + 1)!` divides.
+fn binomial(n: u64, k: u64) -> u64 {
+    let k = k.min(n.saturating_sub(k));
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(n - i).expect("binomial overflow") / (i + 1);
+    }
+    acc
+}
+
+/// `ψ(P, N)`: the number of ways to write `P` as an **ordered** product of
+/// `N` factors (paper §4.2). This counts all grids, valid or not.
+pub fn count_grids(p: u64, n: u32) -> u64 {
+    assert!(n >= 1);
+    factorize(p)
+        .into_iter()
+        .map(|(_, e)| binomial(e as u64 + n as u64 - 1, n as u64 - 1))
+        .product()
+}
+
+/// Enumerate every grid of order `n` with `∏ q = p`, in lexicographic order.
+pub fn enumerate_grids(p: usize, n: usize) -> Vec<Grid> {
+    assert!(n >= 1 && p >= 1);
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(n);
+    enumerate_rec(p, n, &mut cur, &mut out);
+    out
+}
+
+fn enumerate_rec(p: usize, remaining: usize, cur: &mut Vec<usize>, out: &mut Vec<Grid>) {
+    if remaining == 1 {
+        cur.push(p);
+        out.push(Grid::new(cur.clone()));
+        cur.pop();
+        return;
+    }
+    for d in divisors(p) {
+        cur.push(d);
+        enumerate_rec(p / d, remaining - 1, cur, out);
+        cur.pop();
+    }
+}
+
+/// Sorted divisors of `p`.
+pub fn divisors(p: usize) -> Vec<usize> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= p {
+        if p % d == 0 {
+            small.push(d);
+            if d != p / d {
+                large.push(p / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Enumerate only the grids valid for `dims` (i.e. `q_n ≤ dims[n]`).
+///
+/// `dims` should be the core shape `K` when optimizing the HOOI TTM
+/// component (§4.1: validity on every intermediate tensor).
+pub fn enumerate_valid_grids(p: usize, dims: &[usize]) -> Vec<Grid> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(dims.len());
+    enumerate_valid_rec(p, dims, &mut cur, &mut out);
+    out
+}
+
+fn enumerate_valid_rec(p: usize, dims: &[usize], cur: &mut Vec<usize>, out: &mut Vec<Grid>) {
+    let n = cur.len();
+    if n == dims.len() - 1 {
+        if p <= dims[n] {
+            cur.push(p);
+            out.push(Grid::new(cur.clone()));
+            cur.pop();
+        }
+        return;
+    }
+    for d in divisors(p) {
+        if d > dims[n] {
+            break;
+        }
+        cur.push(d);
+        enumerate_valid_rec(p / d, dims, cur, out);
+        cur.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_basics() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(12), vec![(2, 2), (3, 1)]);
+        assert_eq!(factorize(1024), vec![(2, 10)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+    }
+
+    #[test]
+    fn psi_matches_paper_table1() {
+        // Table 1 of the paper (P = 2^5, 2^10, 2^20; N = 5..10).
+        let expect_p32: [u64; 6] = [126, 252, 462, 792, 1287, 2002];
+        let expect_p1k: [u64; 6] = [1001, 3003, 8008, 19448, 43758, 92378];
+        for (i, n) in (5u32..=10).enumerate() {
+            assert_eq!(count_grids(1 << 5, n), expect_p32[i], "P=2^5 N={n}");
+            assert_eq!(count_grids(1 << 10, n), expect_p1k[i], "P=2^10 N={n}");
+        }
+        // Spot values for P = 2^20 (paper rounds: 10626, 53130, 230K, 880K, 3.1M, 10M).
+        assert_eq!(count_grids(1 << 20, 5), 10626);
+        assert_eq!(count_grids(1 << 20, 6), 53130);
+        assert_eq!(count_grids(1 << 20, 7), 230230);
+        assert_eq!(count_grids(1 << 20, 10), 10015005);
+    }
+
+    #[test]
+    fn enumeration_count_matches_psi() {
+        for (p, n) in [(12usize, 3usize), (32, 5), (64, 4), (60, 3), (1, 4)] {
+            let grids = enumerate_grids(p, n);
+            assert_eq!(grids.len() as u64, count_grids(p as u64, n as u32), "p={p} n={n}");
+            for g in &grids {
+                assert_eq!(g.nranks(), p);
+            }
+            // No duplicates.
+            let set: std::collections::HashSet<Vec<usize>> =
+                grids.iter().map(|g| g.dims().to_vec()).collect();
+            assert_eq!(set.len(), grids.len());
+        }
+    }
+
+    #[test]
+    fn valid_grids_filtered() {
+        let all = enumerate_grids(8, 3);
+        let dims = [2usize, 4, 8];
+        let valid = enumerate_valid_grids(8, &dims);
+        let expect: Vec<&Grid> = all.iter().filter(|g| g.is_valid_for(&dims)).collect();
+        assert_eq!(valid.len(), expect.len());
+        for (a, b) in valid.iter().zip(expect) {
+            assert_eq!(a.dims(), b.dims());
+        }
+        // e.g. <8,1,1> is invalid since 8 > 2.
+        assert!(valid.iter().all(|g| g.dim(0) <= 2));
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = Grid::new([2, 3, 4]);
+        assert_eq!(g.nranks(), 24);
+        for r in 0..24 {
+            assert_eq!(g.rank(&g.coord(r)), r);
+        }
+        // Mode-0 fastest.
+        assert_eq!(g.coord(1), vec![1, 0, 0]);
+        assert_eq!(g.coord(2), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn mode_groups_partition_ranks() {
+        let g = Grid::new([2, 3, 2]);
+        for n in 0..3 {
+            let mut seen = [false; 12];
+            for r in 0..12 {
+                let grp = g.mode_group(r, n);
+                assert_eq!(grp.len(), g.dim(n));
+                assert!(grp.contains(&r));
+                // Group is consistent: every member computes the same group.
+                for &m in &grp {
+                    assert_eq!(g.mode_group(m, n), grp);
+                }
+                if grp[0] == r {
+                    for &m in &grp {
+                        assert!(!seen[m]);
+                        seen[m] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "groups must cover all ranks");
+        }
+    }
+
+    #[test]
+    fn group_ordered_by_mode_coordinate() {
+        let g = Grid::new([4, 2]);
+        let grp = g.mode_group(5, 0); // rank 5 = coord [1,1]
+        let coords: Vec<usize> = grp.iter().map(|&r| g.coord(r)[0]).collect();
+        assert_eq!(coords, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn divisors_sorted_complete() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn trivial_grid() {
+        let g = Grid::trivial(4);
+        assert_eq!(g.nranks(), 1);
+        assert_eq!(g.coord(0), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated distributed-memory runtime for the Tucker workspace.
+//!
+//! The paper runs on an IBM BG/Q with MPI; this crate is the documented
+//! substitution (DESIGN.md §2): `P` MPI ranks become `P` OS threads that own
+//! disjoint blocks of each tensor and exchange **real buffers** over
+//! point-to-point FIFO channels. On top of the channels we implement the
+//! collectives the paper's engine needs —
+//!
+//! * [`comm`]: the rank runtime ([`Universe::run`]) and point-to-point layer,
+//! * [`collectives`]: all-reduce / broadcast / gather / all-to-all-v,
+//! * [`grid`]: `N`-dimensional processor grids, the `ψ(P, N)` grid count of
+//!   Table 1, and grid enumeration,
+//! * [`block`]: the Cartesian block distribution of §4.1,
+//! * [`dist_tensor`]: a tensor block owned by one rank plus its global view,
+//! * [`redistribute`]: regridding via all-to-all exchange (§4.3, §5),
+//! * [`dist_ttm`]: the distributed TTM of Austin et al. — local blocked
+//!   multiply + reduce-scatter along the mode's grid group (§4.1, §5),
+//! * [`dist_gram`]: distributed Gram matrices for the SVD step (§5).
+//!
+//! Every payload byte that crosses ranks is tallied in a [`VolumeLedger`]
+//! by category, and every second a rank spends inside a collective is
+//! tallied in its [`CommTimers`], so experiments can report exactly the
+//! communication-volume and communication-time splits the paper plots.
+
+pub mod block;
+pub mod collectives;
+pub mod comm;
+pub mod dist_gram;
+pub mod dist_tensor;
+pub mod dist_ttm;
+pub mod grid;
+pub mod redistribute;
+
+pub use block::{block_region, split_extents};
+pub use comm::{CommTimers, RankCtx, Universe, VolumeCategory, VolumeLedger, VolumeReport};
+pub use dist_tensor::DistTensor;
+pub use grid::{count_grids, enumerate_grids, enumerate_valid_grids, Grid};

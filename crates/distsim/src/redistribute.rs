@@ -1,0 +1,156 @@
+//! Regridding: move a distributed tensor from one grid to another.
+//!
+//! This is the paper's element-redistribution procedure implemented with
+//! `MPI_Alltoallv` (§5): every rank intersects its old block with every new
+//! block, packs and ships the intersections, then unpacks what lands in its
+//! new block. The total communication volume is `|T|` minus the elements
+//! that stay put — bounded by the `|In(u)|` the volume model charges for a
+//! regrid (§4.3).
+
+use crate::block::rank_region;
+use crate::comm::{RankCtx, VolumeCategory};
+use crate::dist_tensor::DistTensor;
+use crate::grid::Grid;
+use tucker_tensor::subtensor::{extract, insert};
+use tucker_tensor::DenseTensor;
+
+/// Tag base for regrid traffic (messages carry `tag = REGRID_TAG`).
+const REGRID_TAG: u32 = 0x5E61;
+
+/// Redistribute `t` onto `new_grid`, returning this rank's new block.
+///
+/// When the grids are equal the tensor is returned unchanged and no traffic
+/// is generated (the planner's "do not regrid" branch).
+pub fn redistribute(ctx: &mut RankCtx, t: &DistTensor, new_grid: &Grid) -> DistTensor {
+    let shape = t.global_shape().clone();
+    assert_eq!(
+        new_grid.nranks(),
+        ctx.nranks(),
+        "new grid {new_grid} does not match universe size"
+    );
+    if t.grid() == new_grid {
+        return t.clone();
+    }
+
+    let me = ctx.rank();
+    let my_old = t.region();
+    let my_new = rank_region(&shape, new_grid, me);
+
+    // Send phase: intersect my old block with every rank's new block.
+    for dst in 0..ctx.nranks() {
+        let dst_new = rank_region(&shape, new_grid, dst);
+        if let Some(overlap) = my_old.intersect(&dst_new) {
+            let local_region = overlap.relative_to(&my_old.start);
+            let data = extract(t.local(), &local_region);
+            ctx.send(dst, REGRID_TAG, data, VolumeCategory::Regrid);
+        }
+    }
+
+    // Receive phase: collect from every rank whose old block intersects my
+    // new block. Receives are issued in rank order — the deterministic SPMD
+    // schedule guarantees matching.
+    let mut local = DenseTensor::zeros(my_new.shape());
+    for src in 0..ctx.nranks() {
+        let src_old = rank_region(&shape, t.grid(), src);
+        if let Some(overlap) = src_old.intersect(&my_new) {
+            let data = ctx.recv(src, REGRID_TAG, VolumeCategory::Regrid);
+            let local_region = overlap.relative_to(&my_new.start);
+            assert_eq!(data.len(), local_region.cardinality(), "regrid payload mismatch");
+            insert(&mut local, &local_region, &data);
+        }
+    }
+
+    DistTensor::from_parts(shape, new_grid.clone(), me, local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tucker_tensor::Shape;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    #[test]
+    fn regrid_preserves_global_tensor() {
+        let global = rand_tensor(&[8, 6, 4], 1);
+        let g1 = Grid::new([4, 1, 1]);
+        let g2 = Grid::new([1, 2, 2]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let dt2 = redistribute(ctx, &dt, &g2);
+            assert_eq!(dt2.grid(), &g2);
+            dt2.allgather_global(ctx)
+        });
+        for t in out.results {
+            assert_eq!(t.max_abs_diff(&global), 0.0);
+        }
+    }
+
+    #[test]
+    fn regrid_chain_roundtrip() {
+        let global = rand_tensor(&[5, 7, 6], 2);
+        let g1 = Grid::new([2, 3, 1]);
+        let g2 = Grid::new([3, 1, 2]);
+        let out = Universe::run(6, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let dt2 = redistribute(ctx, &dt, &g2);
+            let dt3 = redistribute(ctx, &dt2, &g1);
+            dt3.local().max_abs_diff(dt.local())
+        });
+        assert!(out.results.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn same_grid_is_free() {
+        let global = rand_tensor(&[6, 6], 3);
+        let g = Grid::new([2, 2]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g);
+            let before = ctx.volume().bytes(VolumeCategory::Regrid);
+            let dt2 = redistribute(ctx, &dt, &g);
+            let after = ctx.volume().bytes(VolumeCategory::Regrid);
+            (dt2.local().max_abs_diff(dt.local()), after - before)
+        });
+        for (diff, vol) in out.results {
+            assert_eq!(diff, 0.0);
+            assert_eq!(vol, 0);
+        }
+    }
+
+    #[test]
+    fn regrid_volume_bounded_by_cardinality() {
+        let global = rand_tensor(&[8, 8], 4);
+        let g1 = Grid::new([4, 1]);
+        let g2 = Grid::new([1, 4]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let _ = redistribute(ctx, &dt, &g2);
+        });
+        let moved = out.volume.elements(VolumeCategory::Regrid) as usize;
+        // Transposing the grid moves everything except the diagonal overlap.
+        assert!(moved <= global.cardinality());
+        assert!(moved >= global.cardinality() / 2, "most elements must move");
+    }
+
+    #[test]
+    fn partial_overlap_stays_local() {
+        // Splitting only mode 1 in both grids with identical q keeps data put.
+        let global = rand_tensor(&[4, 8], 5);
+        let g1 = Grid::new([1, 4]);
+        let g2 = Grid::new([1, 4]);
+        let out = Universe::run(4, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let dt2 = redistribute(ctx, &dt, &g2);
+            dt2.local().max_abs_diff(dt.local())
+        });
+        assert!(out.results.iter().all(|&d| d == 0.0));
+        assert_eq!(out.volume.bytes(VolumeCategory::Regrid), 0);
+    }
+}

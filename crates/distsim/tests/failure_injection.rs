@@ -1,0 +1,130 @@
+//! Failure-injection tests: the simulated runtime must fail loudly and with
+//! the original diagnostics when an SPMD program is malformed — silent
+//! corruption or deadlock would invalidate every experiment built on it.
+
+use tucker_distsim::collectives::{allreduce_sum_flat, Group};
+use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
+use tucker_tensor::{DenseTensor, Shape};
+
+#[test]
+#[should_panic(expected = "deliberate rank failure")]
+fn rank_panic_propagates_with_payload() {
+    Universe::run(4, |ctx| {
+        if ctx.rank() == 2 {
+            panic!("deliberate rank failure");
+        }
+        // Other ranks do harmless local work; they must not hang forever
+        // waiting on the dead rank (no communication here).
+        ctx.rank()
+    });
+}
+
+#[test]
+#[should_panic(expected = "tag mismatch")]
+fn mismatched_tags_are_detected() {
+    Universe::run(2, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, vec![1.0], VolumeCategory::Other);
+        } else {
+            // Expecting a different tag: the SPMD program is out of sync.
+            let _ = ctx.recv(0, 8, VolumeCategory::Other);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "allreduce length mismatch")]
+fn allreduce_length_mismatch_detected() {
+    Universe::run(2, |ctx| {
+        let g = Group::world(ctx);
+        let mut buf = if ctx.rank() == 0 { vec![0.0; 3] } else { vec![0.0; 5] };
+        allreduce_sum_flat(ctx, &g, &mut buf, 1, VolumeCategory::Other);
+    });
+}
+
+#[test]
+#[should_panic(expected = "local block shape mismatch")]
+fn dist_tensor_rejects_wrong_block() {
+    Universe::run(2, |ctx| {
+        let grid = Grid::new([2, 1]);
+        // Rank 0's block of an 8x4 tensor under 2x1 is 4x4; hand it 3x4.
+        let local = DenseTensor::zeros([3, 4]);
+        let _ = DistTensor::from_parts(Shape::from([8, 4]), grid, ctx.rank(), local);
+    });
+}
+
+#[test]
+#[should_panic(expected = "does not match universe size")]
+fn grid_universe_mismatch_detected() {
+    Universe::run(2, |ctx| {
+        let global = DenseTensor::zeros([4, 4]);
+        let grid = Grid::new([2, 2]); // 4 ranks, but the universe has 2
+        let _ = DistTensor::scatter_from_global(ctx, &global, &grid);
+    });
+}
+
+#[test]
+#[should_panic(expected = "one buffer per member")]
+fn alltoallv_wrong_buffer_count_detected() {
+    Universe::run(3, |ctx| {
+        let g = Group::world(ctx);
+        // Two buffers for a three-member group.
+        let send = vec![vec![1.0], vec![2.0]];
+        let _ = tucker_distsim::collectives::alltoallv(ctx, &g, send, 9, VolumeCategory::Other);
+    });
+}
+
+#[test]
+fn disjoint_subgroups_do_not_interfere() {
+    // Two halves run independent collectives concurrently; traffic and
+    // results must not leak across groups.
+    let out = Universe::run(6, |ctx| {
+        let members: Vec<usize> = if ctx.rank() < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+        let g = Group::new(ctx, members);
+        let mut buf = vec![ctx.rank() as f64];
+        allreduce_sum_flat(ctx, &g, &mut buf, 11, VolumeCategory::Other);
+        buf[0]
+    });
+    assert_eq!(out.results, vec![3.0, 3.0, 3.0, 12.0, 12.0, 12.0]);
+}
+
+#[test]
+fn interleaved_p2p_and_collectives_stay_ordered() {
+    // The runtime is FIFO per rank pair: messages must be *received* in the
+    // order the peer sent them (MPI would allow tag-based selection; our
+    // stricter contract is what the tag assertion enforces). A program that
+    // completes all p2p receives before entering the next collective is
+    // well-ordered and must work.
+    let out = Universe::run(3, |ctx| {
+        let me = ctx.rank();
+        ctx.send((me + 1) % 3, 50, vec![me as f64], VolumeCategory::Other);
+        let from_prev = ctx.recv((me + 2) % 3, 50, VolumeCategory::Other);
+        let g = Group::world(ctx);
+        let mut buf = vec![1.0];
+        allreduce_sum_flat(ctx, &g, &mut buf, 60, VolumeCategory::Other);
+        (buf[0], from_prev[0])
+    });
+    for (r, &(sum, prev)) in out.results.iter().enumerate() {
+        assert_eq!(sum, 3.0);
+        assert_eq!(prev, ((r + 2) % 3) as f64);
+    }
+}
+
+#[test]
+#[should_panic(expected = "tag mismatch")]
+fn skipped_receive_is_caught() {
+    // The converse of the previous test: a program that forgets to drain an
+    // earlier p2p message before a later receive gets the earlier message
+    // (FIFO), and the tag check reports it instead of silently delivering
+    // wrong data. Rank 0 only sends (never blocks), so exactly one rank
+    // panics and its diagnostic propagates deterministically.
+    Universe::run(2, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 50, vec![0.0], VolumeCategory::Other); // stray
+            ctx.send(1, 61, vec![1.0], VolumeCategory::Other);
+        } else {
+            // Skips the tag-50 receive: FIFO delivers 50 where 61 is wanted.
+            let _ = ctx.recv(0, 61, VolumeCategory::Other);
+        }
+    });
+}

@@ -1,0 +1,101 @@
+//! Property tests for the distributed substrate: random shapes, grids and
+//! regrid sequences must preserve the global tensor exactly, and collective
+//! results must be rank-invariant.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tucker_distsim::collectives::{allreduce_sum_flat, allreduce_sum_tree, Group};
+use tucker_distsim::redistribute::redistribute;
+use tucker_distsim::{enumerate_valid_grids, DistTensor, Grid, Universe, VolumeCategory};
+use tucker_tensor::{DenseTensor, Shape};
+
+fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+}
+
+/// Random small shape plus two valid grids over 4 ranks.
+fn case_strategy() -> impl Strategy<Value = (Vec<usize>, usize, usize, u64)> {
+    (
+        prop::collection::vec(4usize..=9, 2..=3),
+        0usize..64,
+        0usize..64,
+        0u64..10_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scatter → regrid → regrid back → gather is the identity, and a
+    /// regrid chain through any intermediate grid preserves the tensor.
+    #[test]
+    fn regrid_chain_preserves_tensor((dims, gi, gj, seed) in case_strategy()) {
+        let p = 4usize;
+        let grids = enumerate_valid_grids(p, &dims);
+        prop_assume!(!grids.is_empty());
+        let g1 = grids[gi % grids.len()].clone();
+        let g2 = grids[gj % grids.len()].clone();
+        let global = rand_tensor(&dims, seed);
+
+        let out = Universe::run(p, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let dt2 = redistribute(ctx, &dt, &g2);
+            let dt3 = redistribute(ctx, &dt2, &g1);
+            let roundtrip = dt3.local().max_abs_diff(dt.local());
+            let gathered = dt2.allgather_global(ctx);
+            (roundtrip, gathered.max_abs_diff(&global))
+        });
+        for (rt, gd) in out.results {
+            prop_assert_eq!(rt, 0.0);
+            prop_assert_eq!(gd, 0.0);
+        }
+    }
+
+    /// Flat and tree allreduce agree elementwise for random group sizes and
+    /// payload lengths.
+    #[test]
+    fn allreduce_variants_agree(p in 1usize..=9, len in 1usize..=17, seed in 0u64..1000) {
+        let out = Universe::run(p, move |ctx| {
+            let g = Group::world(ctx);
+            let mut rng = StdRng::seed_from_u64(seed + ctx.rank() as u64);
+            let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+            use rand::Rng;
+            let base: Vec<f64> = (0..len).map(|_| rng.sample(dist)).collect();
+            let mut a = base.clone();
+            let mut b = base;
+            allreduce_sum_flat(ctx, &g, &mut a, 1, VolumeCategory::Other);
+            allreduce_sum_tree(ctx, &g, &mut b, 3, VolumeCategory::Other);
+            (a, b)
+        });
+        // All ranks agree with each other and across algorithms.
+        let reference = out.results[0].0.clone();
+        for (a, b) in &out.results {
+            for i in 0..a.len() {
+                prop_assert!((a[i] - reference[i]).abs() < 1e-12);
+                prop_assert!((b[i] - reference[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Block regions partition the tensor for every valid grid.
+    #[test]
+    fn blocks_partition((dims, gi, _gj, _seed) in case_strategy()) {
+        let p = 4usize;
+        let grids = enumerate_valid_grids(p, &dims);
+        prop_assume!(!grids.is_empty());
+        let g: &Grid = &grids[gi % grids.len()];
+        let shape = Shape::new(dims.clone());
+        let mut counts = vec![0u8; shape.cardinality()];
+        for r in 0..p {
+            let region = tucker_distsim::block::rank_region(&shape, g, r);
+            for c in region.shape().coords() {
+                let gc: Vec<usize> = c.iter().zip(&region.start).map(|(a, b)| a + b).collect();
+                counts[shape.offset(&gc)] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,460 @@
+//! Symmetric eigendecomposition.
+//!
+//! The workspace's replacement for LAPACK `dsyevx` (used by the paper for the
+//! SVD-via-Gram step, §5). Two independent solvers are provided:
+//!
+//! * [`sym_evd`] — Householder tridiagonalization (`tred2`) followed by the
+//!   implicit-shift QL iteration (`tql2`). `O(n³)` with a small constant;
+//!   this is the default used by the Tucker engine.
+//! * [`jacobi_evd`] — cyclic Jacobi rotations. Slower but extremely robust;
+//!   used in tests as an independent cross-check of `sym_evd`.
+//!
+//! Both return eigenvalues sorted in **descending** order (the Tucker code
+//! always wants the leading subspace) with a deterministic eigenvector sign
+//! convention: the component of largest magnitude in each eigenvector is
+//! positive. The convention makes results reproducible across the sequential
+//! and distributed engines so they can be compared elementwise.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymEvd {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, ordered to match `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymEvd {
+    /// The leading `k` eigenvectors as an `n x k` matrix.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the matrix order.
+    pub fn leading(&self, k: usize) -> Matrix {
+        self.eigenvectors.clone().truncate_cols(k)
+    }
+}
+
+/// Maximum QL iterations per eigenvalue before declaring failure.
+const MAX_QL_ITERS: usize = 50;
+
+/// Symmetric EVD via Householder tridiagonalization + implicit-shift QL.
+///
+/// # Panics
+/// Panics if `a` is not square, or if the QL iteration fails to converge
+/// (which does not happen for finite symmetric input).
+pub fn sym_evd(a: &Matrix) -> SymEvd {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "sym_evd needs a square matrix");
+    if n == 0 {
+        return SymEvd { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) };
+    }
+
+    // Work on a copy; `z` will accumulate the orthogonal transform and end as
+    // the eigenvector matrix.
+    let mut z = a.clone();
+    let mut d = vec![0.0; n]; // diagonal
+    let mut e = vec![0.0; n]; // sub-diagonal
+    tred2(&mut z, &mut d, &mut e);
+    tql2(&mut d, &mut e, &mut z);
+
+    sort_descending_and_fix_signs(d, z)
+}
+
+/// Householder reduction of the symmetric matrix stored in `z` to tridiagonal
+/// form; on exit `z` holds the accumulated orthogonal transformation, `d` the
+/// diagonal and `e[1..]` the sub-diagonal. (Port of EISPACK `tred2`.)
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    let v = z[(i, k)] / scale;
+                    z[(i, k)] = v;
+                    h += v * v;
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            // Accumulate transformation.
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (`d`, `e`), accumulating
+/// rotations into `z`. (Port of EISPACK `tql2`.)
+fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
+    let n = d.len();
+    if n <= 1 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= MAX_QL_ITERS, "tql2 failed to converge at eigenvalue {l}");
+
+            // Form implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate rotation into eigenvectors.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+/// Cyclic Jacobi eigensolver. Robust `O(n³ · sweeps)` reference
+/// implementation used to cross-check [`sym_evd`].
+///
+/// # Panics
+/// Panics if `a` is not square or the sweep limit (30) is exhausted.
+pub fn jacobi_evd(a: &Matrix) -> SymEvd {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "jacobi_evd needs a square matrix");
+    let mut a = a.clone();
+    let mut v = Matrix::identity(n);
+    if n == 0 {
+        return SymEvd { eigenvalues: vec![], eigenvectors: v };
+    }
+
+    let mut off = off_diag_norm(&a);
+    let threshold = f64::EPSILON * a.fro_norm().max(f64::MIN_POSITIVE);
+    let mut sweeps = 0;
+    while off > threshold {
+        sweeps += 1;
+        assert!(sweeps <= 30, "jacobi_evd failed to converge");
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= threshold * 1e-2 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p,q of a.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        off = off_diag_norm(&a);
+    }
+
+    let d: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    sort_descending_and_fix_signs(d, v)
+}
+
+fn off_diag_norm(a: &Matrix) -> f64 {
+    let n = a.nrows();
+    let mut s = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            s += 2.0 * a[(p, q)] * a[(p, q)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Sort eigenpairs by descending eigenvalue and apply the sign convention
+/// (largest-magnitude component of each eigenvector is positive).
+fn sort_descending_and_fix_signs(d: Vec<f64>, z: Matrix) -> SymEvd {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
+
+    let mut eigenvalues = Vec::with_capacity(n);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        eigenvalues.push(d[src]);
+        let col = z.col(src);
+        // Deterministic sign: largest |component| made positive; ties broken
+        // by the first index (max_by with strictly-greater keeps the first).
+        let mut pivot = 0;
+        let mut best = 0.0;
+        for (i, &v) in col.iter().enumerate() {
+            if v.abs() > best {
+                best = v.abs();
+                pivot = i;
+            }
+        }
+        let sign = if col[pivot] < 0.0 { -1.0 } else { 1.0 };
+        let dst_col = eigenvectors.col_mut(dst);
+        for (o, &v) in dst_col.iter_mut().zip(col) {
+            *o = sign * v;
+        }
+    }
+    SymEvd { eigenvalues, eigenvectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Transpose};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_sym(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        let b = Matrix::random(n, n, &dist, &mut rng);
+        // A = (B + Bᵀ)/2 is symmetric.
+        Matrix::from_fn(n, n, |i, j| 0.5 * (b[(i, j)] + b[(j, i)]))
+    }
+
+    fn check_reconstruction(a: &Matrix, evd: &SymEvd, tol: f64) {
+        let n = a.nrows();
+        assert!(evd.eigenvectors.has_orthonormal_columns(tol), "V not orthonormal");
+        // A V = V diag(λ)
+        let av = gemm(a, Transpose::No, &evd.eigenvectors, Transpose::No, 1.0);
+        for j in 0..n {
+            for i in 0..n {
+                let expect = evd.eigenvalues[j] * evd.eigenvectors[(i, j)];
+                assert!(
+                    (av[(i, j)] - expect).abs() < tol * (1.0 + evd.eigenvalues[j].abs()),
+                    "A·v ≠ λ·v at ({i},{j})"
+                );
+            }
+        }
+        // Descending order.
+        for w in evd.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "eigenvalues not descending");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 7.0]]);
+        let evd = sym_evd(&a);
+        let expect = [7.0, 3.0, -1.0];
+        for (got, want) in evd.eigenvalues.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        check_reconstruction(&a, &evd, 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let evd = sym_evd(&a);
+        assert!((evd.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((evd.eigenvalues[1] - 1.0).abs() < 1e-12);
+        check_reconstruction(&a, &evd, 1e-12);
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        for (n, seed) in [(1usize, 5u64), (2, 6), (5, 7), (24, 8), (60, 9)] {
+            let a = rand_sym(n, seed);
+            let evd = sym_evd(&a);
+            check_reconstruction(&a, &evd, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ql_and_jacobi_agree() {
+        for (n, seed) in [(3usize, 21u64), (10, 22), (31, 23)] {
+            let a = rand_sym(n, seed);
+            let e1 = sym_evd(&a);
+            let e2 = jacobi_evd(&a);
+            for (l1, l2) in e1.eigenvalues.iter().zip(&e2.eigenvalues) {
+                assert!((l1 - l2).abs() < 1e-9, "eigenvalue mismatch n={n}");
+            }
+            // With distinct eigenvalues the sign convention makes vectors
+            // match elementwise.
+            let gaps_ok = e1
+                .eigenvalues
+                .windows(2)
+                .all(|w| (w[0] - w[1]).abs() > 1e-6);
+            if gaps_ok {
+                assert!(
+                    e1.eigenvectors.max_abs_diff(&e2.eigenvectors) < 1e-7,
+                    "eigenvector mismatch n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_gram() {
+        // A = x xᵀ has one nonzero eigenvalue = |x|².
+        let x = [1.0, 2.0, 2.0];
+        let a = Matrix::from_fn(3, 3, |i, j| x[i] * x[j]);
+        let evd = sym_evd(&a);
+        assert!((evd.eigenvalues[0] - 9.0).abs() < 1e-10);
+        assert!(evd.eigenvalues[1].abs() < 1e-10);
+        assert!(evd.eigenvalues[2].abs() < 1e-10);
+        check_reconstruction(&a, &evd, 1e-9);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // 2*I has eigenvalue 2 with multiplicity 4; any orthonormal basis ok.
+        let mut a = Matrix::identity(4);
+        a.scale(2.0);
+        let evd = sym_evd(&a);
+        for l in &evd.eigenvalues {
+            assert!((l - 2.0).abs() < 1e-12);
+        }
+        assert!(evd.eigenvectors.has_orthonormal_columns(1e-12));
+    }
+
+    #[test]
+    fn leading_truncates() {
+        let a = rand_sym(10, 40);
+        let evd = sym_evd(&a);
+        let lead = evd.leading(3);
+        assert_eq!(lead.shape(), (10, 3));
+        assert!(lead.has_orthonormal_columns(1e-9));
+    }
+
+    #[test]
+    fn sign_convention_is_deterministic() {
+        let a = rand_sym(12, 55);
+        let e1 = sym_evd(&a);
+        let e2 = sym_evd(&a);
+        assert!(e1.eigenvectors.max_abs_diff(&e2.eigenvectors) == 0.0);
+        // Pivot component positive in each column.
+        for j in 0..12 {
+            let col = e1.eigenvectors.col(j);
+            let piv = col.iter().cloned().fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m });
+            assert!(piv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::zeros(0, 0);
+        let evd = sym_evd(&a);
+        assert!(evd.eigenvalues.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! Blocked general matrix-matrix multiply.
+//!
+//! This is the workspace's `dgemm` replacement. The kernel is a classic
+//! three-level cache-blocked loop nest with a column-panel rayon split at the
+//! outermost level. It is deliberately simple — the experiments compare
+//! *strategies* that all run on this same kernel, so relative results are
+//! unaffected by its absolute speed — but the blocking keeps it within a
+//! small factor of a tuned BLAS for the sizes the benches use.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Whether an operand participates as itself or its transpose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the operand's transpose.
+    Yes,
+}
+
+impl Transpose {
+    /// Logical shape of an operand under this transpose flag.
+    #[inline]
+    pub fn apply(self, (r, c): (usize, usize)) -> (usize, usize) {
+        match self {
+            Transpose::No => (r, c),
+            Transpose::Yes => (c, r),
+        }
+    }
+}
+
+const MC: usize = 128; // rows of A per block
+const KC: usize = 256; // shared dimension per block
+const PAR_COL_PANEL: usize = 64; // columns of C per rayon task
+const PAR_MIN_WORK: usize = 1 << 16; // below this, stay sequential
+
+/// `C = alpha * op_a(A) * op_b(B)`, allocating the output.
+///
+/// # Panics
+/// Panics if the inner dimensions of `op_a(A)` and `op_b(B)` disagree.
+pub fn gemm(a: &Matrix, op_a: Transpose, b: &Matrix, op_b: Transpose, alpha: f64) -> Matrix {
+    let (m, ka) = op_a.apply(a.shape());
+    let (kb, n) = op_b.apply(b.shape());
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
+    let mut c = Matrix::zeros(m, n);
+    gemm_into(a, op_a, b, op_b, alpha, 0.0, &mut c);
+    c
+}
+
+/// `C = alpha * op_a(A) * op_b(B) + beta * C` into a caller-provided matrix.
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn gemm_into(
+    a: &Matrix,
+    op_a: Transpose,
+    b: &Matrix,
+    op_b: Transpose,
+    alpha: f64,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = op_a.apply(a.shape());
+    let (kb, n) = op_b.apply(b.shape());
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let k = ka;
+
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Pack op_a(A) once: the packed buffer is read-only and shared across the
+    // parallel column panels of C.
+    let a_packed = pack_op(a, op_a);
+    let work = m * n * k;
+    let c_rows = m;
+    let c_buf = c.as_mut_slice();
+
+    let do_panel = |(panel_idx, c_panel): (usize, &mut [f64])| {
+        let j0 = panel_idx * PAR_COL_PANEL;
+        let jn = (c_panel.len() / c_rows).min(n - j0);
+        // Pack the needed columns of op_b(B) for this panel.
+        let b_panel = pack_op_cols(b, op_b, j0, jn, k);
+        kernel(&a_packed, m, k, &b_panel, jn, alpha, c_panel);
+    };
+
+    if work >= PAR_MIN_WORK && n > PAR_COL_PANEL {
+        c_buf
+            .par_chunks_mut(c_rows * PAR_COL_PANEL)
+            .enumerate()
+            .for_each(do_panel);
+    } else {
+        c_buf
+            .chunks_mut(c_rows * PAR_COL_PANEL)
+            .enumerate()
+            .for_each(do_panel);
+    }
+}
+
+/// Pack `op(X)` into a fresh column-major buffer.
+fn pack_op(x: &Matrix, op: Transpose) -> Vec<f64> {
+    match op {
+        Transpose::No => x.as_slice().to_vec(),
+        Transpose::Yes => {
+            let (r, c) = x.shape();
+            // result is c x r, column-major
+            let mut out = vec![0.0; r * c];
+            for j in 0..r {
+                for i in 0..c {
+                    out[i + j * c] = x[(j, i)];
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Pack columns `[j0, j0+jn)` of `op(B)` (shape `k x n`) column-major.
+fn pack_op_cols(b: &Matrix, op: Transpose, j0: usize, jn: usize, k: usize) -> Vec<f64> {
+    let mut out = vec![0.0; k * jn];
+    match op {
+        Transpose::No => {
+            for j in 0..jn {
+                out[j * k..(j + 1) * k].copy_from_slice(b.col(j0 + j));
+            }
+        }
+        Transpose::Yes => {
+            // op(B)[l, j] = B[j, l]
+            for j in 0..jn {
+                for l in 0..k {
+                    out[l + j * k] = b[(j0 + j, l)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sequential blocked kernel: `C += alpha * A * B` where `A` is `m x k`
+/// column-major, `B` is `k x jn` column-major, `C` is `m x jn` column-major.
+fn kernel(a: &[f64], m: usize, k: usize, b: &[f64], jn: usize, alpha: f64, c: &mut [f64]) {
+    for l0 in (0..k).step_by(KC) {
+        let lb = KC.min(k - l0);
+        for i0 in (0..m).step_by(MC) {
+            let ib = MC.min(m - i0);
+            for j in 0..jn {
+                let cj = &mut c[j * m..(j + 1) * m];
+                let bj = &b[j * k..(j + 1) * k];
+                for l in l0..l0 + lb {
+                    let blj = alpha * bj[l];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let al = &a[l * m + i0..l * m + i0 + ib];
+                    let cji = &mut cj[i0..i0 + ib];
+                    // Inner axpy: auto-vectorizes.
+                    for (cv, av) in cji.iter_mut().zip(al) {
+                        *cv += blj * av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `y = op_a(A) * x`, allocating the output.
+///
+/// # Panics
+/// Panics if `x.len()` does not match the columns of `op_a(A)`.
+pub fn gemv(a: &Matrix, op_a: Transpose, x: &[f64]) -> Vec<f64> {
+    let (m, k) = op_a.apply(a.shape());
+    assert_eq!(x.len(), k, "gemv dimension mismatch");
+    let mut y = vec![0.0; m];
+    match op_a {
+        Transpose::No => {
+            for (l, &xl) in x.iter().enumerate() {
+                if xl == 0.0 {
+                    continue;
+                }
+                for (yv, av) in y.iter_mut().zip(a.col(l)) {
+                    *yv += xl * av;
+                }
+            }
+        }
+        Transpose::Yes => {
+            for (i, yv) in y.iter_mut().enumerate() {
+                *yv = a.col(i).iter().zip(x).map(|(av, xv)| av * xv).sum();
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Naive reference multiply for verification.
+    fn naive(a: &Matrix, op_a: Transpose, b: &Matrix, op_b: Transpose) -> Matrix {
+        let (m, k) = op_a.apply(a.shape());
+        let (_, n) = op_b.apply(b.shape());
+        Matrix::from_fn(m, n, |i, j| {
+            (0..k)
+                .map(|l| {
+                    let av = match op_a {
+                        Transpose::No => a[(i, l)],
+                        Transpose::Yes => a[(l, i)],
+                    };
+                    let bv = match op_b {
+                        Transpose::No => b[(l, j)],
+                        Transpose::Yes => b[(j, l)],
+                    };
+                    av * bv
+                })
+                .sum()
+        })
+    }
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        Matrix::random(r, c, &dist, &mut rng)
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No, 1.0);
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        assert!(c.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        for (ta, tb) in [
+            (Transpose::No, Transpose::No),
+            (Transpose::No, Transpose::Yes),
+            (Transpose::Yes, Transpose::No),
+            (Transpose::Yes, Transpose::Yes),
+        ] {
+            // shapes chosen so op(a): 7x5, op(b): 5x9
+            let a = match ta {
+                Transpose::No => rand_mat(7, 5, 1),
+                Transpose::Yes => rand_mat(5, 7, 2),
+            };
+            let b = match tb {
+                Transpose::No => rand_mat(5, 9, 3),
+                Transpose::Yes => rand_mat(9, 5, 4),
+            };
+            let c = gemm(&a, ta, &b, tb, 1.0);
+            let r = naive(&a, ta, &b, tb);
+            assert!(c.max_abs_diff(&r) < 1e-12, "mismatch for {ta:?},{tb:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_on_large() {
+        // Sizes crossing MC/KC/PAR boundaries.
+        let a = rand_mat(150, 300, 10);
+        let b = rand_mat(300, 130, 11);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No, 1.0);
+        let r = naive(&a, Transpose::No, &b, Transpose::No);
+        assert!(c.max_abs_diff(&r) < 1e-10);
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = rand_mat(6, 4, 20);
+        let b = rand_mat(4, 5, 21);
+        let mut c = rand_mat(6, 5, 22);
+        let c0 = c.clone();
+        gemm_into(&a, Transpose::No, &b, Transpose::No, 2.0, 3.0, &mut c);
+        let r = naive(&a, Transpose::No, &b, Transpose::No);
+        for j in 0..5 {
+            for i in 0..6 {
+                let expect = 2.0 * r[(i, j)] + 3.0 * c0[(i, j)];
+                assert!((c[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = rand_mat(8, 6, 30);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let y = gemv(&a, Transpose::No, &x);
+        let xm = Matrix::from_vec(6, 1, x.clone());
+        let ym = gemm(&a, Transpose::No, &xm, Transpose::No, 1.0);
+        for i in 0..8 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);
+        }
+        let yt = gemv(&a, Transpose::Yes, &y);
+        assert_eq!(yt.len(), 6);
+    }
+
+    #[test]
+    fn zero_dimension_is_ok() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let c = gemm(&a, Transpose::No, &b, Transpose::No, 1.0);
+        assert_eq!(c.shape(), (0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = gemm(&a, Transpose::No, &b, Transpose::No, 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense matrix kernels for the distributed Tucker decomposition workspace.
+//!
+//! This crate is the numerical substrate that stands in for the vendor BLAS /
+//! LAPACK stack used by the paper (ESSL `dgemm`, `dsyrk`, `dsyevx`):
+//!
+//! * [`Matrix`] — a column-major dense `f64` matrix,
+//! * [`gemm`] — blocked, optionally rayon-parallel matrix multiply,
+//! * [`syrk`] — symmetric rank-k update `C = A·Aᵀ` exploiting symmetry,
+//! * [`qr`] — Householder QR factorization (orthonormalization),
+//! * [`evd`] — symmetric eigendecomposition via Householder tridiagonalization
+//!   followed by the implicit-shift QL iteration, with a cyclic Jacobi solver
+//!   as an independent cross-check,
+//! * [`svd`] — leading left singular vectors via the Gram-matrix + EVD route
+//!   used by the paper (§5).
+//!
+//! Everything is pure Rust with no BLAS dependency so the workspace builds on
+//! any platform; performance is adequate for the scaled experiments and, more
+//! importantly, identical across the strategies being compared.
+
+pub mod evd;
+pub mod gemm;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod syrk;
+
+pub use evd::{jacobi_evd, sym_evd, SymEvd};
+pub use gemm::{gemm, gemm_into, Transpose};
+pub use matrix::Matrix;
+pub use qr::{householder_qr, orthonormal_columns};
+pub use svd::{leading_from_gram, leading_left_singular_vectors, GramSvd};
+pub use syrk::{syrk, syrk_into};
+
+/// Relative tolerance used by the crate's internal convergence checks.
+pub const EPS: f64 = 1e-12;

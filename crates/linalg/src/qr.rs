@@ -1,0 +1,157 @@
+//! Householder QR factorization.
+//!
+//! Used for orthonormalizing factor matrices: HOOI only requires the initial
+//! factor matrices to have orthonormal columns, and random-init experiments
+//! produce them by QR-ing Gaussian matrices.
+
+use crate::matrix::Matrix;
+
+/// Compact QR result: `A = Q · R` with `Q` `m x k` (thin) and `R` `k x n`,
+/// `k = min(m, n)`.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Thin orthonormal factor (`m x min(m,n)`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`min(m,n) x n`).
+    pub r: Matrix,
+}
+
+/// Householder QR of `a` (`m x n`).
+pub fn householder_qr(a: &Matrix) -> Qr {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r_full = a.clone();
+    // Store the Householder vectors; v[j] has length m - j.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build Householder vector for column j below the diagonal.
+        let mut v: Vec<f64> = (j..m).map(|i| r_full[(i, j)]).collect();
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if alpha == 0.0 {
+            // Column already zero below (and at) the diagonal; identity step.
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / |v|² to the trailing submatrix.
+        for c in j..n {
+            let dot: f64 = (j..m).map(|i| v[i - j] * r_full[(i, c)]).sum();
+            let f = 2.0 * dot / vnorm2;
+            for i in j..m {
+                r_full[(i, c)] -= f * v[i - j];
+            }
+        }
+        vs.push(v);
+    }
+
+    // R = top k rows of transformed matrix.
+    let r = Matrix::from_fn(k, n, |i, j| if j >= i { r_full[(i, j)] } else { 0.0 });
+
+    // Q = H_0 H_1 ... H_{k-1} applied to the first k columns of I.
+    let mut q = Matrix::from_fn(m, k, |i, j| if i == j { 1.0 } else { 0.0 });
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let dot: f64 = (j..m).map(|i| v[i - j] * q[(i, c)]).sum();
+            let f = 2.0 * dot / vnorm2;
+            for i in j..m {
+                q[(i, c)] -= f * v[i - j];
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+/// Produce an `m x k` matrix with orthonormal columns from an arbitrary
+/// `m x k` input (`k <= m`) by thin QR.
+///
+/// Columns of rank-deficient input are completed to an orthonormal set by
+/// the Householder reflections (QR always yields orthonormal Q).
+///
+/// # Panics
+/// Panics if `k > m`.
+pub fn orthonormal_columns(a: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    assert!(k <= m, "need at least as many rows ({m}) as columns ({k})");
+    householder_qr(a).q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Transpose};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        Matrix::random(r, c, &dist, &mut rng)
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        for (m, n, seed) in [(6usize, 4usize, 1u64), (4, 4, 2), (10, 7, 3), (30, 5, 4)] {
+            let a = rand_mat(m, n, seed);
+            let Qr { q, r } = householder_qr(&a);
+            assert!(q.has_orthonormal_columns(1e-10), "Q not orthonormal ({m}x{n})");
+            let qr = gemm(&q, Transpose::No, &r, Transpose::No, 1.0);
+            assert!(qr.max_abs_diff(&a) < 1e-10, "QR != A ({m}x{n})");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = rand_mat(8, 6, 9);
+        let Qr { r, .. } = householder_qr(&a);
+        for j in 0..6 {
+            for i in (j + 1)..6 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalize_tall() {
+        let a = rand_mat(50, 8, 10);
+        let q = orthonormal_columns(&a);
+        assert_eq!(q.shape(), (50, 8));
+        assert!(q.has_orthonormal_columns(1e-10));
+    }
+
+    #[test]
+    fn orthonormalize_rank_deficient() {
+        // Two identical columns: Q must still be orthonormal.
+        let mut a = rand_mat(10, 3, 11);
+        let c0: Vec<f64> = a.col(0).to_vec();
+        a.col_mut(1).copy_from_slice(&c0);
+        let q = orthonormal_columns(&a);
+        assert!(q.has_orthonormal_columns(1e-9));
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let a = Matrix::identity(5);
+        let q = orthonormal_columns(&a);
+        // Q spans the same space; for identity input with our reflector
+        // construction Q is ±I — orthonormality is the contract.
+        assert!(q.has_orthonormal_columns(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many rows")]
+    fn wide_input_panics() {
+        let a = Matrix::zeros(3, 5);
+        let _ = orthonormal_columns(&a);
+    }
+}

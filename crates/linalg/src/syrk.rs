@@ -1,0 +1,146 @@
+//! Symmetric rank-k update: the workspace's `dsyrk` replacement.
+//!
+//! The paper's SVD step computes Gram matrices `G = Z(n) · Z(n)ᵀ` and notes
+//! that the symmetry should be exploited (§5, "dysrk calls which exploits the
+//! symmetry in the product"). We compute only the lower triangle and mirror.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// `C = A · Aᵀ` for column-major `A` (`m x k`), allocating the `m x m` output.
+pub fn syrk(a: &Matrix) -> Matrix {
+    let m = a.nrows();
+    let mut c = Matrix::zeros(m, m);
+    syrk_into(a, 1.0, 0.0, &mut c);
+    c
+}
+
+/// `C = alpha * A·Aᵀ + beta * C`, computing only the lower triangle and
+/// mirroring into the upper triangle afterwards.
+///
+/// # Panics
+/// Panics if `C` is not `m x m` for `A` of shape `m x k`.
+pub fn syrk_into(a: &Matrix, alpha: f64, beta: f64, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    assert_eq!(c.shape(), (m, m), "syrk output must be {m}x{m}");
+
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if m == 0 {
+        return;
+    }
+
+    // Accumulate column-by-column of A: C += alpha * a_l * a_lᵀ, lower only.
+    // Parallelize over output columns (each task owns full output columns, so
+    // no write conflicts).
+    let a_buf = a.as_slice();
+    let c_buf = c.as_mut_slice();
+    let work = m * m * k;
+    let do_col = |(j, cj): (usize, &mut [f64])| {
+        for l in 0..k {
+            let al = &a_buf[l * m..(l + 1) * m];
+            let alj = alpha * al[j];
+            if alj == 0.0 {
+                continue;
+            }
+            // Only rows i >= j (lower triangle).
+            for (cv, av) in cj[j..].iter_mut().zip(&al[j..]) {
+                *cv += alj * av;
+            }
+        }
+    };
+    if work >= (1 << 16) && m >= 8 {
+        c_buf.par_chunks_mut(m).enumerate().for_each(do_col);
+    } else {
+        c_buf.chunks_mut(m).enumerate().for_each(do_col);
+    }
+
+    // Mirror lower triangle into upper.
+    for j in 0..m {
+        for i in (j + 1)..m {
+            let v = c[(i, j)];
+            c[(j, i)] = v;
+        }
+    }
+}
+
+/// Symmetrize a nearly-symmetric matrix in place: `C <- (C + Cᵀ)/2`.
+///
+/// Used after all-reducing Gram contributions, where floating-point
+/// non-associativity across ranks can introduce tiny asymmetries.
+pub fn symmetrize(c: &mut Matrix) {
+    let (m, n) = c.shape();
+    assert_eq!(m, n, "symmetrize needs a square matrix");
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Transpose};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        Matrix::random(r, c, &dist, &mut rng)
+    }
+
+    #[test]
+    fn matches_gemm_aat() {
+        for (m, k, seed) in [(5, 7, 1u64), (16, 3, 2), (33, 40, 3)] {
+            let a = rand_mat(m, k, seed);
+            let c = syrk(&a);
+            let r = gemm(&a, Transpose::No, &a, Transpose::Yes, 1.0);
+            assert!(c.max_abs_diff(&r) < 1e-11, "m={m} k={k}");
+        }
+    }
+
+    #[test]
+    fn output_is_exactly_symmetric() {
+        let a = rand_mat(20, 9, 7);
+        let c = syrk(&a);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_with_beta() {
+        let a = rand_mat(6, 4, 9);
+        let mut c = syrk(&a);
+        // C = 1*A Aᵀ + 1*C = 2 A Aᵀ
+        syrk_into(&a, 1.0, 1.0, &mut c);
+        let mut r = gemm(&a, Transpose::No, &a, Transpose::Yes, 1.0);
+        r.scale(2.0);
+        assert!(c.max_abs_diff(&r) < 1e-11);
+    }
+
+    #[test]
+    fn symmetrize_fixes_asymmetry() {
+        let mut c = Matrix::from_rows(&[&[1.0, 2.0], &[2.2, 3.0]]);
+        symmetrize(&mut c);
+        assert_eq!(c[(0, 1)], c[(1, 0)]);
+        assert!((c[(0, 1)] - 2.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_columns_gives_zero_gram() {
+        let a = Matrix::zeros(4, 0);
+        let c = syrk(&a);
+        assert_eq!(c.shape(), (4, 4));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

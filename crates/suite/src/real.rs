@@ -1,0 +1,110 @@
+//! The real combustion-science tensors of Table 2.
+//!
+//! The paper derives these from simulations in combustion science (Austin et
+//! al.), curtails some axes for memory, and fills them with random data —
+//! execution cost depends only on the metadata. We carry the exact Table 2
+//! metadata for the analytic experiments and scaled-down variants for the
+//! measured runs (documented substitution, DESIGN.md §2).
+
+use tucker_core::TuckerMeta;
+
+/// A named real-world tensor.
+#[derive(Clone, Debug)]
+pub struct RealTensor {
+    /// Paper name (HCCI, TJLR, SP).
+    pub name: &'static str,
+    /// Table 2 metadata.
+    pub meta: TuckerMeta,
+}
+
+/// The three tensors of Table 2.
+pub fn real_tensors() -> Vec<RealTensor> {
+    vec![
+        RealTensor {
+            name: "HCCI",
+            meta: TuckerMeta::new([672, 672, 627, 16], [279, 279, 153, 14]),
+        },
+        RealTensor {
+            name: "TJLR",
+            meta: TuckerMeta::new([460, 700, 360, 16, 4], [306, 232, 239, 16, 4]),
+        },
+        RealTensor {
+            name: "SP",
+            meta: TuckerMeta::new([500, 500, 500, 11, 10], [81, 129, 127, 7, 6]),
+        },
+    ]
+}
+
+/// Scaled-down variants that keep the mode proportions (and therefore the
+/// planner's decisions) while being executable in the simulated universe.
+/// `factor` divides every spatial length; small axes (≤ 16) are kept.
+pub fn scaled_real_tensors(factor: usize) -> Vec<RealTensor> {
+    real_tensors()
+        .into_iter()
+        .map(|rt| {
+            let l: Vec<usize> = rt
+                .meta
+                .input()
+                .dims()
+                .iter()
+                .map(|&d| if d > 16 { (d / factor).max(2) } else { d })
+                .collect();
+            let k: Vec<usize> = rt
+                .meta
+                .core()
+                .dims()
+                .iter()
+                .zip(rt.meta.input().dims())
+                .zip(&l)
+                .map(|((&kd, &ld), &lnew)| {
+                    if ld > 16 {
+                        ((kd * lnew) as f64 / ld as f64).round().max(1.0) as usize
+                    } else {
+                        kd
+                    }
+                    .min(lnew)
+                })
+                .collect();
+            RealTensor { name: rt.name, meta: TuckerMeta::new(l, k) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_metadata_exact() {
+        let rt = real_tensors();
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt[0].meta.input().dims(), &[672, 672, 627, 16]);
+        assert_eq!(rt[0].meta.core().dims(), &[279, 279, 153, 14]);
+        assert_eq!(rt[1].meta.input().dims(), &[460, 700, 360, 16, 4]);
+        assert_eq!(rt[1].meta.core().dims(), &[306, 232, 239, 16, 4]);
+        assert_eq!(rt[2].meta.input().dims(), &[500, 500, 500, 11, 10]);
+        assert_eq!(rt[2].meta.core().dims(), &[81, 129, 127, 7, 6]);
+    }
+
+    #[test]
+    fn scaled_variants_preserve_proportions() {
+        for (orig, scaled) in real_tensors().iter().zip(scaled_real_tensors(16)) {
+            assert_eq!(orig.meta.order(), scaled.meta.order());
+            for n in 0..orig.meta.order() {
+                assert!(scaled.meta.k(n) <= scaled.meta.l(n));
+                if orig.meta.l(n) > 16 {
+                    // Compression factor approximately preserved.
+                    let h0 = orig.meta.h(n);
+                    let h1 = scaled.meta.h(n);
+                    assert!(
+                        (h0 - h1).abs() < 0.15,
+                        "{}: mode {n} h {h0:.3} -> {h1:.3}",
+                        orig.name
+                    );
+                }
+            }
+            // Small enough to execute.
+            assert!(scaled.meta.input_cardinality() < 4e6, "{}", scaled.meta);
+        }
+    }
+}

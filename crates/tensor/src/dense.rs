@@ -1,0 +1,188 @@
+//! Dense tensor storage.
+
+use crate::shape::Shape;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A dense `f64` tensor in the canonical mode-0-fastest layout.
+#[derive(Clone, PartialEq)]
+pub struct DenseTensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.cardinality()];
+        Self { shape, data }
+    }
+
+    /// Tensor built from a closure over coordinates.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let shape = shape.into();
+        let mut data = Vec::with_capacity(shape.cardinality());
+        for c in shape.coords() {
+            data.push(f(&c));
+        }
+        Self { shape, data }
+    }
+
+    /// Wrap an existing canonical-layout buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape cardinality.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f64>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.cardinality(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Tensor filled with samples from `dist`.
+    pub fn random<D: Distribution<f64>, R: Rng>(
+        shape: impl Into<Shape>,
+        dist: &D,
+        rng: &mut R,
+    ) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.cardinality()).map(|_| dist.sample(rng)).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Canonical-layout backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a coordinate.
+    #[inline]
+    pub fn get(&self, coord: &[usize]) -> f64 {
+        self.data[self.shape.offset(coord)]
+    }
+
+    /// Set element at a coordinate.
+    #[inline]
+    pub fn set(&mut self, coord: &[usize], value: f64) {
+        let off = self.shape.offset(coord);
+        self.data[off] = value;
+    }
+
+    /// Maximum absolute elementwise difference to another tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseTensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Elementwise sum with another tensor, in place.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &DenseTensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+impl std::fmt::Debug for DenseTensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DenseTensor({}, {} elements)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut t = DenseTensor::zeros([2, 3, 4]);
+        assert_eq!(t.cardinality(), 24);
+        t.set(&[1, 2, 3], 5.0);
+        assert_eq!(t.get(&[1, 2, 3]), 5.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn from_fn_coordinates() {
+        let t = DenseTensor::from_fn([3, 4], |c| (c[0] * 10 + c[1]) as f64);
+        assert_eq!(t.get(&[2, 3]), 23.0);
+        // Layout: mode 0 fastest.
+        assert_eq!(t.as_slice()[0], 0.0);
+        assert_eq!(t.as_slice()[1], 10.0);
+        assert_eq!(t.as_slice()[3], 1.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let v: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let t = DenseTensor::from_vec([3, 4], v.clone());
+        assert_eq!(t.into_vec(), v);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = DenseTensor::from_fn([2, 2], |c| c[0] as f64);
+        let mut b = a.clone();
+        b.add_assign(&a);
+        b.scale(0.5);
+        assert_eq!(b.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_checked() {
+        let _ = DenseTensor::from_vec([2, 2], vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Mode-`n` fiber access.
+//!
+//! A mode-`n` fiber is the vector obtained by varying the `n`-th coordinate
+//! while holding all others fixed (paper §2.1). Fibers are enumerated in the
+//! same lexicographic order the unfolding uses for its columns, so
+//! `fiber(t, n, c)` equals column `c` of `unfold(t, n)`.
+
+use crate::dense::DenseTensor;
+
+/// Copy the `c`-th mode-`n` fiber into a fresh vector.
+///
+/// # Panics
+/// Panics if `n` or `c` is out of range.
+pub fn fiber(t: &DenseTensor, n: usize, c: usize) -> Vec<f64> {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range");
+    let inner = shape.inner_extent(n);
+    let ln = shape.dim(n);
+    assert!(c < shape.num_fibers(n), "fiber index {c} out of range");
+    let i = c % inner;
+    let o = c / inner;
+    let base = o * inner * ln + i;
+    let src = t.as_slice();
+    (0..ln).map(|l| src[base + l * inner]).collect()
+}
+
+/// Iterate over all `(fiber_index, fiber)` pairs of mode `n`.
+pub fn fibers(t: &DenseTensor, n: usize) -> impl Iterator<Item = (usize, Vec<f64>)> + '_ {
+    let count = t.shape().num_fibers(n);
+    (0..count).map(move |c| (c, fiber(t, n, c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::unfold;
+
+    #[test]
+    fn fibers_match_unfolding_columns() {
+        let t = DenseTensor::from_fn([3, 2, 4], |c| (c[0] * 100 + c[1] * 10 + c[2]) as f64);
+        for n in 0..3 {
+            let u = unfold(&t, n);
+            for (c, f) in fibers(&t, n) {
+                assert_eq!(f.as_slice(), u.col(c), "mode {n} fiber {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fiber_count() {
+        let t = DenseTensor::zeros([3, 4, 5]);
+        assert_eq!(fibers(&t, 0).count(), 20);
+        assert_eq!(fibers(&t, 1).count(), 15);
+        assert_eq!(fibers(&t, 2).count(), 12);
+    }
+
+    #[test]
+    fn matrix_fibers_are_rows_and_cols() {
+        // For a matrix: mode-0 fibers are columns, mode-1 fibers are rows.
+        let t = DenseTensor::from_fn([2, 3], |c| (c[0] * 10 + c[1]) as f64);
+        assert_eq!(fiber(&t, 0, 1), vec![1.0, 11.0]); // column 1
+        assert_eq!(fiber(&t, 1, 1), vec![10.0, 11.0, 12.0]); // row 1
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fiber_index_panics() {
+        let t = DenseTensor::zeros([2, 2]);
+        let _ = fiber(&t, 0, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense N-dimensional tensor substrate for the distributed Tucker
+//! decomposition workspace.
+//!
+//! The paper's vocabulary (§2.1) maps onto this crate as follows:
+//!
+//! * a tensor `T` of size `L₁ × … × L_N` is a [`DenseTensor`] with a
+//!   [`Shape`];
+//! * a **mode-n fiber** is a vector varying the `n`-th coordinate with all
+//!   other coordinates fixed — see [`fiber`];
+//! * the **mode-n unfolding** `T(n)` is the `L_n × (|T|/L_n)` matrix whose
+//!   columns are the mode-n fibers in lexicographic order — see [`unfold`];
+//! * the **tensor-times-matrix product** `Z = T ×_n A` applies the linear map
+//!   `A` to every mode-n fiber — see [`ttm`]. The kernel uses the blocking
+//!   strategy of Austin et al. (paper §5) that avoids materializing the
+//!   unfolding by decomposing the product into a batch of GEMM calls on
+//!   contiguous slabs;
+//! * **TTM-chains** (`×_{n₁} A₁ ×_{n₂} A₂ …`, commutative) — see
+//!   [`ttm::ttm_chain`].
+//!
+//! Storage is the canonical layout generalizing column-major matrices: the
+//! first mode varies fastest. All index math lives in [`shape`] so that the
+//! distributed crate can reuse it for block arithmetic.
+
+pub mod dense;
+pub mod fiber;
+pub mod norm;
+pub mod shape;
+pub mod subtensor;
+pub mod ttm;
+pub mod unfold;
+
+pub use dense::DenseTensor;
+pub use shape::Shape;
+pub use ttm::{ttm, ttm_chain};
+pub use unfold::{fold, unfold};

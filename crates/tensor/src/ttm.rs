@@ -1,0 +1,276 @@
+//! Tensor-times-matrix (TTM) products.
+//!
+//! `Z = T ×_n A` applies the `K × L_n` matrix `A` to every mode-`n` fiber of
+//! `T`; the result has the mode-`n` length replaced by `K` (paper §2.1).
+//!
+//! The kernel follows the blocking strategy of Austin et al. (paper §5): the
+//! canonical layout factors the tensor into `outer = ∏_{j>n} L_j` contiguous
+//! slabs, each an `inner × L_n` column-major matrix with
+//! `inner = ∏_{j<n} L_j`. The TTM is then a batch of plain GEMMs
+//! `Out_o = In_o · Aᵀ` on those slabs — **no unfolding is ever
+//! materialized**. Slabs are independent, so the batch is rayon-parallel.
+//!
+//! [`ttm_explicit_unfold`] is the naive reference (materialize `T(n)`,
+//! multiply, fold back); it is kept for tests and the kernel ablation bench.
+
+use crate::dense::DenseTensor;
+use crate::unfold::{fold, unfold};
+use rayon::prelude::*;
+use tucker_linalg::{gemm, Matrix, Transpose};
+
+/// Minimum per-slab work before the slab loop goes parallel.
+const PAR_MIN_WORK: usize = 1 << 14;
+
+/// `Z = T ×_n A` with `A` of shape `K × L_n`.
+///
+/// # Panics
+/// Panics if `n` is out of range or `A.ncols() != L_n`.
+pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range for {shape}");
+    let ln = shape.dim(n);
+    let k = a.nrows();
+    assert_eq!(
+        a.ncols(),
+        ln,
+        "TTM mode-{n} operand must have {ln} columns, got {}",
+        a.ncols()
+    );
+
+    let inner = shape.inner_extent(n);
+    let outer = shape.outer_extent(n);
+    let out_shape = shape.with_dim(n, k);
+    let mut out = vec![0.0; out_shape.cardinality()];
+    let src = t.as_slice();
+    let a_buf = a.as_slice(); // column-major K x Ln: A[k,l] = a_buf[k + l*K]
+
+    let in_slab = inner * ln;
+    let out_slab = inner * k;
+    let work = in_slab * k;
+
+    let do_slab = |(o, dst): (usize, &mut [f64])| {
+        let s = &src[o * in_slab..(o + 1) * in_slab];
+        if inner >= 16 {
+            // Out_o(:, kk) += A[kk, l] * In_o(:, l) — long axpys over `inner`.
+            for l in 0..ln {
+                let sl = &s[l * inner..(l + 1) * inner];
+                let acol = &a_buf[l * k..(l + 1) * k];
+                for (kk, &alk) in acol.iter().enumerate() {
+                    if alk == 0.0 {
+                        continue;
+                    }
+                    let dcol = &mut dst[kk * inner..(kk + 1) * inner];
+                    for (d, v) in dcol.iter_mut().zip(sl) {
+                        *d += alk * v;
+                    }
+                }
+            }
+        } else {
+            // Small inner (e.g. mode 0, inner == 1): iterate the `inner`
+            // interleaved fibers and do axpys over K using A's contiguous
+            // columns.
+            for i in 0..inner {
+                for l in 0..ln {
+                    let x = s[i + l * inner];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let acol = &a_buf[l * k..(l + 1) * k];
+                    for (kk, &alk) in acol.iter().enumerate() {
+                        dst[i + kk * inner] += alk * x;
+                    }
+                }
+            }
+        }
+    };
+
+    if work >= PAR_MIN_WORK && outer > 1 {
+        out.par_chunks_mut(out_slab).enumerate().for_each(do_slab);
+    } else {
+        out.chunks_mut(out_slab).enumerate().for_each(do_slab);
+    }
+
+    DenseTensor::from_vec(out_shape, out)
+}
+
+/// Reference TTM that materializes the unfolding: `fold(A · unfold(T, n))`.
+///
+/// Used to validate the blocked kernel and as the baseline in the kernel
+/// ablation bench.
+pub fn ttm_explicit_unfold(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
+    let u = unfold(t, n);
+    let z = gemm(a, Transpose::No, &u, Transpose::No, 1.0);
+    let out_shape = t.shape().with_dim(n, a.nrows());
+    fold(&z, n, &out_shape)
+}
+
+/// TTM-chain: multiply along several distinct modes in the order given.
+///
+/// `ops` pairs each mode with its matrix. By the commutativity of TTM-chains
+/// (paper §2.1) any order yields the same tensor; order only affects cost.
+///
+/// # Panics
+/// Panics if a mode repeats or any operand shape is inconsistent.
+pub fn ttm_chain(t: &DenseTensor, ops: &[(usize, &Matrix)]) -> DenseTensor {
+    let mut seen = vec![false; t.order()];
+    for &(n, _) in ops {
+        assert!(n < t.order(), "mode {n} out of range");
+        assert!(!seen[n], "mode {n} repeated in TTM-chain");
+        seen[n] = true;
+    }
+    let mut cur: Option<DenseTensor> = None;
+    for &(n, a) in ops {
+        let next = match &cur {
+            None => ttm(t, n, a),
+            Some(z) => ttm(z, n, a),
+        };
+        cur = Some(next);
+    }
+    cur.unwrap_or_else(|| t.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        Matrix::random(r, c, &dist, &mut rng)
+    }
+
+    /// Elementwise-definition reference: z[c with c_n = k] = Σ_l A[k,l] t[c with c_n = l].
+    fn ttm_naive(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
+        let out_shape = t.shape().with_dim(n, a.nrows());
+        DenseTensor::from_fn(out_shape, |c| {
+            let mut src = c.to_vec();
+            (0..t.shape().dim(n))
+                .map(|l| {
+                    src[n] = l;
+                    a[(c[n], l)] * t.get(&src)
+                })
+                .sum()
+        })
+    }
+
+    #[test]
+    fn matches_naive_all_modes() {
+        let t = rand_tensor(&[4, 5, 3, 6], 1);
+        for n in 0..4 {
+            let a = rand_mat(2, t.shape().dim(n), 10 + n as u64);
+            let z = ttm(&t, n, &a);
+            let r = ttm_naive(&t, n, &a);
+            assert_eq!(z.shape(), r.shape());
+            assert!(z.max_abs_diff(&r) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn matches_explicit_unfold_kernel() {
+        let t = rand_tensor(&[7, 6, 5], 2);
+        for n in 0..3 {
+            let a = rand_mat(4, t.shape().dim(n), 20 + n as u64);
+            let z1 = ttm(&t, n, &a);
+            let z2 = ttm_explicit_unfold(&t, n, &a);
+            assert!(z1.max_abs_diff(&z2) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn output_shape_replaces_mode_length() {
+        let t = rand_tensor(&[3, 4, 5], 3);
+        let a = rand_mat(2, 4, 30);
+        let z = ttm(&t, 1, &a);
+        assert_eq!(z.shape().dims(), &[3, 2, 5]);
+        assert_eq!(z.cardinality(), 30);
+    }
+
+    #[test]
+    fn identity_matrix_is_noop() {
+        let t = rand_tensor(&[3, 4, 5], 4);
+        for n in 0..3 {
+            let id = Matrix::identity(t.shape().dim(n));
+            let z = ttm(&t, n, &id);
+            assert!(z.max_abs_diff(&t) < 1e-15, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn chain_commutativity() {
+        // (T ×_1 A) ×_2 B == (T ×_2 B) ×_1 A  (paper §2.1)
+        let t = rand_tensor(&[4, 5, 6], 5);
+        let a = rand_mat(2, 5, 50);
+        let b = rand_mat(3, 6, 51);
+        let z1 = ttm_chain(&t, &[(1, &a), (2, &b)]);
+        let z2 = ttm_chain(&t, &[(2, &b), (1, &a)]);
+        assert_eq!(z1.shape().dims(), &[4, 2, 3]);
+        assert!(z1.max_abs_diff(&z2) < 1e-12);
+    }
+
+    #[test]
+    fn full_chain_all_orders_agree() {
+        let t = rand_tensor(&[3, 4, 5], 6);
+        let mats: Vec<Matrix> =
+            (0..3).map(|n| rand_mat(2, t.shape().dim(n), 60 + n as u64)).collect();
+        let orders: &[[usize; 3]] =
+            &[[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let reference = ttm_chain(&t, &[(0, &mats[0]), (1, &mats[1]), (2, &mats[2])]);
+        for ord in orders {
+            let ops: Vec<(usize, &Matrix)> = ord.iter().map(|&n| (n, &mats[n])).collect();
+            let z = ttm_chain(&t, &ops);
+            assert!(z.max_abs_diff(&reference) < 1e-12, "order {ord:?}");
+        }
+    }
+
+    #[test]
+    fn empty_chain_clones_input() {
+        let t = rand_tensor(&[2, 3], 7);
+        let z = ttm_chain(&t, &[]);
+        assert_eq!(z.max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn large_mode0_path() {
+        // Exercises the inner==1 specialization.
+        let t = rand_tensor(&[64, 9, 8], 8);
+        let a = rand_mat(16, 64, 80);
+        let z1 = ttm(&t, 0, &a);
+        let z2 = ttm_explicit_unfold(&t, 0, &a);
+        assert!(z1.max_abs_diff(&z2) < 1e-11);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Big enough to trigger the rayon branch.
+        let t = rand_tensor(&[32, 24, 20], 9);
+        let a = rand_mat(8, 24, 90);
+        let z1 = ttm(&t, 1, &a);
+        let z2 = ttm_naive(&t, 1, &a);
+        assert!(z1.max_abs_diff(&z2) < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in TTM-chain")]
+    fn chain_rejects_duplicate_modes() {
+        let t = rand_tensor(&[3, 3], 10);
+        let a = rand_mat(2, 3, 100);
+        let _ = ttm_chain(&t, &[(0, &a), (0, &a)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn ttm_rejects_bad_operand() {
+        let t = rand_tensor(&[3, 4], 11);
+        let a = rand_mat(2, 5, 110);
+        let _ = ttm(&t, 0, &a);
+    }
+}

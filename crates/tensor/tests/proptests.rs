@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tucker_linalg::Matrix;
+use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::subtensor::{extract, insert, Region};
+use tucker_tensor::{fold, ttm, ttm_chain, unfold, DenseTensor, Shape};
+
+/// Strategy: a small random shape with 1..=4 modes of length 1..=6.
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=6, 1..=4)
+}
+
+fn tensor_from_seed(dims: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+}
+
+fn mat_from_seed(r: usize, c: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    Matrix::random(r, c, &dist, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// offset/coord are mutually inverse for random shapes.
+    #[test]
+    fn offset_coord_inverse(dims in shape_strategy(), salt in 0usize..1000) {
+        let s = Shape::new(dims);
+        let idx = salt % s.cardinality();
+        prop_assert_eq!(s.offset(&s.coord(idx)), idx);
+    }
+
+    /// fold(unfold(T, n)) == T for every mode.
+    #[test]
+    fn unfold_fold_roundtrip(dims in shape_strategy(), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        for n in 0..t.order() {
+            let u = unfold(&t, n);
+            let back = fold(&u, n, t.shape());
+            prop_assert_eq!(back.max_abs_diff(&t), 0.0);
+        }
+    }
+
+    /// TTM preserves cardinality scaling: |Z| = K * |T| / L_n.
+    #[test]
+    fn ttm_cardinality(dims in shape_strategy(), seed in 0u64..1000, k in 1usize..5) {
+        let t = tensor_from_seed(&dims, seed);
+        let n = seed as usize % t.order();
+        let a = mat_from_seed(k, t.shape().dim(n), seed + 7);
+        let z = ttm(&t, n, &a);
+        prop_assert_eq!(z.cardinality(), k * t.cardinality() / t.shape().dim(n));
+    }
+
+    /// TTM-chain commutativity on two random distinct modes.
+    #[test]
+    fn chain_commutes(dims in prop::collection::vec(2usize..=5, 2..=4), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        let n1 = seed as usize % t.order();
+        let n2 = (n1 + 1) % t.order();
+        let a1 = mat_from_seed(2, t.shape().dim(n1), seed + 1);
+        let a2 = mat_from_seed(3, t.shape().dim(n2), seed + 2);
+        let z12 = ttm_chain(&t, &[(n1, &a1), (n2, &a2)]);
+        let z21 = ttm_chain(&t, &[(n2, &a2), (n1, &a1)]);
+        prop_assert!(z12.max_abs_diff(&z21) < 1e-12);
+    }
+
+    /// TTM with orthonormal rows never increases the Frobenius norm
+    /// (A A^T = I implies projection in fiber space).
+    #[test]
+    fn orthonormal_ttm_contracts(dims in prop::collection::vec(3usize..=6, 2..=3), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        let n = seed as usize % t.order();
+        let ln = t.shape().dim(n);
+        let k = 1 + (seed as usize % ln);
+        // Orthonormal K x Ln: QR of random Ln x K, transposed.
+        let q = tucker_linalg::orthonormal_columns(&mat_from_seed(ln, k, seed + 3));
+        let a = q.transpose();
+        let z = ttm(&t, n, &a);
+        prop_assert!(fro_norm_sq(&z) <= fro_norm_sq(&t) * (1.0 + 1e-10));
+    }
+
+    /// extract/insert roundtrip on a random sub-region.
+    #[test]
+    fn region_roundtrip(dims in prop::collection::vec(2usize..=6, 1..=4), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        let mut rng = StdRng::seed_from_u64(seed + 11);
+        use rand::Rng;
+        let start: Vec<usize> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+        let len: Vec<usize> = dims
+            .iter()
+            .zip(&start)
+            .map(|(&d, &s)| rng.gen_range(1..=(d - s)))
+            .collect();
+        let r = Region { start, len };
+        let data = extract(&t, &r);
+        prop_assert_eq!(data.len(), r.cardinality());
+        let mut t2 = t.clone();
+        insert(&mut t2, &r, &data);
+        prop_assert_eq!(t2.max_abs_diff(&t), 0.0);
+    }
+}

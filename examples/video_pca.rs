@@ -1,0 +1,59 @@
+//! Tensor PCA on synthetic video — the TensorFaces-style use case from the
+//! paper's introduction (computer vision).
+//!
+//! ```text
+//! cargo run --release --example video_pca
+//! ```
+//!
+//! Builds a height × width × frames tensor containing a moving bright blob
+//! over a static textured background, Tucker-compresses it, and shows how
+//! the leading frame-mode factor captures the motion (principal components
+//! across time) while spatial factors capture the scene.
+
+use tucker_core::hooi::hooi_invocation_gauss_seidel;
+use tucker_core::meta::TuckerMeta;
+use tucker_core::sthosvd::sthosvd;
+use tucker_suite::fields::video_field;
+use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::{DenseTensor, Shape};
+
+fn main() {
+    let dims = [32usize, 32, 16]; // height x width x frames
+    let t = DenseTensor::from_fn(Shape::from(dims), |c| video_field(c, &dims));
+
+    println!("video tensor: {}  ({} elements)", t.shape(), t.cardinality());
+
+    for ranks in [(2usize, 2usize, 2usize), (4, 4, 3), (8, 8, 4)] {
+        let meta = TuckerMeta::new(dims.to_vec(), vec![ranks.0, ranks.1, ranks.2]);
+        let init = sthosvd(&t, &meta);
+        let e0 = init.error_from_core_norm(fro_norm_sq(&t));
+        // Polish with two monotone HOOI sweeps.
+        let out1 = hooi_invocation_gauss_seidel(&t, &meta, &init);
+        let out2 = hooi_invocation_gauss_seidel(&t, &meta, &out1.decomposition);
+        println!(
+            "core {:?}: STHOSVD err {:.4} -> HOOI err {:.4} (storage compression {:.1}x)",
+            [ranks.0, ranks.1, ranks.2],
+            e0,
+            out2.error,
+            out2.decomposition.storage_compression_ratio(),
+        );
+
+        if ranks.0 == 4 {
+            // The frame-mode factor is time-PCA: its leading column is the
+            // dominant temporal pattern. Print it like a tiny spectrum.
+            let f_time = &out2.decomposition.factors[2];
+            println!("  leading temporal component (frames 0..16):");
+            print!("  ");
+            for fr in 0..16 {
+                let v = f_time[(fr, 0)];
+                print!("{:+.2} ", v);
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\nHigher multilinear ranks track the moving blob more faithfully; the \
+         frame-mode factor matrix is exactly a PCA basis across time."
+    );
+}

@@ -1,0 +1,122 @@
+//! Integration: full sequential pipeline — tensor substrate → linalg →
+//! STHOSVD → HOOI — on structured data.
+
+use tucker_core::decomposition::TuckerDecomposition;
+use tucker_core::hooi::{hooi_invocation, hooi_invocation_gauss_seidel};
+use tucker_core::meta::TuckerMeta;
+use tucker_core::sthosvd::{random_init, sthosvd};
+use tucker_core::tree::{balanced_tree, chain_tree};
+use tucker_core::opt_tree::optimal_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tucker_linalg::{orthonormal_columns, Matrix};
+use tucker_suite::fields::combustion_field;
+use tucker_tensor::norm::{fro_norm_sq, relative_error};
+use tucker_tensor::{DenseTensor, Shape};
+
+fn plume(dims: &[usize]) -> DenseTensor {
+    let d = dims.to_vec();
+    DenseTensor::from_fn(Shape::new(dims.to_vec()), move |c| combustion_field(c, &d))
+}
+
+#[test]
+fn sthosvd_then_hooi_compresses_structured_field() {
+    let dims = [16usize, 16, 12, 6];
+    let t = plume(&dims);
+    let meta = TuckerMeta::new(dims.to_vec(), vec![5, 5, 4, 3]);
+    let init = sthosvd(&t, &meta);
+    let e0 = init.error_from_core_norm(fro_norm_sq(&t));
+    // The plume is strongly compressible: STHOSVD alone should capture most
+    // of the energy.
+    assert!(e0 < 0.2, "STHOSVD error too high: {e0}");
+
+    let tree = optimal_tree(&meta).tree;
+    let out = hooi_invocation(&t, &meta, &init, &tree);
+    assert!(out.error <= e0 * 1.05, "HOOI regressed badly: {e0} -> {}", out.error);
+    assert!(out.decomposition.factors_orthonormal(1e-8));
+
+    // The core-norm error formula must agree with direct reconstruction.
+    let direct = relative_error(&t, &out.decomposition.reconstruct());
+    assert!((direct - out.error).abs() < 1e-8);
+}
+
+#[test]
+fn gauss_seidel_converges_monotonically_to_fixed_point() {
+    let dims = [12usize, 12, 12];
+    let t = plume(&dims);
+    let meta = TuckerMeta::new(dims.to_vec(), vec![4, 4, 4]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cur = random_init(&t, &meta, &mut rng);
+    let mut errors = vec![cur.error_from_core_norm(fro_norm_sq(&t))];
+    for _ in 0..8 {
+        let out = hooi_invocation_gauss_seidel(&t, &meta, &cur);
+        errors.push(out.error);
+        cur = out.decomposition;
+    }
+    for w in errors.windows(2) {
+        assert!(w[1] <= w[0] + 1e-10, "not monotone: {errors:?}");
+    }
+    // Must have essentially converged.
+    let last_gap = errors[errors.len() - 2] - errors[errors.len() - 1];
+    assert!(last_gap < 1e-4, "not converged: {errors:?}");
+}
+
+#[test]
+fn tree_choice_does_not_change_results_only_cost() {
+    let dims = [10usize, 12, 8, 6];
+    let t = plume(&dims);
+    let meta = TuckerMeta::new(dims.to_vec(), vec![3, 4, 3, 2]);
+    let init = sthosvd(&t, &meta);
+    let perm: Vec<usize> = (0..4).collect();
+    let out_chain = hooi_invocation(&t, &meta, &init, &chain_tree(&meta, &perm));
+    let out_bal = hooi_invocation(&t, &meta, &init, &balanced_tree(&meta, &perm));
+    let out_opt = hooi_invocation(&t, &meta, &init, &optimal_tree(&meta).tree);
+    assert!((out_chain.error - out_bal.error).abs() < 1e-9);
+    assert!((out_chain.error - out_opt.error).abs() < 1e-9);
+    assert!(
+        out_chain
+            .decomposition
+            .core
+            .max_abs_diff(&out_opt.decomposition.core)
+            < 1e-7
+    );
+}
+
+#[test]
+fn exactly_low_rank_input_recovered_through_whole_pipeline() {
+    // Build T = G x1 F1 x2 F2 x3 F3 with known rank, recover it exactly.
+    let meta = TuckerMeta::new([14, 10, 9], [3, 4, 2]);
+    let mut rng = StdRng::seed_from_u64(11);
+    let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+    let core = DenseTensor::random(meta.core().clone(), &dist, &mut rng);
+    let factors: Vec<Matrix> = (0..3)
+        .map(|n| orthonormal_columns(&Matrix::random(meta.l(n), meta.k(n), &dist, &mut rng)))
+        .collect();
+    let truth = TuckerDecomposition::new(core, factors);
+    let t = truth.reconstruct();
+
+    let init = sthosvd(&t, &meta);
+    assert!(init.error_from_core_norm(fro_norm_sq(&t)) < 1e-8);
+    let out = hooi_invocation(&t, &meta, &init, &optimal_tree(&meta).tree);
+    assert!(out.error < 1e-8);
+    // Reconstruction matches the original elementwise.
+    let z = out.decomposition.reconstruct();
+    assert!(z.max_abs_diff(&t) < 1e-7 * fro_norm_sq(&t).sqrt());
+}
+
+#[test]
+fn more_aggressive_cores_give_larger_error() {
+    let dims = [14usize, 14, 10];
+    let t = plume(&dims);
+    let mut last = 0.0;
+    for k in [8usize, 5, 3, 1] {
+        let meta = TuckerMeta::new(dims.to_vec(), vec![k.min(10); 3]);
+        let d = sthosvd(&t, &meta);
+        let e = d.error_from_core_norm(fro_norm_sq(&t));
+        assert!(
+            e >= last - 1e-9,
+            "smaller core must not reduce error: K={k} gave {e} after {last}"
+        );
+        last = e;
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration: planner optimality properties across the benchmark suite
+//! (property-style sweeps over real generator output, not toy metadata).
+
+use tucker_core::cost::tree_flops;
+use tucker_core::dyn_grid::scheme_volume;
+use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+use tucker_core::tree::ModeOrdering;
+use tucker_core::volume::static_volume;
+use tucker_distsim::enumerate_valid_grids;
+use tucker_suite::generator::{full_enumeration, paper_sized_subsample};
+use tucker_suite::real::real_tensors;
+
+/// A small deterministic slice of the real 5-D benchmark.
+fn sample_5d(n: usize) -> Vec<tucker_core::TuckerMeta> {
+    paper_sized_subsample(&full_enumeration(5), n)
+}
+
+#[test]
+fn optimal_tree_dominates_all_heuristics_on_benchmark_sample() {
+    for meta in sample_5d(60) {
+        let planner = Planner::new(meta.clone(), 32);
+        let opt = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+        for ordering in [
+            ModeOrdering::Natural,
+            ModeOrdering::ByCostFactor,
+            ModeOrdering::ByCompression,
+        ] {
+            let chain = planner.plan(TreeStrategy::Chain(ordering), GridStrategy::StaticOptimal);
+            assert!(opt.flops <= chain.flops * (1.0 + 1e-12), "{meta}");
+        }
+        let bal = planner.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal);
+        assert!(opt.flops <= bal.flops * (1.0 + 1e-12), "{meta}");
+    }
+}
+
+#[test]
+fn dynamic_gridding_dominates_static_on_benchmark_sample() {
+    for meta in sample_5d(40) {
+        let planner = Planner::new(meta.clone(), 32);
+        let stat = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+        let dynamic = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
+        assert!(dynamic.volume <= stat.volume + 1e-6, "{meta}");
+        // And the dynamic DP value must equal the evaluator's score of the
+        // extracted scheme.
+        let v = scheme_volume(&dynamic.tree, &meta, &dynamic.grids);
+        assert!((v - dynamic.volume).abs() <= dynamic.volume.max(1.0) * 1e-9, "{meta}");
+    }
+}
+
+#[test]
+fn static_search_truly_minimal_on_small_cases() {
+    // Re-verify the exhaustive search against a second exhaustive pass with
+    // the standalone volume function.
+    for meta in sample_5d(15) {
+        let planner = Planner::new(meta.clone(), 16);
+        let plan = planner.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal);
+        for g in enumerate_valid_grids(16, meta.core().dims()) {
+            assert!(
+                plan.volume <= static_volume(&plan.tree, &meta, &g) + 1e-6,
+                "{meta}: grid {g} beats the 'optimal' static grid"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_tensor_plans_match_paper_qualitative_findings() {
+    // §6.2: on HCCI/TJLR/SP, balanced beats the chains, and opt-tree with
+    // dynamic grids beats everything; the opt plan becomes near
+    // communication-free.
+    for rt in real_tensors() {
+        let planner = Planner::new(rt.meta.clone(), 32);
+        let lineup = planner.paper_lineup();
+        let (ck, ch, bal, opt) = (&lineup[0], &lineup[1], &lineup[2], &lineup[3]);
+        assert!(bal.flops <= ck.flops, "{}: balanced should beat chain-K on load", rt.name);
+        assert!(bal.flops <= ch.flops, "{}: balanced should beat chain-h on load", rt.name);
+        assert!(opt.flops <= bal.flops, "{}", rt.name);
+        assert!(opt.volume <= bal.volume, "{}", rt.name);
+        // "Remarkably, the opt-tree algorithm becomes near communication-
+        // free under all the three tensors": volume should drop by a large
+        // factor vs the best static heuristic.
+        let best_heuristic_volume = ck.volume.min(ch.volume).min(bal.volume);
+        assert!(
+            opt.volume <= best_heuristic_volume * 0.5,
+            "{}: dynamic volume {} not far below heuristic volume {}",
+            rt.name,
+            opt.volume,
+            best_heuristic_volume
+        );
+    }
+}
+
+#[test]
+fn chain_orderings_affect_cost_in_expected_direction() {
+    // On metadata with skewed cost factors, ordering by K must beat the
+    // reverse ordering.
+    let meta = tucker_core::TuckerMeta::new([400, 100, 50, 20, 20], [320, 20, 10, 4, 2]);
+    let k_perm = ModeOrdering::ByCostFactor.permutation(&meta);
+    let mut rev = k_perm.clone();
+    rev.reverse();
+    let fwd = tree_flops(&tucker_core::tree::chain_tree(&meta, &k_perm), &meta);
+    let bwd = tree_flops(&tucker_core::tree::chain_tree(&meta, &rev), &meta);
+    assert!(fwd < bwd, "K-ascending {fwd} should beat K-descending {bwd}");
+}
+
+#[test]
+fn grid_count_scales_with_rank_budget() {
+    // Sanity link between Table 1 and the planner's search space.
+    let meta = tucker_core::TuckerMeta::new([100; 5], [20; 5]);
+    let g32 = enumerate_valid_grids(32, meta.core().dims()).len();
+    let g256 = enumerate_valid_grids(256, meta.core().dims()).len();
+    assert!(g32 > 0 && g256 > g32);
+}
