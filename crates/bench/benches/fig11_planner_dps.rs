@@ -18,7 +18,11 @@ fn meta_n(n: usize) -> TuckerMeta {
     let ls = [400usize, 100, 50, 20];
     let rs = [1.25f64, 2.0, 5.0, 10.0];
     let l: Vec<usize> = (0..n).map(|i| ls[i % 4]).collect();
-    let k: Vec<usize> = l.iter().zip(0..n).map(|(&l, i)| (l as f64 / rs[i % 4]) as usize).collect();
+    let k: Vec<usize> = l
+        .iter()
+        .zip(0..n)
+        .map(|(&l, i)| (l as f64 / rs[i % 4]) as usize)
+        .collect();
     TuckerMeta::new(l, k)
 }
 
@@ -44,8 +48,13 @@ fn bench_grid_search(c: &mut Criterion) {
     });
     g.bench_function("dynamic_dp_P32_exact", |b| {
         b.iter(|| {
-            optimal_dynamic_grids(black_box(&tree), black_box(&meta), 32, DynGridObjective::Exact)
-                .volume
+            optimal_dynamic_grids(
+                black_box(&tree),
+                black_box(&meta),
+                32,
+                DynGridObjective::Exact,
+            )
+            .volume
         })
     });
     g.bench_function("dynamic_dp_P32_children_only", |b| {
@@ -64,8 +73,13 @@ fn bench_grid_search(c: &mut Criterion) {
         let meta = TuckerMeta::new([400, 400, 100, 100, 50], [80, 80, 50, 20, 25]);
         let tree = optimal_tree(&meta).tree;
         b.iter(|| {
-            optimal_dynamic_grids(black_box(&tree), black_box(&meta), 256, DynGridObjective::Exact)
-                .volume
+            optimal_dynamic_grids(
+                black_box(&tree),
+                black_box(&meta),
+                256,
+                DynGridObjective::Exact,
+            )
+            .volume
         })
     });
     g.finish();
@@ -77,7 +91,11 @@ fn bench_whole_planner(c: &mut Criterion) {
     let meta = TuckerMeta::new([400, 100, 100, 50, 20], [80, 80, 10, 40, 10]);
     let planner = Planner::new(meta, 32);
     g.bench_function("opt_tree_dynamic_plan", |b| {
-        b.iter(|| planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic).volume)
+        b.iter(|| {
+            planner
+                .plan(TreeStrategy::Optimal, GridStrategy::Dynamic)
+                .volume
+        })
     });
     g.bench_function("paper_lineup_4_plans", |b| {
         b.iter(|| planner.paper_lineup().len())
@@ -85,5 +103,10 @@ fn bench_whole_planner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_dp, bench_grid_search, bench_whole_planner);
+criterion_group!(
+    benches,
+    bench_tree_dp,
+    bench_grid_search,
+    bench_whole_planner
+);
 criterion_main!(benches);

@@ -46,7 +46,15 @@ fn bench_gram_kernels(c: &mut Criterion) {
     let a = rand_mat(96, 800, 3);
     g.bench_function("syrk", |b| b.iter(|| syrk(black_box(&a))));
     g.bench_function("gemm_aat", |b| {
-        b.iter(|| gemm(black_box(&a), Transpose::No, black_box(&a), Transpose::Yes, 1.0))
+        b.iter(|| {
+            gemm(
+                black_box(&a),
+                Transpose::No,
+                black_box(&a),
+                Transpose::Yes,
+                1.0,
+            )
+        })
     });
     g.finish();
 }
@@ -56,10 +64,19 @@ fn bench_evd_solvers(c: &mut Criterion) {
     g.sample_size(10);
     let a0 = rand_mat(72, 72, 4);
     let a = Matrix::from_fn(72, 72, |i, j| 0.5 * (a0[(i, j)] + a0[(j, i)]));
-    g.bench_function("tridiag_ql", |b| b.iter(|| sym_evd(black_box(&a)).eigenvalues[0]));
-    g.bench_function("cyclic_jacobi", |b| b.iter(|| jacobi_evd(black_box(&a)).eigenvalues[0]));
+    g.bench_function("tridiag_ql", |b| {
+        b.iter(|| sym_evd(black_box(&a)).eigenvalues[0])
+    });
+    g.bench_function("cyclic_jacobi", |b| {
+        b.iter(|| jacobi_evd(black_box(&a)).eigenvalues[0])
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_ttm_kernels, bench_gram_kernels, bench_evd_solvers);
+criterion_group!(
+    benches,
+    bench_ttm_kernels,
+    bench_gram_kernels,
+    bench_evd_solvers
+);
 criterion_main!(benches);

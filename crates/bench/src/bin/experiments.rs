@@ -83,7 +83,10 @@ fn main() {
 /// Table 1: number of grids ψ(P, N).
 fn table1() {
     println!("== Table 1: number of grids psi(P, N) ==");
-    println!("{:>8} {:>10} {:>12} {:>14}", "N", "P=2^5", "P=2^10", "P=2^20");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "N", "P=2^5", "P=2^10", "P=2^20"
+    );
     let mut rows = Vec::new();
     for n in 5u32..=10 {
         let a = count_grids(1 << 5, n);
@@ -118,7 +121,11 @@ fn table2() {
             rt.meta.compression_ratio()
         ));
     }
-    let p = write_csv("table2_real_tensors.csv", "name,input,core,compression", &rows);
+    let p = write_csv(
+        "table2_real_tensors.csv",
+        "name,input,core,compression",
+        &rows,
+    );
     println!("-> {}\n", p.display());
 }
 
@@ -127,9 +134,16 @@ fn table2() {
 /// Figures 11c/d: computational-load percentiles over the full benchmark
 /// (analytic; exactly the paper's machine-independent metric).
 fn fig11cd_load(order: usize) {
-    let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
-    println!("== Fig 11{} : normalized computational load ({order}D, {} tensors) ==",
-        if order == 5 { 'c' } else { 'd' }, suite.len());
+    let suite = if order == 5 {
+        benchmark_5d()
+    } else {
+        benchmark_6d()
+    };
+    println!(
+        "== Fig 11{} : normalized computational load ({order}D, {} tensors) ==",
+        if order == 5 { 'c' } else { 'd' },
+        suite.len()
+    );
 
     let mut chain_k = Vec::new();
     let mut chain_h = Vec::new();
@@ -150,7 +164,10 @@ fn fig11cd_load(order: usize) {
     print_curves(&curves);
     let rows = curve_rows(&curves);
     let p = write_csv(
-        &format!("fig11{}_load_{order}d.csv", if order == 5 { 'c' } else { 'd' }),
+        &format!(
+            "fig11{}_load_{order}d.csv",
+            if order == 5 { 'c' } else { 'd' }
+        ),
         "percentile,chain_K,chain_h,balanced",
         &rows,
     );
@@ -165,7 +182,11 @@ fn fig11f_volume() {
     println!("== Fig 11f: normalized communication volume (static vs dynamic) ==");
     let mut curves = Vec::new();
     for order in [5usize, 6] {
-        let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
+        let suite = if order == 5 {
+            benchmark_5d()
+        } else {
+            benchmark_6d()
+        };
         let mut stat = Vec::new();
         let mut dynv = Vec::new();
         for meta in &suite {
@@ -221,7 +242,10 @@ fn measured_sample(order: usize, n: usize) -> Vec<TuckerMeta> {
         }
     }
     if skipped > 0 {
-        println!("   ({skipped} of {} sample tensors skipped: core too small after scaling)", picked.len());
+        println!(
+            "   ({skipped} of {} sample tensors skipped: core too small after scaling)",
+            picked.len()
+        );
     }
     out
 }
@@ -231,10 +255,15 @@ fn measured_sample(order: usize, n: usize) -> Vec<TuckerMeta> {
 /// Figures 10a/b: overall execution-time percentiles, measured on the scaled
 /// sample. Normalized against (opt-tree, dynamic).
 fn fig10_overall(order: usize, sample: usize) {
-    println!("== Fig 10{}: overall time percentiles ({order}D, measured, P={MEASURE_RANKS}) ==",
-        if order == 5 { 'a' } else { 'b' });
+    println!(
+        "== Fig 10{}: overall time percentiles ({order}D, measured, P={MEASURE_RANKS}) ==",
+        if order == 5 { 'a' } else { 'b' }
+    );
     let metas = measured_sample(order, sample);
-    println!("   measuring {} scaled tensors x 4 strategies ...", metas.len());
+    println!(
+        "   measuring {} scaled tensors x 4 strategies ...",
+        metas.len()
+    );
 
     let mut times: [Vec<f64>; 4] = Default::default();
     for meta in &metas {
@@ -256,7 +285,10 @@ fn fig10_overall(order: usize, sample: usize) {
     }
     let rows = curve_rows(&curves);
     let p = write_csv(
-        &format!("fig10{}_overall_{order}d.csv", if order == 5 { 'a' } else { 'b' }),
+        &format!(
+            "fig10{}_overall_{order}d.csv",
+            if order == 5 { 'a' } else { 'b' }
+        ),
         "percentile,chain_K,chain_h,balanced",
         &rows,
     );
@@ -268,10 +300,15 @@ fn fig10_overall(order: usize, sample: usize) {
 /// Figures 11a/b: TTM computation-time percentiles (measured), heuristics vs
 /// (opt-tree, static).
 fn fig11ab_compute_time(order: usize, sample: usize) {
-    println!("== Fig 11{}: TTM computation time ({order}D, measured, P={MEASURE_RANKS}) ==",
-        if order == 5 { 'a' } else { 'b' });
+    println!(
+        "== Fig 11{}: TTM computation time ({order}D, measured, P={MEASURE_RANKS}) ==",
+        if order == 5 { 'a' } else { 'b' }
+    );
     let metas = measured_sample(order, sample);
-    println!("   measuring {} scaled tensors x 4 strategies ...", metas.len());
+    println!(
+        "   measuring {} scaled tensors x 4 strategies ...",
+        metas.len()
+    );
 
     let strategies = [
         (TreeStrategy::chain_k(), "chain-K"),
@@ -300,7 +337,10 @@ fn fig11ab_compute_time(order: usize, sample: usize) {
     }
     let rows = curve_rows(&curves);
     let p = write_csv(
-        &format!("fig11{}_compute_time_{order}d.csv", if order == 5 { 'a' } else { 'b' }),
+        &format!(
+            "fig11{}_compute_time_{order}d.csv",
+            if order == 5 { 'a' } else { 'b' }
+        ),
         "percentile,chain_K,chain_h,balanced",
         &rows,
     );
@@ -317,7 +357,10 @@ fn fig11e_comm_time(sample: usize) {
     let mut curves = Vec::new();
     for order in [5usize, 6] {
         let metas = measured_sample(order, sample);
-        println!("   {order}D: measuring {} scaled tensors x 2 gridding schemes ...", metas.len());
+        println!(
+            "   {order}D: measuring {} scaled tensors x 2 gridding schemes ...",
+            metas.len()
+        );
         let mut stat = Vec::new();
         let mut dynt = Vec::new();
         for meta in &metas {
@@ -339,7 +382,11 @@ fn fig11e_comm_time(sample: usize) {
         println!("   {name}: median {:.2}x, max {:.2}x", c.median(), c.max());
     }
     let rows = curve_rows(&curves);
-    let p = write_csv("fig11e_comm_time.csv", "percentile,static_5d,static_6d", &rows);
+    let p = write_csv(
+        "fig11e_comm_time.csv",
+        "percentile,static_5d,static_6d",
+        &rows,
+    );
     println!("-> {}\n", p.display());
 }
 
@@ -389,7 +436,11 @@ fn fig10c_real() {
 fn summary() {
     println!("== Summary: headline statistics (analytic, full benchmark, P={ANALYTIC_RANKS}) ==");
     for order in [5usize, 6] {
-        let suite = if order == 5 { benchmark_5d() } else { benchmark_6d() };
+        let suite = if order == 5 {
+            benchmark_5d()
+        } else {
+            benchmark_6d()
+        };
         let mut best_prior_load = Vec::new();
         let mut opt_load = Vec::new();
         let mut stat_vol = Vec::new();

@@ -251,8 +251,11 @@ fn materialize_scheme(
 ) -> DynGridScheme {
     let mut node_grids: Vec<Grid> = vec![init.clone(); tree.len()];
     let mut regrid = vec![false; tree.len()];
-    let pos: std::collections::HashMap<usize, usize> =
-        internal.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let pos: std::collections::HashMap<usize, usize> = internal
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
     // Assign in topological order so parents resolve first.
     for id in tree.topological_order() {
         if let Some(&i) = pos.get(&id) {
@@ -266,7 +269,12 @@ fn materialize_scheme(
             }
         }
     }
-    DynGridScheme { initial: init.clone(), node_grids, regrid, volume: f64::NAN }
+    DynGridScheme {
+        initial: init.clone(),
+        node_grids,
+        regrid,
+        volume: f64::NAN,
+    }
 }
 
 /// The greedy "always reuse when available" tree of the §3.3 Remarks:
@@ -368,9 +376,9 @@ mod tests {
         let meta = TuckerMeta::new([20, 20, 20], [2, 2, 2]);
         let trees = enumerate_all_trees(&meta);
         assert!(trees.len() > 10);
-        let has_wide = trees.iter().any(|t| {
-            (0..t.len()).any(|id| t.node(id).children.len() >= 3)
-        });
+        let has_wide = trees
+            .iter()
+            .any(|t| (0..t.len()).any(|id| t.node(id).children.len() >= 3));
         assert!(has_wide, "expected at least one non-binary tree");
         for t in &trees {
             assert!(t.validate().is_ok());
@@ -448,7 +456,9 @@ mod tests {
         for t in enumerate_all_trees(&meta).into_iter().take(50) {
             let c = tree_cost(&t, &meta);
             for id in t.internal_nodes() {
-                let NodeLabel::Ttm(n) = t.node(id).label else { unreachable!() };
+                let NodeLabel::Ttm(n) = t.node(id).label else {
+                    unreachable!()
+                };
                 assert!((c.out_card[id] - c.in_card[id] * meta.h(n)).abs() < 1e-6);
                 assert!((c.node_flops[id] - meta.k(n) as f64 * c.in_card[id]).abs() < 1e-6);
             }

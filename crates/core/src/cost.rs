@@ -58,7 +58,12 @@ pub fn tree_cost(tree: &TtmTree, meta: &TuckerMeta) -> TreeCost {
         }
     }
 
-    TreeCost { in_card, out_card, node_flops, total_flops: total }
+    TreeCost {
+        in_card,
+        out_card,
+        node_flops,
+        total_flops: total,
+    }
 }
 
 /// Total FLOPs of a tree (convenience wrapper over [`tree_cost`]).
@@ -83,15 +88,14 @@ mod tests {
         let meta = TuckerMeta::new([10, 20, 30], [2, 4, 3]);
         let tree = chain_tree(&meta, &[0, 1, 2]);
         let t = meta.input_cardinality();
-        let (k, h): (Vec<f64>, Vec<f64>) =
-            (0..3).map(|n| (meta.k(n) as f64, meta.h(n))).unzip();
+        let (k, h): (Vec<f64>, Vec<f64>) = (0..3).map(|n| (meta.k(n) as f64, meta.h(n))).unzip();
         // Chain for leaf 0: modes 1,2 ; leaf 1: modes 0,2 ; leaf 2: modes 0,1.
-        let expect = t
-            * ((k[1] + k[2] * h[1])
-                + (k[0] + k[2] * h[0])
-                + (k[0] + k[1] * h[0]));
+        let expect = t * ((k[1] + k[2] * h[1]) + (k[0] + k[2] * h[0]) + (k[0] + k[1] * h[0]));
         let got = tree_flops(&tree, &meta);
-        assert!((got - expect).abs() < expect * 1e-12, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < expect * 1e-12,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -126,7 +130,10 @@ mod tests {
         let costly_first = chain_tree(&meta, &[1, 2, 0]);
         let c1 = tree_flops(&cheap_first, &meta);
         let c2 = tree_flops(&costly_first, &meta);
-        assert!(c1 < c2, "compressing mode 0 first must be cheaper: {c1} vs {c2}");
+        assert!(
+            c1 < c2,
+            "compressing mode 0 first must be cheaper: {c1} vs {c2}"
+        );
     }
 
     #[test]

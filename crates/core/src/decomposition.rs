@@ -69,7 +69,11 @@ impl TuckerDecomposition {
     /// Compression ratio `|T| / (|G| + Σ |F_n|)` counting factor storage.
     pub fn storage_compression_ratio(&self) -> f64 {
         let meta = self.meta();
-        let factor_elems: f64 = self.factors.iter().map(|f| (f.nrows() * f.ncols()) as f64).sum();
+        let factor_elems: f64 = self
+            .factors
+            .iter()
+            .map(|f| (f.nrows() * f.ncols()) as f64)
+            .sum();
         meta.input_cardinality() / (meta.core_cardinality() + factor_elems)
     }
 }

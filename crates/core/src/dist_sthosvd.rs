@@ -108,17 +108,17 @@ pub fn run_distributed_sthosvd(
         }
 
         let core_norm_sq = cur.global_norm_sq(ctx);
-        stats.error =
-            tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
+        stats.error = tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
         let vol = ctx.volume().since(&vol0);
         stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
         stats.gram_volume = vol.elements(VolumeCategory::Gram);
 
         let dense_core = cur.allgather_global(ctx);
-        let factors: Vec<Matrix> =
-            factors.into_iter().map(|f| f.expect("all modes processed")).collect();
-        let decomp = (ctx.rank() == 0)
-            .then(|| TuckerDecomposition::new(dense_core, factors));
+        let factors: Vec<Matrix> = factors
+            .into_iter()
+            .map(|f| f.expect("all modes processed"))
+            .collect();
+        let decomp = (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors));
         (decomp, stats)
     });
 
@@ -152,7 +152,8 @@ mod tests {
                 .rotate_left(31)
                 .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
         }
-        (0.2 * s).sin() + 0.3 * (0.05 * s * s).cos()
+        (0.2 * s).sin()
+            + 0.3 * (0.05 * s * s).cos()
             + 0.03 * ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
     }
 
@@ -212,7 +213,11 @@ mod tests {
         let (dist, stats) = run_distributed_sthosvd(plume, &meta, &grid, &order);
 
         let seq_err = seq.error(&t);
-        assert!((stats.error - seq_err).abs() < 1e-8, "{} vs {seq_err}", stats.error);
+        assert!(
+            (stats.error - seq_err).abs() < 1e-8,
+            "{} vs {seq_err}",
+            stats.error
+        );
         for (fd, fs) in dist.factors.iter().zip(&seq.factors) {
             assert!(fd.max_abs_diff(fs) < 1e-7);
         }

@@ -80,7 +80,9 @@ pub fn scheme_volume(tree: &TtmTree, meta: &TuckerMeta, scheme: &DynGridScheme) 
     let cost = tree_cost(tree, meta);
     let mut vol = 0.0;
     for id in tree.internal_nodes() {
-        let NodeLabel::Ttm(n) = tree.node(id).label else { unreachable!() };
+        let NodeLabel::Ttm(n) = tree.node(id).label else {
+            unreachable!()
+        };
         let g = &scheme.node_grids[id];
         if scheme.regrid[id] {
             vol += cost.in_card[id];
@@ -128,7 +130,9 @@ pub fn optimal_dynamic_grids(
     let mut order = tree.topological_order();
     order.reverse();
     for &u in &order {
-        let NodeLabel::Ttm(n) = tree.node(u).label else { continue };
+        let NodeLabel::Ttm(n) = tree.node(u).label else {
+            continue;
+        };
         let internal_children: Vec<usize> = tree
             .node(u)
             .children
@@ -225,8 +229,7 @@ pub fn optimal_dynamic_grids(
         volume: best_total,
     };
     debug_assert!(
-        (scheme_volume(tree, meta, &scheme) - scheme.volume).abs()
-            <= scheme.volume.max(1.0) * 1e-9,
+        (scheme_volume(tree, meta, &scheme) - scheme.volume).abs() <= scheme.volume.max(1.0) * 1e-9,
         "extracted scheme volume disagrees with DP value"
     );
     scheme
@@ -256,8 +259,7 @@ mod tests {
             }
             let tree = chain_tree(&meta, &(0..n).collect::<Vec<_>>());
             let stat = optimal_static_grid(&tree, &meta, 16);
-            let dyn_scheme =
-                optimal_dynamic_grids(&tree, &meta, 16, DynGridObjective::Exact);
+            let dyn_scheme = optimal_dynamic_grids(&tree, &meta, 16, DynGridObjective::Exact);
             assert!(
                 dyn_scheme.volume <= stat.volume + 1e-6,
                 "{meta}: dynamic {} > static {}",
@@ -273,8 +275,10 @@ mod tests {
         for _ in 0..25 {
             let n = rng.gen_range(3..=5);
             let ls: Vec<usize> = (0..n).map(|_| [20, 50, 100][rng.gen_range(0..3)]).collect();
-            let ks: Vec<usize> =
-                ls.iter().map(|&l| (l as f64 / [2.0, 5.0][rng.gen_range(0..2)]) as usize).collect();
+            let ks: Vec<usize> = ls
+                .iter()
+                .map(|&l| (l as f64 / [2.0, 5.0][rng.gen_range(0..2)]) as usize)
+                .collect();
             let meta = TuckerMeta::new(ls, ks);
             let tree = balanced_tree(&meta, &(0..n).collect::<Vec<_>>());
             let exact = optimal_dynamic_grids(&tree, &meta, 8, DynGridObjective::Exact);

@@ -14,11 +14,11 @@ use crate::planner::Plan;
 use crate::tree::NodeLabel;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
+use tucker_distsim::comm::thread_cpu_time;
 use tucker_distsim::comm::RunOutput;
 use tucker_distsim::dist_gram::dist_gram;
 use tucker_distsim::dist_ttm::dist_ttm;
 use tucker_distsim::redistribute::redistribute;
-use tucker_distsim::comm::thread_cpu_time;
 use tucker_distsim::{DistTensor, RankCtx, Universe, VolumeCategory, VolumeReport};
 use tucker_linalg::{leading_from_gram, Matrix};
 
@@ -109,12 +109,9 @@ pub fn run_distributed_hooi(
 
     let out: RunOutput<(Vec<ExecutionStats>, Option<TuckerDecomposition>)> =
         Universe::run(nranks, |ctx| {
-            let t = DistTensor::from_global_fn(
-                ctx,
-                meta.input(),
-                &plan.grids.initial,
-                |c| global_fn(c),
-            );
+            let t = DistTensor::from_global_fn(ctx, meta.input(), &plan.grids.initial, |c| {
+                global_fn(c)
+            });
             let input_norm_sq = t.global_norm_sq(ctx);
 
             // Truncated-HOSVD initialization: leading eigenvectors of each
@@ -139,8 +136,8 @@ pub fn run_distributed_hooi(
             // Gather the core on every rank; only rank 0 keeps it.
             let core = final_core.expect("at least one sweep ran");
             let dense_core = core.allgather_global(ctx);
-            let decomp = (ctx.rank() == 0)
-                .then(|| TuckerDecomposition::new(dense_core, factors.clone()));
+            let decomp =
+                (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors.clone()));
             (per_sweep, decomp)
         });
 
@@ -211,7 +208,10 @@ fn hooi_sweep(
                 let timers0 = ctx.timers.clone();
                 let ft = factors[n].transpose();
                 let out = Rc::new(dist_ttm(ctx, &input, n, &ft));
-                let comm = ctx.timers.since(&timers0).time(VolumeCategory::TtmReduceScatter);
+                let comm = ctx
+                    .timers
+                    .since(&timers0)
+                    .time(VolumeCategory::TtmReduceScatter);
                 stats.ttm_comm += comm;
                 stats.ttm_compute += thread_cpu_time().saturating_sub(cpu0);
                 for &c in tree.node(id).children.iter().rev() {
@@ -250,14 +250,16 @@ fn hooi_sweep(
     for &n in &order {
         core = dist_ttm(ctx, &core, n, &new_factors[n].transpose());
     }
-    let comm = ctx.timers.since(&timers0).time(VolumeCategory::TtmReduceScatter);
+    let comm = ctx
+        .timers
+        .since(&timers0)
+        .time(VolumeCategory::TtmReduceScatter);
     stats.ttm_comm += comm;
     stats.ttm_compute += thread_cpu_time().saturating_sub(cpu0);
 
     // Error via the core-norm identity (factors orthonormal).
     let core_norm_sq = core.global_norm_sq(ctx);
-    stats.error =
-        tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
+    stats.error = tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
 
     stats.wall = sweep_start.elapsed();
     let vol = ctx.volume().since(&vol_start);
@@ -271,8 +273,8 @@ fn hooi_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::{GridStrategy, Planner, TreeStrategy};
     use crate::hooi::hooi_invocation;
+    use crate::planner::{GridStrategy, Planner, TreeStrategy};
 
     /// Smooth but non-separable field with a deterministic noise floor, so
     /// errors are far from machine epsilon and Gram eigenvalues are simple.
@@ -304,9 +306,12 @@ mod tests {
         for s in &out.per_sweep {
             assert!(s.error.is_finite() && (0.0..=1.0).contains(&s.error));
         }
-        let (lo, hi) = out.per_sweep.iter().fold((f64::MAX, 0.0f64), |(lo, hi), s| {
-            (lo.min(s.error), hi.max(s.error))
-        });
+        let (lo, hi) = out
+            .per_sweep
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(lo, hi), s| {
+                (lo.min(s.error), hi.max(s.error))
+            });
         assert!(hi - lo < 0.25, "errors drifted wildly: {lo}..{hi}");
         assert!(out.decomposition.factors_orthonormal(1e-8));
     }
@@ -350,7 +355,12 @@ mod tests {
         {
             assert!(fd.max_abs_diff(fs) < 1e-7);
         }
-        assert!(dist.decomposition.core.max_abs_diff(&seq.decomposition.core) < 1e-7);
+        assert!(
+            dist.decomposition
+                .core
+                .max_abs_diff(&seq.decomposition.core)
+                < 1e-7
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub fn hooi_invocation(
     tree: &TtmTree,
 ) -> HooiOutput {
     assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
-    assert_eq!(current.factors.len(), meta.order(), "decomposition order mismatch");
+    assert_eq!(
+        current.factors.len(),
+        meta.order(),
+        "decomposition order mismatch"
+    );
     tree.validate().expect("invalid TTM tree");
 
     let mut timings = HooiTimings::default();
@@ -111,7 +115,11 @@ pub fn hooi_invocation(
 
     let decomposition = TuckerDecomposition::new(core, factors);
     let error = decomposition.error_from_core_norm(fro_norm_sq(t));
-    HooiOutput { decomposition, error, timings }
+    HooiOutput {
+        decomposition,
+        error,
+        timings,
+    }
 }
 
 /// Textbook Gauss–Seidel HOOI invocation (De Lathauwer et al.): modes are
@@ -159,7 +167,11 @@ pub fn hooi_invocation_gauss_seidel(
 
     let decomposition = TuckerDecomposition::new(core, factors);
     let error = decomposition.error_from_core_norm(fro_norm_sq(t));
-    HooiOutput { decomposition, error, timings }
+    HooiOutput {
+        decomposition,
+        error,
+        timings,
+    }
 }
 
 /// Iterate HOOI until the error improvement drops below `tol` or
@@ -196,9 +208,9 @@ pub fn hooi_iterate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::opt_tree::optimal_tree;
     use crate::sthosvd::{random_init, sthosvd};
     use crate::tree::{balanced_tree, chain_tree};
-    use crate::opt_tree::optimal_tree;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tucker_tensor::Shape;
@@ -237,7 +249,11 @@ mod tests {
         let e0 = init.error_from_core_norm(fro_norm_sq(&t));
         let tree = chain_tree(&meta, &[0, 1, 2]);
         let out = hooi_invocation(&t, &meta, &init, &tree);
-        assert!(out.error < e0, "HOOI must improve a random init: {e0} -> {}", out.error);
+        assert!(
+            out.error < e0,
+            "HOOI must improve a random init: {e0} -> {}",
+            out.error
+        );
         assert!(out.decomposition.factors_orthonormal(1e-9));
     }
 
@@ -256,11 +272,18 @@ mod tests {
             balanced_tree(&meta, &perm),
             optimal_tree(&meta).tree,
         ];
-        let outs: Vec<HooiOutput> =
-            trees.iter().map(|tr| hooi_invocation(&t, &meta, &init, tr)).collect();
+        let outs: Vec<HooiOutput> = trees
+            .iter()
+            .map(|tr| hooi_invocation(&t, &meta, &init, tr))
+            .collect();
         for o in &outs[1..] {
             assert!((o.error - outs[0].error).abs() < 1e-10);
-            for (f1, f2) in o.decomposition.factors.iter().zip(&outs[0].decomposition.factors) {
+            for (f1, f2) in o
+                .decomposition
+                .factors
+                .iter()
+                .zip(&outs[0].decomposition.factors)
+            {
                 assert!(f1.max_abs_diff(f2) < 1e-7, "factor mismatch between trees");
             }
         }
@@ -299,7 +322,11 @@ mod tests {
         let e0 = init.error_from_core_norm(fro_norm_sq(&t));
         let tree = chain_tree(&meta, &[0, 1, 2]);
         let out = hooi_invocation(&t, &meta, &init, &tree);
-        assert!(out.error < e0 * 0.95, "one sweep must improve: {e0} -> {}", out.error);
+        assert!(
+            out.error < e0 * 0.95,
+            "one sweep must improve: {e0} -> {}",
+            out.error
+        );
         // And a Gauss–Seidel sweep from the same init does at least as well
         // as its own theory requires (error <= init error).
         let gs = hooi_invocation_gauss_seidel(&t, &meta, &init);
@@ -368,7 +395,10 @@ mod tests {
         let init = sthosvd(&t, &meta);
         let tree = chain_tree(&meta, &[0, 1, 2]);
         let (_, trace) = hooi_iterate(&t, &meta, init, &tree, 50, 1e-12);
-        assert!(trace.len() <= 3, "exact tensor should converge instantly: {trace:?}");
+        assert!(
+            trace.len() <= 3,
+            "exact tensor should converge instantly: {trace:?}"
+        );
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl TuckerMeta {
     /// while keeping the mode proportions that drive planning decisions.
     pub fn scaled_down(&self, factor: usize) -> TuckerMeta {
         assert!(factor >= 1);
-        let l: Vec<usize> = self.input.dims().iter().map(|&d| (d / factor).max(1)).collect();
+        let l: Vec<usize> = self
+            .input
+            .dims()
+            .iter()
+            .map(|&d| (d / factor).max(1))
+            .collect();
         let k: Vec<usize> = self
             .core
             .dims()

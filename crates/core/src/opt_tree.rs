@@ -142,7 +142,10 @@ impl<'a> Dp<'a> {
             }
         }
 
-        assert!(best.is_finite(), "state (P={p:b}, Q={q:b}) has no feasible move");
+        assert!(
+            best.is_finite(),
+            "state (P={p:b}, Q={q:b}) has no feasible move"
+        );
         self.cost[idx] = best;
         self.choice[idx] = best_choice;
         best
@@ -219,7 +222,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..60 {
             let n = rng.gen_range(2..=6);
-            let ls: Vec<usize> = (0..n).map(|_| [20, 50, 100, 400][rng.gen_range(0..4)]).collect();
+            let ls: Vec<usize> = (0..n)
+                .map(|_| [20, 50, 100, 400][rng.gen_range(0..4)])
+                .collect();
             let ks: Vec<usize> = ls
                 .iter()
                 .map(|&l| {
@@ -237,8 +242,14 @@ mod tests {
                 let perm = ordering.permutation(&meta);
                 let chain = tree_flops(&chain_tree(&meta, &perm), &meta);
                 let bal = tree_flops(&balanced_tree(&meta, &perm), &meta);
-                assert!(opt <= chain * (1.0 + 1e-12), "{meta}: opt {opt} > chain {chain}");
-                assert!(opt <= bal * (1.0 + 1e-12), "{meta}: opt {opt} > balanced {bal}");
+                assert!(
+                    opt <= chain * (1.0 + 1e-12),
+                    "{meta}: opt {opt} > chain {chain}"
+                );
+                assert!(
+                    opt <= bal * (1.0 + 1e-12),
+                    "{meta}: opt {opt} > balanced {bal}"
+                );
             }
         }
     }
@@ -328,7 +339,10 @@ mod tests {
         let meta = TuckerMeta::new([50, 100, 20, 400, 50, 20], [10, 20, 4, 40, 25, 2]);
         let opt = optimal_tree(&meta);
         for id in 0..opt.tree.len() {
-            assert!(opt.tree.node(id).children.len() <= 2, "node {id} has >2 children");
+            assert!(
+                opt.tree.node(id).children.len() <= 2,
+                "node {id} has >2 children"
+            );
         }
     }
 }

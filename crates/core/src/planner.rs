@@ -250,7 +250,10 @@ mod tests {
     fn fixed_grid_respected() {
         let p = planner();
         let g = Grid::new([2, 4, 2, 1]);
-        let plan = p.plan(TreeStrategy::chain_k(), GridStrategy::StaticFixed(g.clone()));
+        let plan = p.plan(
+            TreeStrategy::chain_k(),
+            GridStrategy::StaticFixed(g.clone()),
+        );
         assert_eq!(plan.grids.initial, g);
     }
 

@@ -19,7 +19,11 @@ use tucker_tensor::{ttm, unfold, DenseTensor};
 /// # Panics
 /// Panics if `order` is not a permutation of the modes or `meta` disagrees
 /// with the tensor shape.
-pub fn sthosvd_with_order(t: &DenseTensor, meta: &TuckerMeta, order: &[usize]) -> TuckerDecomposition {
+pub fn sthosvd_with_order(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    order: &[usize],
+) -> TuckerDecomposition {
     assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
     let n = meta.order();
     assert_eq!(order.len(), n, "order arity mismatch");
@@ -39,7 +43,10 @@ pub fn sthosvd_with_order(t: &DenseTensor, meta: &TuckerMeta, order: &[usize]) -
         cur = ttm(&cur, mode, &f.transpose());
         factors[mode] = Some(f);
     }
-    let factors: Vec<Matrix> = factors.into_iter().map(|f| f.expect("all modes processed")).collect();
+    let factors: Vec<Matrix> = factors
+        .into_iter()
+        .map(|f| f.expect("all modes processed"))
+        .collect();
     TuckerDecomposition::new(cur, factors)
 }
 
@@ -52,7 +59,11 @@ pub fn sthosvd(t: &DenseTensor, meta: &TuckerMeta) -> TuckerDecomposition {
 /// Random orthonormal initialization: factors are Q-factors of Gaussian
 /// matrices, core is the corresponding projection of `t`. A deliberately
 /// weak starting point for studying HOOI's error reduction.
-pub fn random_init<R: rand::Rng>(t: &DenseTensor, meta: &TuckerMeta, rng: &mut R) -> TuckerDecomposition {
+pub fn random_init<R: rand::Rng>(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    rng: &mut R,
+) -> TuckerDecomposition {
     assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
     let dist = rand::distributions::Uniform::new(-1.0, 1.0);
     let factors: Vec<Matrix> = (0..meta.order())

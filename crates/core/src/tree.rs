@@ -49,7 +49,11 @@ impl TtmTree {
     pub fn new(order: usize) -> Self {
         assert!(order >= 1);
         TtmTree {
-            nodes: vec![Node { label: NodeLabel::Root, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                label: NodeLabel::Root,
+                parent: None,
+                children: Vec::new(),
+            }],
             order,
         }
     }
@@ -95,9 +99,16 @@ impl TtmTree {
     /// Append a child with the given label under `parent`, returning its id.
     pub fn add_child(&mut self, parent: usize, label: NodeLabel) -> usize {
         assert!(parent < self.nodes.len(), "bad parent id");
-        assert!(!matches!(label, NodeLabel::Root), "only node 0 may be the root");
+        assert!(
+            !matches!(label, NodeLabel::Root),
+            "only node 0 may be the root"
+        );
         let id = self.nodes.len();
-        self.nodes.push(Node { label, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent].children.push(id);
         id
     }
@@ -178,11 +189,17 @@ impl TtmTree {
     pub fn validate(&self) -> Result<(), String> {
         let leaves = self.leaves();
         if leaves.len() != self.order {
-            return Err(format!("expected {} leaves, found {}", self.order, leaves.len()));
+            return Err(format!(
+                "expected {} leaves, found {}",
+                self.order,
+                leaves.len()
+            ));
         }
         let mut seen = vec![false; self.order];
         for l in leaves {
-            let NodeLabel::Leaf(n) = self.nodes[l].label else { unreachable!() };
+            let NodeLabel::Leaf(n) = self.nodes[l].label else {
+                unreachable!()
+            };
             if seen[n] {
                 return Err(format!("duplicate leaf for mode {n}"));
             }
@@ -223,7 +240,8 @@ impl TtmTree {
     /// node with the grid a [`crate::dyn_grid::DynGridScheme`]-like
     /// assignment gives it (`grids[id]`, any `Display`able).
     pub fn to_dot<G: std::fmt::Display>(&self, grids: Option<&[G]>) -> String {
-        let mut out = String::from("digraph ttm_tree {\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out =
+            String::from("digraph ttm_tree {\n  node [shape=box, fontname=\"monospace\"];\n");
         for id in 0..self.len() {
             let base = match self.nodes[id].label {
                 NodeLabel::Root => "T".to_string(),
@@ -276,9 +294,7 @@ impl ModeOrdering {
                 perm.sort_by(|&a, &b| meta.k(a).cmp(&meta.k(b)).then(a.cmp(&b)));
             }
             ModeOrdering::ByCompression => {
-                perm.sort_by(|&a, &b| {
-                    meta.h(a).partial_cmp(&meta.h(b)).unwrap().then(a.cmp(&b))
-                });
+                perm.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap().then(a.cmp(&b)));
             }
         }
         perm
@@ -423,9 +439,15 @@ mod tests {
         // K = [4,3,2,5], h = [0.1, 0.1, 0.1, 0.5]
         let meta = meta4();
         assert_eq!(ModeOrdering::Natural.permutation(&meta), vec![0, 1, 2, 3]);
-        assert_eq!(ModeOrdering::ByCostFactor.permutation(&meta), vec![2, 1, 0, 3]);
+        assert_eq!(
+            ModeOrdering::ByCostFactor.permutation(&meta),
+            vec![2, 1, 0, 3]
+        );
         // h: 4/40=0.1, 3/30=0.1, 2/20=0.1, 5/10=0.5 -> ties by index.
-        assert_eq!(ModeOrdering::ByCompression.permutation(&meta), vec![0, 1, 2, 3]);
+        assert_eq!(
+            ModeOrdering::ByCompression.permutation(&meta),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]

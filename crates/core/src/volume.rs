@@ -22,7 +22,9 @@ pub fn static_volume(tree: &TtmTree, meta: &TuckerMeta, g: &Grid) -> f64 {
 pub fn static_volume_with_cost(tree: &TtmTree, cost: &TreeCost, g: &Grid) -> f64 {
     let mut vol = 0.0;
     for id in tree.internal_nodes() {
-        let NodeLabel::Ttm(n) = tree.node(id).label else { unreachable!() };
+        let NodeLabel::Ttm(n) = tree.node(id).label else {
+            unreachable!()
+        };
         vol += (g.dim(n) as f64 - 1.0) * cost.out_card[id];
     }
     vol
@@ -61,7 +63,11 @@ pub fn optimal_static_grid(tree: &TtmTree, meta: &TuckerMeta, nranks: usize) -> 
         }
     }
     let (volume, grid) = best.expect("nonempty candidate set");
-    StaticGridChoice { grid: grid.clone(), volume, candidates: grids.len() }
+    StaticGridChoice {
+        grid: grid.clone(),
+        volume,
+        candidates: grids.len(),
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,8 @@
 //! Property-based tests for the planner algorithms (core crate).
+//!
+//! Cases are generated deterministically from a fixed per-test seed (see
+//! `vendor/proptest`): CI runs are reproducible, and `PROPTEST_SEED` /
+//! `PROPTEST_CASES` explore other streams or bound the case count.
 
 use proptest::prelude::*;
 use tucker_core::brute_force::{exhaustive_optimal_flops, greedy_reuse_tree};
@@ -15,7 +19,11 @@ fn meta_strategy(order: usize) -> impl Strategy<Value = TuckerMeta> {
     let lengths = prop::collection::vec(prop::sample::select(vec![20usize, 50, 100, 400]), order);
     let ratios = prop::collection::vec(prop::sample::select(vec![1.25f64, 2.0, 5.0, 10.0]), order);
     (lengths, ratios).prop_map(|(ls, rs)| {
-        let ks: Vec<usize> = ls.iter().zip(&rs).map(|(&l, &r)| (l as f64 / r) as usize).collect();
+        let ks: Vec<usize> = ls
+            .iter()
+            .zip(&rs)
+            .map(|(&l, &r)| (l as f64 / r) as usize)
+            .collect();
         TuckerMeta::new(ls, ks)
     })
 }

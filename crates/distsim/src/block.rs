@@ -17,7 +17,10 @@ use tucker_tensor::Shape;
 /// the situation the paper's *valid grid* constraint forbids).
 pub fn split_extents(l: usize, q: usize) -> Vec<(usize, usize)> {
     assert!(q > 0, "cannot split among zero processors");
-    assert!(q <= l, "invalid split: {q} processors for length {l} (empty blocks)");
+    assert!(
+        q <= l,
+        "invalid split: {q} processors for length {l} (empty blocks)"
+    );
     let base = l / q;
     let rem = l % q;
     let mut out = Vec::with_capacity(q);
@@ -52,7 +55,10 @@ pub fn block_region(shape: &Shape, grid: &Grid, coord: &[usize]) -> Region {
     let mut len = Vec::with_capacity(shape.order());
     for (n, &c) in coord.iter().enumerate().take(shape.order()) {
         let (s, l) = chunk(shape.dim(n), grid.dim(n), c);
-        assert!(l > 0, "empty block in mode {n}: grid {grid} invalid for {shape}");
+        assert!(
+            l > 0,
+            "empty block in mode {n}: grid {grid} invalid for {shape}"
+        );
         start.push(s);
         len.push(l);
     }
@@ -124,7 +130,10 @@ mod tests {
                 owned[shape.offset(&g)] += 1;
             }
         }
-        assert!(owned.iter().all(|&x| x == 1), "every element owned exactly once");
+        assert!(
+            owned.iter().all(|&x| x == 1),
+            "every element owned exactly once"
+        );
     }
 
     #[test]

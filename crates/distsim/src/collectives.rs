@@ -48,7 +48,10 @@ impl Group {
 
     /// The whole-universe group.
     pub fn world(ctx: &RankCtx) -> Self {
-        Group { members: (0..ctx.nranks()).collect(), my_index: ctx.rank() }
+        Group {
+            members: (0..ctx.nranks()).collect(),
+            my_index: ctx.rank(),
+        }
     }
 
     /// Group size.
@@ -270,7 +273,9 @@ pub fn alltoallv(
             ctx.send(g.member(i), tag, buf, cat);
         }
     }
-    (0..g.len()).map(|i| ctx.recv(g.member(i), tag, cat)).collect()
+    (0..g.len())
+        .map(|i| ctx.recv(g.member(i), tag, cat))
+        .collect()
 }
 
 #[cfg(test)]
@@ -308,7 +313,11 @@ mod tests {
     fn bcast_distributes_root_value() {
         let out = Universe::run(5, |ctx| {
             let g = Group::world(ctx);
-            let mut buf = if ctx.rank() == 0 { vec![3.0, 4.0] } else { vec![] };
+            let mut buf = if ctx.rank() == 0 {
+                vec![3.0, 4.0]
+            } else {
+                vec![]
+            };
             bcast(ctx, &g, &mut buf, 20, VolumeCategory::Other);
             buf
         });
@@ -335,7 +344,13 @@ mod tests {
     fn allgather_everyone_gets_everything() {
         let out = Universe::run(3, |ctx| {
             let g = Group::world(ctx);
-            allgather(ctx, &g, vec![ctx.rank() as f64; 2], 40, VolumeCategory::Other)
+            allgather(
+                ctx,
+                &g,
+                vec![ctx.rank() as f64; 2],
+                40,
+                VolumeCategory::Other,
+            )
         });
         for r in out.results {
             assert_eq!(r.len(), 3);
@@ -351,8 +366,7 @@ mod tests {
         let out = Universe::run(p, |ctx| {
             let g = Group::world(ctx);
             // Rank r sends [r*10 + i] to member i.
-            let send: Vec<Vec<f64>> =
-                (0..p).map(|i| vec![(ctx.rank() * 10 + i) as f64]).collect();
+            let send: Vec<Vec<f64>> = (0..p).map(|i| vec![(ctx.rank() * 10 + i) as f64]).collect();
             alltoallv(ctx, &g, send, 50, VolumeCategory::Regrid)
         });
         for (r, recvd) in out.results.iter().enumerate() {

@@ -27,7 +27,10 @@ use std::time::{Duration, Instant};
 /// receives park the thread and accrue nothing, so a delta across a compute
 /// phase measures exactly the work this rank performed.
 pub fn thread_cpu_time() -> Duration {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid out-pointer; the clock id is a constant.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
@@ -170,6 +173,7 @@ impl CommTimers {
 }
 
 /// A message: an operation tag for sanity checking plus the payload.
+#[derive(Debug)]
 struct Msg {
     tag: u32,
     payload: Vec<f64>,
@@ -320,7 +324,6 @@ impl Universe {
                 .collect();
             handles
                 .into_iter()
-                
                 .map(|h| match h.join() {
                     Ok(v) => v,
                     // Re-raise with the original payload so `should_panic`
@@ -330,7 +333,10 @@ impl Universe {
                 .collect()
         });
 
-        RunOutput { results, volume: ledger.report() }
+        RunOutput {
+            results,
+            volume: ledger.report(),
+        }
     }
 }
 
@@ -421,13 +427,20 @@ mod tests {
                     .collect::<Vec<f64>>()
             }
         });
-        assert_eq!(out.results[1], (0..10).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            out.results[1],
+            (0..10).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn report_since_subtracts() {
-        let a = VolumeReport { bytes: [10, 20, 30, 40] };
-        let b = VolumeReport { bytes: [15, 20, 31, 40] };
+        let a = VolumeReport {
+            bytes: [10, 20, 30, 40],
+        };
+        let b = VolumeReport {
+            bytes: [15, 20, 31, 40],
+        };
         let d = b.since(&a);
         assert_eq!(d.bytes(VolumeCategory::TtmReduceScatter), 5);
         assert_eq!(d.bytes(VolumeCategory::Gram), 1);

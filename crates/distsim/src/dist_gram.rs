@@ -53,7 +53,13 @@ pub fn dist_gram(ctx: &mut RankCtx, t: &DistTensor, n: usize) -> Matrix {
 
     // Sum contributions over the whole universe.
     let world = Group::world(ctx);
-    allreduce_sum(ctx, &world, gram.as_mut_slice(), GRAM_REDUCE_TAG, VolumeCategory::Gram);
+    allreduce_sum(
+        ctx,
+        &world,
+        gram.as_mut_slice(),
+        GRAM_REDUCE_TAG,
+        VolumeCategory::Gram,
+    );
     gram
 }
 
@@ -105,7 +111,11 @@ pub fn gather_mode_fibers(ctx: &mut RankCtx, t: &DistTensor, n: usize) -> DenseT
         let mut region = Region::full(&slab_shape);
         region.start[n] = start;
         region.len[n] = len;
-        assert_eq!(data.len(), region.cardinality(), "gram gather payload mismatch");
+        assert_eq!(
+            data.len(),
+            region.cardinality(),
+            "gram gather payload mismatch"
+        );
         insert(&mut slab, &region, &data);
     }
     slab

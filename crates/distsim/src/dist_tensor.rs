@@ -32,7 +32,12 @@ impl DistTensor {
             region.len.as_slice(),
             "local block shape mismatch for rank {rank} under {grid}"
         );
-        DistTensor { global_shape, grid, rank, local }
+        DistTensor {
+            global_shape,
+            grid,
+            rank,
+            local,
+        }
     }
 
     /// Build this rank's block by extracting its region from a replicated
@@ -70,7 +75,12 @@ impl DistTensor {
             let g: Vec<usize> = c.iter().zip(&region.start).map(|(a, b)| a + b).collect();
             f(&g)
         });
-        DistTensor { global_shape: shape.clone(), grid: grid.clone(), rank: ctx.rank(), local }
+        DistTensor {
+            global_shape: shape.clone(),
+            grid: grid.clone(),
+            rank: ctx.rank(),
+            local,
+        }
     }
 
     /// Global tensor shape.
@@ -110,8 +120,14 @@ impl DistTensor {
 
     /// Sum of squared elements of the **global** tensor (all-reduced, so
     /// every rank returns the same value).
+    ///
+    /// The local partial uses the same compensated summation as the
+    /// sequential `fro_norm_sq`: the result feeds the cancellation-prone
+    /// `‖T‖² − ‖G‖²` error formula, whose noise-floor flush assumes
+    /// correctly-rounded operands on both the sequential and distributed
+    /// paths.
     pub fn global_norm_sq(&self, ctx: &mut RankCtx) -> f64 {
-        let local: f64 = self.local.as_slice().iter().map(|x| x * x).sum();
+        let local = tucker_tensor::norm::fro_norm_sq(&self.local);
         let mut buf = [local];
         let g = crate::collectives::Group::world(ctx);
         crate::collectives::allreduce_sum(ctx, &g, &mut buf, 9001, VolumeCategory::Other);

@@ -85,7 +85,11 @@ pub fn dist_ttm(ctx: &mut RankCtx, t: &DistTensor, n: usize, factor_t: &Matrix) 
             continue;
         }
         let data = ctx.recv(peer, TTM_TAG, VolumeCategory::TtmReduceScatter);
-        assert_eq!(data.len(), out_data.len(), "reduce-scatter payload mismatch");
+        assert_eq!(
+            data.len(),
+            out_data.len(),
+            "reduce-scatter payload mismatch"
+        );
         for (o, v) in out_data.iter_mut().zip(&data) {
             *o += v;
         }

@@ -133,9 +133,9 @@ pub fn factorize(mut p: u64) -> Vec<(u64, u32)> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while d * d <= p {
-        if p % d == 0 {
+        if p.is_multiple_of(d) {
             let mut e = 0;
-            while p % d == 0 {
+            while p.is_multiple_of(d) {
                 p /= d;
                 e += 1;
             }
@@ -201,7 +201,7 @@ pub fn divisors(p: usize) -> Vec<usize> {
     let mut large = Vec::new();
     let mut d = 1;
     while d * d <= p {
-        if p % d == 0 {
+        if p.is_multiple_of(d) {
             small.push(d);
             if d != p / d {
                 large.push(p / d);
@@ -277,7 +277,11 @@ mod tests {
     fn enumeration_count_matches_psi() {
         for (p, n) in [(12usize, 3usize), (32, 5), (64, 4), (60, 3), (1, 4)] {
             let grids = enumerate_grids(p, n);
-            assert_eq!(grids.len() as u64, count_grids(p as u64, n as u32), "p={p} n={n}");
+            assert_eq!(
+                grids.len() as u64,
+                count_grids(p as u64, n as u32),
+                "p={p} n={n}"
+            );
             for g in &grids {
                 assert_eq!(g.nranks(), p);
             }

@@ -55,7 +55,11 @@ pub fn redistribute(ctx: &mut RankCtx, t: &DistTensor, new_grid: &Grid) -> DistT
         if let Some(overlap) = src_old.intersect(&my_new) {
             let data = ctx.recv(src, REGRID_TAG, VolumeCategory::Regrid);
             let local_region = overlap.relative_to(&my_new.start);
-            assert_eq!(data.len(), local_region.cardinality(), "regrid payload mismatch");
+            assert_eq!(
+                data.len(),
+                local_region.cardinality(),
+                "regrid payload mismatch"
+            );
             insert(&mut local, &local_region, &data);
         }
     }

@@ -3,7 +3,9 @@
 //! corruption or deadlock would invalidate every experiment built on it.
 
 use tucker_distsim::collectives::{allreduce_sum_flat, Group};
+use tucker_distsim::dist_ttm::dist_ttm;
 use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
+use tucker_linalg::Matrix;
 use tucker_tensor::{DenseTensor, Shape};
 
 #[test]
@@ -37,7 +39,11 @@ fn mismatched_tags_are_detected() {
 fn allreduce_length_mismatch_detected() {
     Universe::run(2, |ctx| {
         let g = Group::world(ctx);
-        let mut buf = if ctx.rank() == 0 { vec![0.0; 3] } else { vec![0.0; 5] };
+        let mut buf = if ctx.rank() == 0 {
+            vec![0.0; 3]
+        } else {
+            vec![0.0; 5]
+        };
         allreduce_sum_flat(ctx, &g, &mut buf, 1, VolumeCategory::Other);
     });
 }
@@ -79,7 +85,11 @@ fn disjoint_subgroups_do_not_interfere() {
     // Two halves run independent collectives concurrently; traffic and
     // results must not leak across groups.
     let out = Universe::run(6, |ctx| {
-        let members: Vec<usize> = if ctx.rank() < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+        let members: Vec<usize> = if ctx.rank() < 3 {
+            vec![0, 1, 2]
+        } else {
+            vec![3, 4, 5]
+        };
         let g = Group::new(ctx, members);
         let mut buf = vec![ctx.rank() as f64];
         allreduce_sum_flat(ctx, &g, &mut buf, 11, VolumeCategory::Other);
@@ -108,6 +118,32 @@ fn interleaved_p2p_and_collectives_stay_ordered() {
         assert_eq!(sum, 3.0);
         assert_eq!(prev, ((r + 2) % 3) as f64);
     }
+}
+
+#[test]
+#[should_panic(expected = "deliberate rank drop during TTM")]
+fn rank_drop_during_ttm_phase_propagates() {
+    // One rank dies after the local partial product but before feeding the
+    // reduce-scatter. Its mode-group peers are blocked in `recv` on its
+    // partial; they must fail fast on the closed channel instead of hanging,
+    // and the dropped rank's original diagnostic must win (rank 0 is joined
+    // first, so its payload is the one re-raised).
+    Universe::run(4, |ctx| {
+        let grid = Grid::new([2, 2]);
+        let global = DenseTensor::from_fn(Shape::from([8, 8]), |c| (c[0] * 8 + c[1]) as f64);
+        let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+        // K x L_n = 4 x 8 selection matrix: a valid mode-0 TTM factor.
+        let factor_t = Matrix::from_fn(4, 8, |k, l| if l % 4 == k { 1.0 } else { 0.0 });
+        if ctx.rank() == 0 {
+            // Do the TTM compute step this rank would have done, then die in
+            // the window between compute and communication.
+            let f_slice = Matrix::from_fn(4, 4, |k, l| factor_t[(k, l)]);
+            let _partial = tucker_tensor::ttm(dt.local(), 0, &f_slice);
+            panic!("deliberate rank drop during TTM");
+        }
+        let z = dist_ttm(ctx, &dt, 0, &factor_t);
+        z.local().cardinality()
+    });
 }
 
 #[test]

@@ -1,6 +1,10 @@
 //! Property tests for the distributed substrate: random shapes, grids and
 //! regrid sequences must preserve the global tensor exactly, and collective
 //! results must be rank-invariant.
+//!
+//! Cases are generated deterministically from a fixed per-test seed (see
+//! `vendor/proptest`): CI runs are reproducible, and `PROPTEST_SEED` /
+//! `PROPTEST_CASES` explore other streams or bound the case count.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -48,7 +48,10 @@ pub fn sym_evd(a: &Matrix) -> SymEvd {
     let (n, m) = a.shape();
     assert_eq!(n, m, "sym_evd needs a square matrix");
     if n == 0 {
-        return SymEvd { eigenvalues: vec![], eigenvectors: Matrix::zeros(0, 0) };
+        return SymEvd {
+            eigenvalues: vec![],
+            eigenvectors: Matrix::zeros(0, 0),
+        };
     }
 
     // Work on a copy; `z` will accumulate the orthogonal transform and end as
@@ -170,7 +173,10 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
                 break;
             }
             iter += 1;
-            assert!(iter <= MAX_QL_ITERS, "tql2 failed to converge at eigenvalue {l}");
+            assert!(
+                iter <= MAX_QL_ITERS,
+                "tql2 failed to converge at eigenvalue {l}"
+            );
 
             // Form implicit shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -224,7 +230,10 @@ pub fn jacobi_evd(a: &Matrix) -> SymEvd {
     let mut a = a.clone();
     let mut v = Matrix::identity(n);
     if n == 0 {
-        return SymEvd { eigenvalues: vec![], eigenvectors: v };
+        return SymEvd {
+            eigenvalues: vec![],
+            eigenvectors: v,
+        };
     }
 
     let mut off = off_diag_norm(&a);
@@ -312,7 +321,10 @@ fn sort_descending_and_fix_signs(d: Vec<f64>, z: Matrix) -> SymEvd {
             *o = sign * v;
         }
     }
-    SymEvd { eigenvalues, eigenvectors }
+    SymEvd {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 #[cfg(test)]
@@ -332,7 +344,10 @@ mod tests {
 
     fn check_reconstruction(a: &Matrix, evd: &SymEvd, tol: f64) {
         let n = a.nrows();
-        assert!(evd.eigenvectors.has_orthonormal_columns(tol), "V not orthonormal");
+        assert!(
+            evd.eigenvectors.has_orthonormal_columns(tol),
+            "V not orthonormal"
+        );
         // A V = V diag(λ)
         let av = gemm(a, Transpose::No, &evd.eigenvectors, Transpose::No, 1.0);
         for j in 0..n {
@@ -446,7 +461,10 @@ mod tests {
         // Pivot component positive in each column.
         for j in 0..12 {
             let col = e1.eigenvectors.col(j);
-            let piv = col.iter().cloned().fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m });
+            let piv = col
+                .iter()
+                .cloned()
+                .fold(0.0f64, |m, v| if v.abs() > m.abs() { v } else { m });
             assert!(piv >= 0.0);
         }
     }

@@ -22,7 +22,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a zero-filled matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Create an identity matrix of order `n`.
@@ -144,7 +148,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `k > ncols`.
     pub fn truncate_cols(mut self, k: usize) -> Matrix {
-        assert!(k <= self.ncols, "cannot truncate {} cols to {k}", self.ncols);
+        assert!(
+            k <= self.ncols,
+            "cannot truncate {} cols to {k}",
+            self.ncols
+        );
         self.data.truncate(self.nrows * k);
         self.ncols = k;
         self
@@ -173,8 +181,12 @@ impl Matrix {
     pub fn has_orthonormal_columns(&self, tol: f64) -> bool {
         for j in 0..self.ncols {
             for k in j..self.ncols {
-                let dot: f64 =
-                    self.col(j).iter().zip(self.col(k)).map(|(a, b)| a * b).sum();
+                let dot: f64 = self
+                    .col(j)
+                    .iter()
+                    .zip(self.col(k))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expected = if j == k { 1.0 } else { 0.0 };
                 if (dot - expected).abs() > tol {
                     return false;
@@ -196,7 +208,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i + j * self.nrows]
     }
 }
@@ -204,7 +219,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i + j * self.nrows]
     }
 }

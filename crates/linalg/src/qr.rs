@@ -104,7 +104,10 @@ mod tests {
         for (m, n, seed) in [(6usize, 4usize, 1u64), (4, 4, 2), (10, 7, 3), (30, 5, 4)] {
             let a = rand_mat(m, n, seed);
             let Qr { q, r } = householder_qr(&a);
-            assert!(q.has_orthonormal_columns(1e-10), "Q not orthonormal ({m}x{n})");
+            assert!(
+                q.has_orthonormal_columns(1e-10),
+                "Q not orthonormal ({m}x{n})"
+            );
             let qr = gemm(&q, Transpose::No, &r, Transpose::No, 1.0);
             assert!(qr.max_abs_diff(&a) < 1e-10, "QR != A ({m}x{n})");
         }

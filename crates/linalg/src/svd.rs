@@ -43,12 +43,21 @@ pub fn leading_left_singular_vectors(a: &Matrix, k: usize) -> GramSvd {
 pub fn leading_from_gram(gram: &Matrix, k: usize) -> GramSvd {
     let (m, n) = gram.shape();
     assert_eq!(m, n, "gram matrix must be square");
-    assert!(k <= m, "cannot take {k} singular vectors from order-{m} gram");
+    assert!(
+        k <= m,
+        "cannot take {k} singular vectors from order-{m} gram"
+    );
     let mut g = gram.clone();
     symmetrize(&mut g);
-    let SymEvd { eigenvalues, eigenvectors } = sym_evd(&g);
+    let SymEvd {
+        eigenvalues,
+        eigenvectors,
+    } = sym_evd(&g);
     let u = eigenvectors.truncate_cols(k);
-    let singular_values = eigenvalues[..k].iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let singular_values = eigenvalues[..k]
+        .iter()
+        .map(|&l| l.max(0.0).sqrt())
+        .collect();
     GramSvd { u, singular_values }
 }
 
@@ -130,7 +139,11 @@ mod tests {
         let ugu = gemm(&ug, Transpose::No, &svd.u, Transpose::No, 1.0);
         for i in 0..9 {
             for j in 0..9 {
-                let expect = if i == j { svd.singular_values[i].powi(2) } else { 0.0 };
+                let expect = if i == j {
+                    svd.singular_values[i].powi(2)
+                } else {
+                    0.0
+                };
                 assert!((ugu[(i, j)] - expect).abs() < 1e-7, "at ({i},{j})");
             }
         }
@@ -142,6 +155,9 @@ mod tests {
         let x = [1.0, 1e-9, -1e-9];
         let g = Matrix::from_fn(3, 3, |i, j| x[i] * x[j]);
         let svd = leading_from_gram(&g, 3);
-        assert!(svd.singular_values.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(svd
+            .singular_values
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0));
     }
 }

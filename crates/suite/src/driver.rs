@@ -29,7 +29,11 @@ pub fn analytic_lineup(meta: &TuckerMeta, nranks: usize) -> Vec<AnalyticRow> {
     planner
         .paper_lineup()
         .into_iter()
-        .map(|plan| AnalyticRow { strategy: plan.name(), flops: plan.flops, volume: plan.volume })
+        .map(|plan| AnalyticRow {
+            strategy: plan.name(),
+            flops: plan.flops,
+            volume: plan.volume,
+        })
         .collect()
 }
 

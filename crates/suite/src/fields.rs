@@ -51,7 +51,11 @@ pub fn combustion_field(coord: &[usize], dims: &[usize]) -> f64 {
 pub fn video_field(coord: &[usize], dims: &[usize]) -> f64 {
     debug_assert!(coord.len() >= 2);
     let nd = dims.len();
-    let t = if nd >= 3 { coord[nd - 1] as f64 / dims[nd - 1].max(1) as f64 } else { 0.0 };
+    let t = if nd >= 3 {
+        coord[nd - 1] as f64 / dims[nd - 1].max(1) as f64
+    } else {
+        0.0
+    };
     let y = coord[0] as f64 / dims[0].max(1) as f64;
     let x = coord[1] as f64 / dims[1].max(1) as f64;
     let cy = 0.2 + 0.6 * t;

@@ -31,7 +31,10 @@ fn pair_choices() -> Vec<(usize, usize)> {
     for &l in &LENGTHS {
         for &r in &RATIOS {
             let k = (l as f64 / r).round() as usize;
-            debug_assert!((l as f64 / r).fract() == 0.0, "non-integral K for L={l}, r={r}");
+            debug_assert!(
+                (l as f64 / r).fract() == 0.0,
+                "non-integral K for L={l}, r={r}"
+            );
             out.push((l, k));
         }
     }
@@ -84,7 +87,11 @@ fn enumerate_multisets(
 /// # Panics
 /// Panics if `target` exceeds the enumeration size.
 pub fn paper_sized_subsample(all: &[TuckerMeta], target: usize) -> Vec<TuckerMeta> {
-    assert!(target <= all.len(), "cannot subsample {target} from {}", all.len());
+    assert!(
+        target <= all.len(),
+        "cannot subsample {target} from {}",
+        all.len()
+    );
     if target == all.len() {
         return all.to_vec();
     }
@@ -118,7 +125,9 @@ mod tests {
         for &(l, k) in &choices {
             assert!(k >= 1 && k <= l);
             // K*r == L exactly for one of the ratios.
-            assert!(RATIOS.iter().any(|&r| (l as f64 / r - k as f64).abs() < 1e-9));
+            assert!(RATIOS
+                .iter()
+                .any(|&r| (l as f64 / r - k as f64).abs() < 1e-9));
         }
     }
 
@@ -144,8 +153,7 @@ mod tests {
     #[test]
     fn enumeration_has_no_duplicates() {
         let all = full_enumeration(5);
-        let set: std::collections::HashSet<String> =
-            all.iter().map(|m| m.to_string()).collect();
+        let set: std::collections::HashSet<String> = all.iter().map(|m| m.to_string()).collect();
         assert_eq!(set.len(), all.len());
     }
 
@@ -156,13 +164,11 @@ mod tests {
         let all = full_enumeration(5);
         // Spot-check: no tensor is a mode permutation of another.
         let canon = |m: &TuckerMeta| {
-            let mut pairs: Vec<(usize, usize)> =
-                (0..m.order()).map(|n| (m.l(n), m.k(n))).collect();
+            let mut pairs: Vec<(usize, usize)> = (0..m.order()).map(|n| (m.l(n), m.k(n))).collect();
             pairs.sort_unstable();
             pairs
         };
-        let set: std::collections::HashSet<Vec<(usize, usize)>> =
-            all.iter().map(canon).collect();
+        let set: std::collections::HashSet<Vec<(usize, usize)>> = all.iter().map(canon).collect();
         assert_eq!(set.len(), all.len());
     }
 
@@ -193,7 +199,10 @@ mod tests {
             .iter()
             .map(|m| m.input_cardinality())
             .fold(0.0, f64::max);
-        assert!(max > 1e9, "benchmark should contain billion-element tensors");
+        assert!(
+            max > 1e9,
+            "benchmark should contain billion-element tensors"
+        );
         assert!(max <= CARDINALITY_CAP);
     }
 }

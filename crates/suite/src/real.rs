@@ -65,7 +65,10 @@ pub fn scaled_real_tensors(factor: usize) -> Vec<RealTensor> {
                     .min(lnew)
                 })
                 .collect();
-            RealTensor { name: rt.name, meta: TuckerMeta::new(l, k) }
+            RealTensor {
+                name: rt.name,
+                meta: TuckerMeta::new(l, k),
+            }
         })
         .collect()
 }

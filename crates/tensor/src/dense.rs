@@ -137,7 +137,12 @@ impl DenseTensor {
 
 impl std::fmt::Debug for DenseTensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DenseTensor({}, {} elements)", self.shape, self.data.len())
+        write!(
+            f,
+            "DenseTensor({}, {} elements)",
+            self.shape,
+            self.data.len()
+        )
     }
 }
 

@@ -8,8 +8,28 @@ pub fn fro_norm(t: &DenseTensor) -> f64 {
 }
 
 /// Squared Frobenius norm.
+///
+/// Uses Neumaier-compensated summation so the result is correctly rounded
+/// independent of tensor size; naive summation drifts by `O(√n·ε)`, which is
+/// enough to poison the `‖T‖² − ‖G‖²` error formula on large tensors.
 pub fn fro_norm_sq(t: &DenseTensor) -> f64 {
-    t.as_slice().iter().map(|x| x * x).sum()
+    compensated_sum(t.as_slice().iter().map(|x| x * x))
+}
+
+/// Neumaier (improved Kahan) compensated summation.
+fn compensated_sum(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for x in values {
+        let t = sum + x;
+        comp += if sum.abs() >= x.abs() {
+            (sum - t) + x
+        } else {
+            (x - t) + sum
+        };
+        sum = t;
+    }
+    sum + comp
 }
 
 /// Normalized root-mean-square error between the input tensor and a
@@ -21,23 +41,38 @@ pub fn relative_error(t: &DenseTensor, z: &DenseTensor) -> f64 {
     assert_eq!(t.shape(), z.shape(), "shape mismatch");
     let denom = fro_norm(t);
     assert!(denom > 0.0, "relative error undefined for the zero tensor");
-    let diff: f64 = t
-        .as_slice()
-        .iter()
-        .zip(z.as_slice())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum();
+    let diff = compensated_sum(
+        t.as_slice()
+            .iter()
+            .zip(z.as_slice())
+            .map(|(a, b)| (a - b) * (a - b)),
+    );
     diff.sqrt() / denom
 }
 
 /// Relative error computed without materializing the recovered tensor, valid
 /// when the factor matrices are orthonormal: `‖T − Z‖² = ‖T‖² − ‖G‖²`.
 ///
-/// `input_norm_sq` is `‖T‖²` and `core_norm_sq` is `‖G‖²`. Round-off can push
-/// the difference slightly negative; it is clamped at zero.
+/// `input_norm_sq` is `‖T‖²` and `core_norm_sq` is `‖G‖²`.
+///
+/// The subtraction is a catastrophic cancellation when the decomposition is
+/// (near-)exact: both operands are correctly-rounded f64s, so their
+/// difference carries `O(ε·‖T‖²)` noise and the formula cannot resolve
+/// relative errors below `O(√ε) ≈ 1.5e-8` — any residual in that band is
+/// indistinguishable from an exact decomposition. Differences at or below
+/// the noise floor (including negative ones) are therefore reported as
+/// exactly zero rather than as a spurious `~1e-8` error.
 pub fn relative_error_from_core(input_norm_sq: f64, core_norm_sq: f64) -> f64 {
-    assert!(input_norm_sq > 0.0, "relative error undefined for the zero tensor");
-    ((input_norm_sq - core_norm_sq).max(0.0) / input_norm_sq).sqrt()
+    assert!(
+        input_norm_sq > 0.0,
+        "relative error undefined for the zero tensor"
+    );
+    let noise_floor = 16.0 * f64::EPSILON * input_norm_sq;
+    let diff = input_norm_sq - core_norm_sq;
+    if diff <= noise_floor {
+        return 0.0;
+    }
+    (diff / input_norm_sq).sqrt()
 }
 
 #[cfg(test)]

@@ -130,7 +130,10 @@ impl Shape {
 
     /// Iterate over all coordinates in layout (mode-0-fastest) order.
     pub fn coords(&self) -> CoordIter {
-        CoordIter { shape: self.0.clone(), next: Some(vec![0; self.order()]) }
+        CoordIter {
+            shape: self.0.clone(),
+            next: Some(vec![0; self.order()]),
+        }
     }
 }
 
@@ -252,7 +255,10 @@ mod tests {
         assert_eq!(s.outer_extent(2), 6);
         assert_eq!(s.outer_extent(3), 1);
         for n in 0..4 {
-            assert_eq!(s.inner_extent(n) * s.dim(n) * s.outer_extent(n), s.cardinality());
+            assert_eq!(
+                s.inner_extent(n) * s.dim(n) * s.outer_extent(n),
+                s.cardinality()
+            );
         }
     }
 

@@ -20,7 +20,10 @@ pub struct Region {
 impl Region {
     /// The region covering all of `shape`.
     pub fn full(shape: &Shape) -> Self {
-        Region { start: vec![0; shape.order()], len: shape.dims().to_vec() }
+        Region {
+            start: vec![0; shape.order()],
+            len: shape.dims().to_vec(),
+        }
     }
 
     /// Number of modes.
@@ -78,7 +81,10 @@ impl Region {
                 s - o
             })
             .collect();
-        Region { start, len: self.len.clone() }
+        Region {
+            start,
+            len: self.len.clone(),
+        }
     }
 
     /// Shape of the region's extents.
@@ -106,9 +112,11 @@ pub fn extract(t: &DenseTensor, region: &Region) -> Vec<f64> {
     // Rows along mode 0 are contiguous in both source and destination:
     // iterate over the region's coordinates with mode 0 collapsed.
     let row = region.len[0];
-    let outer = Shape::new(
-        if region.order() == 1 { vec![1] } else { region.len[1..].to_vec() },
-    );
+    let outer = Shape::new(if region.order() == 1 {
+        vec![1]
+    } else {
+        region.len[1..].to_vec()
+    });
     let strides = shape.strides();
     for oc in outer.coords() {
         let mut off = region.start[0] * strides[0];
@@ -139,9 +147,11 @@ pub fn insert(t: &mut DenseTensor, region: &Region, data: &[f64]) {
     }
     let dst = t.as_mut_slice();
     let row = region.len[0];
-    let outer = Shape::new(
-        if region.order() == 1 { vec![1] } else { region.len[1..].to_vec() },
-    );
+    let outer = Shape::new(if region.order() == 1 {
+        vec![1]
+    } else {
+        region.len[1..].to_vec()
+    });
     let strides = shape.strides();
     let mut src_off = 0;
     for oc in outer.coords() {
@@ -178,7 +188,10 @@ mod tests {
     #[test]
     fn extract_matches_elementwise() {
         let t = counting(&[4, 5, 3]);
-        let r = Region { start: vec![1, 2, 0], len: vec![2, 3, 2] };
+        let r = Region {
+            start: vec![1, 2, 0],
+            len: vec![2, 3, 2],
+        };
         let data = extract(&t, &r);
         let sub_shape = r.shape();
         for (i, c) in sub_shape.coords().enumerate() {
@@ -190,7 +203,10 @@ mod tests {
     #[test]
     fn insert_roundtrip() {
         let t = counting(&[4, 5, 3]);
-        let r = Region { start: vec![2, 1, 1], len: vec![2, 4, 2] };
+        let r = Region {
+            start: vec![2, 1, 1],
+            len: vec![2, 4, 2],
+        };
         let data = extract(&t, &r);
         let mut t2 = DenseTensor::zeros(t.shape().clone());
         insert(&mut t2, &r, &data);
@@ -205,37 +221,73 @@ mod tests {
 
     #[test]
     fn intersect_basic() {
-        let a = Region { start: vec![0, 0], len: vec![4, 4] };
-        let b = Region { start: vec![2, 3], len: vec![4, 4] };
+        let a = Region {
+            start: vec![0, 0],
+            len: vec![4, 4],
+        };
+        let b = Region {
+            start: vec![2, 3],
+            len: vec![4, 4],
+        };
         let i = a.intersect(&b).unwrap();
-        assert_eq!(i, Region { start: vec![2, 3], len: vec![2, 1] });
+        assert_eq!(
+            i,
+            Region {
+                start: vec![2, 3],
+                len: vec![2, 1]
+            }
+        );
     }
 
     #[test]
     fn intersect_empty() {
-        let a = Region { start: vec![0, 0], len: vec![2, 2] };
-        let b = Region { start: vec![2, 0], len: vec![2, 2] };
+        let a = Region {
+            start: vec![0, 0],
+            len: vec![2, 2],
+        };
+        let b = Region {
+            start: vec![2, 0],
+            len: vec![2, 2],
+        };
         assert!(a.intersect(&b).is_none());
     }
 
     #[test]
     fn intersect_is_commutative() {
-        let a = Region { start: vec![1, 0, 2], len: vec![3, 5, 2] };
-        let b = Region { start: vec![0, 2, 1], len: vec![3, 2, 3] };
+        let a = Region {
+            start: vec![1, 0, 2],
+            len: vec![3, 5, 2],
+        };
+        let b = Region {
+            start: vec![0, 2, 1],
+            len: vec![3, 2, 3],
+        };
         assert_eq!(a.intersect(&b), b.intersect(&a));
     }
 
     #[test]
     fn relative_to_translates() {
-        let r = Region { start: vec![5, 7], len: vec![2, 3] };
+        let r = Region {
+            start: vec![5, 7],
+            len: vec![2, 3],
+        };
         let rel = r.relative_to(&[4, 7]);
-        assert_eq!(rel, Region { start: vec![1, 0], len: vec![2, 3] });
+        assert_eq!(
+            rel,
+            Region {
+                start: vec![1, 0],
+                len: vec![2, 3]
+            }
+        );
     }
 
     #[test]
     fn one_dim_region() {
         let t = counting(&[10]);
-        let r = Region { start: vec![3], len: vec![4] };
+        let r = Region {
+            start: vec![3],
+            len: vec![4],
+        };
         assert_eq!(extract(&t, &r), vec![3.0, 4.0, 5.0, 6.0]);
     }
 
@@ -243,7 +295,10 @@ mod tests {
     #[should_panic(expected = "exceeds tensor bounds")]
     fn out_of_bounds_extract_panics() {
         let t = counting(&[3, 3]);
-        let r = Region { start: vec![2, 0], len: vec![2, 3] };
+        let r = Region {
+            start: vec![2, 0],
+            len: vec![2, 3],
+        };
         let _ = extract(&t, &r);
     }
 }

@@ -219,10 +219,17 @@ mod tests {
     #[test]
     fn full_chain_all_orders_agree() {
         let t = rand_tensor(&[3, 4, 5], 6);
-        let mats: Vec<Matrix> =
-            (0..3).map(|n| rand_mat(2, t.shape().dim(n), 60 + n as u64)).collect();
-        let orders: &[[usize; 3]] =
-            &[[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mats: Vec<Matrix> = (0..3)
+            .map(|n| rand_mat(2, t.shape().dim(n), 60 + n as u64))
+            .collect();
+        let orders: &[[usize; 3]] = &[
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         let reference = ttm_chain(&t, &[(0, &mats[0]), (1, &mats[1]), (2, &mats[2])]);
         for ord in orders {
             let ops: Vec<(usize, &Matrix)> = ord.iter().map(|&n| (n, &mats[n])).collect();

@@ -1,4 +1,8 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! Cases are generated deterministically from a fixed per-test seed (see
+//! `vendor/proptest`): CI runs are reproducible, and `PROPTEST_SEED` /
+//! `PROPTEST_CASES` explore other streams or bound the case count.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -14,7 +14,9 @@ use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
 use tucker_core::tree::{NodeLabel, TtmTree};
 
 fn parse_list(s: &str) -> Vec<usize> {
-    s.split(',').map(|x| x.trim().parse().expect("bad integer list")).collect()
+    s.split(',')
+        .map(|x| x.trim().parse().expect("bad integer list"))
+        .collect()
 }
 
 /// Render a tree as an indented outline.
@@ -39,11 +41,19 @@ fn render(tree: &TtmTree) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (l, k, p) = if args.len() >= 3 {
-        (parse_list(&args[0]), parse_list(&args[1]), args[2].parse().expect("bad P"))
+        (
+            parse_list(&args[0]),
+            parse_list(&args[1]),
+            args[2].parse().expect("bad P"),
+        )
     } else {
         // The tensor with the paper's maximum reported gain (7x overall):
         // 400x100x100x50x20 compressed to 80x80x10x40x10.
-        (vec![400, 100, 100, 50, 20], vec![80, 80, 10, 40, 10], 32usize)
+        (
+            vec![400, 100, 100, 50, 20],
+            vec![80, 80, 10, 40, 10],
+            32usize,
+        )
     };
     let meta = TuckerMeta::new(l, k);
     println!("metadata: {meta},  P = {p}\n");
@@ -70,7 +80,9 @@ fn main() {
         if plan.grids.regrid_count() > 0 {
             for id in plan.tree.internal_nodes() {
                 if plan.grids.regrid[id] {
-                    let NodeLabel::Ttm(n) = plan.tree.node(id).label else { unreachable!() };
+                    let NodeLabel::Ttm(n) = plan.tree.node(id).label else {
+                        unreachable!()
+                    };
                     println!(
                         "  regrid before TTM along mode {n}: -> {}",
                         plan.grids.node_grids[id]
@@ -92,7 +104,11 @@ fn main() {
             "  vs {:>18}: load {:.2}x, volume {:.2}x",
             other.name(),
             other.flops / best.flops,
-            if best.volume > 0.0 { other.volume / best.volume } else { f64::INFINITY },
+            if best.volume > 0.0 {
+                other.volume / best.volume
+            } else {
+                f64::INFINITY
+            },
         );
     }
 }

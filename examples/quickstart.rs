@@ -17,7 +17,10 @@ fn main() {
     // 1. Describe the problem: input shape, core (compressed) shape.
     let dims = [24usize, 24, 24, 12];
     let meta = TuckerMeta::new(dims.to_vec(), vec![6, 6, 6, 4]);
-    println!("problem: {meta}  (compression {:.0}x)", meta.compression_ratio());
+    println!(
+        "problem: {meta}  (compression {:.0}x)",
+        meta.compression_ratio()
+    );
 
     // 2. Plan: optimal TTM-tree + optimal dynamic gridding for 8 ranks.
     let planner = Planner::new(meta.clone(), 8);
@@ -42,7 +45,11 @@ fn main() {
     println!(
         "model speedups: {:.2}x load, {:.2}x volume",
         naive.flops / plan.flops,
-        if plan.volume > 0.0 { naive.volume / plan.volume } else { f64::INFINITY }
+        if plan.volume > 0.0 {
+            naive.volume / plan.volume
+        } else {
+            f64::INFINITY
+        }
     );
 
     // 3. Execute: distributed HOOI on the simulated 8-rank universe.

@@ -21,7 +21,11 @@ fn main() {
     let dims = [32usize, 32, 16]; // height x width x frames
     let t = DenseTensor::from_fn(Shape::from(dims), |c| video_field(c, &dims));
 
-    println!("video tensor: {}  ({} elements)", t.shape(), t.cardinality());
+    println!(
+        "video tensor: {}  ({} elements)",
+        t.shape(),
+        t.cardinality()
+    );
 
     for ranks in [(2usize, 2usize, 2usize), (4, 4, 3), (8, 8, 4)] {
         let meta = TuckerMeta::new(dims.to_vec(), vec![ranks.0, ranks.1, ranks.2]);

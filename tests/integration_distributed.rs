@@ -74,7 +74,10 @@ fn measured_regrid_volume_bounded_by_model() {
     let meta = TuckerMeta::new([12, 12, 12], [2, 2, 8]);
     let planner = Planner::new(meta.clone(), 8);
     let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
-    assert!(plan.grids.regrid_count() > 0, "test needs a regridding plan");
+    assert!(
+        plan.grids.regrid_count() > 0,
+        "test needs a regridding plan"
+    );
 
     // Model upper bound: sum of |In(u)| over regridded nodes.
     let cost = tucker_core::cost::tree_cost(&plan.tree, &meta);
@@ -137,7 +140,10 @@ fn per_sweep_stats_are_complete() {
         .iter()
         .map(|s| s.ttm_volume + s.regrid_volume + s.gram_volume)
         .sum();
-    assert!(ledger_elems >= sweep_elems / 2, "ledger {ledger_elems} vs sweeps {sweep_elems}");
+    assert!(
+        ledger_elems >= sweep_elems / 2,
+        "ledger {ledger_elems} vs sweeps {sweep_elems}"
+    );
 }
 
 #[test]
@@ -157,9 +163,17 @@ fn engine_respects_the_plans_regrid_schedule() {
         if plan.grids.regrid[id] {
             assert_ne!(&plan.grids.node_grids[id], pg, "regrid to the same grid");
         } else {
-            assert_eq!(&plan.grids.node_grids[id], pg, "grid changed without regrid");
+            assert_eq!(
+                &plan.grids.node_grids[id], pg,
+                "grid changed without regrid"
+            );
         }
-        let NodeLabel::Ttm(n) = plan.tree.node(id).label else { unreachable!() };
-        assert!(plan.grids.node_grids[id].dim(n) <= meta.k(n), "invalid grid at node {id}");
+        let NodeLabel::Ttm(n) = plan.tree.node(id).label else {
+            unreachable!()
+        };
+        assert!(
+            plan.grids.node_grids[id].dim(n) <= meta.k(n),
+            "invalid grid at node {id}"
+        );
     }
 }

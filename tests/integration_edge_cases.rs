@@ -30,7 +30,11 @@ fn full_rank_core_reconstructs_exactly() {
     let planner = Planner::new(meta, 4);
     let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
     let out = run_distributed_hooi(fill, &plan, 1);
-    assert!(out.per_sweep[0].error < 1e-7, "error {}", out.per_sweep[0].error);
+    assert!(
+        out.per_sweep[0].error < 1e-7,
+        "error {}",
+        out.per_sweep[0].error
+    );
 }
 
 #[test]

@@ -1,14 +1,14 @@
 //! Integration: full sequential pipeline — tensor substrate → linalg →
 //! STHOSVD → HOOI — on structured data.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use tucker_core::decomposition::TuckerDecomposition;
 use tucker_core::hooi::{hooi_invocation, hooi_invocation_gauss_seidel};
 use tucker_core::meta::TuckerMeta;
+use tucker_core::opt_tree::optimal_tree;
 use tucker_core::sthosvd::{random_init, sthosvd};
 use tucker_core::tree::{balanced_tree, chain_tree};
-use tucker_core::opt_tree::optimal_tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tucker_linalg::{orthonormal_columns, Matrix};
 use tucker_suite::fields::combustion_field;
 use tucker_tensor::norm::{fro_norm_sq, relative_error};
@@ -32,7 +32,11 @@ fn sthosvd_then_hooi_compresses_structured_field() {
 
     let tree = optimal_tree(&meta).tree;
     let out = hooi_invocation(&t, &meta, &init, &tree);
-    assert!(out.error <= e0 * 1.05, "HOOI regressed badly: {e0} -> {}", out.error);
+    assert!(
+        out.error <= e0 * 1.05,
+        "HOOI regressed badly: {e0} -> {}",
+        out.error
+    );
     assert!(out.decomposition.factors_orthonormal(1e-8));
 
     // The core-norm error formula must agree with direct reconstruction.

@@ -43,7 +43,10 @@ fn dynamic_gridding_dominates_static_on_benchmark_sample() {
         // And the dynamic DP value must equal the evaluator's score of the
         // extracted scheme.
         let v = scheme_volume(&dynamic.tree, &meta, &dynamic.grids);
-        assert!((v - dynamic.volume).abs() <= dynamic.volume.max(1.0) * 1e-9, "{meta}");
+        assert!(
+            (v - dynamic.volume).abs() <= dynamic.volume.max(1.0) * 1e-9,
+            "{meta}"
+        );
     }
 }
 
@@ -72,8 +75,16 @@ fn real_tensor_plans_match_paper_qualitative_findings() {
         let planner = Planner::new(rt.meta.clone(), 32);
         let lineup = planner.paper_lineup();
         let (ck, ch, bal, opt) = (&lineup[0], &lineup[1], &lineup[2], &lineup[3]);
-        assert!(bal.flops <= ck.flops, "{}: balanced should beat chain-K on load", rt.name);
-        assert!(bal.flops <= ch.flops, "{}: balanced should beat chain-h on load", rt.name);
+        assert!(
+            bal.flops <= ck.flops,
+            "{}: balanced should beat chain-K on load",
+            rt.name
+        );
+        assert!(
+            bal.flops <= ch.flops,
+            "{}: balanced should beat chain-h on load",
+            rt.name
+        );
         assert!(opt.flops <= bal.flops, "{}", rt.name);
         assert!(opt.volume <= bal.volume, "{}", rt.name);
         // "Remarkably, the opt-tree algorithm becomes near communication-
@@ -100,7 +111,10 @@ fn chain_orderings_affect_cost_in_expected_direction() {
     rev.reverse();
     let fwd = tree_flops(&tucker_core::tree::chain_tree(&meta, &k_perm), &meta);
     let bwd = tree_flops(&tucker_core::tree::chain_tree(&meta, &rev), &meta);
-    assert!(fwd < bwd, "K-ascending {fwd} should beat K-descending {bwd}");
+    assert!(
+        fwd < bwd,
+        "K-ascending {fwd} should beat K-descending {bwd}"
+    );
 }
 
 #[test]

@@ -21,10 +21,17 @@ fn suite_wide_dominance_on_a_slice() {
         let rows = analytic_lineup(meta, 32);
         let opt = &rows[3];
         for r in &rows[..3] {
-            assert!(opt.flops <= r.flops * (1.0 + 1e-12), "{meta}: {}", r.strategy);
+            assert!(
+                opt.flops <= r.flops * (1.0 + 1e-12),
+                "{meta}: {}",
+                r.strategy
+            );
         }
         let (stat, dynv) = gridding_comparison(meta, 32);
-        assert!(dynv <= stat + 1e-6, "{meta}: dynamic {dynv} > static {stat}");
+        assert!(
+            dynv <= stat + 1e-6,
+            "{meta}: dynamic {dynv} > static {stat}"
+        );
     }
 }
 
@@ -42,7 +49,11 @@ fn dynamic_gridding_gains_match_paper_shape() {
     }
     // Normalize static by dynamic: ratios >= 1 everywhere.
     let curve = normalized_percentiles(&stat, &dynv);
-    assert!(curve.min() >= 1.0 - 1e-9, "dynamic lost somewhere: {}", curve.min());
+    assert!(
+        curve.min() >= 1.0 - 1e-9,
+        "dynamic lost somewhere: {}",
+        curve.min()
+    );
     // A majority of tensors see large gains (the paper reports 3x on 90%;
     // our suite composition differs, so require a weaker 2x on 50%).
     assert!(
@@ -101,11 +112,20 @@ fn real_tensor_gains_are_substantial() {
 fn benchmark_metadata_statistics() {
     // The suite spans the intended ranges.
     let all5 = full_enumeration(5);
-    let min_card = all5.iter().map(|m| m.input_cardinality()).fold(f64::MAX, f64::min);
-    let max_card = all5.iter().map(|m| m.input_cardinality()).fold(0.0, f64::max);
+    let min_card = all5
+        .iter()
+        .map(|m| m.input_cardinality())
+        .fold(f64::MAX, f64::min);
+    let max_card = all5
+        .iter()
+        .map(|m| m.input_cardinality())
+        .fold(0.0, f64::max);
     assert_eq!(min_card, 20f64.powi(5));
     assert!(max_card <= 8e9 && max_card > 1e9);
     // Compression ratios span 1.25^5 .. 10^5.
-    let min_ratio = all5.iter().map(|m| m.compression_ratio()).fold(f64::MAX, f64::min);
+    let min_ratio = all5
+        .iter()
+        .map(|m| m.compression_ratio())
+        .fold(f64::MAX, f64::min);
     assert!((min_ratio - 1.25f64.powi(5)).abs() < 1e-6);
 }

@@ -1,0 +1,86 @@
+//! Offline subset of `crossbeam` covering the workspace's usage:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` with blocking `recv`
+//! and non-blocking `send`. Backed by `std::sync::mpsc`, which provides the
+//! same unbounded-FIFO semantics for the one-producer-per-channel topology
+//! the simulated MPI runtime builds (one channel per ordered rank pair).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Mirrors `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Never blocks: the channel is unbounded.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        handle.join().unwrap();
+        assert!(rx.recv().is_err(), "recv after sender drop must error");
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline, deterministic subset of the `proptest` crate.
+//!
+//! Supports the surface the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `pattern in strategy` arguments;
+//! * [`Strategy`] for integer ranges, tuples (arity 2–5), `prop_map`,
+//!   `prop::collection::vec`, and `prop::sample::select`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Unlike upstream proptest there is **no shrinking** and **no entropy**:
+//! every test derives its case stream from a fixed per-test seed (FNV-1a of
+//! `module_path::test_name`), so CI runs are reproducible byte-for-byte.
+//! Two environment variables adjust runs without recompiling:
+//!
+//! * `PROPTEST_SEED=<u64>` — XORed into every per-test base seed to explore
+//!   a different deterministic stream;
+//! * `PROPTEST_CASES=<u32>` — overrides each suite's configured case count
+//!   (e.g. bound it to 8 for a smoke run).
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-suite configuration; mirrors `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: the suite's config unless `PROPTEST_CASES` is set.
+pub fn runtime_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {s:?}")),
+        Err(_) => configured,
+    }
+}
+
+/// Deterministic base seed for one test: FNV-1a of its full path, XORed with
+/// the optional `PROPTEST_SEED` override.
+pub fn base_seed(test_path: &str) -> u64 {
+    let user: u64 = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0,
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ user
+}
+
+/// RNG for one case of one test.
+pub fn case_rng(base: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of values; mirrors `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map: f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Mirrors `proptest::sample::select` for `Vec` inputs.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty choice set");
+        Select { items }
+    }
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current generated case when its inputs are out of scope.
+/// Expands to `continue` targeting the per-test case loop, so it must be
+/// used directly inside the `proptest!` body (not from a nested closure) —
+/// the same restriction upstream proptest enforces dynamically.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::runtime_cases(__config.cases);
+            let __base = $crate::base_seed(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                let mut __rng = $crate::case_rng(__base, __case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..=4, 0u64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn in_bounds(x in 3usize..10, y in 5u64..=6) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y == 5 || y == 6);
+        }
+
+        /// Tuples, vec, select, prop_map and prop_assume compose.
+        #[test]
+        fn composed((a, b) in pair_strategy(),
+                    v in prop::collection::vec(prop::sample::select(vec![2usize, 4, 8]), 1..=3),
+                    doubled in (0usize..50).prop_map(|n| n * 2)) {
+            prop_assume!(b % 7 != 0);
+            prop_assert!((1..=4).contains(&a));
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(v.iter().all(|&e| [2, 4, 8].contains(&e)));
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let base = crate::base_seed("some::test");
+        let mut a = crate::case_rng(base, 3);
+        let mut b = crate::case_rng(base, 3);
+        let s = 0usize..1000;
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+        assert_ne!(base, crate::base_seed("some::other_test"));
+    }
+}

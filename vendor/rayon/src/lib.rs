@@ -1,0 +1,152 @@
+//! Offline subset of `rayon` covering the workspace's usage:
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` and
+//! `slice.par_chunks_mut(n).for_each(f)`.
+//!
+//! Unlike a sequential stub, this actually runs chunks in parallel on
+//! `std::thread::scope` workers (one per available core, capped by the chunk
+//! count), so the kernels' rayon branches keep their meaning. There is no
+//! work-stealing pool; chunks are statically divided into contiguous runs,
+//! which matches the regular slab/panel workloads in the kernels.
+
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    /// Number of worker threads for `len` units of parallel work.
+    fn workers_for(len: usize) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len)
+            .max(1)
+    }
+
+    /// Run `f` over `items` on `nw` scoped worker threads, contiguous runs.
+    fn run_parallel<I, F>(items: Vec<I>, nw: usize, f: F)
+    where
+        I: Send,
+        F: Fn(I) + Sync,
+    {
+        if nw <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let total = items.len();
+        let per = total.div_ceil(nw);
+        let mut buckets: Vec<Vec<I>> = Vec::with_capacity(nw);
+        let mut rest = items;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            buckets.push(rest);
+            rest = tail;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(
+                chunk_size > 0,
+                "par_chunks_mut: chunk size must be non-zero"
+            );
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    pub struct ParChunksMut<'a, T: Send> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate { inner: self }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            let chunks: Vec<&'a mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+            let nw = workers_for(chunks.len());
+            run_parallel(chunks, nw, f);
+        }
+    }
+
+    pub struct ParChunksMutEnumerate<'a, T: Send> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            let chunks: Vec<(usize, &'a mut [T])> = self
+                .inner
+                .slice
+                .chunks_mut(self.inner.chunk_size)
+                .enumerate()
+                .collect();
+            let nw = workers_for(chunks.len());
+            run_parallel(chunks, nw, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_chunks_cover_slice_once() {
+        let mut v = vec![0u64; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 10 + j) as u64; // global index: each element set once
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn plain_for_each_matches_sequential() {
+        let mut par = [1.0f64; 256];
+        let mut seq = [1.0f64; 256];
+        par.par_chunks_mut(16)
+            .for_each(|c| c.iter_mut().for_each(|x| *x *= 2.0));
+        seq.chunks_mut(16)
+            .for_each(|c| c.iter_mut().for_each(|x| *x *= 2.0));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let mut v = [0u8; 64];
+        v.par_chunks_mut(1).enumerate().for_each(|(i, _)| {
+            if i == 33 {
+                panic!("boom");
+            }
+        });
+    }
+}
