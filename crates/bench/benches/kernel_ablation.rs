@@ -2,15 +2,21 @@
 //!
 //! * blocked TTM (Austin et al. §5 — no explicit unfolding) vs the naive
 //!   unfold-multiply-fold kernel,
+//! * fused slab-wise Gram (`gram`) vs the explicit-unfold baseline
+//!   `syrk(&unfold(..))` — the only place the unfold path survives,
 //! * GEMM vs SYRK for Gram matrices (SYRK exploits symmetry),
 //! * tridiagonalization+QL EVD vs cyclic Jacobi.
+//!
+//! `cargo run --release -p tucker-bench --bin experiments -- kernels`
+//! re-times the TTM and Gram arms with plain medians and persists them to
+//! `results/BENCH_kernels.json` for the bench trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tucker_linalg::{gemm, jacobi_evd, sym_evd, syrk, Matrix, Transpose};
 use tucker_tensor::ttm::{ttm, ttm_explicit_unfold};
-use tucker_tensor::{DenseTensor, Shape};
+use tucker_tensor::{gram, unfold, DenseTensor, Shape};
 
 fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -35,6 +41,21 @@ fn bench_ttm_kernels(c: &mut Criterion) {
         });
         g.bench_function(format!("explicit_unfold_mode{mode}"), |b| {
             b.iter(|| ttm_explicit_unfold(black_box(&t), mode, black_box(&f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fused_gram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_gram_ablation");
+    g.sample_size(10);
+    let t = rand_tensor(&[48, 40, 36], 5);
+    for mode in [0usize, 1, 2] {
+        g.bench_function(format!("gram_fused_mode{mode}"), |b| {
+            b.iter(|| gram(black_box(&t), mode))
+        });
+        g.bench_function(format!("gram_via_unfold_mode{mode}"), |b| {
+            b.iter(|| syrk(&unfold(black_box(&t), mode)))
         });
     }
     g.finish();
@@ -76,6 +97,7 @@ fn bench_evd_solvers(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ttm_kernels,
+    bench_fused_gram,
     bench_gram_kernels,
     bench_evd_solvers
 );

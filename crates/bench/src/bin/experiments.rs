@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! cargo run --release -p tucker-bench --bin experiments -- all
+//! cargo run --release -p tucker-bench --bin experiments -- kernels
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! ```
+//!
+//! `kernels` times the fused-Gram / workspace-TTM kernels against their
+//! explicit-unfold baselines and persists `results/BENCH_kernels.json`.
 //!
 //! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
 //! full-size benchmark — load and volume are machine-independent (§6.2).
@@ -12,7 +16,7 @@
 //! engine on metadata scaled to fit this machine; EXPERIMENTS.md records the
 //! scaling. CSV series land in `results/`.
 
-use tucker_bench::{scale_for_measurement, write_csv};
+use tucker_bench::{scale_for_measurement, write_csv, write_results};
 use tucker_core::engine::{run_distributed_hooi, ExecutionStats};
 use tucker_core::planner::{GridStrategy, Plan, Planner, TreeStrategy};
 use tucker_core::TuckerMeta;
@@ -42,6 +46,7 @@ fn main() {
         .unwrap_or(16usize);
 
     match what {
+        "kernels" => kernels(),
         "table1" => table1(),
         "table2" => table2(),
         "fig10a" => fig10_overall(5, sample),
@@ -55,6 +60,7 @@ fn main() {
         "fig11f" => fig11f_volume(),
         "summary" => summary(),
         "all" => {
+            kernels();
             table1();
             table2();
             fig11cd_load(5);
@@ -70,12 +76,129 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: all table1 table2 \
+                "unknown experiment '{other}'; expected one of: all kernels table1 table2 \
                  fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
     }
+}
+
+// ---------------------------------------------------------------- Kernels
+
+/// Kernel ablation on the seed's default ablation shape: fused slab-wise
+/// Gram vs the explicit-unfold baseline `syrk(&unfold(..))`, blocked TTM vs
+/// unfold-multiply-fold, and warm-workspace TTM chains vs fresh allocation.
+/// Results are persisted machine-readably to `results/BENCH_kernels.json`
+/// so future PRs can track the speedups.
+fn kernels() {
+    use std::hint::black_box;
+    use tucker_linalg::syrk;
+    use tucker_tensor::ttm::ttm_explicit_unfold;
+    use tucker_tensor::{gram, ttm, unfold, DenseTensor, TtmWorkspace};
+
+    const DIMS: [usize; 3] = [48, 40, 36];
+    const K: usize = 12;
+    const REPS: usize = 30;
+
+    fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut ts: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts[reps / 2]
+    }
+
+    println!(
+        "== Kernels: fused vs explicit-unfold ablation ({}x{}x{}, median of {REPS}) ==",
+        DIMS[0], DIMS[1], DIMS[2]
+    );
+    let t = DenseTensor::from_fn(DIMS, |c| hash_noise(c, 0xFACE));
+    let factors: Vec<tucker_linalg::Matrix> = (0..3)
+        .map(|n| tucker_linalg::Matrix::from_fn(K, DIMS[n], |i, j| hash_noise(&[n, i, j], 0xD00D)))
+        .collect();
+
+    let mut gram_rows = Vec::new();
+    let mut ttm_rows = Vec::new();
+    for (mode, f) in factors.iter().enumerate() {
+        let fused = median_secs(REPS, || {
+            black_box(gram(black_box(&t), mode));
+        });
+        let via_unfold = median_secs(REPS, || {
+            black_box(syrk(&unfold(black_box(&t), mode)));
+        });
+        println!(
+            "   gram mode {mode}: fused {:>9.1}us  via-unfold {:>9.1}us  speedup {:>5.2}x",
+            fused * 1e6,
+            via_unfold * 1e6,
+            via_unfold / fused
+        );
+        gram_rows.push(format!(
+            "    {{\"mode\": {mode}, \"fused_s\": {fused:.9}, \"via_unfold_s\": {via_unfold:.9}, \
+             \"speedup\": {:.4}}}",
+            via_unfold / fused
+        ));
+
+        let blocked = median_secs(REPS, || {
+            black_box(ttm(black_box(&t), mode, black_box(f)));
+        });
+        let unfolded = median_secs(REPS, || {
+            black_box(ttm_explicit_unfold(black_box(&t), mode, black_box(f)));
+        });
+        println!(
+            "   ttm  mode {mode}: blocked {:>8.1}us  via-unfold {:>9.1}us  speedup {:>5.2}x",
+            blocked * 1e6,
+            unfolded * 1e6,
+            unfolded / blocked
+        );
+        ttm_rows.push(format!(
+            "    {{\"mode\": {mode}, \"blocked_s\": {blocked:.9}, \"via_unfold_s\": {unfolded:.9}, \
+             \"speedup\": {:.4}}}",
+            unfolded / blocked
+        ));
+    }
+
+    // Full 3-mode chain: fresh allocating ttm() per step vs warm workspace.
+    let ops: Vec<(usize, &tucker_linalg::Matrix)> = factors.iter().enumerate().collect();
+    let fresh = median_secs(REPS, || {
+        let mut cur = ttm(&t, ops[0].0, ops[0].1);
+        for &(n, a) in &ops[1..] {
+            cur = ttm(&cur, n, a);
+        }
+        black_box(cur);
+    });
+    let mut ws = TtmWorkspace::new();
+    let warm = ws.ttm_chain(&t, &ops); // warm the pool
+    ws.recycle(warm);
+    let pooled = median_secs(REPS, || {
+        let z = ws.ttm_chain(&t, &ops);
+        ws.recycle(black_box(z));
+    });
+    println!(
+        "   ttm-chain (3 modes): fresh {:>8.1}us  workspace {:>8.1}us  speedup {:>5.2}x",
+        fresh * 1e6,
+        pooled * 1e6,
+        fresh / pooled
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/kernels/v1\",\n  \"shape\": [{}, {}, {}],\n  \
+         \"reps\": {REPS},\n  \"gram\": [\n{}\n  ],\n  \"ttm\": [\n{}\n  ],\n  \
+         \"ttm_chain\": {{\"fresh_s\": {fresh:.9}, \"workspace_s\": {pooled:.9}, \
+         \"speedup\": {:.4}}}\n}}\n",
+        DIMS[0],
+        DIMS[1],
+        DIMS[2],
+        gram_rows.join(",\n"),
+        ttm_rows.join(",\n"),
+        fresh / pooled
+    );
+    let p = write_results("BENCH_kernels.json", &json);
+    println!("-> {}\n", p.display());
 }
 
 // ---------------------------------------------------------------- Table 1

@@ -48,6 +48,16 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
     path
 }
 
+/// Write an arbitrary text file (e.g. machine-readable JSON) under
+/// `results/`, creating the directory if needed. Returns the path written.
+pub fn write_results(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write results file");
+    path
+}
+
 /// Geometric mean of positive values.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty());

@@ -330,7 +330,7 @@ mod tests {
         let t = tucker_tensor::DenseTensor::from_fn(meta.input().clone(), smooth);
         let init_factors: Vec<Matrix> = (0..meta.order())
             .map(|n| {
-                let gram = tucker_linalg::syrk(&tucker_tensor::unfold(&t, n));
+                let gram = tucker_tensor::gram(&t, n);
                 leading_from_gram(&gram, meta.k(n)).u
             })
             .collect();

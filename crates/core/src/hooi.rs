@@ -12,14 +12,85 @@
 //! whole point of reuse), all chains use the factors from the start of the
 //! invocation (Jacobi-style update), exactly as the tree formulation in the
 //! paper requires. The new core is computed at the end from the new factors.
+//!
+//! Kernels: every leaf Gram is the fused [`gram`] (no unfolding is ever
+//! materialized) and every TTM draws its output buffer from a
+//! [`TtmWorkspace`]; intermediates are recycled as soon as their last
+//! consumer finishes. With a warm workspace (see [`hooi_invocation_ws`] and
+//! [`hooi_iterate`]) a steady-state invocation performs **zero tensor-sized
+//! allocations** — enforced by the allocation-regression test below.
 
 use crate::decomposition::TuckerDecomposition;
 use crate::meta::TuckerMeta;
 use crate::tree::{NodeLabel, TtmTree};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
-use tucker_linalg::{leading_from_gram, syrk, Matrix};
+use tucker_linalg::{leading_from_gram, Matrix};
 use tucker_tensor::norm::fro_norm_sq;
-use tucker_tensor::{ttm, unfold, DenseTensor};
+use tucker_tensor::{gram, DenseTensor, TtmWorkspace};
+
+/// A TTM-tree node's input during the walk: the root tensor is borrowed
+/// (never cloned, never recycled); intermediates are reference-counted so a
+/// node shared by several children is recycled exactly when its last
+/// consumer finishes.
+enum NodeInput<'a> {
+    Root(&'a DenseTensor),
+    Interm(Rc<DenseTensor>),
+}
+
+impl NodeInput<'_> {
+    fn tensor(&self) -> &DenseTensor {
+        match self {
+            NodeInput::Root(t) => t,
+            NodeInput::Interm(rc) => rc,
+        }
+    }
+
+    /// Consume this input, returning its buffer to the workspace if this was
+    /// the last reference to an intermediate.
+    fn release(self, ws: &mut TtmWorkspace) {
+        if let NodeInput::Interm(rc) = self {
+            if let Ok(t) = Rc::try_unwrap(rc) {
+                ws.recycle(t);
+            }
+        }
+    }
+}
+
+/// Chain `t` along `modes` by the pre-transposed factors `factors_t`
+/// (`factors_t[n]` is `F_nᵀ`, `K_n × L_n`), ping-ponging intermediates
+/// through `ws` and recycling each as soon as the next step consumed it.
+/// Returns `None` when `modes` is empty (the result is `t` itself — no
+/// clone, no allocation).
+///
+/// Callers hoist the transposes once per invocation (see
+/// [`transpose_all`]) rather than re-allocating `F_nᵀ` at every TTM. This
+/// is the one chain-fold used by the HOOI core chains, the Gauss–Seidel
+/// per-mode chains, and `sthosvd::random_init`; keeping it in one place
+/// keeps the recycle discipline (and the zero-allocation steady state it
+/// buys) uniform.
+pub(crate) fn chain_transposed(
+    ws: &mut TtmWorkspace,
+    t: &DenseTensor,
+    modes: &[usize],
+    factors_t: &[Matrix],
+) -> Option<DenseTensor> {
+    let mut cur: Option<DenseTensor> = None;
+    for &n in modes {
+        let next = ws.ttm(cur.as_ref().unwrap_or(t), n, &factors_t[n]);
+        if let Some(old) = cur.replace(next) {
+            ws.recycle(old);
+        }
+    }
+    cur
+}
+
+/// Transpose every factor once (`F_n → F_nᵀ`), hoisting the per-TTM
+/// transpose out of tree walks and chains where each factor is used many
+/// times per invocation.
+pub(crate) fn transpose_all(factors: &[Matrix]) -> Vec<Matrix> {
+    factors.iter().map(Matrix::transpose).collect()
+}
 
 /// Timing breakdown of one sequential HOOI invocation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -42,7 +113,9 @@ pub struct HooiOutput {
     pub timings: HooiTimings,
 }
 
-/// Run one HOOI invocation of `tree` on `t`, starting from `current`.
+/// Run one HOOI invocation of `tree` on `t`, starting from `current`, with a
+/// throwaway [`TtmWorkspace`]. Iterating callers should hold a workspace and
+/// use [`hooi_invocation_ws`] so buffers carry over between invocations.
 ///
 /// # Panics
 /// Panics if shapes are inconsistent or the tree is invalid for the
@@ -52,6 +125,24 @@ pub fn hooi_invocation(
     meta: &TuckerMeta,
     current: &TuckerDecomposition,
     tree: &TtmTree,
+) -> HooiOutput {
+    hooi_invocation_ws(t, meta, current, tree, &mut TtmWorkspace::new())
+}
+
+/// [`hooi_invocation`] with an explicit workspace. Every intermediate and
+/// the new core draw their buffers from `ws`; once the workspace is warm
+/// (after one invocation, provided the caller recycles the superseded core),
+/// an invocation performs zero tensor-sized allocations.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or the tree is invalid for the
+/// metadata's order.
+pub fn hooi_invocation_ws(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    current: &TuckerDecomposition,
+    tree: &TtmTree,
+    ws: &mut TtmWorkspace,
 ) -> HooiOutput {
     assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
     assert_eq!(
@@ -63,30 +154,32 @@ pub fn hooi_invocation(
 
     let mut timings = HooiTimings::default();
     let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+    // Hoisted once: each F_nᵀ is reused by every tree node on mode n.
+    let factors_t = transpose_all(&current.factors);
 
     // Walk the tree depth-first, reusing each node's output for all its
     // children (in-order traversal bounds live intermediates by the depth).
-    let mut stack: Vec<(usize, std::rc::Rc<DenseTensor>)> = Vec::new();
-    let root_tensor = std::rc::Rc::new(t.clone());
+    let mut stack: Vec<(usize, NodeInput)> = Vec::new();
     for &c in tree.node(tree.root()).children.iter().rev() {
-        stack.push((c, std::rc::Rc::clone(&root_tensor)));
+        stack.push((c, NodeInput::Root(t)));
     }
     while let Some((id, input)) = stack.pop() {
         match tree.node(id).label {
             NodeLabel::Root => unreachable!("root is never on the stack"),
             NodeLabel::Ttm(n) => {
                 let t0 = Instant::now();
-                let ft = current.factors[n].transpose(); // K_n × L_n
-                let out = std::rc::Rc::new(ttm(&input, n, &ft));
+                let out = Rc::new(ws.ttm(input.tensor(), n, &factors_t[n]));
+                input.release(ws);
                 timings.ttm += t0.elapsed();
                 for &c in tree.node(id).children.iter().rev() {
-                    stack.push((c, std::rc::Rc::clone(&out)));
+                    stack.push((c, NodeInput::Interm(Rc::clone(&out))));
                 }
             }
             NodeLabel::Leaf(n) => {
                 let t0 = Instant::now();
-                let gram = syrk(&unfold(&input, n));
-                let svd = leading_from_gram(&gram, meta.k(n));
+                let g = gram(input.tensor(), n);
+                input.release(ws);
+                let svd = leading_from_gram(&g, meta.k(n));
                 timings.svd += t0.elapsed();
                 assert!(
                     new_factors[n].replace(svd.u).is_none(),
@@ -107,10 +200,8 @@ pub fn hooi_invocation(
     let t0 = Instant::now();
     let mut order: Vec<usize> = (0..meta.order()).collect();
     order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    let mut core = t.clone();
-    for &n in &order {
-        core = ttm(&core, n, &factors[n].transpose());
-    }
+    let new_factors_t = transpose_all(&factors);
+    let core = chain_transposed(ws, t, &order, &new_factors_t).expect("at least one mode");
     timings.ttm += t0.elapsed();
 
     let decomposition = TuckerDecomposition::new(core, factors);
@@ -139,30 +230,32 @@ pub fn hooi_invocation_gauss_seidel(
     let n_modes = meta.order();
     let mut timings = HooiTimings::default();
     let mut factors: Vec<Matrix> = current.factors.clone();
+    // Transposed mirror of `factors`, refreshed entry-by-entry as the
+    // Gauss–Seidel sweep updates each mode.
+    let mut factors_t = transpose_all(&factors);
+    let mut ws = TtmWorkspace::new();
 
     for n in 0..n_modes {
         // Chain over the other modes, strongest compression first.
         let mut order: Vec<usize> = (0..n_modes).filter(|&j| j != n).collect();
         order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
         let t0 = Instant::now();
-        let mut cur = t.clone();
-        for &j in &order {
-            cur = ttm(&cur, j, &factors[j].transpose());
-        }
+        let cur = chain_transposed(&mut ws, t, &order, &factors_t);
         timings.ttm += t0.elapsed();
         let t0 = Instant::now();
-        let gram = syrk(&unfold(&cur, n));
-        factors[n] = leading_from_gram(&gram, meta.k(n)).u;
+        let g = gram(cur.as_ref().unwrap_or(t), n);
+        if let Some(done) = cur {
+            ws.recycle(done);
+        }
+        factors[n] = leading_from_gram(&g, meta.k(n)).u;
+        factors_t[n] = factors[n].transpose();
         timings.svd += t0.elapsed();
     }
 
     let t0 = Instant::now();
     let mut order: Vec<usize> = (0..n_modes).collect();
     order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    let mut core = t.clone();
-    for &n in &order {
-        core = ttm(&core, n, &factors[n].transpose());
-    }
+    let core = chain_transposed(&mut ws, t, &order, &factors_t).expect("at least one mode");
     timings.ttm += t0.elapsed();
 
     let decomposition = TuckerDecomposition::new(core, factors);
@@ -177,6 +270,10 @@ pub fn hooi_invocation_gauss_seidel(
 /// Iterate HOOI until the error improvement drops below `tol` or
 /// `max_iters` invocations have run. Returns the final output and the error
 /// trace (one entry per invocation).
+///
+/// One [`TtmWorkspace`] spans all invocations, and each superseded core is
+/// recycled into it, so every iteration after the first is free of
+/// tensor-sized allocations.
 pub fn hooi_iterate(
     t: &DenseTensor,
     meta: &TuckerMeta,
@@ -186,23 +283,33 @@ pub fn hooi_iterate(
     tol: f64,
 ) -> (HooiOutput, Vec<f64>) {
     assert!(max_iters >= 1, "need at least one iteration");
+    let mut ws = TtmWorkspace::new();
     let mut current = init;
-    let mut trace = Vec::with_capacity(max_iters);
-    let mut last: Option<HooiOutput> = None;
+    let mut trace: Vec<f64> = Vec::with_capacity(max_iters);
+    let mut last_timings = HooiTimings::default();
     for _ in 0..max_iters {
-        let out = hooi_invocation(t, meta, &current, tree);
+        let out = hooi_invocation_ws(t, meta, &current, tree, &mut ws);
         trace.push(out.error);
-        let done = match &last {
-            Some(prev) => (prev.error - out.error).abs() < tol,
-            None => false,
+        last_timings = out.timings;
+        let done = match trace.len() {
+            0 | 1 => false,
+            l => (trace[l - 2] - trace[l - 1]).abs() < tol,
         };
-        current = out.decomposition.clone();
-        last = Some(out);
+        let superseded = std::mem::replace(&mut current, out.decomposition);
+        ws.recycle(superseded.core);
         if done {
             break;
         }
     }
-    (last.expect("at least one iteration ran"), trace)
+    let error = *trace.last().expect("at least one iteration ran");
+    (
+        HooiOutput {
+            decomposition: current,
+            error,
+            timings: last_timings,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -399,6 +506,42 @@ mod tests {
             trace.len() <= 3,
             "exact tensor should converge instantly: {trace:?}"
         );
+    }
+
+    /// Allocation-regression smoke: once the workspace is warm, a
+    /// steady-state HOOI invocation — fused Gram leaves, workspace TTMs,
+    /// recycled core — performs **zero** tensor-buffer allocations. This is
+    /// the grep-proof guard that no hot path clones a tensor or
+    /// materializes an unfolding (an unfold would allocate a tensor-sized
+    /// matrix copy via a fresh buffer; any `DenseTensor` clone or
+    /// constructor bumps the thread-local counter).
+    #[test]
+    fn steady_state_invocation_is_tensor_alloc_free() {
+        if !cfg!(debug_assertions) {
+            return; // the counter is compiled out in release builds
+        }
+        let dims = [8usize, 7, 6];
+        let t = smooth_tensor(&dims);
+        let meta = TuckerMeta::new(dims.to_vec(), vec![3, 3, 2]);
+        // A balanced tree exercises shared intermediates (several children
+        // per node), the harder case for buffer recycling.
+        let tree = balanced_tree(&meta, &[0, 1, 2]);
+        let mut ws = TtmWorkspace::new();
+        let mut current = sthosvd(&t, &meta);
+        for _ in 0..2 {
+            let out = hooi_invocation_ws(&t, &meta, &current, &tree, &mut ws);
+            let superseded = std::mem::replace(&mut current, out.decomposition);
+            ws.recycle(superseded.core);
+        }
+        let before = tucker_tensor::tensor_buffer_allocs();
+        let out = hooi_invocation_ws(&t, &meta, &current, &tree, &mut ws);
+        let allocs = tucker_tensor::tensor_buffer_allocs() - before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state HOOI invocation allocated {allocs} tensor buffers"
+        );
+        // The invocation still did real work.
+        assert!(out.error.is_finite() && out.decomposition.factors_orthonormal(1e-8));
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! `T ← T ×_n F_nᵀ`, and move on. The early truncations make later Gram
 //! computations cheap. The result is a valid (often excellent) initial
 //! decomposition for HOOI.
+//!
+//! Kernels: the Gram step is the fused [`gram`] (no unfolding materialized);
+//! the truncation loop ping-pongs through a [`TtmWorkspace`], so beyond the
+//! first truncation no tensor-sized buffer is allocated.
 
 use crate::decomposition::TuckerDecomposition;
 use crate::meta::TuckerMeta;
-use tucker_linalg::{leading_from_gram, syrk, Matrix};
-use tucker_tensor::{ttm, unfold, DenseTensor};
+use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_tensor::{gram, DenseTensor, TtmWorkspace};
 
 /// Compute the STHOSVD of `t` with core shape `meta.core()`, processing the
 /// modes in the order given by `order` (ascending-`K` is a common heuristic;
@@ -33,21 +37,30 @@ pub fn sthosvd_with_order(
         seen[m] = true;
     }
 
-    let mut cur = t.clone();
+    // `cur = None` means "still the input"; the workspace ping-pongs the
+    // truncated intermediates so `t` is never cloned and each replaced
+    // intermediate's buffer is immediately reused.
+    let mut ws = TtmWorkspace::new();
+    let mut cur: Option<DenseTensor> = None;
     let mut factors: Vec<Option<Matrix>> = vec![None; n];
     for &mode in order {
         let k = meta.k(mode);
-        let gram = syrk(&unfold(&cur, mode));
-        let svd = leading_from_gram(&gram, k);
+        let src = cur.as_ref().unwrap_or(t);
+        let g = gram(src, mode);
+        let svd = leading_from_gram(&g, k);
         let f = svd.u; // L_mode × K_mode, orthonormal
-        cur = ttm(&cur, mode, &f.transpose());
+        let next = ws.ttm(src, mode, &f.transpose());
+        if let Some(old) = cur.replace(next) {
+            ws.recycle(old);
+        }
         factors[mode] = Some(f);
     }
+    let core = cur.expect("at least one mode processed");
     let factors: Vec<Matrix> = factors
         .into_iter()
         .map(|f| f.expect("all modes processed"))
         .collect();
-    TuckerDecomposition::new(cur, factors)
+    TuckerDecomposition::new(core, factors)
 }
 
 /// STHOSVD in natural mode order.
@@ -72,10 +85,11 @@ pub fn random_init<R: rand::Rng>(
             tucker_linalg::orthonormal_columns(&g)
         })
         .collect();
-    let mut core = t.clone();
-    for (n, f) in factors.iter().enumerate() {
-        core = ttm(&core, n, &f.transpose());
-    }
+    let mut ws = TtmWorkspace::new();
+    let modes: Vec<usize> = (0..meta.order()).collect();
+    let factors_t = crate::hooi::transpose_all(&factors);
+    let core =
+        crate::hooi::chain_transposed(&mut ws, t, &modes, &factors_t).expect("at least one mode");
     TuckerDecomposition::new(core, factors)
 }
 
@@ -85,7 +99,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tucker_tensor::norm::fro_norm_sq;
-    use tucker_tensor::Shape;
+    use tucker_tensor::{ttm, Shape};
 
     fn random_tensor(dims: &[usize], seed: u64) -> DenseTensor {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -7,7 +7,10 @@
 //!
 //! 1. **all-gather along the mode-`n` grid group** so each rank holds
 //!    complete mode-`n` fibers (its block extended to the full `L_n` extent);
-//! 2. **local SYRK** on the local unfolding — `dsyrk` in the paper;
+//! 2. **local fused Gram** on the rank's balanced `1/q_n` column share —
+//!    [`gram_cols`] reads the fibers straight out of the canonical layout,
+//!    so neither an unfolding nor a scratch column copy is ever materialized
+//!    (this is the `dsyrk` of the paper, fused with the column slicing);
 //! 3. **all-reduce** of the `L_n × L_n` contributions across all ranks.
 //!
 //! All traffic is charged to [`VolumeCategory::Gram`].
@@ -16,9 +19,9 @@ use crate::block::chunk;
 use crate::collectives::{allreduce_sum, Group};
 use crate::comm::{RankCtx, VolumeCategory};
 use crate::dist_tensor::DistTensor;
-use tucker_linalg::{syrk, Matrix};
+use tucker_linalg::Matrix;
 use tucker_tensor::subtensor::{insert, Region};
-use tucker_tensor::{unfold, DenseTensor};
+use tucker_tensor::{gram_cols, DenseTensor};
 
 /// Tag for the mode-group all-gather.
 const GRAM_GATHER_TAG: u32 = 0x6B40;
@@ -29,38 +32,36 @@ const GRAM_REDUCE_TAG: u32 = 0x6B42;
 /// Every rank returns the same (replicated) `L_n × L_n` matrix.
 pub fn dist_gram(ctx: &mut RankCtx, t: &DistTensor, n: usize) -> Matrix {
     let slab = gather_mode_fibers(ctx, t, n);
-    // Local contribution: unfold the slab along mode n (rows = L_n) and SYRK.
-    // After the all-gather every member of the mode-n group holds the SAME
-    // slab, so each member contributes only its 1/q_n share of the fibers
-    // (a contiguous column range of the unfolding) — this keeps the compute
+    // Local contribution via the fused Gram kernel. After the all-gather
+    // every member of the mode-n group holds the SAME slab, so each member
+    // contributes only its 1/q_n share of the fibers (a contiguous column
+    // range of the never-materialized unfolding) — this keeps the compute
     // balanced and avoids double counting in the world all-reduce.
-    let u = unfold(&slab, n);
+    // Always through the sequential `gram_cols`: each simulated rank is
+    // already a thread of its own, so the rayon-parallel `gram` would
+    // oversubscribe the host (nranks × cores workers).
     let qn = t.grid().dim(n);
-    let my_cols = if qn == 1 {
-        u
+    let nf = slab.shape().num_fibers(n);
+    let (c0, clen) = if qn == 1 {
+        (0, nf)
     } else {
         let my_idx = t.grid().coord(ctx.rank())[n];
-        // `chunk` tolerates q > ncols by handing trailing members empty
+        // `chunk` tolerates q > num_fibers by handing trailing members empty
         // (zero-length) column ranges.
-        let (c0, clen) = chunk(u.ncols(), qn, my_idx);
-        let mut sub = Matrix::zeros(u.nrows(), clen);
-        for j in 0..clen {
-            sub.col_mut(j).copy_from_slice(u.col(c0 + j));
-        }
-        sub
+        chunk(nf, qn, my_idx)
     };
-    let mut gram = syrk(&my_cols);
+    let mut g = gram_cols(&slab, n, c0, clen);
 
     // Sum contributions over the whole universe.
     let world = Group::world(ctx);
     allreduce_sum(
         ctx,
         &world,
-        gram.as_mut_slice(),
+        g.as_mut_slice(),
         GRAM_REDUCE_TAG,
         VolumeCategory::Gram,
     );
-    gram
+    g
 }
 
 /// All-gather within the mode-`n` grid group so that this rank's block is
@@ -128,7 +129,7 @@ mod tests {
     use crate::grid::Grid;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tucker_tensor::Shape;
+    use tucker_tensor::{gram, Shape};
 
     fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -138,7 +139,10 @@ mod tests {
 
     fn check_gram(dims: &[usize], grid_dims: &[usize], n: usize, seed: u64) {
         let global = rand_tensor(dims, seed);
-        let expect = syrk(&unfold(&global, n));
+        // `gram` is itself proptested against the explicit-unfold SYRK
+        // reference in tucker-tensor; here it serves as the sequential
+        // reference.
+        let expect = gram(&global, n);
         let grid = Grid::new(grid_dims.to_vec());
         let out = Universe::run(grid.nranks(), |ctx| {
             let dt = DistTensor::scatter_from_global(ctx, &global, &grid);

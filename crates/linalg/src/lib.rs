@@ -5,7 +5,9 @@
 //!
 //! * [`Matrix`] — a column-major dense `f64` matrix,
 //! * [`gemm`] — blocked, optionally rayon-parallel matrix multiply,
-//! * [`syrk`] — symmetric rank-k update `C = A·Aᵀ` exploiting symmetry,
+//! * [`syrk`] — symmetric rank-k update `C = A·Aᵀ` exploiting symmetry, with
+//!   accumulating (`β`-aware) and raw-slice `AᵀA` entry points backing the
+//!   fused Gram kernel in `tucker-tensor`,
 //! * [`qr`] — Householder QR factorization (orthonormalization),
 //! * [`evd`] — symmetric eigendecomposition via Householder tridiagonalization
 //!   followed by the implicit-shift QL iteration, with a cyclic Jacobi solver
@@ -29,7 +31,7 @@ pub use gemm::{gemm, gemm_into, Transpose};
 pub use matrix::Matrix;
 pub use qr::{householder_qr, orthonormal_columns};
 pub use svd::{leading_from_gram, leading_left_singular_vectors, GramSvd};
-pub use syrk::{syrk, syrk_into};
+pub use syrk::{mirror_lower, syrk, syrk_aat_lower, syrk_ata_lower, syrk_into, unrolled_dot};
 
 /// Relative tolerance used by the crate's internal convergence checks.
 pub const EPS: f64 = 1e-12;

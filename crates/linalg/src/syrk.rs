@@ -3,6 +3,16 @@
 //! The paper's SVD step computes Gram matrices `G = Z(n) · Z(n)ᵀ` and notes
 //! that the symmetry should be exploited (§5, "dysrk calls which exploits the
 //! symmetry in the product"). We compute only the lower triangle and mirror.
+//!
+//! Two families of entry points live here:
+//!
+//! * [`syrk`] / [`syrk_into`] — `C = α·A·Aᵀ + β·C` on owned [`Matrix`]
+//!   operands (the classic `dsyrk` shape);
+//! * [`syrk_ata_lower`] — an accumulating `C += AᵀA` rank-k update on raw
+//!   column-major slices, restricted to a row range. This is the building
+//!   block of the fused Gram kernel in `tucker-tensor`: each contiguous slab
+//!   of the canonical tensor layout is one such contribution, so no unfolding
+//!   is ever materialized.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -58,11 +68,102 @@ pub fn syrk_into(a: &Matrix, alpha: f64, beta: f64, c: &mut Matrix) {
         c_buf.chunks_mut(m).enumerate().for_each(do_col);
     }
 
-    // Mirror lower triangle into upper.
-    for j in 0..m {
-        for i in (j + 1)..m {
-            let v = c[(i, j)];
-            c[(j, i)] = v;
+    mirror_lower(c.as_mut_slice(), m);
+}
+
+/// Accumulating lower-triangle `AᵀA` update on raw column-major storage:
+/// `C[l₁, l₂] += Σ_{r0 ≤ r < r1} A[r, l₁] · A[r, l₂]` for every `l₂ ≤ l₁`.
+///
+/// `a` holds `n` columns with leading dimension `lda` (only rows `r0..r1`
+/// are read); `c` is a column-major `n × n` buffer of which only the lower
+/// triangle is written. Callers sum any number of such contributions and
+/// mirror once at the end with [`mirror_lower`].
+///
+/// Each inner product runs over a *contiguous* slice of `a`, which is what
+/// makes this the right primitive for Gram matrices computed slab-by-slab
+/// from the canonical tensor layout.
+///
+/// # Panics
+/// Debug-panics if the row range or buffer lengths are inconsistent.
+pub fn syrk_ata_lower(a: &[f64], lda: usize, n: usize, r0: usize, r1: usize, c: &mut [f64]) {
+    debug_assert!(
+        r0 <= r1 && r1 <= lda,
+        "row range {r0}..{r1} exceeds lda {lda}"
+    );
+    debug_assert!(n == 0 || a.len() >= (n - 1) * lda + r1, "operand too short");
+    debug_assert_eq!(c.len(), n * n, "output must be {n}x{n}");
+    if r0 == r1 {
+        return;
+    }
+    for (l2, cc) in c.chunks_mut(n).enumerate() {
+        let y = &a[l2 * lda + r0..l2 * lda + r1];
+        for (cv, x_col) in cc[l2..].iter_mut().zip(a[l2 * lda..].chunks(lda)) {
+            *cv += unrolled_dot(&x_col[r0..r1], y);
+        }
+    }
+}
+
+/// Dot product with eight independent partial sums: breaking the
+/// floating-point reduction chain lets the backend keep the FMA pipeline
+/// full (a single-accumulator loop serializes on the add latency). Shared by
+/// the `AᵀA` update above and the contiguous-fiber kernels in
+/// `tucker-tensor`.
+///
+/// # Panics
+/// Debug-panics if the slices differ in length.
+#[inline]
+pub fn unrolled_dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    const LANES: usize = 8;
+    let mut acc = [0.0f64; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        for l in 0..LANES {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut s = 0.0;
+    for (xv, yv) in xc.remainder().iter().zip(yc.remainder()) {
+        s += xv * yv;
+    }
+    s + ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
+}
+
+/// Accumulating lower-triangle `A·Aᵀ` update over a contiguous **column**
+/// range of a column-major `m × k` matrix given as a raw slice:
+/// `C[i, j] += Σ_{c0 ≤ l < c1} A[i, l] · A[j, l]` for every `j ≤ i`.
+///
+/// This is the rank-1-per-column (axpy) formulation of the Gram update —
+/// the right shape when the vectors are contiguous columns, e.g. mode-0
+/// fibers in the canonical tensor layout (where the unfolding is the raw
+/// buffer itself). Pair with [`mirror_lower`] once all contributions are in.
+///
+/// # Panics
+/// Debug-panics if the column range or buffer lengths are inconsistent.
+pub fn syrk_aat_lower(a: &[f64], m: usize, c0: usize, c1: usize, c: &mut [f64]) {
+    debug_assert!(c0 <= c1 && c1 * m <= a.len(), "column range out of bounds");
+    debug_assert_eq!(c.len(), m * m, "output must be {m}x{m}");
+    for col in a[c0 * m..c1 * m].chunks_exact(m) {
+        for (j, &v) in col.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let cj = &mut c[j * m..(j + 1) * m];
+            for (cv, av) in cj[j..].iter_mut().zip(&col[j..]) {
+                *cv += v * av;
+            }
+        }
+    }
+}
+
+/// Copy the lower triangle of a column-major `n × n` buffer into the upper
+/// triangle, making it exactly symmetric.
+pub fn mirror_lower(c: &mut [f64], n: usize) {
+    debug_assert_eq!(c.len(), n * n);
+    for j in 0..n {
+        for i in (j + 1)..n {
+            c[i * n + j] = c[j * n + i];
         }
     }
 }
@@ -142,5 +243,50 @@ mod tests {
         let c = syrk(&a);
         assert_eq!(c.shape(), (4, 4));
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ata_lower_matches_gemm() {
+        let a = rand_mat(9, 5, 11);
+        let mut c = vec![0.0; 25];
+        syrk_ata_lower(a.as_slice(), 9, 5, 0, 9, &mut c);
+        mirror_lower(&mut c, 5);
+        let got = Matrix::from_vec(5, 5, c);
+        let want = gemm(&a, Transpose::Yes, &a, Transpose::No, 1.0);
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn ata_lower_row_ranges_accumulate() {
+        // Splitting the row range in two and summing must equal one pass.
+        let a = rand_mat(10, 4, 12);
+        let mut whole = vec![0.0; 16];
+        syrk_ata_lower(a.as_slice(), 10, 4, 0, 10, &mut whole);
+        let mut split = vec![0.0; 16];
+        syrk_ata_lower(a.as_slice(), 10, 4, 0, 3, &mut split);
+        syrk_ata_lower(a.as_slice(), 10, 4, 3, 10, &mut split);
+        for (w, s) in whole.iter().zip(&split) {
+            assert!((w - s).abs() < 1e-13);
+        }
+        // Empty range is a no-op.
+        let before = split.clone();
+        syrk_ata_lower(a.as_slice(), 10, 4, 7, 7, &mut split);
+        assert_eq!(split, before);
+    }
+
+    #[test]
+    fn mirror_lower_symmetrizes_exactly() {
+        // Column-major 3x3 with garbage in the upper triangle.
+        let mut c = vec![1.0, 2.0, 3.0, 9.0, 4.0, 5.0, 9.0, 9.0, 6.0];
+        mirror_lower(&mut c, 3);
+        let m = Matrix::from_vec(3, 3, c);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 2)], 5.0);
     }
 }

@@ -1,20 +1,74 @@
 //! Dense tensor storage.
+//!
+//! In debug builds this module also maintains a **tensor-buffer allocation
+//! counter** (thread-local, see [`tensor_buffer_allocs`]): every fresh
+//! tensor-sized buffer — a constructor allocation, a [`Clone`], or a pooled
+//! buffer outgrowing its capacity in `ttm_into` — bumps it. The counter backs
+//! the allocation-regression smoke test asserting that a steady-state HOOI
+//! iteration (fused Gram + workspace TTM) performs zero tensor-buffer
+//! allocations. Release builds compile the counter out entirely.
 
 use crate::shape::Shape;
 use rand::distributions::Distribution;
 use rand::Rng;
 
+#[cfg(debug_assertions)]
+thread_local! {
+    static BUFFER_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of tensor-buffer allocations observed **on the calling thread** so
+/// far (debug builds only; always 0 in release builds, where the counter is
+/// compiled out). Take a snapshot before and after a region to assert it is
+/// allocation-free.
+///
+/// The counter is deliberately thread-local rather than process-wide: a
+/// global atomic would let every concurrently running test bleed into the
+/// snapshot window and make the allocation-regression tests flaky. The
+/// trade-off is a blind spot for allocations made on rayon worker threads —
+/// which the kernels never do by design: parallel closures only receive
+/// `&mut [f64]` chunks of pre-sized buffers. Keep it that way; a tensor
+/// constructed inside a `par_chunks_mut` closure would escape this counter.
+pub fn tensor_buffer_allocs() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        BUFFER_ALLOCS.with(|c| c.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// Record one tensor-buffer allocation (no-op in release builds).
+#[inline]
+pub(crate) fn note_buffer_alloc() {
+    #[cfg(debug_assertions)]
+    BUFFER_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
 /// A dense `f64` tensor in the canonical mode-0-fastest layout.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct DenseTensor {
     shape: Shape,
     data: Vec<f64>,
+}
+
+impl Clone for DenseTensor {
+    fn clone(&self) -> Self {
+        note_buffer_alloc();
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl DenseTensor {
     /// Zero-filled tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
+        note_buffer_alloc();
         let data = vec![0.0; shape.cardinality()];
         Self { shape, data }
     }
@@ -22,6 +76,7 @@ impl DenseTensor {
     /// Tensor built from a closure over coordinates.
     pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f64) -> Self {
         let shape = shape.into();
+        note_buffer_alloc();
         let mut data = Vec::with_capacity(shape.cardinality());
         for c in shape.coords() {
             data.push(f(&c));
@@ -30,6 +85,9 @@ impl DenseTensor {
     }
 
     /// Wrap an existing canonical-layout buffer.
+    ///
+    /// Does not bump the allocation counter: the buffer may be a recycled
+    /// workspace buffer (the caller that created it fresh already counted it).
     ///
     /// # Panics
     /// Panics if the buffer length does not match the shape cardinality.
@@ -51,6 +109,7 @@ impl DenseTensor {
         rng: &mut R,
     ) -> Self {
         let shape = shape.into();
+        note_buffer_alloc();
         let data = (0..shape.cardinality()).map(|_| dist.sample(rng)).collect();
         Self { shape, data }
     }
@@ -189,5 +248,19 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_length_checked() {
         let _ = DenseTensor::from_vec([2, 2], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn alloc_counter_tracks_fresh_buffers_only() {
+        if !cfg!(debug_assertions) {
+            return; // counter compiled out in release builds
+        }
+        let t0 = tensor_buffer_allocs();
+        let t = DenseTensor::zeros([3, 3]);
+        let _c = t.clone();
+        assert_eq!(tensor_buffer_allocs() - t0, 2, "zeros + clone count");
+        let t1 = tensor_buffer_allocs();
+        let _w = DenseTensor::from_vec([3, 3], t.clone().into_vec()); // clone counts,
+        assert_eq!(tensor_buffer_allocs() - t1, 1, "from_vec wrap does not");
     }
 }

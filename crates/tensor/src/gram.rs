@@ -1,0 +1,275 @@
+//! Fused Gram kernels: `G = T(n) · T(n)ᵀ` straight from the canonical
+//! layout — **no unfolding is ever materialized**.
+//!
+//! The mode-`n` unfolding's column `f = i + o·inner` is the fiber starting at
+//! linear offset `o·inner·L_n + i` with stride `inner` (see
+//! [`crate::unfold`]). Slab `o` — the contiguous block
+//! `[o·inner·L_n, (o+1)·inner·L_n)` — is therefore an `inner × L_n`
+//! column-major matrix `S_o` whose `L_n` columns are contiguous in memory,
+//! and the Gram matrix decomposes into a sum of rank-`inner` updates on
+//! contiguous storage:
+//!
+//! ```text
+//! G = T(n)·T(n)ᵀ = Σ_o S_oᵀ · S_o
+//! ```
+//!
+//! [`gram`] evaluates that sum with [`tucker_linalg::syrk_ata_lower`]
+//! (lower-triangle dot products over contiguous slab columns), splitting the
+//! fiber range across rayon workers with per-worker accumulators merged by a
+//! pairwise tree reduction. [`gram_cols`] restricts the sum to a contiguous
+//! column range `[c0, c0 + len)` of the unfolding, which is how the
+//! distributed Gram takes its balanced `1/q_n` share without copying columns
+//! into a scratch matrix.
+//!
+//! The explicit-unfold formulation `syrk(&unfold(t, n))` survives only as the
+//! baseline arm of the kernel-ablation bench; see `ROADMAP.md` and the
+//! `BENCH_kernels.json` trajectory for the measured gap.
+
+use crate::dense::DenseTensor;
+use rayon::prelude::*;
+use tucker_linalg::{mirror_lower, syrk_aat_lower, syrk_ata_lower, Matrix};
+
+/// Minimum multiply-add count before the fiber range is split across threads.
+const PAR_MIN_WORK: usize = 1 << 15;
+
+/// Accumulate the lower triangle of the Gram contribution of fibers
+/// `[f0, f0 + len)` into `acc` (column-major `L_n × L_n`), walking the slabs
+/// that overlap the range.
+fn accumulate_fiber_range(t: &DenseTensor, n: usize, f0: usize, len: usize, acc: &mut [f64]) {
+    let shape = t.shape();
+    let ln = shape.dim(n);
+    let inner = shape.inner_extent(n);
+    let src = t.as_slice();
+
+    if inner == 1 {
+        // Mode 0: fibers are the contiguous columns of the raw buffer viewed
+        // as an `L_0 × nf` matrix — rank-1 (axpy) updates, no slab walk.
+        syrk_aat_lower(src, ln, f0, f0 + len, acc);
+        return;
+    }
+
+    let slab_len = inner * ln;
+    let f1 = f0 + len;
+    let mut f = f0;
+    while f < f1 {
+        let o = f / inner;
+        let i0 = f - o * inner;
+        let i1 = inner.min(i0 + (f1 - f));
+        let slab = &src[o * slab_len..(o + 1) * slab_len];
+        syrk_ata_lower(slab, inner, ln, i0, i1, acc);
+        f += i1 - i0;
+    }
+}
+
+/// The Gram matrix `G = T(n) · T(n)ᵀ` (`L_n × L_n`), computed directly from
+/// the canonical layout without materializing the unfolding.
+///
+/// Numerically equivalent to `syrk(&unfold(t, n))`; the fiber-parallel path
+/// regroups the summation per worker, so results can differ by a few ulps.
+///
+/// # Panics
+/// Panics if `n` is not a valid mode.
+pub fn gram(t: &DenseTensor, n: usize) -> Matrix {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range for {shape}");
+    let ln = shape.dim(n);
+    let nf = shape.num_fibers(n);
+    let m = ln * ln;
+
+    let work = nf * ln * (ln + 1) / 2;
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(nf);
+    if work < PAR_MIN_WORK || workers <= 1 {
+        let mut g = Matrix::zeros(ln, ln);
+        accumulate_fiber_range(t, n, 0, nf, g.as_mut_slice());
+        mirror_lower(g.as_mut_slice(), ln);
+        return g;
+    }
+
+    // Per-worker accumulators over contiguous fiber ranges ...
+    let per = nf.div_ceil(workers);
+    let nchunks = nf.div_ceil(per);
+    let mut acc = vec![0.0; nchunks * m];
+    acc.par_chunks_mut(m).enumerate().for_each(|(w, buf)| {
+        let f0 = w * per;
+        let f1 = nf.min(f0 + per);
+        accumulate_fiber_range(t, n, f0, f1 - f0, buf);
+    });
+
+    // ... merged by pairwise tree reduction into chunk 0.
+    let mut width = nchunks;
+    while width > 1 {
+        let half = width.div_ceil(2);
+        let (lo, hi) = acc.split_at_mut(half * m);
+        for i in half..width {
+            let src = &hi[(i - half) * m..(i - half + 1) * m];
+            for (d, s) in lo[(i - half) * m..].iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        width = half;
+    }
+    acc.truncate(m);
+    let mut g = Matrix::from_vec(ln, ln, acc);
+    mirror_lower(g.as_mut_slice(), ln);
+    g
+}
+
+/// Gram contribution of the contiguous unfolding-column range
+/// `[c0, c0 + len)`: the `L_n × L_n` matrix `U · Uᵀ` where `U` is
+/// `unfold(t, n)` restricted to those columns — computed in place from the
+/// canonical layout, no column copy.
+///
+/// Summing [`gram_cols`] over any partition of `0..num_fibers(n)` yields
+/// [`gram`]. An empty range (`len == 0`) returns the zero matrix, so callers
+/// may hand trailing ranks empty shares.
+///
+/// Runs sequentially: the intended caller is one simulated MPI rank, which
+/// is already a thread of its own.
+///
+/// # Panics
+/// Panics if `n` is out of range or the column range exceeds the number of
+/// mode-`n` fibers.
+pub fn gram_cols(t: &DenseTensor, n: usize, c0: usize, len: usize) -> Matrix {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range for {shape}");
+    let nf = shape.num_fibers(n);
+    assert!(
+        c0 + len <= nf,
+        "column range {c0}..{} exceeds {nf} mode-{n} fibers",
+        c0 + len
+    );
+    let ln = shape.dim(n);
+    let mut g = Matrix::zeros(ln, ln);
+    accumulate_fiber_range(t, n, c0, len, g.as_mut_slice());
+    mirror_lower(g.as_mut_slice(), ln);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use crate::unfold::unfold;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tucker_linalg::syrk;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+        DenseTensor::random(Shape::new(dims.to_vec()), &dist, &mut rng)
+    }
+
+    #[test]
+    fn matches_unfold_syrk_all_modes() {
+        let t = rand_tensor(&[5, 4, 3, 6], 1);
+        for n in 0..4 {
+            let g = gram(&t, n);
+            let r = syrk(&unfold(&t, n));
+            assert_eq!(g.shape(), r.shape());
+            assert!(g.max_abs_diff(&r) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        // Big enough to clear PAR_MIN_WORK on any mode.
+        let t = rand_tensor(&[24, 20, 18], 2);
+        for n in 0..3 {
+            let g = gram(&t, n);
+            let r = syrk(&unfold(&t, n));
+            assert!(g.max_abs_diff(&r) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn gram_is_exactly_symmetric() {
+        let t = rand_tensor(&[9, 8, 7], 3);
+        for n in 0..3 {
+            let g = gram(&t, n);
+            for i in 0..t.shape().dim(n) {
+                for j in 0..t.shape().dim(n) {
+                    assert_eq!(g[(i, j)], g[(j, i)], "mode {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cols_partitions_sum_to_full() {
+        let t = rand_tensor(&[4, 5, 6], 4);
+        for n in 0..3 {
+            let nf = t.shape().num_fibers(n);
+            let full = gram(&t, n);
+            for parts in [1usize, 2, 3, 7] {
+                let per = nf.div_ceil(parts);
+                let mut sum = Matrix::zeros(full.nrows(), full.ncols());
+                let mut c0 = 0;
+                for _ in 0..parts {
+                    let len = per.min(nf - c0);
+                    let part = gram_cols(&t, n, c0, len);
+                    for (s, p) in sum.as_mut_slice().iter_mut().zip(part.as_slice()) {
+                        *s += p;
+                    }
+                    c0 += len;
+                }
+                assert!(
+                    sum.max_abs_diff(&full) < 1e-12,
+                    "mode {n}, {parts} partitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cols_slices_partial_slabs_correctly() {
+        // A range that starts and ends mid-slab on a mode with inner > 1.
+        let t = rand_tensor(&[3, 5, 4], 5);
+        let u = unfold(&t, 1); // 5 x 12, inner = 3
+        let (c0, len) = (2, 7);
+        let g = gram_cols(&t, 1, c0, len);
+        let mut r = Matrix::zeros(5, 5);
+        for j in c0..c0 + len {
+            let col = u.col(j);
+            for l1 in 0..5 {
+                for l2 in 0..5 {
+                    r[(l1, l2)] += col[l1] * col[l2];
+                }
+            }
+        }
+        assert!(g.max_abs_diff(&r) < 1e-12);
+    }
+
+    #[test]
+    fn empty_range_gives_zero_matrix() {
+        let t = rand_tensor(&[4, 3], 6);
+        let g = gram_cols(&t, 0, 3, 0);
+        assert_eq!(g.shape(), (4, 4));
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn single_mode_tensor() {
+        let t = rand_tensor(&[7], 7);
+        let g = gram(&t, 0);
+        let r = syrk(&unfold(&t, 0));
+        assert!(g.max_abs_diff(&r) < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_mode_panics() {
+        let t = rand_tensor(&[2, 2], 8);
+        let _ = gram(&t, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overlong_column_range_panics() {
+        let t = rand_tensor(&[2, 3], 9);
+        let _ = gram_cols(&t, 0, 2, 2);
+    }
+}

@@ -8,12 +8,18 @@
 //! * a **mode-n fiber** is a vector varying the `n`-th coordinate with all
 //!   other coordinates fixed — see [`fiber`];
 //! * the **mode-n unfolding** `T(n)` is the `L_n × (|T|/L_n)` matrix whose
-//!   columns are the mode-n fibers in lexicographic order — see [`unfold`];
+//!   columns are the mode-n fibers in lexicographic order — see [`unfold`]
+//!   (tests and the ablation baseline only; hot paths never materialize it);
 //! * the **tensor-times-matrix product** `Z = T ×_n A` applies the linear map
 //!   `A` to every mode-n fiber — see [`ttm`]. The kernel uses the blocking
 //!   strategy of Austin et al. (paper §5) that avoids materializing the
 //!   unfolding by decomposing the product into a batch of GEMM calls on
-//!   contiguous slabs;
+//!   contiguous slabs; [`ttm::ttm_into`] + [`ttm::TtmWorkspace`] reuse
+//!   grow-only output buffers so iterative pipelines allocate nothing at
+//!   steady state;
+//! * the **Gram matrix** `T(n) · T(n)ᵀ` feeding the SVD step is computed by
+//!   the fused slab-wise kernel in [`gram`] (with a column-range variant for
+//!   the distributed 1/qₙ shares) — again without materializing `T(n)`;
 //! * **TTM-chains** (`×_{n₁} A₁ ×_{n₂} A₂ …`, commutative) — see
 //!   [`ttm::ttm_chain`].
 //!
@@ -23,13 +29,15 @@
 
 pub mod dense;
 pub mod fiber;
+pub mod gram;
 pub mod norm;
 pub mod shape;
 pub mod subtensor;
 pub mod ttm;
 pub mod unfold;
 
-pub use dense::DenseTensor;
+pub use dense::{tensor_buffer_allocs, DenseTensor};
+pub use gram::{gram, gram_cols};
 pub use shape::Shape;
-pub use ttm::{ttm, ttm_chain};
+pub use ttm::{ttm, ttm_chain, ttm_into, TtmWorkspace};
 pub use unfold::{fold, unfold};

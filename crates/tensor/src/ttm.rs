@@ -10,10 +10,21 @@
 //! `Out_o = In_o · Aᵀ` on those slabs — **no unfolding is ever
 //! materialized**. Slabs are independent, so the batch is rayon-parallel.
 //!
+//! The workhorse entry point is [`ttm_into`], which writes into a
+//! caller-provided grow-only buffer; [`TtmWorkspace`] pools such buffers so
+//! TTM chains ping-pong between two reused buffers (trees cycle through a
+//! small pool, one live buffer per depth level) and steady-state HOOI /
+//! STHOSVD iterations perform **zero tensor-sized allocations**. The classic
+//! allocating [`ttm`] survives as a thin wrapper over [`ttm_into`].
+//!
 //! [`ttm_explicit_unfold`] is the naive reference (materialize `T(n)`,
-//! multiply, fold back); it is kept for tests and the kernel ablation bench.
+//! multiply, fold back); together with `unfold`/`fold` themselves it exists
+//! only for tests and the baseline arm of the kernel-ablation bench — the
+//! invariant that no hot path materializes an unfolding is enforced by the
+//! allocation-regression smoke test in `tucker-core`.
 
-use crate::dense::DenseTensor;
+use crate::dense::{note_buffer_alloc, DenseTensor};
+use crate::shape::Shape;
 use crate::unfold::{fold, unfold};
 use rayon::prelude::*;
 use tucker_linalg::{gemm, Matrix, Transpose};
@@ -23,9 +34,28 @@ const PAR_MIN_WORK: usize = 1 << 14;
 
 /// `Z = T ×_n A` with `A` of shape `K × L_n`.
 ///
+/// Thin allocating wrapper over [`ttm_into`]; hot loops should hold a
+/// [`TtmWorkspace`] and reuse buffers instead.
+///
 /// # Panics
 /// Panics if `n` is out of range or `A.ncols() != L_n`.
 pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
+    let mut out = Vec::new();
+    let shape = ttm_into(t, n, a, &mut out);
+    DenseTensor::from_vec(shape, out)
+}
+
+/// `Z = T ×_n A` written into `out`, returning `Z`'s shape.
+///
+/// `out` is cleared and resized to the output cardinality; its capacity is
+/// grow-only, so reusing the same buffer across calls allocates only until
+/// the largest output has been seen (each capacity growth is counted as one
+/// tensor-buffer allocation, see
+/// [`tensor_buffer_allocs`](crate::dense::tensor_buffer_allocs)).
+///
+/// # Panics
+/// Panics if `n` is out of range or `A.ncols() != L_n`.
+pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Shape {
     let shape = t.shape();
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
     let ln = shape.dim(n);
@@ -40,7 +70,11 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
     let inner = shape.inner_extent(n);
     let outer = shape.outer_extent(n);
     let out_shape = shape.with_dim(n, k);
-    let mut out = vec![0.0; out_shape.cardinality()];
+    if out.capacity() < out_shape.cardinality() {
+        note_buffer_alloc();
+    }
+    out.clear();
+    out.resize(out_shape.cardinality(), 0.0);
     let src = t.as_slice();
     let a_buf = a.as_slice(); // column-major K x Ln: A[k,l] = a_buf[k + l*K]
 
@@ -48,9 +82,20 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
     let out_slab = inner * k;
     let work = in_slab * k;
 
+    // inner == 1 (mode 0): each slab is one contiguous fiber and each output
+    // element is a plain dot product against a row of A. Transpose A once
+    // (Aᵀ's columns are A's rows, contiguous) so the dots run over
+    // contiguous memory with the unrolled kernel.
+    let a_rows: Option<Matrix> = (inner == 1).then(|| a.transpose());
+
     let do_slab = |(o, dst): (usize, &mut [f64])| {
         let s = &src[o * in_slab..(o + 1) * in_slab];
-        if inner >= 16 {
+        if let Some(at) = &a_rows {
+            // dst[kk] = <A[kk, :], fiber>; dst is freshly zeroed, write once.
+            for (d, row) in dst.iter_mut().zip(at.as_slice().chunks_exact(ln)) {
+                *d = tucker_linalg::unrolled_dot(row, s);
+            }
+        } else if inner >= 16 {
             // Out_o(:, kk) += A[kk, l] * In_o(:, l) — long axpys over `inner`.
             for l in 0..ln {
                 let sl = &s[l * inner..(l + 1) * inner];
@@ -66,9 +111,8 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
                 }
             }
         } else {
-            // Small inner (e.g. mode 0, inner == 1): iterate the `inner`
-            // interleaved fibers and do axpys over K using A's contiguous
-            // columns.
+            // Small inner (1 < inner < 16): iterate the `inner` interleaved
+            // fibers and do axpys over K using A's contiguous columns.
             for i in 0..inner {
                 for l in 0..ln {
                     let x = s[i + l * inner];
@@ -90,7 +134,105 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
         out.chunks_mut(out_slab).enumerate().for_each(do_slab);
     }
 
-    DenseTensor::from_vec(out_shape, out)
+    out_shape
+}
+
+/// Grow-only buffer pool for TTM pipelines.
+///
+/// A chain (`T ×_{n₁} A₁ ×_{n₂} A₂ …`) ping-pongs between two pooled
+/// buffers: each step acquires one, writes into it, and recycles its
+/// predecessor. TTM-tree evaluation cycles through a slightly larger pool —
+/// one live buffer per depth level plus siblings still awaiting their turn.
+/// Either way, once the pool has seen one full iteration, subsequent
+/// identical iterations acquire exact-size buffers and perform **zero
+/// tensor-sized allocations**.
+///
+/// Buffers keep their capacity when recycled; `acquire` picks the smallest
+/// buffer that fits (falling back to growing the largest) so steady-state
+/// workloads with a fixed shape schedule converge to an allocation-free
+/// fixed point.
+#[derive(Default)]
+pub struct TtmWorkspace {
+    free: Vec<Vec<f64>>,
+}
+
+impl TtmWorkspace {
+    /// An empty workspace (no buffers until the first recycle/growth).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `Z = T ×_n A` into a pooled buffer. Allocation-free once the pool
+    /// holds a buffer of sufficient capacity.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range or `A.ncols() != L_n`.
+    pub fn ttm(&mut self, t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
+        let out_card = t.cardinality() / t.shape().dim(n) * a.nrows();
+        let mut buf = self.acquire(out_card);
+        let shape = ttm_into(t, n, a, &mut buf);
+        DenseTensor::from_vec(shape, buf)
+    }
+
+    /// TTM-chain over distinct modes, ping-ponging between pooled buffers
+    /// (intermediates are recycled as soon as the next step consumed them).
+    ///
+    /// # Panics
+    /// Panics if a mode repeats or any operand shape is inconsistent.
+    pub fn ttm_chain(&mut self, t: &DenseTensor, ops: &[(usize, &Matrix)]) -> DenseTensor {
+        validate_chain_modes(t, ops);
+        let mut cur: Option<DenseTensor> = None;
+        for &(n, a) in ops {
+            let next = match cur.as_ref() {
+                None => self.ttm(t, n, a),
+                Some(z) => self.ttm(z, n, a),
+            };
+            if let Some(old) = cur.replace(next) {
+                self.recycle(old);
+            }
+        }
+        cur.unwrap_or_else(|| t.clone())
+    }
+
+    /// Return a tensor's buffer to the pool for reuse.
+    pub fn recycle(&mut self, t: DenseTensor) {
+        self.free.push(t.into_vec());
+    }
+
+    /// Pop the best-fitting free buffer: the smallest whose capacity covers
+    /// `len`, else the largest available (it will grow once), else a fresh
+    /// empty `Vec` (growth is counted by [`ttm_into`]).
+    fn acquire(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<(bool, usize, usize)> = None; // (fits, capacity, index)
+        for (i, b) in self.free.iter().enumerate() {
+            let cap = b.capacity();
+            let fits = cap >= len;
+            let better = match best {
+                None => true,
+                Some((bf, bc, _)) => {
+                    if fits != bf {
+                        fits
+                    } else if fits {
+                        cap < bc
+                    } else {
+                        cap > bc
+                    }
+                }
+            };
+            if better {
+                best = Some((fits, cap, i));
+            }
+        }
+        match best {
+            Some((_, _, i)) => self.free.swap_remove(i),
+            None => Vec::new(),
+        }
+    }
 }
 
 /// Reference TTM that materializes the unfolding: `fold(A · unfold(T, n))`.
@@ -109,24 +251,23 @@ pub fn ttm_explicit_unfold(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor
 /// `ops` pairs each mode with its matrix. By the commutativity of TTM-chains
 /// (paper §2.1) any order yields the same tensor; order only affects cost.
 ///
+/// Convenience wrapper over [`TtmWorkspace::ttm_chain`] with a throwaway
+/// workspace (intermediates still ping-pong between two buffers).
+///
 /// # Panics
 /// Panics if a mode repeats or any operand shape is inconsistent.
 pub fn ttm_chain(t: &DenseTensor, ops: &[(usize, &Matrix)]) -> DenseTensor {
+    TtmWorkspace::new().ttm_chain(t, ops)
+}
+
+/// Shared validation for TTM-chains: every mode in range, none repeated.
+fn validate_chain_modes(t: &DenseTensor, ops: &[(usize, &Matrix)]) {
     let mut seen = vec![false; t.order()];
     for &(n, _) in ops {
         assert!(n < t.order(), "mode {n} out of range");
         assert!(!seen[n], "mode {n} repeated in TTM-chain");
         seen[n] = true;
     }
-    let mut cur: Option<DenseTensor> = None;
-    for &(n, a) in ops {
-        let next = match &cur {
-            None => ttm(t, n, a),
-            Some(z) => ttm(z, n, a),
-        };
-        cur = Some(next);
-    }
-    cur.unwrap_or_else(|| t.clone())
 }
 
 #[cfg(test)]
@@ -279,5 +420,74 @@ mod tests {
         let t = rand_tensor(&[3, 4], 11);
         let a = rand_mat(2, 5, 110);
         let _ = ttm(&t, 0, &a);
+    }
+
+    #[test]
+    fn ttm_into_reuses_buffer_without_reallocation() {
+        let t = rand_tensor(&[6, 5, 4], 12);
+        let a = rand_mat(3, 5, 120);
+        let mut buf = Vec::new();
+        let s1 = ttm_into(&t, 1, &a, &mut buf);
+        assert_eq!(s1.dims(), &[6, 3, 4]);
+        let first = DenseTensor::from_vec(s1, std::mem::take(&mut buf));
+        assert!(first.max_abs_diff(&ttm(&t, 1, &a)) == 0.0);
+        // Reuse for a smaller output: capacity must not shrink, result exact.
+        let mut buf = first.into_vec();
+        let cap = buf.capacity();
+        let b = rand_mat(2, 6, 121);
+        let s2 = ttm_into(&t, 0, &b, &mut buf);
+        assert!(buf.capacity() >= cap, "grow-only buffer must keep capacity");
+        let second = DenseTensor::from_vec(s2, buf);
+        assert!(second.max_abs_diff(&ttm(&t, 0, &b)) < 1e-15);
+    }
+
+    #[test]
+    fn workspace_chain_matches_fresh_ttm() {
+        let t = rand_tensor(&[4, 5, 6], 13);
+        let mats: Vec<Matrix> = (0..3)
+            .map(|n| rand_mat(2 + n, t.shape().dim(n), 130 + n as u64))
+            .collect();
+        let ops: Vec<(usize, &Matrix)> = mats.iter().enumerate().collect();
+        let mut ws = TtmWorkspace::new();
+        // Repeat with the same workspace: reused buffers must stay exact.
+        for _ in 0..3 {
+            let z = ws.ttm_chain(&t, &ops);
+            let r = ttm_chain(&t, &ops);
+            assert_eq!(z.shape(), r.shape());
+            assert_eq!(z.max_abs_diff(&r), 0.0);
+            ws.recycle(z);
+        }
+        assert!(ws.pooled() >= 1);
+    }
+
+    #[test]
+    fn warm_workspace_chain_is_allocation_free() {
+        if !cfg!(debug_assertions) {
+            return; // counter compiled out in release builds
+        }
+        let t = rand_tensor(&[8, 7, 6], 14);
+        let mats: Vec<Matrix> = (0..3)
+            .map(|n| rand_mat(3, t.shape().dim(n), 140 + n as u64))
+            .collect();
+        let ops: Vec<(usize, &Matrix)> = mats.iter().enumerate().collect();
+        let mut ws = TtmWorkspace::new();
+        let warm = ws.ttm_chain(&t, &ops);
+        ws.recycle(warm);
+        let before = crate::dense::tensor_buffer_allocs();
+        let z = ws.ttm_chain(&t, &ops);
+        assert_eq!(
+            crate::dense::tensor_buffer_allocs(),
+            before,
+            "warm ping-pong chain must not allocate tensor buffers"
+        );
+        ws.recycle(z);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in TTM-chain")]
+    fn workspace_chain_rejects_duplicate_modes() {
+        let t = rand_tensor(&[3, 3], 15);
+        let a = rand_mat(2, 3, 150);
+        let _ = TtmWorkspace::new().ttm_chain(&t, &[(0, &a), (0, &a)]);
     }
 }

@@ -8,9 +8,12 @@
 //! `I = ∏_{j<n} L_j`, and its element `l` sits at linear offset
 //! `i + l·I + o·I·L_n` in the tensor buffer.
 //!
-//! The engine never materializes unfoldings on the hot path (see
-//! [`crate::ttm`]); these functions exist for the SVD/Gram step, tests, and
-//! the explicit-unfold baseline used by the kernel ablation bench.
+//! **Invariant:** nothing on a hot path materializes an unfolding. TTMs use
+//! the blocked slab kernel ([`crate::ttm`]) and the SVD/Gram step uses the
+//! fused slab-wise kernel ([`crate::gram`]), both reading the canonical
+//! layout in place. `unfold`/`fold` exist *only* for tests and for the
+//! explicit-unfold baseline arm of the kernel-ablation bench; the
+//! allocation-regression smoke test in `tucker-core` keeps it that way.
 
 use crate::dense::DenseTensor;
 use crate::shape::Shape;

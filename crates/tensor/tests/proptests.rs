@@ -10,7 +10,9 @@ use rand::SeedableRng;
 use tucker_linalg::Matrix;
 use tucker_tensor::norm::fro_norm_sq;
 use tucker_tensor::subtensor::{extract, insert, Region};
-use tucker_tensor::{fold, ttm, ttm_chain, unfold, DenseTensor, Shape};
+use tucker_tensor::{
+    fold, gram, gram_cols, ttm, ttm_chain, unfold, DenseTensor, Shape, TtmWorkspace,
+};
 
 /// Strategy: a small random shape with 1..=4 modes of length 1..=6.
 fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
@@ -87,6 +89,71 @@ proptest! {
         let a = q.transpose();
         let z = ttm(&t, n, &a);
         prop_assert!(fro_norm_sq(&z) <= fro_norm_sq(&t) * (1.0 + 1e-10));
+    }
+
+    /// The fused Gram kernel matches the explicit-unfold reference
+    /// `syrk(&unfold(T, n))` elementwise on every mode.
+    #[test]
+    fn gram_matches_unfold_syrk(dims in shape_strategy(), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        for n in 0..t.order() {
+            let g = gram(&t, n);
+            let r = tucker_linalg::syrk(&unfold(&t, n));
+            prop_assert_eq!(g.shape(), r.shape());
+            prop_assert!(g.max_abs_diff(&r) < 1e-12, "mode {}", n);
+        }
+    }
+
+    /// gram_cols contributions over a random partition of the fiber range
+    /// sum to the full Gram matrix.
+    #[test]
+    fn gram_cols_partition_sums_to_gram(
+        dims in shape_strategy(),
+        seed in 0u64..1000,
+        parts in 1usize..6,
+    ) {
+        let t = tensor_from_seed(&dims, seed);
+        let n = seed as usize % t.order();
+        let nf = t.shape().num_fibers(n);
+        let full = gram(&t, n);
+        // Balanced partition; trailing ranges may be empty when parts > nf.
+        let per = nf.div_ceil(parts);
+        let mut sum = Matrix::zeros(full.nrows(), full.ncols());
+        let mut c0 = 0;
+        for _ in 0..parts {
+            let len = per.min(nf - c0);
+            let part = gram_cols(&t, n, c0, len);
+            for (s, p) in sum.as_mut_slice().iter_mut().zip(part.as_slice()) {
+                *s += p;
+            }
+            c0 += len;
+        }
+        prop_assert!(sum.max_abs_diff(&full) < 1e-12, "mode {} / {} parts", n, parts);
+    }
+
+    /// ttm_into with a reused workspace matches fresh `ttm` across a chained
+    /// multi-mode sequence (buffer recycling must never corrupt results).
+    #[test]
+    fn workspace_chain_matches_fresh_ttm(
+        dims in prop::collection::vec(2usize..=5, 2..=4),
+        seed in 0u64..1000,
+    ) {
+        let t = tensor_from_seed(&dims, seed);
+        let mats: Vec<Matrix> = (0..t.order())
+            .map(|n| mat_from_seed(1 + (seed as usize + n) % 4, t.shape().dim(n), seed + n as u64))
+            .collect();
+        let ops: Vec<(usize, &Matrix)> = mats.iter().enumerate().collect();
+        let mut ws = TtmWorkspace::new();
+        for _ in 0..2 {
+            let z = ws.ttm_chain(&t, &ops);
+            let mut r = t.clone();
+            for &(n, a) in &ops {
+                r = ttm(&r, n, a);
+            }
+            prop_assert_eq!(z.shape(), r.shape());
+            prop_assert_eq!(z.max_abs_diff(&r), 0.0);
+            ws.recycle(z);
+        }
     }
 
     /// extract/insert roundtrip on a random sub-region.
