@@ -5,10 +5,16 @@
 //! cargo run --release -p tucker-bench --bin experiments -- kernels
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
+//! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
 //! ```
 //!
 //! `kernels` times the fused-Gram / workspace-TTM kernels against their
 //! explicit-unfold baselines and persists `results/BENCH_kernels.json`.
+//!
+//! `scaling` replays the four-strategy lineup at paper-scale rank counts
+//! (P = 64…8192) under the virtual-time α–β BG/Q model, validates the
+//! ledger against the §4.1/§4.3 closed forms, and persists
+//! `results/BENCH_scaling.json`.
 //!
 //! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
 //! full-size benchmark — load and volume are machine-independent (§6.2).
@@ -20,8 +26,10 @@ use tucker_bench::{scale_for_measurement, write_csv, write_results};
 use tucker_core::engine::{run_distributed_hooi, ExecutionStats};
 use tucker_core::planner::{GridStrategy, Plan, Planner, TreeStrategy};
 use tucker_core::TuckerMeta;
-use tucker_distsim::count_grids;
-use tucker_suite::driver::{gridding_comparison, load_comparison};
+use tucker_distsim::{count_grids, NetModel};
+use tucker_suite::driver::{
+    gridding_comparison, load_comparison, scaling_meta, scaling_ranks, scaling_sweep,
+};
 use tucker_suite::fields::hash_noise;
 use tucker_suite::generator::{benchmark_5d, benchmark_6d, full_enumeration};
 use tucker_suite::percentile::{normalized_percentiles, PercentileCurve};
@@ -45,8 +53,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(16usize);
 
+    let max_p = args
+        .iter()
+        .position(|a| a == "--max-p")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+
     match what {
         "kernels" => kernels(),
+        "scaling" => scaling(max_p),
         "table1" => table1(),
         "table2" => table2(),
         "fig10a" => fig10_overall(5, sample),
@@ -61,6 +77,7 @@ fn main() {
         "summary" => summary(),
         "all" => {
             kernels();
+            scaling(max_p);
             table1();
             table2();
             fig11cd_load(5);
@@ -76,12 +93,112 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: all kernels table1 table2 \
-                 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
+                "unknown experiment '{other}'; expected one of: all kernels scaling table1 \
+                 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
     }
+}
+
+// ---------------------------------------------------------------- Scaling
+
+/// Paper-scale strong scaling (the Fig. 10a/11a analogue honest runs cannot
+/// reach): the four-strategy lineup at P = 64…8192 simulated BG/Q nodes in
+/// virtual time. Ledger volumes are validated against the §4.1/§4.3 closed
+/// forms inside the sweep; results land in `results/BENCH_scaling.json`.
+fn scaling(max_p: usize) {
+    let meta = scaling_meta();
+    let net = NetModel::bgq();
+    let ranks: Vec<usize> = scaling_ranks()
+        .into_iter()
+        .filter(|&p| p <= max_p)
+        .collect();
+    assert!(!ranks.is_empty(), "--max-p filtered out every rank count");
+    println!(
+        "== Scaling: four-strategy lineup, virtual time (alpha {:?}, beta {:.3} ns/B) ==",
+        net.alpha(),
+        net.beta_ns_per_byte()
+    );
+    println!("   problem {meta}, P in {ranks:?}");
+
+    let t0 = std::time::Instant::now();
+    let rows = scaling_sweep(&meta, &ranks, net);
+    let elapsed = t0.elapsed();
+
+    let mut prev_p = 0;
+    for r in &rows {
+        if r.nranks != prev_p {
+            println!("  P = {}", r.nranks);
+            prev_p = r.nranks;
+        }
+        println!(
+            "    {:>20}: wall {:>11.6}s  ttm-comp {:>10.6}s  ttm-comm {:>10.6}s  \
+             regrid {:>10.6}s  gram {:>10.6}s  vol {}/{}/{}  (host {:.1}s)",
+            r.strategy,
+            r.wall_s,
+            r.ttm_compute_s,
+            r.ttm_comm_s,
+            r.regrid_comm_s,
+            r.gram_comm_s,
+            r.ttm_elements,
+            r.regrid_elements,
+            r.gram_elements,
+            r.host_s,
+        );
+    }
+    let top_p = ranks.last().copied().unwrap_or(0);
+    let top_host: f64 = rows
+        .iter()
+        .filter(|r| r.nranks == top_p)
+        .map(|r| r.host_s)
+        .sum();
+    println!(
+        "   (swept {} configurations in {elapsed:.1?}; P = {top_p} four-strategy block \
+         took {top_host:.1}s of host time)",
+        rows.len()
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"p\": {}, \"strategy\": \"{}\", \"wall_s\": {:.9}, \
+                 \"ttm_compute_s\": {:.9}, \"ttm_comm_s\": {:.9}, \"regrid_comm_s\": {:.9}, \
+                 \"gram_comm_s\": {:.9}, \"svd_s\": {:.9}, \"ttm_elements\": {}, \
+                 \"regrid_elements\": {}, \"gram_elements\": {}, \
+                 \"model_ttm_elements\": {:.1}, \"model_regrid_elements\": {:.1}, \
+                 \"error\": {:.12}, \"host_s\": {:.3}}}",
+                r.nranks,
+                r.strategy,
+                r.wall_s,
+                r.ttm_compute_s,
+                r.ttm_comm_s,
+                r.regrid_comm_s,
+                r.gram_comm_s,
+                r.svd_s,
+                r.ttm_elements,
+                r.regrid_elements,
+                r.gram_elements,
+                r.model_ttm_elements,
+                r.model_regrid_elements,
+                r.error,
+                r.host_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/scaling/v1\",\n  \"input\": \"{}\",\n  \
+         \"core\": \"{}\",\n  \"net\": {{\"alpha_ns\": {}, \"beta_ns_per_byte\": {:.6}}},\n  \
+         \"ranks\": {ranks:?},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        meta.input(),
+        meta.core(),
+        net.alpha().as_nanos(),
+        net.beta_ns_per_byte(),
+        json_rows.join(",\n")
+    );
+    let p = write_results("BENCH_scaling.json", &json);
+    println!("-> {}\n", p.display());
 }
 
 // ---------------------------------------------------------------- Kernels

@@ -18,21 +18,30 @@
 //!   would mirror §4.4).
 
 use crate::decomposition::TuckerDecomposition;
+use crate::engine::EngineConfig;
 use crate::meta::TuckerMeta;
 use std::time::Duration;
-use tucker_distsim::comm::thread_cpu_time;
 use tucker_distsim::dist_gram::dist_gram;
 use tucker_distsim::dist_ttm::dist_ttm;
 use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
 use tucker_linalg::{leading_from_gram, Matrix};
 
-/// Measurements of one distributed STHOSVD run.
+/// Measurements of one distributed STHOSVD run. Like
+/// [`ExecutionStats`](crate::engine::ExecutionStats), the same fields carry
+/// measured times in the default mode and α–β-modeled times under
+/// [`TimeSource::Virtual`](crate::engine::TimeSource).
 #[derive(Clone, Debug, Default)]
 pub struct SthosvdStats {
     /// TTM (truncation) CPU time, max over ranks.
     pub ttm_compute: Duration,
     /// Gram + EVD CPU time, max over ranks.
     pub svd: Duration,
+    /// Communication time of the truncation reduce-scatters.
+    pub ttm_comm: Duration,
+    /// Communication time of the Gram all-gathers/all-reduces.
+    pub gram_comm: Duration,
+    /// End-to-end time of the run (max over ranks).
+    pub wall: Duration,
     /// Elements moved by TTM reduce-scatters.
     pub ttm_volume: u64,
     /// Elements moved by the Gram all-gathers/all-reduces.
@@ -71,7 +80,8 @@ pub fn sthosvd_chain_flops(meta: &TuckerMeta, order: &[usize]) -> f64 {
     flops
 }
 
-/// Run distributed STHOSVD on `nranks` simulated ranks under a static grid.
+/// Run distributed STHOSVD on `nranks` simulated ranks under a static grid,
+/// in the default measured mode.
 ///
 /// # Panics
 /// Panics if the grid does not match `nranks` or is invalid for the core.
@@ -81,44 +91,73 @@ pub fn run_distributed_sthosvd(
     grid: &Grid,
     order: &[usize],
 ) -> (TuckerDecomposition, SthosvdStats) {
+    let (d, s) =
+        run_distributed_sthosvd_cfg(global_fn, meta, grid, order, &EngineConfig::default());
+    (d.expect("default config gathers the core"), s)
+}
+
+/// [`run_distributed_sthosvd`] with an explicit [`EngineConfig`]: the same
+/// virtual-time clock / sequential scheduler / core-gather switches as the
+/// HOOI engine. Returns `None` for the decomposition when `gather_core` is
+/// off.
+///
+/// # Panics
+/// Panics if the grid does not match the universe or is invalid for the core.
+pub fn run_distributed_sthosvd_cfg(
+    global_fn: impl Fn(&[usize]) -> f64 + Sync,
+    meta: &TuckerMeta,
+    grid: &Grid,
+    order: &[usize],
+    cfg: &EngineConfig,
+) -> (Option<TuckerDecomposition>, SthosvdStats) {
     assert!(
         grid.is_valid_for(meta.core().dims()),
         "grid {grid} invalid for core {}",
         meta.core()
     );
     let nranks = grid.nranks();
+    let time = cfg.time;
+    let ucfg = cfg.universe_cfg();
 
-    let out = Universe::run(nranks, |ctx| {
+    let out = Universe::run_cfg(nranks, &ucfg, |ctx| {
         let mut cur = DistTensor::from_global_fn(ctx, meta.input(), grid, |c| global_fn(c));
         let input_norm_sq = cur.global_norm_sq(ctx);
         let vol0 = ctx.volume();
+        let run_snap = time.snap(ctx);
         let mut stats = SthosvdStats::default();
         let mut factors: Vec<Option<Matrix>> = vec![None; meta.order()];
 
         for &n in order {
-            let cpu0 = thread_cpu_time();
+            let snap = time.snap(ctx);
             let gram = dist_gram(ctx, &cur, n);
             let svd = leading_from_gram(&gram, meta.k(n));
-            stats.svd += thread_cpu_time().saturating_sub(cpu0);
+            stats.gram_comm += time.comm_since(ctx, &snap, VolumeCategory::Gram);
+            stats.svd += time.cpu_since(&snap);
 
-            let cpu0 = thread_cpu_time();
+            let snap = time.snap(ctx);
             cur = dist_ttm(ctx, &cur, n, &svd.u.transpose());
-            stats.ttm_compute += thread_cpu_time().saturating_sub(cpu0);
+            stats.ttm_comm += time.comm_since(ctx, &snap, VolumeCategory::TtmReduceScatter);
+            stats.ttm_compute += time.cpu_since(&snap);
             factors[n] = Some(svd.u);
         }
 
         let core_norm_sq = cur.global_norm_sq(ctx);
         stats.error = tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
+        stats.wall = time.wall_since(ctx, &run_snap);
         let vol = ctx.volume().since(&vol0);
         stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
         stats.gram_volume = vol.elements(VolumeCategory::Gram);
 
-        let dense_core = cur.allgather_global(ctx);
-        let factors: Vec<Matrix> = factors
-            .into_iter()
-            .map(|f| f.expect("all modes processed"))
-            .collect();
-        let decomp = (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors));
+        let decomp = if cfg.gather_core {
+            let dense_core = cur.allgather_global(ctx);
+            let factors: Vec<Matrix> = factors
+                .into_iter()
+                .map(|f| f.expect("all modes processed"))
+                .collect();
+            (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors))
+        } else {
+            None
+        };
         (decomp, stats)
     });
 
@@ -127,6 +166,9 @@ pub fn run_distributed_sthosvd(
     for (d, s) in out.results {
         agg.ttm_compute = agg.ttm_compute.max(s.ttm_compute);
         agg.svd = agg.svd.max(s.svd);
+        agg.ttm_comm = agg.ttm_comm.max(s.ttm_comm);
+        agg.gram_comm = agg.gram_comm.max(s.gram_comm);
+        agg.wall = agg.wall.max(s.wall);
         agg.ttm_volume = agg.ttm_volume.max(s.ttm_volume);
         agg.gram_volume = agg.gram_volume.max(s.gram_volume);
         agg.error = s.error;
@@ -134,7 +176,7 @@ pub fn run_distributed_sthosvd(
             decomp = Some(d);
         }
     }
-    (decomp.expect("rank 0 returns the decomposition"), agg)
+    (decomp, agg)
 }
 
 #[cfg(test)]

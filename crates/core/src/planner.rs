@@ -104,6 +104,59 @@ impl Plan {
     pub fn name(&self) -> String {
         format!("({}, {})", self.labels.0, self.labels.1)
     }
+
+    /// §4.1 closed-form prediction of the tree's reduce-scatter traffic in
+    /// elements: `Σ_u (q_n(u) − 1)·|Out(u)|` under each node's grid. The
+    /// engine's ledger matches this **exactly** (uneven chunks included —
+    /// the chunks partition `K_n`, so the per-group sums telescope).
+    pub fn modeled_tree_ttm_elements(&self) -> f64 {
+        let cost = crate::cost::tree_cost(&self.tree, &self.meta);
+        let mut vol = 0.0;
+        for id in self.tree.internal_nodes() {
+            let crate::tree::NodeLabel::Ttm(n) = self.tree.node(id).label else {
+                unreachable!()
+            };
+            vol += (self.grids.node_grids[id].dim(n) as f64 - 1.0) * cost.out_card[id];
+        }
+        vol
+    }
+
+    /// §4.3 model of the regrid traffic in elements: `Σ |In(u)|` over the
+    /// regridded nodes. This is an upper bound on the ledger (elements whose
+    /// owner does not change are not transmitted).
+    pub fn modeled_regrid_elements(&self) -> f64 {
+        let cost = crate::cost::tree_cost(&self.tree, &self.meta);
+        self.tree
+            .internal_nodes()
+            .into_iter()
+            .filter(|&id| self.grids.regrid[id])
+            .map(|id| cost.in_card[id])
+            .sum()
+    }
+
+    /// §4.1 prediction for the engine's core-update chain (all modes,
+    /// strongest compression first, under the initial grid — mirroring
+    /// `hooi_sweep` exactly), in elements.
+    pub fn modeled_core_chain_elements(&self) -> f64 {
+        let meta = &self.meta;
+        let mut order: Vec<usize> = (0..meta.order()).collect();
+        order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
+        let g = &self.grids.initial;
+        let mut card = meta.input_cardinality();
+        let mut vol = 0.0;
+        for &n in &order {
+            card *= meta.h(n);
+            vol += (g.dim(n) as f64 - 1.0) * card;
+        }
+        vol
+    }
+
+    /// Total `TtmReduceScatter` ledger prediction for one engine sweep:
+    /// tree reduce-scatters plus the core-update chain. The engine's
+    /// measured per-sweep `ttm_volume` equals this exactly.
+    pub fn modeled_sweep_ttm_elements(&self) -> f64 {
+        self.modeled_tree_ttm_elements() + self.modeled_core_chain_elements()
+    }
 }
 
 /// Builds plans from metadata (the paper's planner; §5).

@@ -45,6 +45,34 @@ pub fn chunk(l: usize, q: usize, i: usize) -> (usize, usize) {
     }
 }
 
+/// Inverse of [`chunk`]: the coordinate owning global index `x` of a length-
+/// `l` mode split among `q` processors.
+///
+/// # Panics
+/// Panics (via debug assertions) on `x ≥ l` or an invalid split.
+pub fn chunk_index(l: usize, q: usize, x: usize) -> usize {
+    debug_assert!(x < l && q >= 1 && q <= l);
+    let base = l / q;
+    let rem = l % q;
+    let boundary = (base + 1) * rem; // first index owned by the `base`-chunks
+    if x < boundary {
+        x / (base + 1)
+    } else {
+        rem + (x - boundary) / base
+    }
+}
+
+/// The half-open range `[lo, hi)` of mode-`n` coordinates whose chunks of a
+/// length-`l` mode split among `q` intersect `[start, start + len)`.
+/// Chunks are contiguous and ordered, so the overlap set is an interval.
+pub fn chunk_cover(l: usize, q: usize, start: usize, len: usize) -> (usize, usize) {
+    debug_assert!(len >= 1 && start + len <= l);
+    (
+        chunk_index(l, q, start),
+        chunk_index(l, q, start + len - 1) + 1,
+    )
+}
+
 /// The global region owned by the rank at grid coordinate `coord`.
 ///
 /// # Panics
@@ -148,5 +176,40 @@ mod tests {
     #[should_panic(expected = "invalid split")]
     fn oversplit_panics() {
         let _ = split_extents(3, 4);
+    }
+
+    #[test]
+    fn chunk_index_inverts_chunk() {
+        for l in 1..40 {
+            for q in 1..=l {
+                for (i, &(s, ln)) in split_extents(l, q).iter().enumerate() {
+                    for x in s..s + ln {
+                        assert_eq!(chunk_index(l, q, x), i, "l={l} q={q} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_cover_is_exact() {
+        for l in [7usize, 12, 17] {
+            for q in 1..=l.min(6) {
+                let parts = split_extents(l, q);
+                for start in 0..l {
+                    for len in 1..=(l - start) {
+                        let (lo, hi) = chunk_cover(l, q, start, len);
+                        for (i, &(s, ln)) in parts.iter().enumerate() {
+                            let overlaps = s < start + len && start < s + ln;
+                            assert_eq!(
+                                (lo..hi).contains(&i),
+                                overlaps,
+                                "l={l} q={q} start={start} len={len} i={i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -19,13 +19,24 @@
 
 use crate::comm::{RankCtx, VolumeCategory};
 
+/// Member storage: the world group is a virtual `0..n` range so that
+/// world-wide collectives at paper-scale rank counts do not allocate a
+/// `P`-element vector on every rank (that alone dominated large-`P` runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Members {
+    /// The contiguous world group `0..n`.
+    Range(usize),
+    /// An explicit ordered member list.
+    List(Vec<usize>),
+}
+
 /// An ordered set of ranks acting as a sub-communicator.
 ///
 /// All members must call each collective with identical `members` lists and
 /// matching arguments (the usual SPMD contract).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Group {
-    members: Vec<usize>,
+    members: Members,
     my_index: usize,
 }
 
@@ -43,25 +54,31 @@ impl Group {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), members.len(), "duplicate ranks in group");
-        Group { members, my_index }
+        Group {
+            members: Members::List(members),
+            my_index,
+        }
     }
 
-    /// The whole-universe group.
+    /// The whole-universe group (allocation-free).
     pub fn world(ctx: &RankCtx) -> Self {
         Group {
-            members: (0..ctx.nranks()).collect(),
+            members: Members::Range(ctx.nranks()),
             my_index: ctx.rank(),
         }
     }
 
     /// Group size.
     pub fn len(&self) -> usize {
-        self.members.len()
+        match &self.members {
+            Members::Range(n) => *n,
+            Members::List(v) => v.len(),
+        }
     }
 
-    /// `true` for a single-member group.
+    /// `true` for an empty group.
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.len() == 0
     }
 
     /// This rank's index within the group.
@@ -70,19 +87,27 @@ impl Group {
     }
 
     /// Member ranks in group order.
-    pub fn members(&self) -> &[usize] {
-        &self.members
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(|i| self.member(i))
     }
 
     /// The rank at group index `i`.
     pub fn member(&self, i: usize) -> usize {
-        self.members[i]
+        match &self.members {
+            Members::Range(n) => {
+                debug_assert!(i < *n);
+                i
+            }
+            Members::List(v) => v[i],
+        }
     }
 }
 
 /// Group size above which [`allreduce_sum`] switches from the flat
-/// gather+broadcast to the binomial-tree algorithm.
-const TREE_ALLREDUCE_THRESHOLD: usize = 8;
+/// gather+broadcast to the binomial-tree algorithm. Shared with
+/// [`crate::net::NetModel::allreduce_ns`] so the α–β closed form dispatches
+/// identically.
+pub(crate) const TREE_ALLREDUCE_THRESHOLD: usize = 8;
 
 /// Elementwise sum-all-reduce of `buf` across the group.
 ///

@@ -21,6 +21,23 @@
 //! by category, and every second a rank spends inside a collective is
 //! tallied in its [`CommTimers`], so experiments can report exactly the
 //! communication-volume and communication-time splits the paper plots.
+//!
+//! # Virtual time (paper-scale rank counts)
+//!
+//! Honest measured runs time-share real OS threads and therefore cap `P`
+//! near the host core count. For the paper's 2⁶–2¹³-node experiments the
+//! runtime offers a **virtual-time** mode (DESIGN.md §3):
+//!
+//! * [`net`]: an α–β (postal) network model — [`net::NetModel`] with a BG/Q
+//!   preset — charges every off-rank message `α + β·bytes` to both
+//!   endpoints on a per-rank virtual clock ([`comm::RankCtx::vtimers`]),
+//!   split by [`VolumeCategory`] exactly like the measured timers;
+//! * [`Universe::run_cfg`] with [`comm::UniverseCfg`]`::sequential` gates
+//!   ranks through a deterministic round-robin scheduler — one rank executes
+//!   at a time on a small-stack thread — so a single host thread of
+//!   execution replays universes of thousands of ranks in seconds.
+//!
+//! The volume ledger is identical in both modes; only the clock changes.
 
 pub mod block;
 pub mod collectives;
@@ -29,9 +46,13 @@ pub mod dist_gram;
 pub mod dist_tensor;
 pub mod dist_ttm;
 pub mod grid;
+pub mod net;
 pub mod redistribute;
 
 pub use block::{block_region, split_extents};
-pub use comm::{CommTimers, RankCtx, Universe, VolumeCategory, VolumeLedger, VolumeReport};
+pub use comm::{
+    CommTimers, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeLedger, VolumeReport,
+};
 pub use dist_tensor::DistTensor;
 pub use grid::{count_grids, enumerate_grids, enumerate_valid_grids, Grid};
+pub use net::NetModel;

@@ -1,0 +1,240 @@
+//! The α–β (postal / LogP-style) network model for virtual-time execution.
+//!
+//! The honest execution mode measures real wall/CPU time, which caps rank
+//! counts at roughly the host's core count. The *virtual-time* mode instead
+//! charges every off-rank message a modeled cost
+//!
+//! ```text
+//! t(m) = α + β · m        (α: per-message latency, β: seconds per byte)
+//! ```
+//!
+//! to **both** endpoints (injection and reception are both link-limited on a
+//! torus like BG/Q's). Costs accumulate per rank in
+//! [`RankCtx::vtimers`](crate::comm::RankCtx), split by
+//! [`VolumeCategory`](crate::comm::VolumeCategory) exactly like the measured
+//! communication timers, so engines report modeled phase breakdowns through
+//! the same stats structs as measured ones.
+//!
+//! Because payload sizes are deterministic in an SPMD program, the per-rank
+//! accounting admits closed forms. The functions below state the critical
+//! path (maximum over ranks) for every collective the engine uses; property
+//! tests assert that running the real collective under a virtual-time
+//! universe accumulates exactly these values.
+//!
+//! All costs are kept in integer nanoseconds: each message's cost is rounded
+//! once, so closed forms reproduce the accumulated sums bit-exactly.
+
+use std::time::Duration;
+
+/// Per-link latency/bandwidth model. See the module docs for the cost rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetModel {
+    alpha_ns: u64,
+    beta_ns_per_byte: f64,
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+fn ceil_log2(n: usize) -> u32 {
+    n.next_power_of_two().trailing_zeros()
+}
+
+impl NetModel {
+    /// Build a model from a per-message latency and a link bandwidth.
+    ///
+    /// # Panics
+    /// Panics if the bandwidth is not positive.
+    pub fn new(alpha: Duration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        NetModel {
+            alpha_ns: alpha.as_nanos() as u64,
+            beta_ns_per_byte: 1.0e9 / bytes_per_sec,
+        }
+    }
+
+    /// The paper's machine: IBM Blue Gene/Q. MPI point-to-point latency
+    /// ≈ 2.5 µs; per-link torus bandwidth ≈ 1.8 GB/s.
+    pub fn bgq() -> Self {
+        Self::new(Duration::from_nanos(2_500), 1.8e9)
+    }
+
+    /// An idealized zero-latency model (β only); useful for isolating the
+    /// bandwidth term in tests and ablations.
+    pub fn zero_latency(bytes_per_sec: f64) -> Self {
+        Self::new(Duration::ZERO, bytes_per_sec)
+    }
+
+    /// Per-message latency α.
+    pub fn alpha(&self) -> Duration {
+        Duration::from_nanos(self.alpha_ns)
+    }
+
+    /// Inverse bandwidth β in nanoseconds per byte.
+    pub fn beta_ns_per_byte(&self) -> f64 {
+        self.beta_ns_per_byte
+    }
+
+    /// Modeled cost of one message of `bytes`, in nanoseconds:
+    /// `α + β·bytes`, rounded once.
+    pub fn msg_ns(&self, bytes: u64) -> u64 {
+        self.alpha_ns + (self.beta_ns_per_byte * bytes as f64).round() as u64
+    }
+
+    /// [`NetModel::msg_ns`] as a [`Duration`].
+    pub fn msg(&self, bytes: u64) -> Duration {
+        Duration::from_nanos(self.msg_ns(bytes))
+    }
+
+    /// Cost of a message of `len` f64 elements.
+    pub fn msg_elems_ns(&self, len: usize) -> u64 {
+        self.msg_ns((len * 8) as u64)
+    }
+
+    // ------------------------------------------------ collective closed forms
+    //
+    // Each form is the per-rank modeled communication time of the matching
+    // implementation in `collectives.rs` / `dist_ttm.rs`, maximized over
+    // ranks: every off-rank send and recv charges its endpoint
+    // `msg_ns(bytes)`.
+
+    /// Flat gather+broadcast allreduce of `len` elements over `g` members:
+    /// the root receives and then sends `g − 1` messages.
+    pub fn allreduce_flat_ns(&self, g: usize, len: usize) -> u64 {
+        if g <= 1 {
+            return 0;
+        }
+        2 * (g as u64 - 1) * self.msg_elems_ns(len)
+    }
+
+    /// Binomial-tree allreduce of `len` elements over `g` members: the group
+    /// root takes `⌈log₂ g⌉` receives up and `⌈log₂ g⌉` sends down.
+    pub fn allreduce_tree_ns(&self, g: usize, len: usize) -> u64 {
+        if g <= 1 {
+            return 0;
+        }
+        2 * u64::from(ceil_log2(g)) * self.msg_elems_ns(len)
+    }
+
+    /// Allreduce as dispatched by [`crate::collectives::allreduce_sum`]
+    /// (flat below the threshold, tree above it).
+    pub fn allreduce_ns(&self, g: usize, len: usize) -> u64 {
+        if g > crate::collectives::TREE_ALLREDUCE_THRESHOLD {
+            self.allreduce_tree_ns(g, len)
+        } else {
+            self.allreduce_flat_ns(g, len)
+        }
+    }
+
+    /// Flat broadcast of `len` elements to `g` members: the root serializes
+    /// `g − 1` sends.
+    pub fn bcast_ns(&self, g: usize, len: usize) -> u64 {
+        if g <= 1 {
+            return 0;
+        }
+        (g as u64 - 1) * self.msg_elems_ns(len)
+    }
+
+    /// Gather at the root; `nonroot_lens` are the element counts contributed
+    /// by the non-root members. The root pays one receive per member.
+    pub fn gather_ns(&self, nonroot_lens: &[usize]) -> u64 {
+        nonroot_lens.iter().map(|&l| self.msg_elems_ns(l)).sum()
+    }
+
+    /// Direct-exchange all-gather of `len` elements over `g` members: every
+    /// rank sends and receives `g − 1` messages.
+    pub fn allgather_ns(&self, g: usize, len: usize) -> u64 {
+        if g <= 1 {
+            return 0;
+        }
+        2 * (g as u64 - 1) * self.msg_elems_ns(len)
+    }
+
+    /// Personalized all-to-all with payload matrix `lens[src][dst]`
+    /// (elements; empty chunks still cost a header message of α). Returns
+    /// the critical path: `max_i Σ_{j≠i} (msg(lens[i][j]) + msg(lens[j][i]))`.
+    pub fn alltoallv_ns(&self, lens: &[Vec<usize>]) -> u64 {
+        let g = lens.len();
+        (0..g)
+            .map(|i| {
+                (0..g)
+                    .filter(|&j| j != i)
+                    .map(|j| self.msg_elems_ns(lens[i][j]) + self.msg_elems_ns(lens[j][i]))
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reduce-scatter over a mode group (the distributed TTM of §4.1):
+    /// member `i` ships every chunk but its own and receives `q − 1` copies
+    /// of its own chunk. `chunk_lens` are the per-member chunk element
+    /// counts. Returns the critical path over the members.
+    pub fn reduce_scatter_ns(&self, chunk_lens: &[usize]) -> u64 {
+        let q = chunk_lens.len();
+        (0..q)
+            .map(|i| {
+                let sends: u64 = (0..q)
+                    .filter(|&j| j != i)
+                    .map(|j| self.msg_elems_ns(chunk_lens[j]))
+                    .sum();
+                sends + (q as u64 - 1) * self.msg_elems_ns(chunk_lens[i])
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Dissemination barrier over `p` ranks: `⌈log₂ p⌉` latency-only rounds.
+    pub fn barrier_ns(&self, p: usize) -> u64 {
+        u64::from(ceil_log2(p.max(1))) * self.alpha_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_is_affine_and_rounded_once() {
+        let m = NetModel::new(Duration::from_nanos(1000), 1.0e9); // 1ns/byte
+        assert_eq!(m.msg_ns(0), 1000);
+        assert_eq!(m.msg_ns(8), 1008);
+        assert_eq!(m.msg_elems_ns(4), 1032);
+    }
+
+    #[test]
+    fn bgq_preset_is_sane() {
+        let m = NetModel::bgq();
+        assert_eq!(m.alpha(), Duration::from_nanos(2500));
+        // 1.8 GB/s → ~0.556 ns/byte.
+        assert!((m.beta_ns_per_byte() - 0.5555).abs() < 1e-3);
+        // An 8 MB message is bandwidth-dominated: ≈ 4.66 ms.
+        let t = m.msg(8 << 20);
+        assert!(t > Duration::from_millis(4) && t < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn closed_forms_degenerate_to_zero_for_singletons() {
+        let m = NetModel::bgq();
+        assert_eq!(m.allreduce_ns(1, 100), 0);
+        assert_eq!(m.bcast_ns(1, 100), 0);
+        assert_eq!(m.allgather_ns(1, 100), 0);
+        assert_eq!(m.reduce_scatter_ns(&[7]), 0);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn tree_beats_flat_for_large_groups() {
+        let m = NetModel::bgq();
+        assert!(m.allreduce_tree_ns(64, 100) < m.allreduce_flat_ns(64, 100));
+        // Dispatch matches the implementation threshold.
+        assert_eq!(m.allreduce_ns(4, 10), m.allreduce_flat_ns(4, 10));
+        assert_eq!(m.allreduce_ns(64, 10), m.allreduce_tree_ns(64, 10));
+    }
+}

@@ -7,15 +7,43 @@
 //! that stay put — bounded by the `|In(u)|` the volume model charges for a
 //! regrid (§4.3).
 
-use crate::block::rank_region;
+use crate::block::{chunk_cover, rank_region};
 use crate::comm::{RankCtx, VolumeCategory};
 use crate::dist_tensor::DistTensor;
 use crate::grid::Grid;
-use tucker_tensor::subtensor::{extract, insert};
-use tucker_tensor::DenseTensor;
+use tucker_tensor::subtensor::{extract, insert, Region};
+use tucker_tensor::{DenseTensor, Shape};
 
 /// Tag base for regrid traffic (messages carry `tag = REGRID_TAG`).
 const REGRID_TAG: u32 = 0x5E61;
+
+/// Ranks of `grid` whose blocks of `shape` intersect `region`, in ascending
+/// rank order. The overlapping coordinates form a box (per-mode chunk
+/// intervals via [`chunk_cover`]), so this enumerates `O(overlaps)` ranks
+/// instead of scanning all `P` — the difference between `O(P)` and `O(P²)`
+/// work per regrid at paper-scale rank counts.
+fn overlapping_ranks(shape: &Shape, grid: &Grid, region: &Region) -> Vec<usize> {
+    let order = shape.order();
+    let ranges: Vec<(usize, usize)> = (0..order)
+        .map(|n| chunk_cover(shape.dim(n), grid.dim(n), region.start[n], region.len[n]))
+        .collect();
+    let mut coord: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+    let count: usize = ranges.iter().map(|&(lo, hi)| hi - lo).product();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(grid.rank(&coord));
+        // Mixed-radix increment, mode 0 fastest — matches rank ordering.
+        for n in 0..order {
+            coord[n] += 1;
+            if coord[n] < ranges[n].1 {
+                break;
+            }
+            coord[n] = ranges[n].0;
+        }
+    }
+    out.sort_unstable();
+    out
+}
 
 /// Redistribute `t` onto `new_grid`, returning this rank's new block.
 ///
@@ -36,32 +64,31 @@ pub fn redistribute(ctx: &mut RankCtx, t: &DistTensor, new_grid: &Grid) -> DistT
     let my_old = t.region();
     let my_new = rank_region(&shape, new_grid, me);
 
-    // Send phase: intersect my old block with every rank's new block.
-    for dst in 0..ctx.nranks() {
+    // Send phase: only the new-grid blocks that actually intersect my old
+    // block (a box of coordinates, not all P ranks).
+    for dst in overlapping_ranks(&shape, new_grid, &my_old) {
         let dst_new = rank_region(&shape, new_grid, dst);
-        if let Some(overlap) = my_old.intersect(&dst_new) {
-            let local_region = overlap.relative_to(&my_old.start);
-            let data = extract(t.local(), &local_region);
-            ctx.send(dst, REGRID_TAG, data, VolumeCategory::Regrid);
-        }
+        let overlap = my_old.intersect(&dst_new).expect("cover is exact");
+        let local_region = overlap.relative_to(&my_old.start);
+        let data = extract(t.local(), &local_region);
+        ctx.send(dst, REGRID_TAG, data, VolumeCategory::Regrid);
     }
 
     // Receive phase: collect from every rank whose old block intersects my
-    // new block. Receives are issued in rank order — the deterministic SPMD
-    // schedule guarantees matching.
+    // new block. Receives are issued in ascending rank order — the
+    // deterministic SPMD schedule guarantees matching.
     let mut local = DenseTensor::zeros(my_new.shape());
-    for src in 0..ctx.nranks() {
+    for src in overlapping_ranks(&shape, t.grid(), &my_new) {
         let src_old = rank_region(&shape, t.grid(), src);
-        if let Some(overlap) = src_old.intersect(&my_new) {
-            let data = ctx.recv(src, REGRID_TAG, VolumeCategory::Regrid);
-            let local_region = overlap.relative_to(&my_new.start);
-            assert_eq!(
-                data.len(),
-                local_region.cardinality(),
-                "regrid payload mismatch"
-            );
-            insert(&mut local, &local_region, &data);
-        }
+        let overlap = src_old.intersect(&my_new).expect("cover is exact");
+        let data = ctx.recv(src, REGRID_TAG, VolumeCategory::Regrid);
+        let local_region = overlap.relative_to(&my_new.start);
+        assert_eq!(
+            data.len(),
+            local_region.cardinality(),
+            "regrid payload mismatch"
+        );
+        insert(&mut local, &local_region, &data);
     }
 
     DistTensor::from_parts(shape, new_grid.clone(), me, local)

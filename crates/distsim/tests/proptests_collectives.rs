@@ -1,0 +1,352 @@
+//! Property tests for the collectives themselves: every collective must
+//! agree with a single-rank sequential reference on random payloads, rank
+//! counts, and root choices — and, under a virtual-time universe, accumulate
+//! exactly the α–β closed forms of [`tucker_distsim::net::NetModel`].
+//!
+//! (The previous suites covered `dist_ttm`/`dist_gram`; the collectives they
+//! are built on get their own direct coverage here.)
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tucker_distsim::collectives::{
+    allgather, allreduce_sum, allreduce_sum_flat, allreduce_sum_tree, alltoallv, bcast, gather,
+    Group,
+};
+use tucker_distsim::{NetModel, Universe, UniverseCfg, VolumeCategory};
+
+/// Deterministic payload for (rank, slot).
+fn val(rank: usize, slot: usize, seed: u64) -> f64 {
+    let h = (rank as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((slot as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+        .wrapping_add(seed.wrapping_mul(0xc4ce_b9fe_1a85_ec53));
+    (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Group member list: the first `g` ranks of a `p`-rank universe, rotated by
+/// `rot` so that the root (group index 0) is an arbitrary member.
+fn rotated_members(g: usize, rot: usize) -> Vec<usize> {
+    (0..g).map(|i| (i + rot % g) % g).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// All three allreduce variants equal the sequential elementwise sum,
+    /// for any subgroup size, root rotation, and payload length.
+    #[test]
+    fn allreduce_matches_reference(
+        p in 1usize..=9,
+        extra in 0usize..=2,
+        rot in 0usize..8,
+        len in 1usize..=9,
+        seed in 0u64..1000,
+    ) {
+        let total = p + extra; // extra ranks sit outside the group
+        let members = rotated_members(p, rot);
+        let expect: Vec<f64> = (0..len)
+            .map(|s| members.iter().map(|&r| val(r, s, seed)).sum::<f64>())
+            .collect();
+        let out = Universe::run(total, |ctx| {
+            if ctx.rank() >= p {
+                return None;
+            }
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let mine: Vec<f64> = (0..len).map(|s| val(ctx.rank(), s, seed)).collect();
+            let mut a = mine.clone();
+            let mut b = mine.clone();
+            let mut c = mine;
+            allreduce_sum_flat(ctx, &g, &mut a, 10, VolumeCategory::Other);
+            allreduce_sum_tree(ctx, &g, &mut b, 20, VolumeCategory::Other);
+            allreduce_sum(ctx, &g, &mut c, 30, VolumeCategory::Other);
+            Some((a, b, c))
+        });
+        for r in out.results.into_iter().flatten() {
+            for (got, want) in [&r.0, &r.1, &r.2].iter().flat_map(|v| v.iter().zip(&expect)) {
+                prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's buffer to every member, for any root.
+    #[test]
+    fn bcast_matches_reference(
+        p in 1usize..=8,
+        rot in 0usize..8,
+        len in 0usize..=6,
+        seed in 0u64..1000,
+    ) {
+        let members = rotated_members(p, rot);
+        let root = members[0];
+        let expect: Vec<f64> = (0..len).map(|s| val(root, s, seed)).collect();
+        let out = Universe::run(p, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let mut buf: Vec<f64> = if ctx.rank() == root {
+                (0..len).map(|s| val(root, s, seed)).collect()
+            } else {
+                Vec::new()
+            };
+            bcast(ctx, &g, &mut buf, 40, VolumeCategory::Other);
+            buf
+        });
+        for r in out.results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// Gather collects member buffers at the root in group order; non-roots
+    /// get `None`.
+    #[test]
+    fn gather_matches_reference(
+        p in 1usize..=8,
+        rot in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let members = rotated_members(p, rot);
+        let root = members[0];
+        let out = Universe::run(p, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            // Variable-length payloads: member r contributes r+1 values.
+            let mine: Vec<f64> = (0..ctx.rank() + 1).map(|s| val(ctx.rank(), s, seed)).collect();
+            gather(ctx, &g, mine, 50, VolumeCategory::Other)
+        });
+        for (rank, r) in out.results.into_iter().enumerate() {
+            if rank == root {
+                let parts = r.expect("root receives the gather");
+                prop_assert_eq!(parts.len(), p);
+                for (i, part) in parts.iter().enumerate() {
+                    let m = members[i];
+                    let expect: Vec<f64> = (0..m + 1).map(|s| val(m, s, seed)).collect();
+                    prop_assert_eq!(part, &expect);
+                }
+            } else {
+                prop_assert!(r.is_none());
+            }
+        }
+    }
+
+    /// All-gather gives every member every buffer in group order.
+    #[test]
+    fn allgather_matches_reference(
+        p in 1usize..=8,
+        rot in 0usize..8,
+        len in 1usize..=5,
+        seed in 0u64..1000,
+    ) {
+        let members = rotated_members(p, rot);
+        let out = Universe::run(p, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let mine: Vec<f64> = (0..len).map(|s| val(ctx.rank(), s, seed)).collect();
+            allgather(ctx, &g, mine, 60, VolumeCategory::Other)
+        });
+        for r in out.results {
+            prop_assert_eq!(r.len(), p);
+            for (i, part) in r.iter().enumerate() {
+                let expect: Vec<f64> = (0..len).map(|s| val(members[i], s, seed)).collect();
+                prop_assert_eq!(part, &expect);
+            }
+        }
+    }
+
+    /// All-to-all-v routes buffer `i` of member `m` to member `i`, who sees
+    /// it at index `m` — i.e. the received matrix is the transpose of the
+    /// sent one, including empty chunks.
+    #[test]
+    fn alltoallv_matches_reference(
+        p in 1usize..=7,
+        rot in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let members = rotated_members(p, rot);
+        // lens[src_idx][dst_idx]; some chunks empty.
+        let lens: Vec<Vec<usize>> = (0..p)
+            .map(|i| (0..p).map(|j| (i * 3 + j * 5 + seed as usize) % 4).collect())
+            .collect();
+        let payload = |src_idx: usize, dst_idx: usize| -> Vec<f64> {
+            (0..lens[src_idx][dst_idx])
+                .map(|s| val(members[src_idx], s + 31 * dst_idx, seed))
+                .collect()
+        };
+        let out = Universe::run(p, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let me = g.my_index();
+            let send: Vec<Vec<f64>> = (0..p).map(|j| payload(me, j)).collect();
+            (me, alltoallv(ctx, &g, send, 70, VolumeCategory::Other))
+        });
+        for (me, recvd) in out.results {
+            prop_assert_eq!(recvd.len(), p);
+            for (i, part) in recvd.iter().enumerate() {
+                prop_assert_eq!(part, &payload(i, me));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- virtual-time closed forms
+
+fn vcfg(net: NetModel) -> UniverseCfg {
+    UniverseCfg {
+        sequential: true,
+        net: Some(net),
+    }
+}
+
+/// Run `f` on a virtual-time universe and return each rank's modeled nanos
+/// in `cat`.
+fn virtual_nanos(
+    p: usize,
+    net: NetModel,
+    cat: VolumeCategory,
+    f: impl Fn(&mut tucker_distsim::RankCtx) + Sync,
+) -> Vec<u64> {
+    let out = Universe::run_cfg(p, &vcfg(net), |ctx| {
+        f(ctx);
+        ctx.vtimers.time(cat).as_nanos() as u64
+    });
+    out.results
+}
+
+#[test]
+fn virtual_allreduce_matches_closed_forms() {
+    let net = NetModel::new(Duration::from_nanos(700), 2.0e9);
+    for p in [1usize, 2, 3, 5, 8, 11, 16] {
+        for len in [1usize, 7] {
+            let flat = virtual_nanos(p, net, VolumeCategory::Gram, |ctx| {
+                let g = Group::world(ctx);
+                let mut buf = vec![1.0; len];
+                allreduce_sum_flat(ctx, &g, &mut buf, 1, VolumeCategory::Gram);
+            });
+            assert_eq!(
+                flat.iter().copied().max().unwrap(),
+                net.allreduce_flat_ns(p, len),
+                "flat p={p} len={len}"
+            );
+            let tree = virtual_nanos(p, net, VolumeCategory::Gram, |ctx| {
+                let g = Group::world(ctx);
+                let mut buf = vec![1.0; len];
+                allreduce_sum_tree(ctx, &g, &mut buf, 1, VolumeCategory::Gram);
+            });
+            assert_eq!(
+                tree.iter().copied().max().unwrap(),
+                net.allreduce_tree_ns(p, len),
+                "tree p={p} len={len}"
+            );
+            let disp = virtual_nanos(p, net, VolumeCategory::Gram, |ctx| {
+                let g = Group::world(ctx);
+                let mut buf = vec![1.0; len];
+                allreduce_sum(ctx, &g, &mut buf, 1, VolumeCategory::Gram);
+            });
+            assert_eq!(
+                disp.iter().copied().max().unwrap(),
+                net.allreduce_ns(p, len),
+                "dispatch p={p} len={len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn virtual_bcast_gather_allgather_match_closed_forms() {
+    let net = NetModel::bgq();
+    for p in [1usize, 2, 5, 9] {
+        let len = 11usize;
+        let b = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::world(ctx);
+            let mut buf = if ctx.rank() == 0 {
+                vec![2.0; len]
+            } else {
+                vec![]
+            };
+            bcast(ctx, &g, &mut buf, 1, VolumeCategory::Other);
+        });
+        assert_eq!(b.iter().copied().max().unwrap(), net.bcast_ns(p, len));
+
+        let ga = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::world(ctx);
+            let mine = vec![1.0; ctx.rank() + 2]; // variable lengths
+            let _ = gather(ctx, &g, mine, 1, VolumeCategory::Other);
+        });
+        let nonroot_lens: Vec<usize> = (1..p).map(|r| r + 2).collect();
+        assert_eq!(ga[0], net.gather_ns(&nonroot_lens), "gather root p={p}");
+
+        let ag = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::world(ctx);
+            let _ = allgather(ctx, &g, vec![1.0; len], 1, VolumeCategory::Other);
+        });
+        for (r, &ns) in ag.iter().enumerate() {
+            assert_eq!(ns, net.allgather_ns(p, len), "allgather rank {r} p={p}");
+        }
+    }
+}
+
+#[test]
+fn virtual_alltoallv_matches_closed_form() {
+    let net = NetModel::new(Duration::from_nanos(300), 1.0e9);
+    let p = 5usize;
+    let lens: Vec<Vec<usize>> = (0..p)
+        .map(|i| (0..p).map(|j| (i * 2 + j * 3) % 5).collect())
+        .collect();
+    let lens_run = lens.clone();
+    let got = virtual_nanos(p, net, VolumeCategory::Regrid, move |ctx| {
+        let g = Group::world(ctx);
+        let me = g.my_index();
+        let send: Vec<Vec<f64>> = (0..p).map(|j| vec![0.5; lens_run[me][j]]).collect();
+        let _ = alltoallv(ctx, &g, send, 1, VolumeCategory::Regrid);
+    });
+    // Per rank: every off-rank message charged at both endpoints.
+    for (i, &ns) in got.iter().enumerate() {
+        let expect: u64 = (0..p)
+            .filter(|&j| j != i)
+            .map(|j| net.msg_elems_ns(lens[i][j]) + net.msg_elems_ns(lens[j][i]))
+            .sum();
+        assert_eq!(ns, expect, "rank {i}");
+    }
+    assert_eq!(got.iter().copied().max().unwrap(), net.alltoallv_ns(&lens));
+}
+
+#[test]
+fn virtual_reduce_scatter_matches_closed_form() {
+    // The distributed TTM's reduce-scatter over a mode group: grid <q, 1>,
+    // K = 5 over q = 3 gives uneven chunks (2, 2, 1).
+    use tucker_distsim::dist_ttm::dist_ttm;
+    use tucker_distsim::{DistTensor, Grid};
+    use tucker_linalg::Matrix;
+    use tucker_tensor::{DenseTensor, Shape};
+
+    let net = NetModel::bgq();
+    let (l, rest, k, q) = (7usize, 6usize, 5usize, 3usize);
+    let global = DenseTensor::from_fn(Shape::from([l, rest]), |c| (c[0] * 10 + c[1]) as f64);
+    let f = Matrix::from_fn(k, l, |i, j| ((i + 2 * j) % 3) as f64 - 1.0);
+    let grid = Grid::new([q, 1]);
+    let got = virtual_nanos(q, net, VolumeCategory::TtmReduceScatter, |ctx| {
+        let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+        let _ = dist_ttm(ctx, &dt, 0, &f);
+    });
+    let chunk_lens: Vec<usize> = tucker_distsim::split_extents(k, q)
+        .into_iter()
+        .map(|(_, len)| len * rest)
+        .collect();
+    for (i, &ns) in got.iter().enumerate() {
+        let expect: u64 = (0..q)
+            .filter(|&j| j != i)
+            .map(|j| net.msg_elems_ns(chunk_lens[j]))
+            .sum::<u64>()
+            + (q as u64 - 1) * net.msg_elems_ns(chunk_lens[i]);
+        assert_eq!(ns, expect, "rank {i}");
+    }
+    assert_eq!(
+        got.iter().copied().max().unwrap(),
+        net.reduce_scatter_ns(&chunk_lens)
+    );
+}
+
+#[test]
+fn virtual_barrier_matches_closed_form() {
+    let net = NetModel::bgq();
+    for p in [1usize, 2, 6, 8] {
+        let got = virtual_nanos(p, net, VolumeCategory::Other, |ctx| ctx.barrier());
+        for &ns in &got {
+            assert_eq!(ns, net.barrier_ns(p));
+        }
+    }
+}

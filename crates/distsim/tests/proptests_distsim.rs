@@ -10,8 +10,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tucker_distsim::collectives::{allreduce_sum_flat, allreduce_sum_tree, Group};
+use tucker_distsim::dist_ttm::dist_ttm;
 use tucker_distsim::redistribute::redistribute;
 use tucker_distsim::{enumerate_valid_grids, DistTensor, Grid, Universe, VolumeCategory};
+use tucker_linalg::Matrix;
 use tucker_tensor::{DenseTensor, Shape};
 
 fn rand_tensor(dims: &[usize], seed: u64) -> DenseTensor {
@@ -82,6 +84,77 @@ proptest! {
                 prop_assert!((b[i] - reference[i]).abs() < 1e-12);
             }
         }
+    }
+
+    /// Conservation (paper §4.1): the ledger's TTM reduce-scatter volume of
+    /// a distributed TTM equals the closed form `(q_n − 1)·|Out(u)|`
+    /// **exactly**, for random shapes, grids, modes, and output extents —
+    /// uneven chunks included.
+    #[test]
+    fn dist_ttm_volume_is_exactly_the_closed_form(
+        (dims, gi, _gj, seed) in case_strategy(),
+        mode_sel in 0usize..8,
+        k_sel in 0usize..8,
+    ) {
+        let p = 4usize;
+        let grids = enumerate_valid_grids(p, &dims);
+        prop_assume!(!grids.is_empty());
+        let grid = grids[gi % grids.len()].clone();
+        let n = mode_sel % dims.len();
+        // Output extent K: any value in q_n ..= L_n keeps the grid valid.
+        let qn = grid.dim(n);
+        let k = qn + k_sel % (dims[n] - qn + 1);
+        let global = rand_tensor(&dims, seed);
+        let f = {
+            let mut rng = StdRng::seed_from_u64(seed + 77);
+            let dist = rand::distributions::Uniform::new(-1.0, 1.0);
+            Matrix::random(k, dims[n], &dist, &mut rng)
+        };
+        let out = Universe::run(p, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            let _ = dist_ttm(ctx, &dt, n, &f);
+        });
+        let out_card: usize = dims
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| if m == n { k } else { d })
+            .product();
+        let expect = ((qn - 1) * out_card * 8) as u64;
+        prop_assert_eq!(
+            out.volume.bytes(VolumeCategory::TtmReduceScatter),
+            expect,
+            "dims {:?} grid {} mode {} k {}", dims, grid, n, k
+        );
+        // Nothing leaked into other categories.
+        prop_assert_eq!(out.volume.bytes(VolumeCategory::Regrid), 0);
+        prop_assert_eq!(out.volume.bytes(VolumeCategory::Gram), 0);
+    }
+
+    /// Conservation: per-category ledger volumes always sum to the universe
+    /// total, on both snapshots and deltas.
+    #[test]
+    fn ledger_categories_sum_to_total((dims, gi, gj, seed) in case_strategy()) {
+        let p = 4usize;
+        let grids = enumerate_valid_grids(p, &dims);
+        prop_assume!(!grids.is_empty());
+        let g1 = grids[gi % grids.len()].clone();
+        let g2 = grids[gj % grids.len()].clone();
+        let global = rand_tensor(&dims, seed);
+        let out = Universe::run(p, |ctx| {
+            let before = ctx.volume();
+            let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+            let dt2 = redistribute(ctx, &dt, &g2);
+            let _ = dt2.global_norm_sq(ctx);
+            let delta = ctx.volume().since(&before);
+            let sum: u64 = VolumeCategory::all().iter().map(|&c| delta.bytes(c)).sum();
+            (delta.total_bytes(), sum)
+        });
+        for (total, sum) in out.results {
+            prop_assert_eq!(total, sum);
+        }
+        let report = out.volume;
+        let sum: u64 = VolumeCategory::all().iter().map(|&c| report.bytes(c)).sum();
+        prop_assert_eq!(report.total_bytes(), sum);
     }
 
     /// Block regions partition the tensor for every valid grid.

@@ -70,7 +70,7 @@ fn main() {
         );
     }
 
-    let d = &out.decomposition;
+    let d = out.expect_decomposition();
     println!(
         "final: core {}  storage compression {:.1}x  factors orthonormal: {}",
         d.core.shape(),

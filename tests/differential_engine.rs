@@ -1,0 +1,241 @@
+//! Differential tests: the distributed engine against the sequential
+//! reference implementations, across the four-strategy lineup, on randomized
+//! 5-D and 6-D metadata, in **both** measured and virtual-time execution
+//! modes. The distributed and sequential pipelines compute the same math, so
+//! their relative errors must agree to 1e-10 — any divergence flags a
+//! communication, distribution, or clock-plumbing bug.
+
+use proptest::prelude::*;
+use tucker_core::decomposition::TuckerDecomposition;
+use tucker_core::dist_sthosvd::{optimal_sthosvd_order, run_distributed_sthosvd_cfg};
+use tucker_core::engine::{run_distributed_hooi_cfg, EngineConfig};
+use tucker_core::hooi::hooi_invocation;
+use tucker_core::planner::Planner;
+use tucker_core::sthosvd::sthosvd_with_order;
+use tucker_core::TuckerMeta;
+use tucker_distsim::{enumerate_valid_grids, NetModel};
+use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_suite::fields::hash_noise;
+use tucker_tensor::DenseTensor;
+
+const NRANKS: usize = 4;
+
+/// Structured low-rank field: five separable cosine components with
+/// geometrically decaying weights give every mode a cleanly gapped Gram
+/// spectrum up to rank ~5, and a tiny noise floor breaks exact ties far
+/// below the structured eigenvalues. Truncation at k ≤ 4 is therefore
+/// well-posed, so a 1e-15 summation-order perturbation of a Gram matrix
+/// cannot rotate the kept subspace: distributed and sequential errors agree
+/// to ~1e-12.
+fn field(c: &[usize]) -> f64 {
+    let mut v = 0.0;
+    let mut w = 1.0;
+    for r in 0..5 {
+        let mut prod = 1.0;
+        for (n, &x) in c.iter().enumerate() {
+            let freq = 0.9 + 0.37 * r as f64 + 0.11 * n as f64;
+            let phase = 0.3 * r as f64 + 0.05 * (n * n) as f64;
+            prod *= (freq * x as f64 + phase).cos();
+        }
+        v += w * prod;
+        w *= 0.4;
+    }
+    v + 1e-4 * hash_noise(c, 0xD1FF)
+}
+
+/// Eigengap test for one truncation: a clear relative gap at index `k`
+/// makes the kept subspace a stable function of the matrix, so the 1e-15
+/// summation-order differences between the distributed and sequential Gram
+/// pipelines cannot rotate it. Without a gap the truncation (and hence the
+/// error) is not a well-defined function of the tensor and the differential
+/// property cannot be expected to hold to 1e-10.
+fn gapped(g: &Matrix, k: usize) -> bool {
+    let evd = tucker_linalg::sym_evd(g);
+    if k >= evd.eigenvalues.len() {
+        return true; // no truncation
+    }
+    let top = evd.eigenvalues[0].max(1e-300);
+    (evd.eigenvalues[k - 1] - evd.eigenvalues[k]) / top > 1e-3
+}
+
+/// Audit every EVD a one-sweep HOOI of `tree` will perform (init Grams plus
+/// each leaf's Gram of its intermediate input), sequentially mirroring the
+/// engine's tree walk. Returns `false` on any spectrally degenerate
+/// truncation.
+fn hooi_plan_well_posed(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    init: &TuckerDecomposition,
+    tree: &tucker_core::tree::TtmTree,
+) -> bool {
+    use tucker_core::tree::NodeLabel;
+    for n in 0..meta.order() {
+        if !gapped(&tucker_tensor::gram(t, n), meta.k(n)) {
+            return false;
+        }
+    }
+    let mut stack: Vec<(usize, std::rc::Rc<DenseTensor>)> = Vec::new();
+    let root = std::rc::Rc::new(t.clone());
+    for &c in tree.node(tree.root()).children.iter().rev() {
+        stack.push((c, std::rc::Rc::clone(&root)));
+    }
+    while let Some((id, input)) = stack.pop() {
+        match tree.node(id).label {
+            NodeLabel::Root => unreachable!(),
+            NodeLabel::Ttm(n) => {
+                let out =
+                    std::rc::Rc::new(tucker_tensor::ttm(&input, n, &init.factors[n].transpose()));
+                for &c in tree.node(id).children.iter().rev() {
+                    stack.push((c, std::rc::Rc::clone(&out)));
+                }
+            }
+            NodeLabel::Leaf(n) => {
+                if !gapped(&tucker_tensor::gram(&input, n), meta.k(n)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Audit every EVD the STHOSVD chain will perform.
+fn sthosvd_well_posed(t: &DenseTensor, meta: &TuckerMeta, order: &[usize]) -> bool {
+    let mut cur = t.clone();
+    for &n in order {
+        let g = tucker_tensor::gram(&cur, n);
+        if !gapped(&g, meta.k(n)) {
+            return false;
+        }
+        let f = leading_from_gram(&g, meta.k(n)).u;
+        cur = tucker_tensor::ttm(&cur, n, &f.transpose());
+    }
+    true
+}
+
+/// Metadata from raw draws, with cores clamped to the mode lengths.
+fn build_meta(ls: &[usize], kraw: &[usize]) -> TuckerMeta {
+    let ks: Vec<usize> = ls.iter().zip(kraw).map(|(&l, &k)| k.clamp(1, l)).collect();
+    TuckerMeta::new(ls.to_vec(), ks)
+}
+
+/// The randomized meta must admit valid grids for the simulated ranks.
+fn viable(meta: &TuckerMeta) -> bool {
+    meta.core_cardinality() >= NRANKS as f64
+        && !enumerate_valid_grids(NRANKS, meta.core().dims()).is_empty()
+}
+
+/// The engine's HOSVD-style initialization, sequentially: non-truncated Gram
+/// per mode of the raw tensor.
+fn hosvd_init(t: &DenseTensor, meta: &TuckerMeta) -> TuckerDecomposition {
+    let factors: Vec<Matrix> = (0..meta.order())
+        .map(|n| leading_from_gram(&tucker_tensor::gram(t, n), meta.k(n)).u)
+        .collect();
+    let mut core = t.clone();
+    for (n, f) in factors.iter().enumerate() {
+        core = tucker_tensor::ttm(&core, n, &f.transpose());
+    }
+    TuckerDecomposition::new(core, factors)
+}
+
+fn modes() -> [(&'static str, EngineConfig); 2] {
+    [
+        ("measured", EngineConfig::default()),
+        ("virtual", EngineConfig::virtual_time(NetModel::bgq())),
+    ]
+}
+
+/// Distributed HOOI (all four strategies, both clocks) vs the sequential
+/// invocation from the identical initialization.
+fn check_hooi_lineup(meta: &TuckerMeta) {
+    let t = DenseTensor::from_fn(meta.input().clone(), field);
+    let init = hosvd_init(&t, meta);
+    let planner = Planner::new(meta.clone(), NRANKS);
+    for plan in planner.paper_lineup() {
+        if !hooi_plan_well_posed(&t, meta, &init, &plan.tree) {
+            continue; // spectrally degenerate draw: the property is undefined
+        }
+        let seq = hooi_invocation(&t, meta, &init, &plan.tree);
+        for (label, cfg) in modes() {
+            let dist = run_distributed_hooi_cfg(field, &plan, 1, &cfg);
+            let de = dist.per_sweep[0].error;
+            assert!(
+                (de - seq.error).abs() < 1e-10,
+                "{meta}: {} [{label}]: dist {de} vs seq {}",
+                plan.name(),
+                seq.error
+            );
+        }
+    }
+}
+
+/// Distributed STHOSVD vs the sequential chain, both clocks.
+fn check_sthosvd(meta: &TuckerMeta) {
+    let t = DenseTensor::from_fn(meta.input().clone(), field);
+    let order = optimal_sthosvd_order(meta);
+    if !sthosvd_well_posed(&t, meta, &order) {
+        return; // spectrally degenerate draw: the property is undefined
+    }
+    let seq = sthosvd_with_order(&t, meta, &order);
+    let seq_err = seq.error(&t);
+    let grid = enumerate_valid_grids(NRANKS, meta.core().dims())[0].clone();
+    for (label, cfg) in modes() {
+        let (decomp, stats) = run_distributed_sthosvd_cfg(field, meta, &grid, &order, &cfg);
+        assert!(
+            (stats.error - seq_err).abs() < 1e-10,
+            "{meta} [{label}]: dist {} vs seq {seq_err}",
+            stats.error
+        );
+        // Both modes gather by default: the cores themselves must agree.
+        let d = decomp.expect("default gather");
+        assert!(d.core.max_abs_diff(&seq.core) < 1e-7);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// 5-D: distributed HOOI matches the sequential invocation to 1e-10.
+    #[test]
+    fn hooi_matches_sequential_5d(
+        ls in prop::collection::vec(3usize..=6, 5..=5),
+        kraw in prop::collection::vec(1usize..=4, 5..=5),
+    ) {
+        let meta = build_meta(&ls, &kraw);
+        prop_assume!(viable(&meta));
+        check_hooi_lineup(&meta);
+    }
+
+    /// 6-D: same, one order higher.
+    #[test]
+    fn hooi_matches_sequential_6d(
+        ls in prop::collection::vec(3usize..=5, 6..=6),
+        kraw in prop::collection::vec(1usize..=4, 6..=6),
+    ) {
+        let meta = build_meta(&ls, &kraw);
+        prop_assume!(viable(&meta));
+        check_hooi_lineup(&meta);
+    }
+
+    /// 5-D: distributed STHOSVD matches the sequential chain to 1e-10.
+    #[test]
+    fn sthosvd_matches_sequential_5d(
+        ls in prop::collection::vec(3usize..=6, 5..=5),
+        kraw in prop::collection::vec(1usize..=4, 5..=5),
+    ) {
+        let meta = build_meta(&ls, &kraw);
+        prop_assume!(viable(&meta));
+        check_sthosvd(&meta);
+    }
+
+    /// 6-D: same, one order higher.
+    #[test]
+    fn sthosvd_matches_sequential_6d(
+        ls in prop::collection::vec(3usize..=5, 6..=6),
+        kraw in prop::collection::vec(1usize..=4, 6..=6),
+    ) {
+        let meta = build_meta(&ls, &kraw);
+        prop_assume!(viable(&meta));
+        check_sthosvd(&meta);
+    }
+}

@@ -19,7 +19,7 @@ fn two_mode_problem_works_end_to_end() {
     for plan in planner.paper_lineup() {
         let out = run_distributed_hooi(fill, &plan, 2);
         assert!(out.per_sweep[1].error.is_finite());
-        assert!(out.decomposition.factors_orthonormal(1e-8));
+        assert!(out.expect_decomposition().factors_orthonormal(1e-8));
     }
 }
 
@@ -43,7 +43,7 @@ fn rank_one_core_is_the_extreme_compression() {
     let planner = Planner::new(meta, 1);
     let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
     let out = run_distributed_hooi(fill, &plan, 1);
-    assert_eq!(out.decomposition.core.cardinality(), 1);
+    assert_eq!(out.expect_decomposition().core.cardinality(), 1);
     assert!(out.per_sweep[0].error <= 1.0 + 1e-12);
 }
 
