@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p tucker-bench --bin experiments -- all
 //! cargo run --release -p tucker-bench --bin experiments -- kernels
+//! cargo run --release -p tucker-bench --bin experiments -- backends
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
@@ -10,6 +11,10 @@
 //!
 //! `kernels` times the fused-Gram / workspace-TTM kernels against their
 //! explicit-unfold baselines and persists `results/BENCH_kernels.json`.
+//!
+//! `backends` runs the same HOOI schedule through the three sweep-executor
+//! backends (seq / rayon / distsim) on the kernel-ablation problem and
+//! persists `results/BENCH_backends.json`.
 //!
 //! `scaling` replays the four-strategy lineup at paper-scale rank counts
 //! (P = 64…8192) under the virtual-time α–β BG/Q model, validates the
@@ -62,6 +67,7 @@ fn main() {
 
     match what {
         "kernels" => kernels(),
+        "backends" => backends(),
         "scaling" => scaling(max_p),
         "table1" => table1(),
         "table2" => table2(),
@@ -77,6 +83,7 @@ fn main() {
         "summary" => summary(),
         "all" => {
             kernels();
+            backends();
             scaling(max_p);
             table1();
             table2();
@@ -93,8 +100,9 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: all kernels scaling table1 \
-                 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
+                "unknown experiment '{other}'; expected one of: all kernels backends scaling \
+                 table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f \
+                 summary"
             );
             std::process::exit(2);
         }
@@ -163,12 +171,13 @@ fn scaling(max_p: usize) {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"p\": {}, \"strategy\": \"{}\", \"wall_s\": {:.9}, \
+                "    {{\"backend\": \"{}\", \"p\": {}, \"strategy\": \"{}\", \"wall_s\": {:.9}, \
                  \"ttm_compute_s\": {:.9}, \"ttm_comm_s\": {:.9}, \"regrid_comm_s\": {:.9}, \
                  \"gram_comm_s\": {:.9}, \"svd_s\": {:.9}, \"ttm_elements\": {}, \
                  \"regrid_elements\": {}, \"gram_elements\": {}, \
                  \"model_ttm_elements\": {:.1}, \"model_regrid_elements\": {:.1}, \
                  \"error\": {:.12}, \"host_s\": {:.3}}}",
+                r.backend,
                 r.nranks,
                 r.strategy,
                 r.wall_s,
@@ -198,6 +207,82 @@ fn scaling(max_p: usize) {
         json_rows.join(",\n")
     );
     let p = write_results("BENCH_scaling.json", &json);
+    println!("-> {}\n", p.display());
+}
+
+// --------------------------------------------------------------- Backends
+
+/// Backend comparison on the kernel-ablation problem: the same
+/// `(opt-tree, static)` HOOI schedule executed by the strictly sequential
+/// host backend, the rayon shared-memory backend (host cores), and the
+/// measured distsim backend. Errors are asserted identical inside the
+/// driver; wall times land in `results/BENCH_backends.json` so future PRs
+/// can track the multicore speedup.
+fn backends() {
+    const DIMS: [usize; 3] = [48, 40, 36];
+    const K: usize = 12;
+    const SWEEPS: usize = 2;
+    const REPS: usize = 7;
+    const DIST_RANKS: usize = 4;
+
+    let meta = TuckerMeta::new(DIMS.to_vec(), vec![K; 3]);
+    let host_cores = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+    println!(
+        "== Backends: seq vs rayon({host_cores} cores) vs distsim(P={DIST_RANKS}) on {meta}, \
+         {SWEEPS} sweeps, best of {REPS} ==",
+    );
+    let rows = tucker_suite::driver::backend_lineup(&meta, SWEEPS, REPS, DIST_RANKS);
+    for r in &rows {
+        println!(
+            "   {:>8} (x{:<2}): wall {:>9.1}us  ttm {:>9.1}us  svd {:>9.1}us  error {:.6}",
+            r.backend,
+            r.threads,
+            r.wall_s * 1e6,
+            r.ttm_s * 1e6,
+            r.svd_s * 1e6,
+            r.error
+        );
+    }
+    let seq = rows.iter().find(|r| r.backend == "seq").unwrap();
+    let rayon = rows.iter().find(|r| r.backend == "rayon").unwrap();
+    let speedup = seq.wall_s / rayon.wall_s;
+    let beats = rayon.wall_s < seq.wall_s;
+    println!(
+        "   rayon vs seq: {speedup:.2}x {} ({host_cores} host cores)",
+        if beats { "speedup" } else { "(no gain)" }
+    );
+    if host_cores >= 2 {
+        assert!(
+            beats,
+            "RayonBackend must beat SeqBackend on >=2 host cores \
+             (seq {:.1}us vs rayon {:.1}us)",
+            seq.wall_s * 1e6,
+            rayon.wall_s * 1e6
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"threads\": {}, \"wall_s\": {:.9}, \
+                 \"ttm_s\": {:.9}, \"svd_s\": {:.9}, \"error\": {:.12}}}",
+                r.backend, r.threads, r.wall_s, r.ttm_s, r.svd_s, r.error
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/backends/v1\",\n  \"input\": \"{}\",\n  \
+         \"core\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"sweeps\": {SWEEPS},\n  \
+         \"reps\": {REPS},\n  \"rows\": [\n{}\n  ],\n  \
+         \"rayon_speedup_vs_seq\": {speedup:.4},\n  \"rayon_beats_seq\": {beats}\n}}\n",
+        meta.input(),
+        meta.core(),
+        json_rows.join(",\n")
+    );
+    let p = write_results("BENCH_backends.json", &json);
     println!("-> {}\n", p.display());
 }
 

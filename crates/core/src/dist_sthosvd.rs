@@ -1,4 +1,5 @@
-//! Distributed STHOSVD — the paper's suggested extension.
+//! Distributed STHOSVD — the paper's suggested extension, as a thin shim
+//! over [`executor::sthosvd_sweep`] on the engine's `DistsimBackend`.
 //!
 //! The introduction notes that "the ideas developed in this paper can be
 //! recast and used for improving STHOSVD as well". STHOSVD is a *single*
@@ -18,37 +19,18 @@
 //!   would mirror §4.4).
 
 use crate::decomposition::TuckerDecomposition;
-use crate::engine::EngineConfig;
+use crate::engine::{DistsimBackend, EngineConfig};
+use crate::executor::{self, SweepStats};
 use crate::meta::TuckerMeta;
-use std::time::Duration;
-use tucker_distsim::dist_gram::dist_gram;
-use tucker_distsim::dist_ttm::dist_ttm;
-use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
-use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_distsim::{DistTensor, Grid, Universe};
+use tucker_linalg::Matrix;
 
-/// Measurements of one distributed STHOSVD run. Like
-/// [`ExecutionStats`](crate::engine::ExecutionStats), the same fields carry
+/// Measurements of one distributed STHOSVD run: the unified
+/// [`SweepStats`], reported identically by every backend (regrid fields are
+/// zero — the chain runs under one static grid). The same fields carry
 /// measured times in the default mode and α–β-modeled times under
 /// [`TimeSource::Virtual`](crate::engine::TimeSource).
-#[derive(Clone, Debug, Default)]
-pub struct SthosvdStats {
-    /// TTM (truncation) CPU time, max over ranks.
-    pub ttm_compute: Duration,
-    /// Gram + EVD CPU time, max over ranks.
-    pub svd: Duration,
-    /// Communication time of the truncation reduce-scatters.
-    pub ttm_comm: Duration,
-    /// Communication time of the Gram all-gathers/all-reduces.
-    pub gram_comm: Duration,
-    /// End-to-end time of the run (max over ranks).
-    pub wall: Duration,
-    /// Elements moved by TTM reduce-scatters.
-    pub ttm_volume: u64,
-    /// Elements moved by the Gram all-gathers/all-reduces.
-    pub gram_volume: u64,
-    /// Relative error of the produced decomposition.
-    pub error: f64,
-}
+pub type SthosvdStats = SweepStats;
 
 /// The mode order minimizing the STHOSVD chain's TTM FLOPs: ascending
 /// `K_n / (1 − h_n)`, with incompressible (`h_n = 1`) modes last (they never
@@ -116,62 +98,29 @@ pub fn run_distributed_sthosvd_cfg(
         meta.core()
     );
     let nranks = grid.nranks();
-    let time = cfg.time;
     let ucfg = cfg.universe_cfg();
 
     let out = Universe::run_cfg(nranks, &ucfg, |ctx| {
-        let mut cur = DistTensor::from_global_fn(ctx, meta.input(), grid, |c| global_fn(c));
-        let input_norm_sq = cur.global_norm_sq(ctx);
-        let vol0 = ctx.volume();
-        let run_snap = time.snap(ctx);
-        let mut stats = SthosvdStats::default();
-        let mut factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+        let t = DistTensor::from_global_fn(ctx, meta.input(), grid, |c| global_fn(c));
+        let input_norm_sq = t.global_norm_sq(ctx);
 
-        for &n in order {
-            let snap = time.snap(ctx);
-            let gram = dist_gram(ctx, &cur, n);
-            let svd = leading_from_gram(&gram, meta.k(n));
-            stats.gram_comm += time.comm_since(ctx, &snap, VolumeCategory::Gram);
-            stats.svd += time.cpu_since(&snap);
-
-            let snap = time.snap(ctx);
-            cur = dist_ttm(ctx, &cur, n, &svd.u.transpose());
-            stats.ttm_comm += time.comm_since(ctx, &snap, VolumeCategory::TtmReduceScatter);
-            stats.ttm_compute += time.cpu_since(&snap);
-            factors[n] = Some(svd.u);
-        }
-
-        let core_norm_sq = cur.global_norm_sq(ctx);
-        stats.error = tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
-        stats.wall = time.wall_since(ctx, &run_snap);
-        let vol = ctx.volume().since(&vol0);
-        stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
-        stats.gram_volume = vol.elements(VolumeCategory::Gram);
+        let mut backend = DistsimBackend::new(&mut *ctx, cfg.time, None);
+        let run = executor::sthosvd_sweep(&mut backend, &t, meta, order, input_norm_sq);
 
         let decomp = if cfg.gather_core {
-            let dense_core = cur.allgather_global(ctx);
-            let factors: Vec<Matrix> = factors
-                .into_iter()
-                .map(|f| f.expect("all modes processed"))
-                .collect();
+            let dense_core = run.core.allgather_global(ctx);
+            let factors: Vec<Matrix> = run.factors;
             (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors))
         } else {
             None
         };
-        (decomp, stats)
+        (decomp, run.stats)
     });
 
     let mut agg = SthosvdStats::default();
     let mut decomp = None;
     for (d, s) in out.results {
-        agg.ttm_compute = agg.ttm_compute.max(s.ttm_compute);
-        agg.svd = agg.svd.max(s.svd);
-        agg.ttm_comm = agg.ttm_comm.max(s.ttm_comm);
-        agg.gram_comm = agg.gram_comm.max(s.gram_comm);
-        agg.wall = agg.wall.max(s.wall);
-        agg.ttm_volume = agg.ttm_volume.max(s.ttm_volume);
-        agg.gram_volume = agg.gram_volume.max(s.gram_volume);
-        agg.error = s.error;
+        agg.merge_max(&s);
         if let Some(d) = d {
             decomp = Some(d);
         }

@@ -1,14 +1,18 @@
 //! The distributed engine (paper §5): executes a [`Plan`] on the simulated
 //! MPI universe.
 //!
-//! Tensors live as [`DistTensor`] blocks; the TTM at each tree node is the
-//! distributed local-multiply + reduce-scatter of `tucker-distsim`; regrids
-//! are all-to-all redistributions; the SVD step is the distributed Gram +
-//! replicated sequential EVD of §5. Per-phase time and per-category
-//! communication volume are recorded so the experiments can reproduce the
-//! paper's breakdowns (Figures 10c, 11a/b/e).
+//! The engine is the distsim backend of the sweep executor: the canonical
+//! Gram → EVD-truncation → TTM loop lives in [`crate::executor`], and this
+//! module contributes [`DistsimBackend`] — the adapter that runs each
+//! operation distributed. Tensors live as [`DistTensor`] blocks; the TTM at
+//! each tree node is the distributed local-multiply + reduce-scatter of
+//! `tucker-distsim`; regrids are all-to-all redistributions; the SVD step is
+//! the distributed Gram + replicated sequential EVD of §5. Per-phase time
+//! and per-category communication volume are recorded so the experiments can
+//! reproduce the paper's breakdowns (Figures 10c, 11a/b/e).
 //!
-//! Two clocks drive the phase accounting, selected by [`TimeSource`]:
+//! Two clocks drive the phase accounting, selected by [`TimeSource`] (the
+//! adapter lives in `tucker_distsim::backend`):
 //!
 //! * [`TimeSource::Measured`] — compute phases in thread CPU time,
 //!   communication phases in measured wall time (honest runs at host-scale
@@ -21,87 +25,34 @@
 //!   **same** [`ExecutionStats`] fields as measured runs.
 
 use crate::decomposition::TuckerDecomposition;
-use crate::meta::TuckerMeta;
+use crate::dyn_grid::DynGridScheme;
+use crate::executor::{self, SweepBackend, SweepPhase, SweepStats};
 use crate::planner::Plan;
-use crate::tree::NodeLabel;
-use std::rc::Rc;
-use std::time::{Duration, Instant};
-use tucker_distsim::comm::thread_cpu_time;
-use tucker_distsim::comm::RunOutput;
+use std::time::Duration;
+use tucker_distsim::collectives::{allreduce_sum, Group};
+use tucker_distsim::comm::{thread_cpu_time, RunOutput};
 use tucker_distsim::dist_gram::{dist_gram, dist_gram_all_with_norm};
 use tucker_distsim::dist_ttm::dist_ttm;
 use tucker_distsim::net::NetModel;
 use tucker_distsim::redistribute::redistribute;
-use tucker_distsim::{
-    CommTimers, DistTensor, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeReport,
-};
+use tucker_distsim::{DistTensor, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeReport};
 use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_tensor::norm::fro_norm_sq;
 
-/// Which clock feeds the engine's phase breakdowns.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum TimeSource {
-    /// Measured CPU/wall time (honest execution).
-    #[default]
-    Measured,
-    /// The per-rank α–β virtual clock (requires a [`NetModel`] on the
-    /// universe); compute phases remain thread CPU time.
-    Virtual,
-}
+pub use tucker_distsim::backend::{PhaseSnap, TimeSource};
 
-/// A phase snapshot: CPU clock, the selected communication timers, and a
-/// wall anchor.
-pub(crate) struct PhaseSnap {
-    cpu: Duration,
-    comm: CommTimers,
-    t0: Instant,
-}
+/// The unified per-sweep stats (see [`crate::executor::SweepStats`]),
+/// re-exported under the engine's historical name.
+pub type ExecutionStats = SweepStats;
 
-impl TimeSource {
-    /// The communication timers this source reads (measured vs. modeled).
-    pub(crate) fn comm<'a>(&self, ctx: &'a RankCtx) -> &'a CommTimers {
-        match self {
-            TimeSource::Measured => &ctx.timers,
-            TimeSource::Virtual => &ctx.vtimers,
-        }
-    }
-
-    pub(crate) fn snap(&self, ctx: &RankCtx) -> PhaseSnap {
-        PhaseSnap {
-            cpu: thread_cpu_time(),
-            comm: self.comm(ctx).clone(),
-            t0: Instant::now(),
-        }
-    }
-
-    /// CPU time spent since the snapshot (identical for both sources).
-    pub(crate) fn cpu_since(&self, snap: &PhaseSnap) -> Duration {
-        thread_cpu_time().saturating_sub(snap.cpu)
-    }
-
-    /// Communication time of one category since the snapshot.
-    pub(crate) fn comm_since(
-        &self,
-        ctx: &RankCtx,
-        snap: &PhaseSnap,
-        cat: VolumeCategory,
-    ) -> Duration {
-        self.comm(ctx).since(&snap.comm).time(cat)
-    }
-
-    /// End-to-end time since the snapshot: measured wall clock, or — in
-    /// virtual time — this rank's CPU work plus its modeled communication.
-    pub(crate) fn wall_since(&self, ctx: &RankCtx, snap: &PhaseSnap) -> Duration {
-        match self {
-            TimeSource::Measured => snap.t0.elapsed(),
-            TimeSource::Virtual => self.cpu_since(snap) + self.comm(ctx).since(&snap.comm).total(),
-        }
-    }
-}
+/// Tag of the scalar (norm) all-reduce — the same tag
+/// [`DistTensor::global_norm_sq`] uses, so both paths are bit-identical.
+const NORM_TAG: u32 = 9001;
 
 /// Execution-mode configuration for the distributed algorithms.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
-    /// Clock feeding [`ExecutionStats`] / [`SthosvdStats`](crate::dist_sthosvd::SthosvdStats).
+    /// Clock feeding the [`ExecutionStats`] reported by distributed runs.
     pub time: TimeSource,
     /// α–β model attached to the universe (required for [`TimeSource::Virtual`]).
     pub net: Option<NetModel>,
@@ -151,58 +102,121 @@ impl EngineConfig {
     }
 }
 
-/// Per-invocation measurements, aggregated across ranks (times are the
-/// maximum over ranks, the way an MPI experiment reports them; volume is the
-/// universe-wide ledger delta).
-#[derive(Clone, Debug, Default)]
-pub struct ExecutionStats {
-    /// Time inside TTM kernels minus their communication share.
-    pub ttm_compute: Duration,
-    /// Communication time of TTM reduce-scatters.
-    pub ttm_comm: Duration,
-    /// Communication time of regrid all-to-alls.
-    pub regrid_comm: Duration,
-    /// Local Gram + EVD time (the paper's "SVD" bar in Figure 10c).
-    pub svd: Duration,
-    /// Communication time of the Gram all-gather/all-reduce.
-    pub gram_comm: Duration,
-    /// End-to-end time of the invocation (max over ranks).
-    pub wall: Duration,
-    /// Elements moved by TTM reduce-scatters.
-    pub ttm_volume: u64,
-    /// Elements moved by regrids.
-    pub regrid_volume: u64,
-    /// Elements moved by the Gram step.
-    pub gram_volume: u64,
-    /// Relative error after this invocation.
-    pub error: f64,
+/// The distsim [`SweepBackend`]: every executor operation runs distributed
+/// on one simulated rank, charging measured or α–β-modeled time (per
+/// [`TimeSource`]) and ledger volume to the matching [`SweepPhase`].
+pub(crate) struct DistsimBackend<'a, 'p> {
+    ctx: &'a mut RankCtx,
+    time: TimeSource,
+    /// Dynamic-gridding scheme; `None` never regrids (static-grid chains).
+    grids: Option<&'p DynGridScheme>,
+    sweep_snap: Option<PhaseSnap>,
+    sweep_vol: Option<VolumeReport>,
 }
 
-impl ExecutionStats {
-    /// Total communication time (TTM + regrid + Gram).
-    pub fn comm_total(&self) -> Duration {
-        self.ttm_comm + self.regrid_comm + self.gram_comm
+impl<'a, 'p> DistsimBackend<'a, 'p> {
+    pub(crate) fn new(
+        ctx: &'a mut RankCtx,
+        time: TimeSource,
+        grids: Option<&'p DynGridScheme>,
+    ) -> Self {
+        DistsimBackend {
+            ctx,
+            time,
+            grids,
+            sweep_snap: None,
+            sweep_vol: None,
+        }
+    }
+}
+
+impl SweepBackend for DistsimBackend<'_, '_> {
+    type Tensor = DistTensor;
+
+    /// Thread CPU time: robust when the simulated ranks oversubscribe the
+    /// host cores; blocking receives park the thread and accrue nothing.
+    fn clock(&self) -> Duration {
+        thread_cpu_time()
     }
 
-    /// TTM-component volume in elements (the paper's §4 metric: TTM
-    /// reduce-scatter plus regrid traffic, excluding Gram support traffic).
-    pub fn ttm_component_volume(&self) -> u64 {
-        self.ttm_volume + self.regrid_volume
+    fn sweep_begin(&mut self) {
+        self.sweep_vol = Some(self.ctx.volume());
+        self.sweep_snap = Some(self.time.snap(self.ctx));
     }
 
-    fn merge_max(&mut self, other: &ExecutionStats) {
-        self.ttm_compute = self.ttm_compute.max(other.ttm_compute);
-        self.ttm_comm = self.ttm_comm.max(other.ttm_comm);
-        self.regrid_comm = self.regrid_comm.max(other.regrid_comm);
-        self.svd = self.svd.max(other.svd);
-        self.gram_comm = self.gram_comm.max(other.gram_comm);
-        self.wall = self.wall.max(other.wall);
-        // Each rank observes the global ledger over its own sweep window;
-        // the max across ranks is the complete per-sweep figure.
-        self.ttm_volume = self.ttm_volume.max(other.ttm_volume);
-        self.regrid_volume = self.regrid_volume.max(other.regrid_volume);
-        self.gram_volume = self.gram_volume.max(other.gram_volume);
-        self.error = other.error; // identical on every rank
+    fn sweep_end(&mut self, stats: &mut SweepStats) {
+        let snap = self.sweep_snap.take().expect("sweep_begin not called");
+        let vol0 = self.sweep_vol.take().expect("sweep_begin not called");
+        stats.wall = self.time.wall_since(self.ctx, &snap);
+        let vol = self.ctx.volume().since(&vol0);
+        stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
+        stats.regrid_volume = vol.elements(VolumeCategory::Regrid);
+        stats.gram_volume = vol.elements(VolumeCategory::Gram);
+    }
+
+    fn gram(&mut self, t: &DistTensor, n: usize, stats: &mut SweepStats) -> Matrix {
+        let snap = self.time.snap(self.ctx);
+        let g = dist_gram(self.ctx, t, n);
+        stats.add(
+            SweepPhase::GramComm,
+            self.time.comm_since(self.ctx, &snap, VolumeCategory::Gram),
+        );
+        stats.add(SweepPhase::Svd, self.time.cpu_since(&snap));
+        g
+    }
+
+    fn ttm(
+        &mut self,
+        t: &DistTensor,
+        n: usize,
+        factor_t: &Matrix,
+        stats: &mut SweepStats,
+    ) -> DistTensor {
+        let snap = self.time.snap(self.ctx);
+        let out = dist_ttm(self.ctx, t, n, factor_t);
+        stats.add(
+            SweepPhase::TtmComm,
+            self.time
+                .comm_since(self.ctx, &snap, VolumeCategory::TtmReduceScatter),
+        );
+        stats.add(SweepPhase::TtmCompute, self.time.cpu_since(&snap));
+        out
+    }
+
+    fn regrid(
+        &mut self,
+        t: &DistTensor,
+        node: usize,
+        stats: &mut SweepStats,
+    ) -> Option<DistTensor> {
+        let grids = self.grids?;
+        if !grids.regrid[node] {
+            return None;
+        }
+        let snap = self.time.snap(self.ctx);
+        let regridded = redistribute(self.ctx, t, &grids.node_grids[node]);
+        let comm = self
+            .time
+            .comm_since(self.ctx, &snap, VolumeCategory::Regrid);
+        // Regrid is pure communication; pack/unpack is charged to it as
+        // well (CPU in virtual time, elapsed otherwise).
+        let charge = match self.time {
+            TimeSource::Measured => snap.elapsed().max(comm),
+            TimeSource::Virtual => comm + self.time.cpu_since(&snap),
+        };
+        stats.add(SweepPhase::RegridComm, charge);
+        Some(regridded)
+    }
+
+    fn local_norm_sq(&mut self, t: &DistTensor) -> f64 {
+        fro_norm_sq(t.local())
+    }
+
+    fn allreduce(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        let world = Group::world(self.ctx);
+        allreduce_sum(self.ctx, &world, &mut buf, NORM_TAG, VolumeCategory::Other);
+        buf[0]
     }
 }
 
@@ -222,11 +236,13 @@ impl DistributedHooiOutput {
     /// The gathered decomposition.
     ///
     /// # Panics
-    /// Panics if the run was configured with `gather_core: false`.
+    /// Panics if the run was configured with `gather_core=false` (no core
+    /// was gathered, so there is no decomposition to return).
+    #[track_caller]
     pub fn expect_decomposition(&self) -> &TuckerDecomposition {
         self.decomposition
             .as_ref()
-            .expect("run was configured with gather_core: false")
+            .expect("run was configured with gather_core=false; no decomposition was gathered")
     }
 }
 
@@ -276,31 +292,31 @@ pub fn run_distributed_hooi_cfg(
             // Grams and the input norm share one fused world all-reduce —
             // collective rounds, not bytes, dominate paper-scale runs.
             let (grams, input_norm_sq) = dist_gram_all_with_norm(ctx, &t);
-            let mut factors: Vec<Matrix> = grams
+            let init_factors: Vec<Matrix> = grams
                 .iter()
                 .enumerate()
                 .map(|(n, gram)| leading_from_gram(gram, meta.k(n)).u)
                 .collect();
 
-            let mut per_sweep = Vec::with_capacity(sweeps);
-            let mut final_core: Option<DistTensor> = None;
-            for _ in 0..sweeps {
-                let (new_factors, core, stats) =
-                    hooi_sweep(ctx, &t, &meta, plan, &factors, input_norm_sq, cfg.time);
-                factors = new_factors;
-                final_core = Some(core);
-                per_sweep.push(stats);
-            }
+            let mut backend = DistsimBackend::new(&mut *ctx, cfg.time, Some(&plan.grids));
+            let run = executor::hooi_loop(
+                &mut backend,
+                &t,
+                &meta,
+                &plan.tree,
+                init_factors,
+                input_norm_sq,
+                executor::LoopCfg::exactly(sweeps),
+            );
 
             // Gather the core on every rank; only rank 0 keeps it.
             let decomp = if cfg.gather_core {
-                let core = final_core.expect("at least one sweep ran");
-                let dense_core = core.allgather_global(ctx);
-                (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, factors.clone()))
+                let dense_core = run.core.allgather_global(ctx);
+                (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, run.factors.clone()))
             } else {
                 None
             };
-            (per_sweep, decomp)
+            (run.per_sweep, decomp)
         });
 
     // Aggregate: times are max over ranks, per sweep.
@@ -324,109 +340,11 @@ pub fn run_distributed_hooi_cfg(
     }
 }
 
-/// One HOOI invocation on one rank. Returns the new factors (replicated),
-/// the new distributed core, and this rank's stats.
-fn hooi_sweep(
-    ctx: &mut RankCtx,
-    t: &DistTensor,
-    meta: &TuckerMeta,
-    plan: &Plan,
-    factors: &[Matrix],
-    input_norm_sq: f64,
-    time: TimeSource,
-) -> (Vec<Matrix>, DistTensor, ExecutionStats) {
-    let tree = &plan.tree;
-    let sweep_snap = time.snap(ctx);
-    let vol_start = ctx.volume();
-    let mut stats = ExecutionStats::default();
-    let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
-
-    // DFS over the tree, sharing each node's output across its children.
-    let mut stack: Vec<(usize, Rc<DistTensor>)> = Vec::new();
-    let root_rc = Rc::new(t.clone());
-    for &c in tree.node(tree.root()).children.iter().rev() {
-        stack.push((c, Rc::clone(&root_rc)));
-    }
-    while let Some((id, input)) = stack.pop() {
-        match tree.node(id).label {
-            NodeLabel::Root => unreachable!(),
-            NodeLabel::Ttm(n) => {
-                // Optional regrid to this node's grid.
-                let input = if plan.grids.regrid[id] {
-                    let snap = time.snap(ctx);
-                    let regridded = redistribute(ctx, &input, &plan.grids.node_grids[id]);
-                    let comm = time.comm_since(ctx, &snap, VolumeCategory::Regrid);
-                    // Regrid is pure communication; pack/unpack is charged
-                    // to it as well (CPU in virtual time, elapsed otherwise).
-                    stats.regrid_comm += match time {
-                        TimeSource::Measured => snap.t0.elapsed().max(comm),
-                        TimeSource::Virtual => comm + time.cpu_since(&snap),
-                    };
-                    Rc::new(regridded)
-                } else {
-                    input
-                };
-                // Compute is measured in thread CPU time (robust when the
-                // simulated ranks oversubscribe the host cores); blocking
-                // receives park the thread and accrue nothing.
-                let snap = time.snap(ctx);
-                let ft = factors[n].transpose();
-                let out = Rc::new(dist_ttm(ctx, &input, n, &ft));
-                stats.ttm_comm += time.comm_since(ctx, &snap, VolumeCategory::TtmReduceScatter);
-                stats.ttm_compute += time.cpu_since(&snap);
-                for &c in tree.node(id).children.iter().rev() {
-                    stack.push((c, Rc::clone(&out)));
-                }
-            }
-            NodeLabel::Leaf(n) => {
-                let snap = time.snap(ctx);
-                let gram = dist_gram(ctx, &input, n);
-                let svd = leading_from_gram(&gram, meta.k(n));
-                stats.gram_comm += time.comm_since(ctx, &snap, VolumeCategory::Gram);
-                stats.svd += time.cpu_since(&snap);
-                assert!(
-                    new_factors[n].replace(svd.u).is_none(),
-                    "leaf for mode {n} computed twice"
-                );
-            }
-        }
-    }
-
-    let new_factors: Vec<Matrix> = new_factors
-        .into_iter()
-        .enumerate()
-        .map(|(n, f)| f.unwrap_or_else(|| panic!("no leaf computed mode {n}")))
-        .collect();
-
-    // New core: chain over all modes, strongest compression first, under the
-    // input's grid (no regrids — the core chain is not part of the §4 tree).
-    let mut order: Vec<usize> = (0..meta.order()).collect();
-    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    let snap = time.snap(ctx);
-    let mut core = t.clone();
-    for &n in &order {
-        core = dist_ttm(ctx, &core, n, &new_factors[n].transpose());
-    }
-    stats.ttm_comm += time.comm_since(ctx, &snap, VolumeCategory::TtmReduceScatter);
-    stats.ttm_compute += time.cpu_since(&snap);
-
-    // Error via the core-norm identity (factors orthonormal).
-    let core_norm_sq = core.global_norm_sq(ctx);
-    stats.error = tucker_tensor::norm::relative_error_from_core(input_norm_sq, core_norm_sq);
-
-    stats.wall = time.wall_since(ctx, &sweep_snap);
-    let vol = ctx.volume().since(&vol_start);
-    stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
-    stats.regrid_volume = vol.elements(VolumeCategory::Regrid);
-    stats.gram_volume = vol.elements(VolumeCategory::Gram);
-
-    (new_factors, core, stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::hooi::hooi_invocation;
+    use crate::meta::TuckerMeta;
     use crate::planner::{GridStrategy, Planner, TreeStrategy};
 
     /// Smooth but non-separable field with a deterministic noise floor, so

@@ -1,0 +1,747 @@
+//! The sweep executor: **one** canonical implementation of the
+//! Gram → EVD-truncation → TTM execution loops, pluggable over execution
+//! backends.
+//!
+//! The paper frames distributed Tucker as a single algorithm — interleaved
+//! Gram/EVD/TTM sweeps — whose performance is determined by the *schedule*
+//! (TTM-tree, mode order, grid). This module owns that algorithm exactly
+//! once:
+//!
+//! * [`hooi_sweep`] — one HOOI invocation: walk the TTM-tree (sharing each
+//!   node's output across its children), EVD-truncate every leaf's Gram,
+//!   then chain the new core;
+//! * [`sthosvd_sweep`] — the STHOSVD chain: per mode, Gram → leading
+//!   eigenvectors → truncate;
+//! * [`gauss_seidel_sweep`] — the textbook ALS variant (latest factors,
+//!   `N·(N−1)` TTMs), kept as the convergence reference;
+//! * [`hooi_loop`] — iterate [`hooi_sweep`] with the convergence check
+//!   (`|Δerror| < tol`), recycling each superseded core.
+//!
+//! What varies between sequential, shared-memory-parallel, and simulated-MPI
+//! execution is captured by the [`SweepBackend`] trait: `gram`, `ttm`, an
+//! optional per-node `regrid`, an `allreduce`, buffer recycling, and the
+//! timer hooks that key every measurement into a phase of the unified
+//! [`SweepStats`]. The three backends are
+//!
+//! * [`SeqBackend`] — strictly sequential host execution through a
+//!   [`TtmWorkspace`] (zero tensor-sized allocations at steady state);
+//! * [`RayonBackend`] — the same workspace discipline, but every Gram
+//!   partitions its fiber range and every TTM its slab range across host
+//!   cores (`tucker_tensor::{gram_threads, ttm_into_threads}`);
+//! * `DistsimBackend` (private to [`crate::engine`]) — the simulated-MPI
+//!   backend over `tucker-distsim`, measured or virtual-time.
+//!
+//! `hooi_invocation*`, `sthosvd_with_order`, `run_distributed_hooi_cfg` and
+//! `run_distributed_sthosvd_cfg` are thin shims over these functions; a new
+//! scenario (strategy, machine model, backend) lands here and nowhere else.
+
+use crate::meta::TuckerMeta;
+use crate::tree::{NodeLabel, TtmTree};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_tensor::norm::{fro_norm_sq, relative_error_from_core};
+use tucker_tensor::{gram_threads, DenseTensor, TtmWorkspace};
+
+/// Phases of a sweep, the keys of [`SweepStats`]. Communication phases are
+/// zero on shared-memory backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepPhase {
+    /// Time inside TTM kernels minus their communication share.
+    TtmCompute,
+    /// Communication time of TTM reduce-scatters.
+    TtmComm,
+    /// Communication time of regrid all-to-alls.
+    RegridComm,
+    /// Local Gram + EVD time (the paper's "SVD" bar in Figure 10c).
+    Svd,
+    /// Communication time of the Gram all-gather/all-reduce.
+    GramComm,
+}
+
+/// Per-sweep measurements, reported identically by every backend (for
+/// distributed backends, aggregated across ranks: times are the maximum
+/// over ranks, the way an MPI experiment reports them; volume is the
+/// universe-wide ledger delta). The phase times are keyed by [`SweepPhase`]
+/// through [`SweepStats::add`]/[`SweepStats::time`]; the named fields remain
+/// for ergonomic consumption.
+#[derive(Clone, Debug, Default)]
+pub struct SweepStats {
+    /// Time inside TTM kernels minus their communication share.
+    pub ttm_compute: Duration,
+    /// Communication time of TTM reduce-scatters.
+    pub ttm_comm: Duration,
+    /// Communication time of regrid all-to-alls.
+    pub regrid_comm: Duration,
+    /// Local Gram + EVD time.
+    pub svd: Duration,
+    /// Communication time of the Gram all-gather/all-reduce.
+    pub gram_comm: Duration,
+    /// End-to-end time of the sweep (max over ranks).
+    pub wall: Duration,
+    /// Elements moved by TTM reduce-scatters.
+    pub ttm_volume: u64,
+    /// Elements moved by regrids.
+    pub regrid_volume: u64,
+    /// Elements moved by the Gram step.
+    pub gram_volume: u64,
+    /// Relative error after this sweep.
+    pub error: f64,
+}
+
+impl SweepStats {
+    /// The accumulated time of one phase.
+    pub fn time(&self, phase: SweepPhase) -> Duration {
+        match phase {
+            SweepPhase::TtmCompute => self.ttm_compute,
+            SweepPhase::TtmComm => self.ttm_comm,
+            SweepPhase::RegridComm => self.regrid_comm,
+            SweepPhase::Svd => self.svd,
+            SweepPhase::GramComm => self.gram_comm,
+        }
+    }
+
+    /// Charge `d` to `phase` (the timer hook backends report through).
+    pub fn add(&mut self, phase: SweepPhase, d: Duration) {
+        let slot = match phase {
+            SweepPhase::TtmCompute => &mut self.ttm_compute,
+            SweepPhase::TtmComm => &mut self.ttm_comm,
+            SweepPhase::RegridComm => &mut self.regrid_comm,
+            SweepPhase::Svd => &mut self.svd,
+            SweepPhase::GramComm => &mut self.gram_comm,
+        };
+        *slot += d;
+    }
+
+    /// Total communication time (TTM + regrid + Gram).
+    pub fn comm_total(&self) -> Duration {
+        self.ttm_comm + self.regrid_comm + self.gram_comm
+    }
+
+    /// TTM-component volume in elements (the paper's §4 metric: TTM
+    /// reduce-scatter plus regrid traffic, excluding Gram support traffic).
+    pub fn ttm_component_volume(&self) -> u64 {
+        self.ttm_volume + self.regrid_volume
+    }
+
+    /// Merge another rank's stats: times and volumes max, error replicated.
+    pub fn merge_max(&mut self, other: &SweepStats) {
+        self.ttm_compute = self.ttm_compute.max(other.ttm_compute);
+        self.ttm_comm = self.ttm_comm.max(other.ttm_comm);
+        self.regrid_comm = self.regrid_comm.max(other.regrid_comm);
+        self.svd = self.svd.max(other.svd);
+        self.gram_comm = self.gram_comm.max(other.gram_comm);
+        self.wall = self.wall.max(other.wall);
+        // Each rank observes the global ledger over its own sweep window;
+        // the max across ranks is the complete per-sweep figure.
+        self.ttm_volume = self.ttm_volume.max(other.ttm_volume);
+        self.regrid_volume = self.regrid_volume.max(other.regrid_volume);
+        self.gram_volume = self.gram_volume.max(other.gram_volume);
+        self.error = other.error; // identical on every rank
+    }
+}
+
+/// What an execution backend provides to the sweep loops. Each operation
+/// charges its own time to the right [`SweepStats`] phases (the backend
+/// knows which clock and which communication category apply); the executor
+/// contributes only the backend-agnostic steps (EVD truncation, error).
+pub trait SweepBackend {
+    /// The working tensor representation: a [`DenseTensor`] on host
+    /// backends, one rank's distributed block under distsim.
+    type Tensor;
+
+    /// The backend's compute clock (monotonic within a run). Used by the
+    /// executor to time the EVD-truncation step onto [`SweepPhase::Svd`]
+    /// consistently with how the backend times its Gram.
+    fn clock(&self) -> Duration;
+
+    /// Open a sweep window (wall anchor + communication-volume snapshot).
+    fn sweep_begin(&mut self);
+
+    /// Close the window opened by [`SweepBackend::sweep_begin`]: fill
+    /// `stats.wall` and the volume fields.
+    fn sweep_end(&mut self, stats: &mut SweepStats);
+
+    /// The (globally replicated) Gram matrix of the mode-`n` unfolding.
+    /// Charges [`SweepPhase::Svd`] and [`SweepPhase::GramComm`].
+    fn gram(&mut self, t: &Self::Tensor, n: usize, stats: &mut SweepStats) -> Matrix;
+
+    /// `t ×_n factor_t` with `factor_t` already transposed (`K × L_n`).
+    /// Charges [`SweepPhase::TtmCompute`] and [`SweepPhase::TtmComm`].
+    fn ttm(
+        &mut self,
+        t: &Self::Tensor,
+        n: usize,
+        factor_t: &Matrix,
+        stats: &mut SweepStats,
+    ) -> Self::Tensor;
+
+    /// Optional redistribution before executing tree node `node` (the
+    /// dynamic-gridding hook; `None` means "keep the current grid", which is
+    /// the only answer shared-memory backends ever give). Charges
+    /// [`SweepPhase::RegridComm`].
+    fn regrid(
+        &mut self,
+        t: &Self::Tensor,
+        node: usize,
+        stats: &mut SweepStats,
+    ) -> Option<Self::Tensor> {
+        let _ = (t, node, stats);
+        None
+    }
+
+    /// Return a superseded intermediate's buffer for reuse.
+    fn recycle(&mut self, t: Self::Tensor) {
+        let _ = t;
+    }
+
+    /// This participant's share of `‖t‖²_F` (combined by
+    /// [`SweepBackend::allreduce`]).
+    fn local_norm_sq(&mut self, t: &Self::Tensor) -> f64;
+
+    /// Sum a scalar across all participants (identity on shared memory).
+    fn allreduce(&mut self, x: f64) -> f64 {
+        x
+    }
+
+    /// `‖t‖²_F` of the global tensor.
+    fn norm_sq(&mut self, t: &Self::Tensor) -> f64 {
+        let local = self.local_norm_sq(t);
+        self.allreduce(local)
+    }
+}
+
+/// A node's input during a tree walk or chain: the root tensor is borrowed
+/// (never cloned, never recycled); intermediates are reference-counted so a
+/// node shared by several children is recycled exactly when its last
+/// consumer finishes.
+enum NodeInput<'a, T> {
+    Root(&'a T),
+    Interm(Rc<T>),
+}
+
+impl<T> NodeInput<'_, T> {
+    fn tensor(&self) -> &T {
+        match self {
+            NodeInput::Root(t) => t,
+            NodeInput::Interm(rc) => rc,
+        }
+    }
+
+    /// Consume this input, returning its buffer to the backend if this was
+    /// the last reference to an intermediate.
+    fn release<B: SweepBackend<Tensor = T>>(self, b: &mut B) {
+        if let NodeInput::Interm(rc) = self {
+            if let Ok(t) = Rc::try_unwrap(rc) {
+                b.recycle(t);
+            }
+        }
+    }
+}
+
+/// Result of one sweep: the new factors (replicated on every participant),
+/// the new core in the backend's representation, and the phase-keyed stats.
+pub struct SweepOutcome<T> {
+    /// The new factor matrices, one per mode.
+    pub factors: Vec<Matrix>,
+    /// The new core tensor.
+    pub core: T,
+    /// Phase breakdown, volumes, wall and error of this sweep.
+    pub stats: SweepStats,
+}
+
+/// Transpose every factor once (`F_n → F_nᵀ`), hoisting the per-TTM
+/// transpose out of tree walks and chains where each factor is used many
+/// times per sweep.
+pub(crate) fn transpose_all(factors: &[Matrix]) -> Vec<Matrix> {
+    factors.iter().map(Matrix::transpose).collect()
+}
+
+/// The engine's canonical core-chain order: all modes, strongest compression
+/// first (any order is mathematically equal; this one minimizes cost).
+fn core_chain_order(meta: &TuckerMeta) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..meta.order()).collect();
+    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
+    order
+}
+
+/// Fold `root` through a TTM-chain over `modes` (pre-transposed factors),
+/// ping-ponging intermediates through the backend and recycling each as
+/// soon as the next step consumed it. Returns `None` when `modes` is empty
+/// (the result is `root` itself — no clone, no allocation).
+fn chain<B: SweepBackend>(
+    b: &mut B,
+    root: &B::Tensor,
+    modes: &[usize],
+    factors_t: &[Matrix],
+    stats: &mut SweepStats,
+) -> Option<B::Tensor> {
+    let mut cur: Option<B::Tensor> = None;
+    for &n in modes {
+        let next = b.ttm(cur.as_ref().unwrap_or(root), n, &factors_t[n], stats);
+        if let Some(old) = cur.replace(next) {
+            b.recycle(old);
+        }
+    }
+    cur
+}
+
+/// EVD-truncate a Gram matrix to its leading `k` eigenvectors, charging the
+/// time to [`SweepPhase::Svd`] on the backend's compute clock.
+fn truncate<B: SweepBackend>(b: &B, g: &Matrix, k: usize, stats: &mut SweepStats) -> Matrix {
+    let t0 = b.clock();
+    let f = leading_from_gram(g, k).u;
+    stats.add(SweepPhase::Svd, b.clock().saturating_sub(t0));
+    f
+}
+
+/// One HOOI invocation of `tree` on `root` starting from `factors`
+/// (Jacobi-style: every leaf uses the factors from the start of the
+/// invocation, exactly as the paper's tree formulation requires, so
+/// intermediate tensors can be shared between chains). The new core is
+/// chained from the new factors at the end; the error uses the core-norm
+/// identity against `input_norm_sq`.
+///
+/// # Panics
+/// Panics if the tree is invalid for the metadata's order, or a factor
+/// arity mismatches.
+pub fn hooi_sweep<B: SweepBackend>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    tree: &TtmTree,
+    factors: &[Matrix],
+    input_norm_sq: f64,
+) -> SweepOutcome<B::Tensor> {
+    assert_eq!(factors.len(), meta.order(), "factor arity mismatch");
+    tree.validate().expect("invalid TTM tree");
+
+    b.sweep_begin();
+    let mut stats = SweepStats::default();
+    let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+    // Hoisted once: each F_nᵀ is reused by every tree node on mode n.
+    let factors_t = transpose_all(factors);
+
+    // Walk the tree depth-first, reusing each node's output for all its
+    // children (in-order traversal bounds live intermediates by the depth).
+    let mut stack: Vec<(usize, NodeInput<B::Tensor>)> = Vec::new();
+    for &c in tree.node(tree.root()).children.iter().rev() {
+        stack.push((c, NodeInput::Root(root)));
+    }
+    while let Some((id, input)) = stack.pop() {
+        match tree.node(id).label {
+            NodeLabel::Root => unreachable!("root is never on the stack"),
+            NodeLabel::Ttm(n) => {
+                // Optional regrid to this node's grid.
+                let input = match b.regrid(input.tensor(), id, &mut stats) {
+                    Some(regridded) => {
+                        input.release(b);
+                        NodeInput::Interm(Rc::new(regridded))
+                    }
+                    None => input,
+                };
+                let out = Rc::new(b.ttm(input.tensor(), n, &factors_t[n], &mut stats));
+                input.release(b);
+                for &c in tree.node(id).children.iter().rev() {
+                    stack.push((c, NodeInput::Interm(Rc::clone(&out))));
+                }
+            }
+            NodeLabel::Leaf(n) => {
+                let g = b.gram(input.tensor(), n, &mut stats);
+                input.release(b);
+                let f = truncate(b, &g, meta.k(n), &mut stats);
+                assert!(
+                    new_factors[n].replace(f).is_none(),
+                    "leaf for mode {n} computed twice"
+                );
+            }
+        }
+    }
+
+    let factors: Vec<Matrix> = new_factors
+        .into_iter()
+        .enumerate()
+        .map(|(n, f)| f.unwrap_or_else(|| panic!("no leaf computed mode {n}")))
+        .collect();
+
+    // New core: G̃ = T ×₁ F̃₁ᵀ … ×_N F̃_Nᵀ (not part of the §4 tree; runs
+    // under the input's grid with no regrids).
+    let new_factors_t = transpose_all(&factors);
+    let core = chain(b, root, &core_chain_order(meta), &new_factors_t, &mut stats)
+        .expect("at least one mode");
+
+    let core_norm_sq = b.norm_sq(&core);
+    stats.error = relative_error_from_core(input_norm_sq, core_norm_sq);
+    b.sweep_end(&mut stats);
+
+    SweepOutcome {
+        factors,
+        core,
+        stats,
+    }
+}
+
+/// The STHOSVD chain on `root`, processing modes in `order`: per mode,
+/// Gram of the *current* (already truncated) tensor → leading `K_n`
+/// eigenvectors → truncate. Early truncations make later Grams cheap.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the modes.
+pub fn sthosvd_sweep<B: SweepBackend>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    order: &[usize],
+    input_norm_sq: f64,
+) -> SweepOutcome<B::Tensor> {
+    let n_modes = meta.order();
+    assert_eq!(order.len(), n_modes, "order arity mismatch");
+    let mut seen = vec![false; n_modes];
+    for &m in order {
+        assert!(m < n_modes && !seen[m], "not a permutation: {order:?}");
+        seen[m] = true;
+    }
+
+    b.sweep_begin();
+    let mut stats = SweepStats::default();
+    // `cur = None` means "still the input"; the backend ping-pongs the
+    // truncated intermediates so `root` is never cloned and each replaced
+    // intermediate's buffer is immediately reused.
+    let mut cur: Option<B::Tensor> = None;
+    let mut factors: Vec<Option<Matrix>> = vec![None; n_modes];
+    for &mode in order {
+        let src = cur.as_ref().unwrap_or(root);
+        let g = b.gram(src, mode, &mut stats);
+        let f = truncate(b, &g, meta.k(mode), &mut stats);
+        let next = b.ttm(
+            cur.as_ref().unwrap_or(root),
+            mode,
+            &f.transpose(),
+            &mut stats,
+        );
+        if let Some(old) = cur.replace(next) {
+            b.recycle(old);
+        }
+        factors[mode] = Some(f);
+    }
+    let core = cur.expect("at least one mode processed");
+    let factors: Vec<Matrix> = factors
+        .into_iter()
+        .map(|f| f.expect("all modes processed"))
+        .collect();
+
+    let core_norm_sq = b.norm_sq(&core);
+    stats.error = relative_error_from_core(input_norm_sq, core_norm_sq);
+    b.sweep_end(&mut stats);
+
+    SweepOutcome {
+        factors,
+        core,
+        stats,
+    }
+}
+
+/// Textbook Gauss–Seidel HOOI invocation (De Lathauwer et al.): modes are
+/// updated one at a time and each TTM-chain uses the **latest** factors.
+/// Cannot share intermediates between chains (the naive `N·(N−1)` TTMs) but
+/// inherits the classic ALS guarantee: the error is non-increasing across
+/// invocations. Serves as the convergence reference and an ablation point.
+pub fn gauss_seidel_sweep<B: SweepBackend>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    factors: &[Matrix],
+    input_norm_sq: f64,
+) -> SweepOutcome<B::Tensor> {
+    assert_eq!(factors.len(), meta.order(), "factor arity mismatch");
+    let n_modes = meta.order();
+
+    b.sweep_begin();
+    let mut stats = SweepStats::default();
+    let mut factors: Vec<Matrix> = factors.to_vec();
+    // Transposed mirror of `factors`, refreshed entry-by-entry as the
+    // Gauss–Seidel sweep updates each mode.
+    let mut factors_t = transpose_all(&factors);
+    let by_h = core_chain_order(meta);
+
+    for n in 0..n_modes {
+        // Chain over the other modes, strongest compression first.
+        let order: Vec<usize> = by_h.iter().copied().filter(|&j| j != n).collect();
+        let cur = chain(b, root, &order, &factors_t, &mut stats);
+        let g = b.gram(cur.as_ref().unwrap_or(root), n, &mut stats);
+        if let Some(done) = cur {
+            b.recycle(done);
+        }
+        factors[n] = truncate(b, &g, meta.k(n), &mut stats);
+        factors_t[n] = factors[n].transpose();
+    }
+
+    let core = chain(b, root, &by_h, &factors_t, &mut stats).expect("at least one mode");
+    let core_norm_sq = b.norm_sq(&core);
+    stats.error = relative_error_from_core(input_norm_sq, core_norm_sq);
+    b.sweep_end(&mut stats);
+
+    SweepOutcome {
+        factors,
+        core,
+        stats,
+    }
+}
+
+/// Result of [`hooi_loop`].
+pub struct LoopOutcome<T> {
+    /// Factors after the last executed sweep.
+    pub factors: Vec<Matrix>,
+    /// Core after the last executed sweep.
+    pub core: T,
+    /// Stats of every executed sweep, in order.
+    pub per_sweep: Vec<SweepStats>,
+    /// Error trace (one entry per sweep; equals `per_sweep[i].error`).
+    pub errors: Vec<f64>,
+}
+
+/// Iteration control of [`hooi_loop`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoopCfg {
+    /// Upper bound on sweeps (at least 1).
+    pub max_sweeps: usize,
+    /// Convergence threshold on `|Δerror|`; `0.0` disables the check (the
+    /// loop runs exactly `max_sweeps` sweeps).
+    pub tol: f64,
+}
+
+impl LoopCfg {
+    /// Run exactly `sweeps` sweeps, no convergence check.
+    pub fn exactly(sweeps: usize) -> Self {
+        LoopCfg {
+            max_sweeps: sweeps,
+            tol: 0.0,
+        }
+    }
+}
+
+/// Iterate [`hooi_sweep`] until the error improvement drops below
+/// `cfg.tol` or `cfg.max_sweeps` invocations have run — the one
+/// convergence check of the pipeline. Each superseded core is recycled into
+/// the backend, so on workspace backends every sweep after the first is
+/// free of tensor-sized allocations.
+///
+/// # Panics
+/// Panics if `cfg.max_sweeps` is zero or the tree/factors are invalid.
+pub fn hooi_loop<B: SweepBackend>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    tree: &TtmTree,
+    init_factors: Vec<Matrix>,
+    input_norm_sq: f64,
+    cfg: LoopCfg,
+) -> LoopOutcome<B::Tensor> {
+    assert!(cfg.max_sweeps >= 1, "need at least one sweep");
+    let LoopCfg { max_sweeps, tol } = cfg;
+    let mut factors = init_factors;
+    let mut core: Option<B::Tensor> = None;
+    let mut per_sweep: Vec<SweepStats> = Vec::with_capacity(max_sweeps);
+    let mut errors: Vec<f64> = Vec::with_capacity(max_sweeps);
+    for _ in 0..max_sweeps {
+        let out = hooi_sweep(b, root, meta, tree, &factors, input_norm_sq);
+        factors = out.factors;
+        if let Some(old) = core.replace(out.core) {
+            b.recycle(old);
+        }
+        errors.push(out.stats.error);
+        per_sweep.push(out.stats);
+        let l = errors.len();
+        if l >= 2 && (errors[l - 2] - errors[l - 1]).abs() < tol {
+            break;
+        }
+    }
+    LoopOutcome {
+        factors,
+        core: core.expect("at least one sweep ran"),
+        per_sweep,
+        errors,
+    }
+}
+
+// ------------------------------------------------------------ host backends
+
+/// Shared implementation of the two host (shared-memory) backends: a
+/// [`TtmWorkspace`] for grow-only buffer reuse plus a pinned worker count.
+/// `PAR = false` is [`SeqBackend`] (worker count locked to 1, strictly
+/// sequential kernels); `PAR = true` is [`RayonBackend`] (fiber/slab ranges
+/// of every kernel partitioned across the pinned worker count via the
+/// vendored rayon).
+pub struct HostBackend<const PAR: bool> {
+    threads: usize,
+    ws: TtmWorkspace,
+    epoch: Instant,
+    sweep_t0: Duration,
+}
+
+/// Strictly sequential host backend (today's reference path): one worker,
+/// workspace buffer reuse, zero tensor-sized allocations at steady state.
+pub type SeqBackend = HostBackend<false>;
+
+/// Shared-memory multicore host backend: Gram fiber ranges and TTM slab
+/// ranges are partitioned across host cores via the vendored rayon. Same
+/// workspace discipline (and therefore the same steady-state allocation
+/// behavior) as [`SeqBackend`]; results agree to summation-order ulps.
+pub type RayonBackend = HostBackend<true>;
+
+impl<const PAR: bool> HostBackend<PAR> {
+    fn with_thread_count(threads: usize) -> Self {
+        HostBackend {
+            threads: threads.max(1),
+            ws: TtmWorkspace::new(),
+            epoch: Instant::now(),
+            sweep_t0: Duration::ZERO,
+        }
+    }
+
+    /// The worker count this backend flavor pins by construction: 1 for
+    /// [`SeqBackend`], the host's available parallelism for
+    /// [`RayonBackend`].
+    fn auto_threads() -> usize {
+        if PAR {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        } else {
+            1
+        }
+    }
+
+    /// Adopt an existing workspace (e.g. one kept warm across invocations
+    /// by a caller that owns the iteration).
+    pub fn from_workspace(ws: TtmWorkspace) -> Self {
+        let mut b = Self::with_thread_count(Self::auto_threads());
+        b.ws = ws;
+        b
+    }
+
+    /// Surrender the workspace (with whatever buffers it accumulated).
+    pub fn into_workspace(self) -> TtmWorkspace {
+        self.ws
+    }
+
+    /// The pinned worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for SeqBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqBackend {
+    /// A sequential backend (worker count locked to 1).
+    pub fn new() -> Self {
+        Self::with_thread_count(1)
+    }
+}
+
+impl Default for RayonBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RayonBackend {
+    /// A multicore backend pinned to the host's available parallelism.
+    pub fn new() -> Self {
+        Self::with_thread_count(Self::auto_threads())
+    }
+
+    /// A multicore backend with an explicit worker count (useful for tests
+    /// and for oversubscription experiments).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::with_thread_count(threads)
+    }
+}
+
+impl<const PAR: bool> SweepBackend for HostBackend<PAR> {
+    type Tensor = DenseTensor;
+
+    fn clock(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sweep_begin(&mut self) {
+        self.sweep_t0 = self.epoch.elapsed();
+    }
+
+    fn sweep_end(&mut self, stats: &mut SweepStats) {
+        stats.wall = self.epoch.elapsed().saturating_sub(self.sweep_t0);
+        // Volumes stay zero: nothing crosses a memory boundary.
+    }
+
+    fn gram(&mut self, t: &DenseTensor, n: usize, stats: &mut SweepStats) -> Matrix {
+        let t0 = self.epoch.elapsed();
+        let threads = if PAR { self.threads } else { 1 };
+        let g = gram_threads(t, n, threads);
+        stats.add(SweepPhase::Svd, self.epoch.elapsed().saturating_sub(t0));
+        g
+    }
+
+    fn ttm(
+        &mut self,
+        t: &DenseTensor,
+        n: usize,
+        factor_t: &Matrix,
+        stats: &mut SweepStats,
+    ) -> DenseTensor {
+        let t0 = self.epoch.elapsed();
+        let threads = if PAR { self.threads } else { 1 };
+        let out = self.ws.ttm_threads(t, n, factor_t, threads);
+        stats.add(
+            SweepPhase::TtmCompute,
+            self.epoch.elapsed().saturating_sub(t0),
+        );
+        out
+    }
+
+    fn recycle(&mut self, t: DenseTensor) {
+        self.ws.recycle(t);
+    }
+
+    fn local_norm_sq(&mut self, t: &DenseTensor) -> f64 {
+        fro_norm_sq(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `add`/`time` and the named fields are two views of one phase map;
+    /// this pins them together so a new `SweepPhase` variant cannot update
+    /// one match without the other.
+    #[test]
+    fn stats_phase_accessors_and_fields_agree() {
+        let phases = [
+            SweepPhase::TtmCompute,
+            SweepPhase::TtmComm,
+            SweepPhase::RegridComm,
+            SweepPhase::Svd,
+            SweepPhase::GramComm,
+        ];
+        let mut s = SweepStats::default();
+        for (i, &p) in phases.iter().enumerate() {
+            s.add(p, Duration::from_nanos(10 * (i as u64 + 1)));
+            s.add(p, Duration::from_nanos(1));
+        }
+        for (i, &p) in phases.iter().enumerate() {
+            assert_eq!(s.time(p), Duration::from_nanos(10 * (i as u64 + 1) + 1));
+        }
+        assert_eq!(s.time(SweepPhase::TtmCompute), s.ttm_compute);
+        assert_eq!(s.time(SweepPhase::TtmComm), s.ttm_comm);
+        assert_eq!(s.time(SweepPhase::RegridComm), s.regrid_comm);
+        assert_eq!(s.time(SweepPhase::Svd), s.svd);
+        assert_eq!(s.time(SweepPhase::GramComm), s.gram_comm);
+        assert_eq!(s.comm_total(), s.ttm_comm + s.regrid_comm + s.gram_comm);
+    }
+}

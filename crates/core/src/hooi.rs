@@ -1,96 +1,28 @@
-//! Sequential HOOI (paper §2.2, Figure 2) driven by a TTM-tree.
+//! Sequential HOOI (paper §2.2, Figure 2) driven by a TTM-tree — thin shims
+//! over the [`crate::executor`] sweep loops on the strictly sequential
+//! [`SeqBackend`].
 //!
 //! One invocation takes the input tensor and a current decomposition and
 //! produces a new decomposition with the same core size and (weakly) smaller
-//! error. The TTM component is executed by walking a TTM-tree: at each
-//! internal node the parent's output is multiplied along the node's mode by
-//! the (transposed) current factor; at each leaf, the Gram matrix of the
-//! mode-`n` unfolding feeds an EVD whose leading `K_n` eigenvectors become
-//! the new factor `F̃_n`.
+//! error. The canonical Gram → EVD-truncation → TTM tree walk lives in
+//! [`executor::hooi_sweep`] (shared with the rayon shared-memory and distsim
+//! backends); this module only adapts it to the classic
+//! decomposition-in/decomposition-out API.
 //!
-//! Because intermediate tensors are *shared* between chains (that is the
-//! whole point of reuse), all chains use the factors from the start of the
-//! invocation (Jacobi-style update), exactly as the tree formulation in the
-//! paper requires. The new core is computed at the end from the new factors.
-//!
-//! Kernels: every leaf Gram is the fused [`gram`] (no unfolding is ever
-//! materialized) and every TTM draws its output buffer from a
-//! [`TtmWorkspace`]; intermediates are recycled as soon as their last
+//! Kernels: every leaf Gram is the fused [`tucker_tensor::gram`] family (no
+//! unfolding is ever materialized) and every TTM draws its output buffer
+//! from a [`TtmWorkspace`]; intermediates are recycled as soon as their last
 //! consumer finishes. With a warm workspace (see [`hooi_invocation_ws`] and
 //! [`hooi_iterate`]) a steady-state invocation performs **zero tensor-sized
 //! allocations** — enforced by the allocation-regression test below.
 
 use crate::decomposition::TuckerDecomposition;
+use crate::executor::{self, SeqBackend, SweepBackend, SweepStats};
 use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
-use std::rc::Rc;
-use std::time::{Duration, Instant};
-use tucker_linalg::{leading_from_gram, Matrix};
+use crate::tree::TtmTree;
+use std::time::Duration;
 use tucker_tensor::norm::fro_norm_sq;
-use tucker_tensor::{gram, DenseTensor, TtmWorkspace};
-
-/// A TTM-tree node's input during the walk: the root tensor is borrowed
-/// (never cloned, never recycled); intermediates are reference-counted so a
-/// node shared by several children is recycled exactly when its last
-/// consumer finishes.
-enum NodeInput<'a> {
-    Root(&'a DenseTensor),
-    Interm(Rc<DenseTensor>),
-}
-
-impl NodeInput<'_> {
-    fn tensor(&self) -> &DenseTensor {
-        match self {
-            NodeInput::Root(t) => t,
-            NodeInput::Interm(rc) => rc,
-        }
-    }
-
-    /// Consume this input, returning its buffer to the workspace if this was
-    /// the last reference to an intermediate.
-    fn release(self, ws: &mut TtmWorkspace) {
-        if let NodeInput::Interm(rc) = self {
-            if let Ok(t) = Rc::try_unwrap(rc) {
-                ws.recycle(t);
-            }
-        }
-    }
-}
-
-/// Chain `t` along `modes` by the pre-transposed factors `factors_t`
-/// (`factors_t[n]` is `F_nᵀ`, `K_n × L_n`), ping-ponging intermediates
-/// through `ws` and recycling each as soon as the next step consumed it.
-/// Returns `None` when `modes` is empty (the result is `t` itself — no
-/// clone, no allocation).
-///
-/// Callers hoist the transposes once per invocation (see
-/// [`transpose_all`]) rather than re-allocating `F_nᵀ` at every TTM. This
-/// is the one chain-fold used by the HOOI core chains, the Gauss–Seidel
-/// per-mode chains, and `sthosvd::random_init`; keeping it in one place
-/// keeps the recycle discipline (and the zero-allocation steady state it
-/// buys) uniform.
-pub(crate) fn chain_transposed(
-    ws: &mut TtmWorkspace,
-    t: &DenseTensor,
-    modes: &[usize],
-    factors_t: &[Matrix],
-) -> Option<DenseTensor> {
-    let mut cur: Option<DenseTensor> = None;
-    for &n in modes {
-        let next = ws.ttm(cur.as_ref().unwrap_or(t), n, &factors_t[n]);
-        if let Some(old) = cur.replace(next) {
-            ws.recycle(old);
-        }
-    }
-    cur
-}
-
-/// Transpose every factor once (`F_n → F_nᵀ`), hoisting the per-TTM
-/// transpose out of tree walks and chains where each factor is used many
-/// times per invocation.
-pub(crate) fn transpose_all(factors: &[Matrix]) -> Vec<Matrix> {
-    factors.iter().map(Matrix::transpose).collect()
-}
+use tucker_tensor::{DenseTensor, TtmWorkspace};
 
 /// Timing breakdown of one sequential HOOI invocation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -99,6 +31,15 @@ pub struct HooiTimings {
     pub ttm: Duration,
     /// Time in Gram + EVD (the SVD component).
     pub svd: Duration,
+}
+
+impl HooiTimings {
+    fn from_stats(stats: &SweepStats) -> Self {
+        HooiTimings {
+            ttm: stats.ttm_compute,
+            svd: stats.svd,
+        }
+    }
 }
 
 /// Result of one HOOI invocation.
@@ -111,6 +52,25 @@ pub struct HooiOutput {
     pub error: f64,
     /// Timing breakdown.
     pub timings: HooiTimings,
+}
+
+/// Run one sweep function on a [`SeqBackend`] borrowing the caller's
+/// workspace, repackaging the outcome as a [`HooiOutput`].
+fn seq_invocation(
+    t: &DenseTensor,
+    meta: &TuckerMeta,
+    ws: &mut TtmWorkspace,
+    sweep: impl FnOnce(&mut SeqBackend) -> executor::SweepOutcome<DenseTensor>,
+) -> HooiOutput {
+    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
+    let mut b = SeqBackend::from_workspace(std::mem::take(ws));
+    let out = sweep(&mut b);
+    *ws = b.into_workspace();
+    HooiOutput {
+        decomposition: TuckerDecomposition::new(out.core, out.factors),
+        error: out.stats.error,
+        timings: HooiTimings::from_stats(&out.stats),
+    }
 }
 
 /// Run one HOOI invocation of `tree` on `t`, starting from `current`, with a
@@ -144,73 +104,15 @@ pub fn hooi_invocation_ws(
     tree: &TtmTree,
     ws: &mut TtmWorkspace,
 ) -> HooiOutput {
-    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
     assert_eq!(
         current.factors.len(),
         meta.order(),
         "decomposition order mismatch"
     );
-    tree.validate().expect("invalid TTM tree");
-
-    let mut timings = HooiTimings::default();
-    let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
-    // Hoisted once: each F_nᵀ is reused by every tree node on mode n.
-    let factors_t = transpose_all(&current.factors);
-
-    // Walk the tree depth-first, reusing each node's output for all its
-    // children (in-order traversal bounds live intermediates by the depth).
-    let mut stack: Vec<(usize, NodeInput)> = Vec::new();
-    for &c in tree.node(tree.root()).children.iter().rev() {
-        stack.push((c, NodeInput::Root(t)));
-    }
-    while let Some((id, input)) = stack.pop() {
-        match tree.node(id).label {
-            NodeLabel::Root => unreachable!("root is never on the stack"),
-            NodeLabel::Ttm(n) => {
-                let t0 = Instant::now();
-                let out = Rc::new(ws.ttm(input.tensor(), n, &factors_t[n]));
-                input.release(ws);
-                timings.ttm += t0.elapsed();
-                for &c in tree.node(id).children.iter().rev() {
-                    stack.push((c, NodeInput::Interm(Rc::clone(&out))));
-                }
-            }
-            NodeLabel::Leaf(n) => {
-                let t0 = Instant::now();
-                let g = gram(input.tensor(), n);
-                input.release(ws);
-                let svd = leading_from_gram(&g, meta.k(n));
-                timings.svd += t0.elapsed();
-                assert!(
-                    new_factors[n].replace(svd.u).is_none(),
-                    "leaf for mode {n} computed twice"
-                );
-            }
-        }
-    }
-
-    let factors: Vec<Matrix> = new_factors
-        .into_iter()
-        .enumerate()
-        .map(|(n, f)| f.unwrap_or_else(|| panic!("no leaf computed mode {n}")))
-        .collect();
-
-    // New core: G̃ = T ×₁ F̃₁ᵀ … ×_N F̃_Nᵀ, multiplying strongest-compressing
-    // modes first to minimize cost (any order is mathematically equal).
-    let t0 = Instant::now();
-    let mut order: Vec<usize> = (0..meta.order()).collect();
-    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    let new_factors_t = transpose_all(&factors);
-    let core = chain_transposed(ws, t, &order, &new_factors_t).expect("at least one mode");
-    timings.ttm += t0.elapsed();
-
-    let decomposition = TuckerDecomposition::new(core, factors);
-    let error = decomposition.error_from_core_norm(fro_norm_sq(t));
-    HooiOutput {
-        decomposition,
-        error,
-        timings,
-    }
+    let input_norm_sq = fro_norm_sq(t);
+    seq_invocation(t, meta, ws, |b| {
+        executor::hooi_sweep(b, t, meta, tree, &current.factors, input_norm_sq)
+    })
 }
 
 /// Textbook Gauss–Seidel HOOI invocation (De Lathauwer et al.): modes are
@@ -226,54 +128,20 @@ pub fn hooi_invocation_gauss_seidel(
     meta: &TuckerMeta,
     current: &TuckerDecomposition,
 ) -> HooiOutput {
-    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
-    let n_modes = meta.order();
-    let mut timings = HooiTimings::default();
-    let mut factors: Vec<Matrix> = current.factors.clone();
-    // Transposed mirror of `factors`, refreshed entry-by-entry as the
-    // Gauss–Seidel sweep updates each mode.
-    let mut factors_t = transpose_all(&factors);
-    let mut ws = TtmWorkspace::new();
-
-    for n in 0..n_modes {
-        // Chain over the other modes, strongest compression first.
-        let mut order: Vec<usize> = (0..n_modes).filter(|&j| j != n).collect();
-        order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-        let t0 = Instant::now();
-        let cur = chain_transposed(&mut ws, t, &order, &factors_t);
-        timings.ttm += t0.elapsed();
-        let t0 = Instant::now();
-        let g = gram(cur.as_ref().unwrap_or(t), n);
-        if let Some(done) = cur {
-            ws.recycle(done);
-        }
-        factors[n] = leading_from_gram(&g, meta.k(n)).u;
-        factors_t[n] = factors[n].transpose();
-        timings.svd += t0.elapsed();
-    }
-
-    let t0 = Instant::now();
-    let mut order: Vec<usize> = (0..n_modes).collect();
-    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    let core = chain_transposed(&mut ws, t, &order, &factors_t).expect("at least one mode");
-    timings.ttm += t0.elapsed();
-
-    let decomposition = TuckerDecomposition::new(core, factors);
-    let error = decomposition.error_from_core_norm(fro_norm_sq(t));
-    HooiOutput {
-        decomposition,
-        error,
-        timings,
-    }
+    let input_norm_sq = fro_norm_sq(t);
+    seq_invocation(t, meta, &mut TtmWorkspace::new(), |b| {
+        executor::gauss_seidel_sweep(b, t, meta, &current.factors, input_norm_sq)
+    })
 }
 
 /// Iterate HOOI until the error improvement drops below `tol` or
 /// `max_iters` invocations have run. Returns the final output and the error
 /// trace (one entry per invocation).
 ///
-/// One [`TtmWorkspace`] spans all invocations, and each superseded core is
-/// recycled into it, so every iteration after the first is free of
-/// tensor-sized allocations.
+/// One [`TtmWorkspace`] (inside the backend) spans all invocations, and each
+/// superseded core is recycled into it, so every iteration after the first
+/// is free of tensor-sized allocations. The convergence check itself lives
+/// in [`executor::hooi_loop`], shared with every backend.
 pub fn hooi_iterate(
     t: &DenseTensor,
     meta: &TuckerMeta,
@@ -283,32 +151,34 @@ pub fn hooi_iterate(
     tol: f64,
 ) -> (HooiOutput, Vec<f64>) {
     assert!(max_iters >= 1, "need at least one iteration");
-    let mut ws = TtmWorkspace::new();
-    let mut current = init;
-    let mut trace: Vec<f64> = Vec::with_capacity(max_iters);
-    let mut last_timings = HooiTimings::default();
-    for _ in 0..max_iters {
-        let out = hooi_invocation_ws(t, meta, &current, tree, &mut ws);
-        trace.push(out.error);
-        last_timings = out.timings;
-        let done = match trace.len() {
-            0 | 1 => false,
-            l => (trace[l - 2] - trace[l - 1]).abs() < tol,
-        };
-        let superseded = std::mem::replace(&mut current, out.decomposition);
-        ws.recycle(superseded.core);
-        if done {
-            break;
-        }
-    }
-    let error = *trace.last().expect("at least one iteration ran");
+    assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
+    let input_norm_sq = fro_norm_sq(t);
+    let mut b = SeqBackend::new();
+    let init_factors = init.factors;
+    // The init's core is superseded by the first sweep's; hand its buffer
+    // to the pool up front.
+    b.recycle(init.core);
+    let out = executor::hooi_loop(
+        &mut b,
+        t,
+        meta,
+        tree,
+        init_factors,
+        input_norm_sq,
+        executor::LoopCfg {
+            max_sweeps: max_iters,
+            tol,
+        },
+    );
+    let error = *out.errors.last().expect("at least one iteration ran");
+    let timings = HooiTimings::from_stats(out.per_sweep.last().expect("at least one sweep"));
     (
         HooiOutput {
-            decomposition: current,
+            decomposition: TuckerDecomposition::new(out.core, out.factors),
             error,
-            timings: last_timings,
+            timings,
         },
-        trace,
+        out.errors,
     )
 }
 
@@ -320,6 +190,7 @@ mod tests {
     use crate::tree::{balanced_tree, chain_tree};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use tucker_linalg::Matrix;
     use tucker_tensor::Shape;
 
     fn random_tensor(dims: &[usize], seed: u64) -> DenseTensor {

@@ -21,8 +21,13 @@
 //! * [`decomposition`], [`hooi`], [`sthosvd`] — sequential reference
 //!   implementations of the decomposition, HOOI sweeps and STHOSVD
 //!   initialization;
+//! * [`executor`] — the **sweep executor**: the one canonical
+//!   Gram → EVD-truncation → TTM loop, pluggable over execution backends
+//!   ([`executor::SeqBackend`], [`executor::RayonBackend`], and the
+//!   engine's distsim backend);
 //! * [`engine`] — the distributed *engine* (§5): executes a plan on the
-//!   simulated MPI universe, with per-phase time and volume accounting.
+//!   simulated MPI universe (the distsim backend of the executor), with
+//!   per-phase time and volume accounting.
 //!
 //! ## Quick start
 //!
@@ -48,6 +53,7 @@ pub mod decomposition;
 pub mod dist_sthosvd;
 pub mod dyn_grid;
 pub mod engine;
+pub mod executor;
 pub mod hooi;
 pub mod meta;
 pub mod opt_tree;
@@ -57,6 +63,7 @@ pub mod tree;
 pub mod volume;
 
 pub use decomposition::TuckerDecomposition;
+pub use executor::{RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats};
 pub use meta::TuckerMeta;
 pub use planner::{GridStrategy, Plan, Planner, TreeStrategy};
 pub use tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};

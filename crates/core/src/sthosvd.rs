@@ -1,4 +1,6 @@
-//! STHOSVD initialization (paper §1, citing Vannieuwenhoven et al.).
+//! STHOSVD initialization (paper §1, citing Vannieuwenhoven et al.) — a
+//! thin shim over [`executor::sthosvd_sweep`] on the strictly sequential
+//! [`SeqBackend`].
 //!
 //! The Sequentially Truncated HOSVD processes modes one at a time: compute
 //! the Gram matrix of the *current* tensor's mode-`n` unfolding, take the
@@ -7,14 +9,17 @@
 //! computations cheap. The result is a valid (often excellent) initial
 //! decomposition for HOOI.
 //!
-//! Kernels: the Gram step is the fused [`gram`] (no unfolding materialized);
-//! the truncation loop ping-pongs through a [`TtmWorkspace`], so beyond the
-//! first truncation no tensor-sized buffer is allocated.
+//! The chain itself lives in the sweep executor (one implementation shared
+//! with the rayon shared-memory and distsim backends); kernels are the
+//! fused Gram family and workspace TTMs, so beyond the first truncation no
+//! tensor-sized buffer is allocated.
 
 use crate::decomposition::TuckerDecomposition;
+use crate::executor::{self, SeqBackend};
 use crate::meta::TuckerMeta;
-use tucker_linalg::{leading_from_gram, Matrix};
-use tucker_tensor::{gram, DenseTensor, TtmWorkspace};
+use tucker_linalg::Matrix;
+use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::{DenseTensor, TtmWorkspace};
 
 /// Compute the STHOSVD of `t` with core shape `meta.core()`, processing the
 /// modes in the order given by `order` (ascending-`K` is a common heuristic;
@@ -29,38 +34,9 @@ pub fn sthosvd_with_order(
     order: &[usize],
 ) -> TuckerDecomposition {
     assert_eq!(t.shape(), meta.input(), "tensor does not match metadata");
-    let n = meta.order();
-    assert_eq!(order.len(), n, "order arity mismatch");
-    let mut seen = vec![false; n];
-    for &m in order {
-        assert!(m < n && !seen[m], "not a permutation: {order:?}");
-        seen[m] = true;
-    }
-
-    // `cur = None` means "still the input"; the workspace ping-pongs the
-    // truncated intermediates so `t` is never cloned and each replaced
-    // intermediate's buffer is immediately reused.
-    let mut ws = TtmWorkspace::new();
-    let mut cur: Option<DenseTensor> = None;
-    let mut factors: Vec<Option<Matrix>> = vec![None; n];
-    for &mode in order {
-        let k = meta.k(mode);
-        let src = cur.as_ref().unwrap_or(t);
-        let g = gram(src, mode);
-        let svd = leading_from_gram(&g, k);
-        let f = svd.u; // L_mode × K_mode, orthonormal
-        let next = ws.ttm(src, mode, &f.transpose());
-        if let Some(old) = cur.replace(next) {
-            ws.recycle(old);
-        }
-        factors[mode] = Some(f);
-    }
-    let core = cur.expect("at least one mode processed");
-    let factors: Vec<Matrix> = factors
-        .into_iter()
-        .map(|f| f.expect("all modes processed"))
-        .collect();
-    TuckerDecomposition::new(core, factors)
+    let mut b = SeqBackend::new();
+    let out = executor::sthosvd_sweep(&mut b, t, meta, order, fro_norm_sq(t));
+    TuckerDecomposition::new(out.core, out.factors)
 }
 
 /// STHOSVD in natural mode order.
@@ -85,11 +61,9 @@ pub fn random_init<R: rand::Rng>(
             tucker_linalg::orthonormal_columns(&g)
         })
         .collect();
-    let mut ws = TtmWorkspace::new();
-    let modes: Vec<usize> = (0..meta.order()).collect();
-    let factors_t = crate::hooi::transpose_all(&factors);
-    let core =
-        crate::hooi::chain_transposed(&mut ws, t, &modes, &factors_t).expect("at least one mode");
+    let factors_t: Vec<Matrix> = factors.iter().map(Matrix::transpose).collect();
+    let ops: Vec<(usize, &Matrix)> = factors_t.iter().enumerate().collect();
+    let core = TtmWorkspace::new().ttm_chain(t, &ops);
     TuckerDecomposition::new(core, factors)
 }
 

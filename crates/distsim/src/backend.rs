@@ -1,0 +1,86 @@
+//! Clock adapter for execution backends built on the simulated runtime.
+//!
+//! A sweep executor (see `tucker-core`) times every phase of a sweep —
+//! compute, per-category communication, end-to-end — against one of two
+//! clock sets, selected by [`TimeSource`]:
+//!
+//! * [`TimeSource::Measured`] — compute phases in thread CPU time,
+//!   communication phases from the measured [`CommTimers`] (honest runs at
+//!   host-scale rank counts);
+//! * [`TimeSource::Virtual`] — compute phases still in thread CPU time (the
+//!   per-rank work genuinely shrinks with `P`), communication phases from
+//!   the per-rank α–β virtual clock ([`RankCtx::vtimers`]) charged by the
+//!   attached [`NetModel`](crate::net::NetModel).
+//!
+//! [`PhaseSnap`] is the matching snapshot: take one before a phase, ask the
+//! source what accrued since. The snapshot is opaque so the two clock sets
+//! cannot be mixed by accident.
+
+use crate::comm::{thread_cpu_time, CommTimers, RankCtx, VolumeCategory};
+use std::time::{Duration, Instant};
+
+/// Which clock feeds a backend's phase breakdowns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimeSource {
+    /// Measured CPU/wall time (honest execution).
+    #[default]
+    Measured,
+    /// The per-rank α–β virtual clock (requires a
+    /// [`NetModel`](crate::net::NetModel) on the universe); compute phases
+    /// remain thread CPU time.
+    Virtual,
+}
+
+/// A phase snapshot: CPU clock, the selected communication timers, and a
+/// wall anchor.
+pub struct PhaseSnap {
+    cpu: Duration,
+    comm: CommTimers,
+    t0: Instant,
+}
+
+impl PhaseSnap {
+    /// Host wall time since this snapshot was taken (the anchor is a real
+    /// [`Instant`] in both sources).
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+}
+
+impl TimeSource {
+    /// The communication timers this source reads (measured vs. modeled).
+    pub fn comm<'a>(&self, ctx: &'a RankCtx) -> &'a CommTimers {
+        match self {
+            TimeSource::Measured => &ctx.timers,
+            TimeSource::Virtual => &ctx.vtimers,
+        }
+    }
+
+    /// Snapshot all three clocks at once.
+    pub fn snap(&self, ctx: &RankCtx) -> PhaseSnap {
+        PhaseSnap {
+            cpu: thread_cpu_time(),
+            comm: self.comm(ctx).clone(),
+            t0: Instant::now(),
+        }
+    }
+
+    /// CPU time spent since the snapshot (identical for both sources).
+    pub fn cpu_since(&self, snap: &PhaseSnap) -> Duration {
+        thread_cpu_time().saturating_sub(snap.cpu)
+    }
+
+    /// Communication time of one category since the snapshot.
+    pub fn comm_since(&self, ctx: &RankCtx, snap: &PhaseSnap, cat: VolumeCategory) -> Duration {
+        self.comm(ctx).since(&snap.comm).time(cat)
+    }
+
+    /// End-to-end time since the snapshot: measured wall clock, or — in
+    /// virtual time — this rank's CPU work plus its modeled communication.
+    pub fn wall_since(&self, ctx: &RankCtx, snap: &PhaseSnap) -> Duration {
+        match self {
+            TimeSource::Measured => snap.t0.elapsed(),
+            TimeSource::Virtual => self.cpu_since(snap) + self.comm(ctx).since(&snap.comm).total(),
+        }
+    }
+}

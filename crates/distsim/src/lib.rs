@@ -39,6 +39,7 @@
 //!
 //! The volume ledger is identical in both modes; only the clock changes.
 
+pub mod backend;
 pub mod block;
 pub mod collectives;
 pub mod comm;
@@ -49,6 +50,7 @@ pub mod grid;
 pub mod net;
 pub mod redistribute;
 
+pub use backend::{PhaseSnap, TimeSource};
 pub use block::{block_region, split_extents};
 pub use comm::{
     CommTimers, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeLedger, VolumeReport,

@@ -10,9 +10,12 @@
 //! that honest measured runs cannot reach.
 
 use tucker_core::engine::{run_distributed_hooi_cfg, EngineConfig, TimeSource};
+use tucker_core::executor::{self, RayonBackend, SeqBackend, SweepBackend};
 use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
 use tucker_core::TuckerMeta;
 use tucker_distsim::{NetModel, VolumeCategory};
+use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_tensor::DenseTensor;
 
 /// Analytic metrics of one strategy on one tensor.
 #[derive(Clone, Debug)]
@@ -80,6 +83,10 @@ pub fn load_comparison(meta: &TuckerMeta) -> (f64, f64, f64, f64) {
 /// One strategy at one rank count in the virtual-time scaling sweep.
 #[derive(Clone, Debug)]
 pub struct ScalingRow {
+    /// Execution backend that produced this row (the scaling sweep always
+    /// runs the distsim backend; the column keys the row against
+    /// [`backend_lineup`] output).
+    pub backend: &'static str,
     /// Simulated rank count `P`.
     pub nranks: usize,
     /// Strategy label, e.g. `"(opt-tree, dynamic)"`.
@@ -177,6 +184,7 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
                 plan.name()
             );
             rows.push(ScalingRow {
+                backend: "distsim",
                 nranks: p,
                 strategy: plan.name(),
                 wall_s: s.wall.as_secs_f64(),
@@ -195,6 +203,169 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
             });
         }
     }
+    rows
+}
+
+// ---------------------------------------------------------------- backends
+
+/// One execution backend's result on one problem in the backend comparison.
+#[derive(Clone, Debug)]
+pub struct BackendRow {
+    /// Backend label: `"seq"`, `"rayon"`, or `"distsim"`.
+    pub backend: &'static str,
+    /// Worker/rank count the backend ran with.
+    pub threads: usize,
+    /// End-to-end sweep time, summed over sweeps (fastest of the reps),
+    /// seconds. Initialization is excluded on every backend.
+    pub wall_s: f64,
+    /// TTM compute time, summed over sweeps, seconds.
+    pub ttm_s: f64,
+    /// Gram + EVD time, summed over sweeps, seconds.
+    pub svd_s: f64,
+    /// Relative error after the last sweep (must agree across backends).
+    pub error: f64,
+}
+
+/// The engine's HOSVD-style initialization on the host: leading
+/// eigenvectors of each mode's Gram of the raw tensor (identical to the
+/// distributed init, so every backend starts from the same factors).
+fn hosvd_init_factors(t: &DenseTensor, meta: &TuckerMeta) -> Vec<Matrix> {
+    (0..meta.order())
+        .map(|n| leading_from_gram(&tucker_tensor::gram(t, n), meta.k(n)).u)
+        .collect()
+}
+
+/// Shared fixture of one backend-comparison problem.
+struct HostRunCtx<'a> {
+    t: &'a DenseTensor,
+    meta: &'a TuckerMeta,
+    tree: &'a tucker_core::tree::TtmTree,
+    init: &'a [Matrix],
+    input_norm_sq: f64,
+    sweeps: usize,
+    reps: usize,
+}
+
+/// Run `cx.sweeps` HOOI sweeps of the fixture's tree on a host backend,
+/// `cx.reps` times; return the **fastest** rep's `(wall_s, ttm_s, svd_s,
+/// error)` — min-of-reps is the standard noise-robust figure for comparing
+/// backends on a timeshared host (a slow rep only ever means interference,
+/// never a faster kernel).
+fn host_backend_run<B: SweepBackend<Tensor = DenseTensor>>(
+    mut mk: impl FnMut() -> B,
+    cx: &HostRunCtx<'_>,
+) -> (f64, f64, f64, f64) {
+    let HostRunCtx {
+        t,
+        meta,
+        tree,
+        init,
+        input_norm_sq,
+        sweeps,
+        reps,
+    } = *cx;
+    let mut walls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut b = mk();
+        let out = executor::hooi_loop(
+            &mut b,
+            t,
+            meta,
+            tree,
+            init.to_vec(),
+            input_norm_sq,
+            executor::LoopCfg::exactly(sweeps),
+        );
+        let wall: f64 = out.per_sweep.iter().map(|s| s.wall.as_secs_f64()).sum();
+        let ttm: f64 = out
+            .per_sweep
+            .iter()
+            .map(|s| s.ttm_compute.as_secs_f64())
+            .sum();
+        let svd: f64 = out.per_sweep.iter().map(|s| s.svd.as_secs_f64()).sum();
+        walls.push((wall, ttm, svd, out.errors[out.errors.len() - 1]));
+    }
+    walls.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    walls[0]
+}
+
+/// Compare the three execution backends on one problem: `seq` (strictly
+/// sequential host), `rayon` (host cores), and `distsim` (simulated MPI,
+/// measured clock, `dist_ranks` ranks). All backends execute the same
+/// `(opt-tree, static)` schedule from the same HOSVD init; their errors are
+/// asserted to agree within 1e-10 — the backend comparison doubles as a
+/// differential test.
+///
+/// # Panics
+/// Panics if any two backends disagree on the final error beyond 1e-10.
+pub fn backend_lineup(
+    meta: &TuckerMeta,
+    sweeps: usize,
+    reps: usize,
+    dist_ranks: usize,
+) -> Vec<BackendRow> {
+    assert!(sweeps >= 1 && reps >= 1);
+    let fill = |c: &[usize]| crate::fields::hash_noise(c, 0xBAC0);
+    let t = DenseTensor::from_fn(meta.input().clone(), fill);
+    let input_norm_sq = tucker_tensor::norm::fro_norm_sq(&t);
+    let init = hosvd_init_factors(&t, meta);
+    let planner = Planner::new(meta.clone(), dist_ranks);
+    let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
+
+    let cx = HostRunCtx {
+        t: &t,
+        meta,
+        tree: &plan.tree,
+        init: &init,
+        input_norm_sq,
+        sweeps,
+        reps,
+    };
+    let (w, tt, sv, err_seq) = host_backend_run(SeqBackend::new, &cx);
+    let mut rows = vec![BackendRow {
+        backend: "seq",
+        threads: 1,
+        wall_s: w,
+        ttm_s: tt,
+        svd_s: sv,
+        error: err_seq,
+    }];
+
+    let rayon_threads = RayonBackend::new().threads();
+    let (w, tt, sv, err) = host_backend_run(RayonBackend::new, &cx);
+    assert!(
+        (err - err_seq).abs() < 1e-10,
+        "rayon error {err} vs seq {err_seq}"
+    );
+    rows.push(BackendRow {
+        backend: "rayon",
+        threads: rayon_threads,
+        wall_s: w,
+        ttm_s: tt,
+        svd_s: sv,
+        error: err,
+    });
+
+    // Distributed row: same schedule on the measured distsim backend. One
+    // run (the simulated universe timeshares the host, reps add no signal).
+    let out = run_distributed_hooi_cfg(fill, &plan, sweeps, &EngineConfig::default());
+    let err = out.per_sweep[out.per_sweep.len() - 1].error;
+    assert!(
+        (err - err_seq).abs() < 1e-10,
+        "distsim error {err} vs seq {err_seq}"
+    );
+    rows.push(BackendRow {
+        backend: "distsim",
+        threads: dist_ranks,
+        wall_s: out.per_sweep.iter().map(|s| s.wall.as_secs_f64()).sum(),
+        ttm_s: out
+            .per_sweep
+            .iter()
+            .map(|s| s.ttm_compute.as_secs_f64())
+            .sum(),
+        svd_s: out.per_sweep.iter().map(|s| s.svd.as_secs_f64()).sum(),
+        error: err,
+    });
     rows
 }
 
@@ -228,6 +399,24 @@ mod tests {
     fn load_opt_never_worse() {
         let (ck, ch, b, o) = load_comparison(&meta());
         assert!(o <= ck && o <= ch && o <= b);
+    }
+
+    #[test]
+    fn backend_lineup_rows_agree_and_are_complete() {
+        let meta = TuckerMeta::new([10, 9, 8], [4, 3, 3]);
+        let rows = backend_lineup(&meta, 2, 1, 4);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.backend).collect::<Vec<_>>(),
+            ["seq", "rayon", "distsim"]
+        );
+        // The lineup itself asserts cross-backend error agreement; spot-check
+        // the rows are populated.
+        for r in &rows {
+            assert!(r.wall_s > 0.0, "{}: zero wall", r.backend);
+            assert!(r.error.is_finite() && (0.0..=1.0).contains(&r.error));
+            assert!(r.threads >= 1);
+        }
     }
 
     #[test]

@@ -66,6 +66,9 @@ fn accumulate_fiber_range(t: &DenseTensor, n: usize, f0: usize, len: usize, acc:
 ///
 /// Numerically equivalent to `syrk(&unfold(t, n))`; the fiber-parallel path
 /// regroups the summation per worker, so results can differ by a few ulps.
+/// Thread count is heuristic (sequential below a work threshold, one worker
+/// per host core above it); execution backends that want explicit control
+/// use [`gram_threads`] directly.
 ///
 /// # Panics
 /// Panics if `n` is not a valid mode.
@@ -73,15 +76,36 @@ pub fn gram(t: &DenseTensor, n: usize) -> Matrix {
     let shape = t.shape();
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
     let ln = shape.dim(n);
+    let work = shape.num_fibers(n) * ln * (ln + 1) / 2;
+    let threads = if work < PAR_MIN_WORK {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+    };
+    gram_threads(t, n, threads)
+}
+
+/// [`gram`] with an **explicit** worker count: the mode-`n` fiber range is
+/// split into `threads` contiguous sub-ranges, each accumulated by one
+/// worker, merged by a pairwise tree reduction. `threads == 1` is the
+/// strictly sequential kernel (no thread is ever spawned, summation order is
+/// the canonical fiber order); the size heuristic of [`gram`] does not
+/// apply. This is the par-ranged entry point the sweep-executor backends
+/// build on (`SeqBackend` pins 1, `RayonBackend` pins the host core count).
+///
+/// # Panics
+/// Panics if `n` is not a valid mode.
+pub fn gram_threads(t: &DenseTensor, n: usize, threads: usize) -> Matrix {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range for {shape}");
+    let ln = shape.dim(n);
     let nf = shape.num_fibers(n);
     let m = ln * ln;
 
-    let work = nf * ln * (ln + 1) / 2;
-    let workers = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(1)
-        .min(nf);
-    if work < PAR_MIN_WORK || workers <= 1 {
+    let workers = threads.max(1).min(nf);
+    if workers <= 1 {
         let mut g = Matrix::zeros(ln, ln);
         accumulate_fiber_range(t, n, 0, nf, g.as_mut_slice());
         mirror_lower(g.as_mut_slice(), ln);
@@ -182,6 +206,19 @@ mod tests {
             let g = gram(&t, n);
             let r = syrk(&unfold(&t, n));
             assert!(g.max_abs_diff(&r) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let t = rand_tensor(&[10, 9, 8], 11);
+        for n in 0..3 {
+            let r = syrk(&unfold(&t, n));
+            assert!(gram_threads(&t, n, 1).max_abs_diff(&r) < 1e-12, "mode {n}");
+            for w in [2usize, 3, 5, 64] {
+                let par = gram_threads(&t, n, w);
+                assert!(par.max_abs_diff(&r) < 1e-11, "mode {n}, {w} workers");
+            }
         }
     }
 

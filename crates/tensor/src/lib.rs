@@ -37,7 +37,7 @@ pub mod ttm;
 pub mod unfold;
 
 pub use dense::{tensor_buffer_allocs, DenseTensor};
-pub use gram::{gram, gram_cols};
+pub use gram::{gram, gram_cols, gram_threads};
 pub use shape::Shape;
-pub use ttm::{ttm, ttm_chain, ttm_into, TtmWorkspace};
+pub use ttm::{ttm, ttm_chain, ttm_into, ttm_into_threads, TtmWorkspace};
 pub use unfold::{fold, unfold};

@@ -53,9 +53,44 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
 /// tensor-buffer allocation, see
 /// [`tensor_buffer_allocs`](crate::dense::tensor_buffer_allocs)).
 ///
+/// Thread count is heuristic (sequential below a work threshold, one worker
+/// per host core above it); execution backends that want explicit control
+/// use [`ttm_into_threads`] directly.
+///
 /// # Panics
 /// Panics if `n` is out of range or `A.ncols() != L_n`.
 pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Shape {
+    let shape = t.shape();
+    assert!(n < shape.order(), "mode {n} out of range for {shape}");
+    let inner = shape.inner_extent(n);
+    let outer = shape.outer_extent(n);
+    let work = inner * shape.dim(n) * a.nrows();
+    let threads = if work >= PAR_MIN_WORK && outer > 1 {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    ttm_into_threads(t, n, a, out, threads)
+}
+
+/// [`ttm_into`] with an **explicit** worker count: the `outer` slab range is
+/// split into `threads` contiguous runs, one worker per run. `threads == 1`
+/// runs the slab loop strictly sequentially (no thread is ever spawned);
+/// the size heuristic of [`ttm_into`] does not apply. This is the
+/// par-ranged entry point the sweep-executor backends build on
+/// (`SeqBackend` pins 1, `RayonBackend` pins the host core count).
+///
+/// # Panics
+/// Panics if `n` is out of range or `A.ncols() != L_n`.
+pub fn ttm_into_threads(
+    t: &DenseTensor,
+    n: usize,
+    a: &Matrix,
+    out: &mut Vec<f64>,
+    threads: usize,
+) -> Shape {
     let shape = t.shape();
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
     let ln = shape.dim(n);
@@ -80,7 +115,6 @@ pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Sh
 
     let in_slab = inner * ln;
     let out_slab = inner * k;
-    let work = in_slab * k;
 
     // inner == 1 (mode 0): each slab is one contiguous fiber and each output
     // element is a plain dot product against a row of A. Transpose A once
@@ -128,8 +162,18 @@ pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Sh
         }
     };
 
-    if work >= PAR_MIN_WORK && outer > 1 {
-        out.par_chunks_mut(out_slab).enumerate().for_each(do_slab);
+    let workers = threads.max(1).min(outer.max(1));
+    if workers > 1 {
+        // Group slabs into `workers` contiguous runs so the partition is
+        // explicit (one worker per run) rather than left to the pool.
+        let per = outer.div_ceil(workers);
+        out.par_chunks_mut(out_slab * per)
+            .enumerate()
+            .for_each(|(w, run)| {
+                for (i, dst) in run.chunks_mut(out_slab).enumerate() {
+                    do_slab((w * per + i, dst));
+                }
+            });
     } else {
         out.chunks_mut(out_slab).enumerate().for_each(do_slab);
     }
@@ -176,6 +220,25 @@ impl TtmWorkspace {
         let out_card = t.cardinality() / t.shape().dim(n) * a.nrows();
         let mut buf = self.acquire(out_card);
         let shape = ttm_into(t, n, a, &mut buf);
+        DenseTensor::from_vec(shape, buf)
+    }
+
+    /// [`TtmWorkspace::ttm`] with an explicit worker count (see
+    /// [`ttm_into_threads`]): the pooled-buffer discipline is identical,
+    /// only the slab partition is pinned instead of heuristic.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range or `A.ncols() != L_n`.
+    pub fn ttm_threads(
+        &mut self,
+        t: &DenseTensor,
+        n: usize,
+        a: &Matrix,
+        threads: usize,
+    ) -> DenseTensor {
+        let out_card = t.cardinality() / t.shape().dim(n) * a.nrows();
+        let mut buf = self.acquire(out_card);
+        let shape = ttm_into_threads(t, n, a, &mut buf, threads);
         DenseTensor::from_vec(shape, buf)
     }
 
@@ -394,6 +457,21 @@ mod tests {
         let z1 = ttm(&t, 0, &a);
         let z2 = ttm_explicit_unfold(&t, 0, &a);
         assert!(z1.max_abs_diff(&z2) < 1e-11);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let t = rand_tensor(&[7, 6, 5], 16);
+        for n in 0..3 {
+            let a = rand_mat(3, t.shape().dim(n), 160 + n as u64);
+            let reference = ttm(&t, n, &a);
+            for w in [1usize, 2, 4, 64] {
+                let mut buf = Vec::new();
+                let s = ttm_into_threads(&t, n, &a, &mut buf, w);
+                let z = DenseTensor::from_vec(s, buf);
+                assert!(z.max_abs_diff(&reference) < 1e-12, "mode {n}, {w} workers");
+            }
+        }
     }
 
     #[test]

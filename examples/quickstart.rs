@@ -22,9 +22,10 @@ fn main() {
         meta.compression_ratio()
     );
 
-    // 2. Plan: optimal TTM-tree + optimal dynamic gridding for 8 ranks.
+    // 2. Plan: let the planner pick the minimum-modeled-cost schedule from
+    // the paper's lineup (in practice: optimal TTM-tree + dynamic gridding).
     let planner = Planner::new(meta.clone(), 8);
-    let plan = planner.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
+    let plan = planner.best_plan();
     println!(
         "plan {}: {} TTMs, predicted {:.2} MFLOP, predicted volume {:.0} elements, {} regrids",
         plan.name(),
