@@ -1,17 +1,22 @@
-//! Benches for the planner algorithms behind Figure 11 (§3.3, §4.2, §4.4).
+//! Benches for the planner algorithms behind Figure 11 (§3.3, §4.2, §4.4)
+//! and the joint grid × tree × order search of the planning layer.
 //!
 //! * the `O(4^N)` optimal-tree DP across mode counts (the paper: "the
 //!   algorithm takes negligible time" for `N ≤ 10`),
 //! * the optimal static grid search,
 //! * the optimal dynamic-gridding DP,
-//! * ablation: exact vs paper-literal (children-only) regrid objective.
+//! * ablation: exact vs paper-literal (children-only) regrid objective,
+//! * the joint DP (`plan::search::optimize`) under both cost models.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tucker_core::dyn_grid::{optimal_dynamic_grids, DynGridObjective};
-use tucker_core::opt_tree::optimal_tree;
-use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+use tucker_core::plan::cost::{FlopVolumeModel, NetCostModel};
+use tucker_core::plan::grid::{optimal_dynamic_grids, DynGridObjective};
+use tucker_core::plan::search::{optimize, SearchBudget};
+use tucker_core::plan::tree::optimal_tree;
+use tucker_core::plan::{GridStrategy, Planner, TreeStrategy};
 use tucker_core::volume::optimal_static_grid;
 use tucker_core::TuckerMeta;
+use tucker_distsim::NetModel;
 
 /// Benchmark-suite-flavoured metadata with `n` modes.
 fn meta_n(n: usize) -> TuckerMeta {
@@ -103,10 +108,40 @@ fn bench_whole_planner(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_joint_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("joint_grid_tree_order_dp");
+    g.sample_size(10);
+    let meta = TuckerMeta::new([400, 100, 100, 50, 20], [80, 80, 10, 40, 10]);
+    let budget = SearchBudget::default();
+    g.bench_function("optimize_P32_flops_vol", |b| {
+        b.iter(|| {
+            optimize(black_box(&meta), 32, &FlopVolumeModel, &budget)
+                .best()
+                .cost
+        })
+    });
+    let net = NetCostModel::new(NetModel::bgq(), 32);
+    g.bench_function("optimize_P32_net", |b| {
+        b.iter(|| optimize(black_box(&meta), 32, &net, &budget).best().cost)
+    });
+    // Paper-scale rank count on the scaling problem (small grid set).
+    let scaling = tucker_suite::driver::scaling_meta();
+    let net4096 = NetCostModel::new(NetModel::bgq(), 4096);
+    g.bench_function("optimize_P4096_net_scaling_meta", |b| {
+        b.iter(|| {
+            optimize(black_box(&scaling), 4096, &net4096, &budget)
+                .best()
+                .cost
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tree_dp,
     bench_grid_search,
-    bench_whole_planner
+    bench_whole_planner,
+    bench_joint_search
 );
 criterion_main!(benches);

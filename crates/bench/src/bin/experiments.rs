@@ -4,6 +4,7 @@
 //! cargo run --release -p tucker-bench --bin experiments -- all
 //! cargo run --release -p tucker-bench --bin experiments -- kernels
 //! cargo run --release -p tucker-bench --bin experiments -- backends
+//! cargo run --release -p tucker-bench --bin experiments -- planner [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
@@ -16,9 +17,17 @@
 //! backends (seq / rayon / distsim) on the kernel-ablation problem and
 //! persists `results/BENCH_backends.json`.
 //!
-//! `scaling` replays the four-strategy lineup at paper-scale rank counts
-//! (P = 64…8192) under the virtual-time α–β BG/Q model, validates the
-//! ledger against the §4.1/§4.3 closed forms, and persists
+//! `planner` certifies the planning layer both ways: predicted-vs-simulated
+//! virtual time for every lineup plan at P = 64…4096 (the α–β `NetCostModel`
+//! forecast against the engine's executed virtual communication clock,
+//! asserted within 5%), and the joint grid × tree × order DP against full
+//! brute-force enumeration under both cost models. Persists
+//! `results/BENCH_planner.json`.
+//!
+//! `scaling` replays the strategy lineup (the paper's four plus the joint-DP
+//! plan) at paper-scale rank counts (P = 64…8192) under the virtual-time
+//! α–β BG/Q model, validates the ledger against the §4.1/§4.3 closed forms
+//! and the virtual clocks against the planner's prediction, and persists
 //! `results/BENCH_scaling.json`.
 //!
 //! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
@@ -33,7 +42,8 @@ use tucker_core::planner::{GridStrategy, Plan, Planner, TreeStrategy};
 use tucker_core::TuckerMeta;
 use tucker_distsim::{count_grids, NetModel};
 use tucker_suite::driver::{
-    gridding_comparison, load_comparison, scaling_meta, scaling_ranks, scaling_sweep,
+    dp_certification, gridding_comparison, load_comparison, scaling_meta, scaling_ranks,
+    scaling_sweep,
 };
 use tucker_suite::fields::hash_noise;
 use tucker_suite::generator::{benchmark_5d, benchmark_6d, full_enumeration};
@@ -68,6 +78,7 @@ fn main() {
     match what {
         "kernels" => kernels(),
         "backends" => backends(),
+        "planner" => planner(max_p),
         "scaling" => scaling(max_p),
         "table1" => table1(),
         "table2" => table2(),
@@ -84,6 +95,7 @@ fn main() {
         "all" => {
             kernels();
             backends();
+            planner(max_p);
             scaling(max_p);
             table1();
             table2();
@@ -100,21 +112,123 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: all kernels backends scaling \
-                 table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e fig11f \
-                 summary"
+                "unknown experiment '{other}'; expected one of: all kernels backends planner \
+                 scaling table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e \
+                 fig11f summary"
             );
             std::process::exit(2);
         }
     }
 }
 
+// ---------------------------------------------------------------- Planner
+
+/// Planning-layer certification: predicted-vs-simulated virtual time for
+/// every plan of the scaling lineup at P = 64…4096 (the 5% invariant is
+/// asserted inside `scaling_sweep`), plus the joint-DP-vs-brute-force
+/// agreement counts under both cost models. Persists
+/// `results/BENCH_planner.json` (schema `tucker-bench/planner/v1`).
+fn planner(max_p: usize) {
+    let meta = scaling_meta();
+    let net = NetModel::bgq();
+    let ranks: Vec<usize> = [64usize, 256, 1024, 4096]
+        .into_iter()
+        .filter(|&p| p <= max_p)
+        .collect();
+    assert!(!ranks.is_empty(), "--max-p filtered out every rank count");
+    println!(
+        "== Planner: predicted vs simulated virtual time + DP certification \
+         (alpha {:?}, beta {:.3} ns/B) ==",
+        net.alpha(),
+        net.beta_ns_per_byte()
+    );
+    println!("   problem {meta}, P in {ranks:?}");
+
+    // Prediction vs execution (asserted within 5% inside the sweep).
+    let rows = scaling_sweep(&meta, &ranks, net);
+    let mut max_rel = 0.0f64;
+    for r in &rows {
+        let rel = (r.predicted_comm_s - r.comm_wall_s).abs() / r.comm_wall_s.max(1e-12);
+        max_rel = max_rel.max(rel);
+        println!(
+            "   P={:>5} {:>20}: predicted comm {:>11.6}s  executed {:>11.6}s  rel err {:.2e}",
+            r.nranks, r.strategy, r.predicted_comm_s, r.comm_wall_s, rel
+        );
+    }
+    println!("   worst relative prediction error: {max_rel:.2e} (tolerance 5e-2)");
+
+    // Joint-DP certification against full enumeration, both models.
+    let cert = dp_certification();
+    for c in &cert {
+        assert!(
+            c.agreed,
+            "{} P={} under {}: DP {} vs oracle {}",
+            c.meta, c.nranks, c.model, c.dp_cost, c.oracle_cost
+        );
+        println!(
+            "   cert {:>24} P={:<2} [{:>9}]: DP {:.6e} == oracle {:.6e} ({} candidates)",
+            c.meta, c.nranks, c.model, c.dp_cost, c.oracle_cost, c.candidates
+        );
+    }
+    let agreed = cert.iter().filter(|c| c.agreed).count();
+    println!("   DP-vs-brute-force: {agreed}/{} cases agreed", cert.len());
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let rel = (r.predicted_comm_s - r.comm_wall_s).abs() / r.comm_wall_s.max(1e-12);
+            format!(
+                "    {{\"p\": {}, \"strategy\": \"{}\", \"predicted_comm_s\": {:.9}, \
+                 \"executed_comm_s\": {:.9}, \"rel_err\": {:.3e}, \"wall_s\": {:.9}, \
+                 \"ttm_comm_s\": {:.9}, \"gram_comm_s\": {:.9}, \"regrid_comm_s\": {:.9}}}",
+                r.nranks,
+                r.strategy,
+                r.predicted_comm_s,
+                r.comm_wall_s,
+                rel,
+                r.wall_s,
+                r.ttm_comm_s,
+                r.gram_comm_s,
+                r.regrid_comm_s
+            )
+        })
+        .collect();
+    let cert_rows: Vec<String> = cert
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"meta\": \"{}\", \"p\": {}, \"model\": \"{}\", \"dp_cost\": {:.9e}, \
+                 \"oracle_cost\": {:.9e}, \"candidates\": {}, \"agreed\": {}}}",
+                c.meta, c.nranks, c.model, c.dp_cost, c.oracle_cost, c.candidates, c.agreed
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/planner/v1\",\n  \"input\": \"{}\",\n  \
+         \"core\": \"{}\",\n  \"net\": {{\"alpha_ns\": {}, \"beta_ns_per_byte\": {:.6}}},\n  \
+         \"ranks\": {ranks:?},\n  \"tolerance\": 0.05,\n  \"max_rel_err\": {max_rel:.3e},\n  \
+         \"rows\": [\n{}\n  ],\n  \"dp_certification\": [\n{}\n  ],\n  \
+         \"dp_agreed\": {agreed},\n  \"dp_total\": {}\n}}\n",
+        meta.input(),
+        meta.core(),
+        net.alpha().as_nanos(),
+        net.beta_ns_per_byte(),
+        json_rows.join(",\n"),
+        cert_rows.join(",\n"),
+        cert.len()
+    );
+    let p = write_results("BENCH_planner.json", &json);
+    println!("-> {}\n", p.display());
+}
+
 // ---------------------------------------------------------------- Scaling
 
 /// Paper-scale strong scaling (the Fig. 10a/11a analogue honest runs cannot
-/// reach): the four-strategy lineup at P = 64…8192 simulated BG/Q nodes in
-/// virtual time. Ledger volumes are validated against the §4.1/§4.3 closed
-/// forms inside the sweep; results land in `results/BENCH_scaling.json`.
+/// reach): the strategy lineup (the paper's four plus the joint-DP plan) at
+/// P = 64…8192 simulated BG/Q nodes in virtual time. Ledger volumes are
+/// validated against the §4.1/§4.3 closed forms and virtual clocks against
+/// the planner's α–β prediction inside the sweep; results land in
+/// `results/BENCH_scaling.json`.
 fn scaling(max_p: usize) {
     let meta = scaling_meta();
     let net = NetModel::bgq();
@@ -176,6 +290,7 @@ fn scaling(max_p: usize) {
                  \"gram_comm_s\": {:.9}, \"svd_s\": {:.9}, \"ttm_elements\": {}, \
                  \"regrid_elements\": {}, \"gram_elements\": {}, \
                  \"model_ttm_elements\": {:.1}, \"model_regrid_elements\": {:.1}, \
+                 \"predicted_comm_s\": {:.9}, \"comm_wall_s\": {:.9}, \
                  \"error\": {:.12}, \"host_s\": {:.3}}}",
                 r.backend,
                 r.nranks,
@@ -191,6 +306,8 @@ fn scaling(max_p: usize) {
                 r.gram_elements,
                 r.model_ttm_elements,
                 r.model_regrid_elements,
+                r.predicted_comm_s,
+                r.comm_wall_s,
                 r.error,
                 r.host_s
             )

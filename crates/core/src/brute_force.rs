@@ -1,467 +1,10 @@
-//! Exhaustive validators for the planner's dynamic programs.
-//!
-//! These are deliberately *independent* implementations used by tests and
-//! ablation benches:
-//!
-//! * [`enumerate_all_trees`] materializes every TTM-tree — including
-//!   **non-binary** ones (splits into arbitrarily many parts) — and scores
-//!   each with the §3.1 cost model. Comparing its minimum against
-//!   [`crate::opt_tree::optimal_tree`] empirically validates both the DP and
-//!   Lemma 3.1 (an optimal binary tree exists).
-//! * [`brute_force_dynamic_volume`] enumerates every grid assignment to the
-//!   internal nodes of a tree and scores each with the §4.3 volume model,
-//!   validating the §4.4 DP.
-//! * [`greedy_reuse_tree`] is the "always reuse when possible" strategy the
-//!   paper's §3.3 Remarks warn against; tests show the DP strictly beats it
-//!   on adversarial metadata.
-//!
-//! All of these are exponential and only meant for small instances.
+//! Re-export shim — the exhaustive certification oracle lives in
+//! [`crate::plan::brute_force`] (the planning layer, DESIGN.md §6); the
+//! greedy-reuse construction moved next to the other tree builders in
+//! [`crate::plan::tree`]. Import from there in new code.
 
-use crate::cost::tree_flops;
-use crate::dyn_grid::{scheme_volume, DynGridScheme};
-use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
-use tucker_distsim::Grid;
-
-/// Enumerate every valid TTM-tree for `meta` (including non-binary ones) and
-/// return them. Exponential: intended for `N ≤ 4`.
-///
-/// # Panics
-/// Panics if `meta.order() > 5` (the enumeration would explode).
-pub fn enumerate_all_trees(meta: &TuckerMeta) -> Vec<TtmTree> {
-    let n = meta.order();
-    assert!(n <= 5, "tree enumeration is exponential; use N <= 5");
-    let full: u32 = (1 << n) - 1;
-    let mut out = Vec::new();
-    let mut tree = TtmTree::new(n);
-    let root = tree.root();
-    build_all(meta, &mut tree, root, 0, full, &mut out);
-    out
-}
-
-/// Recursively extend `tree` at `attach` for the state `(p, q)`; every
-/// completion is pushed into `out`.
-fn build_all(
-    meta: &TuckerMeta,
-    tree: &mut TtmTree,
-    attach: usize,
-    p: u32,
-    q: u32,
-    out: &mut Vec<TtmTree>,
-) {
-    let n = meta.order();
-    let full: u32 = (1 << n) - 1;
-    let r = full & !(p | q);
-
-    if q.count_ones() == 1 && r == 0 {
-        // Base: attach the leaf, snapshot the tree if it is complete.
-        let m = q.trailing_zeros() as usize;
-        let node_count = tree.len();
-        tree.add_child(attach, NodeLabel::Leaf(m));
-        maybe_emit(tree, out);
-        truncate(tree, node_count);
-        return;
-    }
-
-    // Reuse any mode of R.
-    let mut rm = r;
-    while rm != 0 {
-        let m = rm.trailing_zeros() as usize;
-        rm &= rm - 1;
-        let node_count = tree.len();
-        let u = tree.add_child(attach, NodeLabel::Ttm(m));
-        build_all(meta, tree, u, p | (1 << m), q, out);
-        truncate(tree, node_count);
-    }
-
-    // Split Q into any partition with >= 2 parts. We enumerate by splitting
-    // off the part containing Q's lowest bit, then recursively treating the
-    // rest as one-or-more further parts; this covers every partition exactly
-    // once when combined with the "rest splits again or not" recursion.
-    if q.count_ones() >= 2 {
-        let low = q & q.wrapping_neg();
-        let rest = q & !low;
-        let mut s = rest;
-        loop {
-            // First part = low | s, remainder = q \ (low | s) nonempty.
-            let q1 = low | s;
-            if q1 != q {
-                let q2 = q & !q1;
-                // Both parts hang off the same attach point: recursing on q1
-                // then q2 at `attach` yields the multi-child (possibly
-                // non-binary, via repeated splitting) structures.
-                cartesian_split(meta, tree, attach, p, q1, q2, out);
-            }
-            if s == 0 {
-                break;
-            }
-            s = (s - 1) & rest;
-        }
-    }
-}
-
-/// For a split `(q1, q2)` at `attach`: enumerate all subtrees for `q1`, and
-/// for each, all subtrees for `q2`.
-fn cartesian_split(
-    meta: &TuckerMeta,
-    tree: &mut TtmTree,
-    attach: usize,
-    p: u32,
-    q1: u32,
-    q2: u32,
-    out: &mut Vec<TtmTree>,
-) {
-    // Enumerate q1's alternatives on clones; each completion of q1's part is
-    // then extended with every alternative for q2 at the same attach point.
-    let mut q1_variants: Vec<TtmTree> = Vec::new();
-    enumerate_into(meta, tree.clone(), attach, p, q1, &mut q1_variants);
-    for v in q1_variants {
-        let mut extended = Vec::new();
-        enumerate_into(meta, v, attach, p, q2, &mut extended);
-        for t in extended {
-            maybe_emit_owned(t, out);
-        }
-    }
-}
-
-/// Enumerate all ways to complete `(p, q)` under `attach` on an owned tree;
-/// push every completion (complete or not overall) into `out`.
-fn enumerate_into(
-    meta: &TuckerMeta,
-    tree: TtmTree,
-    attach: usize,
-    p: u32,
-    q: u32,
-    out: &mut Vec<TtmTree>,
-) {
-    let n = meta.order();
-    let full: u32 = (1 << n) - 1;
-    let r = full & !(p | q);
-
-    if q.count_ones() == 1 && r == 0 {
-        let m = q.trailing_zeros() as usize;
-        let mut t = tree;
-        t.add_child(attach, NodeLabel::Leaf(m));
-        out.push(t);
-        return;
-    }
-
-    let mut rm = r;
-    while rm != 0 {
-        let m = rm.trailing_zeros() as usize;
-        rm &= rm - 1;
-        let mut t = tree.clone();
-        let u = t.add_child(attach, NodeLabel::Ttm(m));
-        enumerate_into(meta, t, u, p | (1 << m), q, out);
-    }
-
-    if q.count_ones() >= 2 {
-        let low = q & q.wrapping_neg();
-        let rest = q & !low;
-        let mut s = rest;
-        loop {
-            let q1 = low | s;
-            if q1 != q {
-                let q2 = q & !q1;
-                let mut firsts = Vec::new();
-                enumerate_into(meta, tree.clone(), attach, p, q1, &mut firsts);
-                for f in firsts {
-                    enumerate_into(meta, f, attach, p, q2, out);
-                }
-            }
-            if s == 0 {
-                break;
-            }
-            s = (s - 1) & rest;
-        }
-    }
-}
-
-fn maybe_emit(tree: &TtmTree, out: &mut Vec<TtmTree>) {
-    if tree.validate().is_ok() {
-        out.push(tree.clone());
-    }
-}
-
-fn maybe_emit_owned(tree: TtmTree, out: &mut Vec<TtmTree>) {
-    if tree.validate().is_ok() {
-        out.push(tree);
-    }
-}
-
-/// Remove nodes added after `node_count` (stack-discipline undo).
-fn truncate(tree: &mut TtmTree, node_count: usize) {
-    tree.truncate_nodes(node_count);
-}
-
-/// Minimum cost over every enumerated tree.
-pub fn exhaustive_optimal_flops(meta: &TuckerMeta) -> f64 {
-    enumerate_all_trees(meta)
-        .iter()
-        .map(|t| tree_flops(t, meta))
-        .fold(f64::INFINITY, f64::min)
-}
-
-/// Brute-force the optimal dynamic-grid volume for `tree`: every assignment
-/// of a candidate grid to every internal node (regrid wherever the grid
-/// differs from the parent's), scored by [`scheme_volume`].
-///
-/// # Panics
-/// Panics if the search space exceeds ~10⁷ assignments.
-pub fn brute_force_dynamic_volume(tree: &TtmTree, meta: &TuckerMeta, nranks: usize) -> f64 {
-    let grids = tucker_distsim::enumerate_valid_grids(nranks, meta.core().dims());
-    let internal = tree.internal_nodes();
-    let space = (grids.len() as f64).powi(internal.len() as i32 + 1);
-    assert!(space <= 1e7, "brute-force space too large: {space}");
-
-    let mut best = f64::INFINITY;
-    // Assignment vector: index into `grids` per internal node + the root.
-    let mut assign = vec![0usize; internal.len()];
-    loop {
-        // Try every initial grid with this internal assignment.
-        for init in &grids {
-            let scheme = materialize_scheme(tree, &grids, &internal, &assign, init);
-            let v = scheme_volume(tree, meta, &scheme);
-            if v < best {
-                best = v;
-            }
-        }
-        // Odometer increment.
-        let mut i = 0;
-        loop {
-            if i == assign.len() {
-                return best;
-            }
-            assign[i] += 1;
-            if assign[i] < grids.len() {
-                break;
-            }
-            assign[i] = 0;
-            i += 1;
-        }
-    }
-}
-
-fn materialize_scheme(
-    tree: &TtmTree,
-    grids: &[Grid],
-    internal: &[usize],
-    assign: &[usize],
-    init: &Grid,
-) -> DynGridScheme {
-    let mut node_grids: Vec<Grid> = vec![init.clone(); tree.len()];
-    let mut regrid = vec![false; tree.len()];
-    let pos: std::collections::HashMap<usize, usize> = internal
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
-    // Assign in topological order so parents resolve first.
-    for id in tree.topological_order() {
-        if let Some(&i) = pos.get(&id) {
-            node_grids[id] = grids[assign[i]].clone();
-            let parent = tree.node(id).parent.expect("internal node has parent");
-            regrid[id] = node_grids[id] != node_grids[parent];
-        } else if let Some(parent) = tree.node(id).parent {
-            // Leaves inherit.
-            if matches!(tree.node(id).label, NodeLabel::Leaf(_)) {
-                node_grids[id] = node_grids[parent].clone();
-            }
-        }
-    }
-    DynGridScheme {
-        initial: init.clone(),
-        node_grids,
-        regrid,
-        volume: f64::NAN,
-    }
-}
-
-/// The greedy "always reuse when available" tree of the §3.3 Remarks:
-/// whenever `R ≠ ∅`, multiply along the reusable mode with the smallest cost
-/// factor; once `R = ∅`, split `Q` in half.
-pub fn greedy_reuse_tree(meta: &TuckerMeta) -> TtmTree {
-    let n = meta.order();
-    let mut tree = TtmTree::new(n);
-    let root = tree.root();
-    let full: u32 = (1 << n) - 1;
-    greedy_build(meta, &mut tree, root, 0, full);
-    debug_assert!(tree.validate().is_ok());
-    tree
-}
-
-fn greedy_build(meta: &TuckerMeta, tree: &mut TtmTree, attach: usize, p: u32, q: u32) {
-    let n = meta.order();
-    let full: u32 = (1 << n) - 1;
-    let r = full & !(p | q);
-
-    if q.count_ones() == 1 && r == 0 {
-        tree.add_child(attach, NodeLabel::Leaf(q.trailing_zeros() as usize));
-        return;
-    }
-    if r != 0 {
-        // Reuse the cheapest mode (min K, ties by index).
-        let mut best = usize::MAX;
-        let mut rm = r;
-        while rm != 0 {
-            let m = rm.trailing_zeros() as usize;
-            rm &= rm - 1;
-            if best == usize::MAX || meta.k(m) < meta.k(best) {
-                best = m;
-            }
-        }
-        let u = tree.add_child(attach, NodeLabel::Ttm(best));
-        greedy_build(meta, tree, u, p | (1 << best), q);
-        return;
-    }
-    // Split Q in half (low bits first).
-    let bits: Vec<usize> = (0..n).filter(|&m| q & (1 << m) != 0).collect();
-    let half = bits.len() / 2;
-    let q1: u32 = bits[..half.max(1)].iter().map(|&m| 1u32 << m).sum();
-    let q2 = q & !q1;
-    greedy_build(meta, tree, attach, p, q1);
-    greedy_build(meta, tree, attach, p, q2);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::cost::tree_cost;
-    use crate::dyn_grid::{optimal_dynamic_grids, DynGridObjective};
-    use crate::opt_tree::{optimal_flops, optimal_tree};
-    use crate::tree::chain_tree;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    #[test]
-    fn dp_matches_exhaustive_enumeration_n3() {
-        let mut rng = StdRng::seed_from_u64(13);
-        for _ in 0..10 {
-            let ls: Vec<usize> = (0..3).map(|_| [20, 50, 100][rng.gen_range(0..3)]).collect();
-            let ks: Vec<usize> = ls
-                .iter()
-                .map(|&l| (l as f64 / [1.25, 2.0, 5.0, 10.0][rng.gen_range(0..4)]) as usize)
-                .collect();
-            let meta = TuckerMeta::new(ls, ks);
-            let dp = optimal_flops(&meta);
-            let brute = exhaustive_optimal_flops(&meta);
-            assert!(
-                (dp - brute).abs() <= brute * 1e-12,
-                "{meta}: DP {dp} vs exhaustive {brute}"
-            );
-        }
-    }
-
-    #[test]
-    fn dp_matches_exhaustive_enumeration_n4() {
-        let metas = [
-            TuckerMeta::new([20, 50, 100, 20], [16, 10, 20, 2]),
-            TuckerMeta::new([400, 20, 20, 400], [399, 2, 2, 40]),
-            TuckerMeta::new([50, 50, 50, 50], [5, 10, 25, 40]),
-        ];
-        for meta in metas {
-            let dp = optimal_flops(&meta);
-            let brute = exhaustive_optimal_flops(&meta);
-            assert!(
-                (dp - brute).abs() <= brute * 1e-12,
-                "{meta}: DP {dp} vs exhaustive {brute}"
-            );
-        }
-    }
-
-    #[test]
-    fn enumeration_contains_nonbinary_trees() {
-        // Lemma 3.1 says binary is *sufficient*, not that all trees are
-        // binary; the enumerator must produce some node with 3+ children.
-        let meta = TuckerMeta::new([20, 20, 20], [2, 2, 2]);
-        let trees = enumerate_all_trees(&meta);
-        assert!(trees.len() > 10);
-        let has_wide = trees
-            .iter()
-            .any(|t| (0..t.len()).any(|id| t.node(id).children.len() >= 3));
-        assert!(has_wide, "expected at least one non-binary tree");
-        for t in &trees {
-            assert!(t.validate().is_ok());
-        }
-    }
-
-    #[test]
-    fn dyn_grid_dp_matches_brute_force() {
-        // Small instances: N=2 chain (2 internal nodes), P=4.
-        let mut rng = StdRng::seed_from_u64(17);
-        for _ in 0..6 {
-            let ls: Vec<usize> = (0..2).map(|_| [20, 50][rng.gen_range(0..2)]).collect();
-            let ks: Vec<usize> = ls
-                .iter()
-                .map(|&l| (l as f64 / [2.0, 5.0][rng.gen_range(0..2)]) as usize)
-                .collect();
-            let meta = TuckerMeta::new(ls, ks);
-            let tree = chain_tree(&meta, &[0, 1]);
-            let dp = optimal_dynamic_grids(&tree, &meta, 4, DynGridObjective::Exact);
-            let brute = brute_force_dynamic_volume(&tree, &meta, 4);
-            assert!(
-                (dp.volume - brute).abs() <= brute.max(1.0) * 1e-9,
-                "{meta}: DP {} vs brute {brute}",
-                dp.volume
-            );
-        }
-    }
-
-    #[test]
-    fn dyn_grid_dp_matches_brute_force_n3() {
-        let meta = TuckerMeta::new([16, 16, 16], [4, 2, 4]);
-        // Balanced tree on 3 modes has 4-5 internal nodes; P=4 keeps the
-        // grid set tiny.
-        let tree = crate::tree::balanced_tree(&meta, &[0, 1, 2]);
-        let dp = optimal_dynamic_grids(&tree, &meta, 4, DynGridObjective::Exact);
-        let brute = brute_force_dynamic_volume(&tree, &meta, 4);
-        assert!(
-            (dp.volume - brute).abs() <= brute.max(1.0) * 1e-9,
-            "DP {} vs brute {brute}",
-            dp.volume
-        );
-    }
-
-    #[test]
-    fn greedy_reuse_is_valid_but_beatable() {
-        // The §3.3 Remarks metadata: one expensive, barely-compressing mode.
-        let meta = TuckerMeta::new([400, 20, 20, 400], [399, 2, 2, 40]);
-        let greedy = greedy_reuse_tree(&meta);
-        assert!(greedy.validate().is_ok());
-        let opt = optimal_tree(&meta);
-        let g = tree_flops(&greedy, &meta);
-        assert!(opt.flops <= g);
-        assert!(
-            opt.flops < g * 0.95,
-            "optimal {} should strictly beat greedy {g} here",
-            opt.flops
-        );
-    }
-
-    #[test]
-    fn greedy_reuse_optimal_on_uniform() {
-        // With identical modes, always-reuse is as good as anything.
-        let meta = TuckerMeta::new([50; 4], [5; 4]);
-        let greedy = greedy_reuse_tree(&meta);
-        let opt = optimal_flops(&meta);
-        let g = tree_flops(&greedy, &meta);
-        assert!((g - opt).abs() <= opt * 0.02, "greedy {g} vs opt {opt}");
-    }
-
-    #[test]
-    fn cost_model_consistency_across_enumeration() {
-        // Every enumerated tree's in/out cardinalities satisfy the local
-        // recurrences (spot-check of the §3.1 bookkeeping).
-        let meta = TuckerMeta::new([20, 50, 100], [4, 25, 10]);
-        for t in enumerate_all_trees(&meta).into_iter().take(50) {
-            let c = tree_cost(&t, &meta);
-            for id in t.internal_nodes() {
-                let NodeLabel::Ttm(n) = t.node(id).label else {
-                    unreachable!()
-                };
-                assert!((c.out_card[id] - c.in_card[id] * meta.h(n)).abs() < 1e-6);
-                assert!((c.node_flops[id] - meta.k(n) as f64 * c.in_card[id]).abs() < 1e-6);
-            }
-        }
-    }
-}
+pub use crate::plan::brute_force::{
+    brute_force_dynamic_volume, enumerate_all_trees, exhaustive_optimal_flops, materialize_scheme,
+    min_sweep_cost, random_tree, sampled_sweep_costs,
+};
+pub use crate::plan::tree::greedy_reuse_tree;

@@ -1,157 +1,4 @@
-//! The FLOP cost model for TTM-trees (paper §3.1, Figure 4).
-//!
-//! An internal node `u` with label `n` multiplies the `K_n × L'_n` factor
-//! slice against the mode-`n` unfolding of its input, costing
-//! `K_n · |In(u)|` floating-point (multiply-add) operations, and shrinks the
-//! tensor by the compression factor `h_n`: `|Out(u)| = h_n · |In(u)|`.
-//! The cost of a tree is the sum over its internal nodes.
+//! Re-export shim — the §3.1 FLOP cost model lives in [`crate::plan::cost`]
+//! (the planning layer, DESIGN.md §6). Import from there in new code.
 
-use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
-
-/// Per-node cardinalities and costs for a tree under given metadata.
-#[derive(Clone, Debug)]
-pub struct TreeCost {
-    /// `|In(u)|` per node id (`|T|` for the root; for leaves, the parent's
-    /// output cardinality).
-    pub in_card: Vec<f64>,
-    /// `|Out(u)|` per node id (equal to `in_card` for root and leaves).
-    pub out_card: Vec<f64>,
-    /// FLOPs per node id (0 for root and leaves).
-    pub node_flops: Vec<f64>,
-    /// Total FLOPs of the tree.
-    pub total_flops: f64,
-}
-
-/// Evaluate the cost model on `tree`.
-///
-/// # Panics
-/// Panics if the tree refers to modes outside `meta`.
-pub fn tree_cost(tree: &TtmTree, meta: &TuckerMeta) -> TreeCost {
-    let len = tree.len();
-    let mut in_card = vec![0.0; len];
-    let mut out_card = vec![0.0; len];
-    let mut node_flops = vec![0.0; len];
-    let mut total = 0.0;
-
-    for id in tree.topological_order() {
-        let node = tree.node(id);
-        let input = match node.parent {
-            None => meta.input_cardinality(),
-            Some(p) => out_card[p],
-        };
-        in_card[id] = input;
-        match node.label {
-            NodeLabel::Root => {
-                out_card[id] = input;
-            }
-            NodeLabel::Ttm(n) => {
-                assert!(n < meta.order(), "mode {n} out of range");
-                let flops = meta.k(n) as f64 * input;
-                node_flops[id] = flops;
-                total += flops;
-                out_card[id] = input * meta.h(n);
-            }
-            NodeLabel::Leaf(_) => {
-                out_card[id] = input;
-            }
-        }
-    }
-
-    TreeCost {
-        in_card,
-        out_card,
-        node_flops,
-        total_flops: total,
-    }
-}
-
-/// Total FLOPs of a tree (convenience wrapper over [`tree_cost`]).
-pub fn tree_flops(tree: &TtmTree, meta: &TuckerMeta) -> f64 {
-    tree_cost(tree, meta).total_flops
-}
-
-/// Cost normalized by `|T|`, as in the paper's Figure 4.
-pub fn tree_flops_normalized(tree: &TtmTree, meta: &TuckerMeta) -> f64 {
-    tree_flops(tree, meta) / meta.input_cardinality()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::tree::{balanced_tree, chain_tree};
-
-    #[test]
-    fn chain_cost_closed_form() {
-        // For a chain computing leaf n with ordering m1, m2, ..., the cost is
-        // |T| * (K_{m1} + K_{m2} h_{m1} + K_{m3} h_{m1} h_{m2} + ...).
-        let meta = TuckerMeta::new([10, 20, 30], [2, 4, 3]);
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let t = meta.input_cardinality();
-        let (k, h): (Vec<f64>, Vec<f64>) = (0..3).map(|n| (meta.k(n) as f64, meta.h(n))).unzip();
-        // Chain for leaf 0: modes 1,2 ; leaf 1: modes 0,2 ; leaf 2: modes 0,1.
-        let expect = t * ((k[1] + k[2] * h[1]) + (k[0] + k[2] * h[0]) + (k[0] + k[1] * h[0]));
-        let got = tree_flops(&tree, &meta);
-        assert!(
-            (got - expect).abs() < expect * 1e-12,
-            "got {got}, expect {expect}"
-        );
-    }
-
-    #[test]
-    fn cardinalities_track_compression() {
-        let meta = TuckerMeta::new([10, 10], [5, 2]);
-        let tree = chain_tree(&meta, &[0, 1]);
-        let cost = tree_cost(&tree, &meta);
-        // Root out = 100; chain head for leaf 0 multiplies mode 1 (h=0.2).
-        let c1 = tree.node(tree.root()).children[0];
-        assert_eq!(cost.in_card[c1], 100.0);
-        assert_eq!(cost.out_card[c1], 20.0);
-        assert_eq!(cost.node_flops[c1], 2.0 * 100.0);
-    }
-
-    #[test]
-    fn balanced_at_most_chain_for_uniform() {
-        // With uniform strong compression, reuse (balanced) must win.
-        let meta = TuckerMeta::new(vec![50; 6], vec![5; 6]);
-        let perm: Vec<usize> = (0..6).collect();
-        let chain = chain_tree(&meta, &perm);
-        let bal = balanced_tree(&meta, &perm);
-        assert!(tree_flops(&bal, &meta) < tree_flops(&chain, &meta));
-    }
-
-    #[test]
-    fn ordering_changes_chain_cost() {
-        // With N = 3 each chain has two TTMs whose order matters: putting
-        // the strongly-compressing mode first shrinks the second TTM.
-        // (For N = 2 every chain is a single TTM and ordering is moot.)
-        let meta = TuckerMeta::new([100, 100, 100], [1, 99, 50]);
-        let cheap_first = chain_tree(&meta, &[0, 1, 2]);
-        let costly_first = chain_tree(&meta, &[1, 2, 0]);
-        let c1 = tree_flops(&cheap_first, &meta);
-        let c2 = tree_flops(&costly_first, &meta);
-        assert!(
-            c1 < c2,
-            "compressing mode 0 first must be cheaper: {c1} vs {c2}"
-        );
-    }
-
-    #[test]
-    fn normalized_cost_matches() {
-        let meta = TuckerMeta::new([10, 10, 10], [2, 2, 2]);
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let norm = tree_flops_normalized(&tree, &meta);
-        assert!((norm * 1000.0 - tree_flops(&tree, &meta)).abs() < 1e-9);
-    }
-
-    #[test]
-    fn leaf_and_root_cost_zero() {
-        let meta = TuckerMeta::new([6, 6], [2, 2]);
-        let tree = chain_tree(&meta, &[0, 1]);
-        let cost = tree_cost(&tree, &meta);
-        assert_eq!(cost.node_flops[tree.root()], 0.0);
-        for l in tree.leaves() {
-            assert_eq!(cost.node_flops[l], 0.0);
-        }
-    }
-}
+pub use crate::plan::cost::{tree_cost, tree_flops, tree_flops_normalized, TreeCost};

@@ -20,10 +20,12 @@
 
 use crate::decomposition::TuckerDecomposition;
 use crate::engine::{DistsimBackend, EngineConfig};
-use crate::executor::{self, SweepStats};
+use crate::executor::{self, PlanProvenance, SweepStats};
 use crate::meta::TuckerMeta;
 use tucker_distsim::{DistTensor, Grid, Universe};
 use tucker_linalg::Matrix;
+
+pub use crate::plan::order::{optimal_sthosvd_order, sthosvd_chain_flops};
 
 /// Measurements of one distributed STHOSVD run: the unified
 /// [`SweepStats`], reported identically by every backend (regrid fields are
@@ -31,36 +33,6 @@ use tucker_linalg::Matrix;
 /// measured times in the default mode and α–β-modeled times under
 /// [`TimeSource::Virtual`](crate::engine::TimeSource).
 pub type SthosvdStats = SweepStats;
-
-/// The mode order minimizing the STHOSVD chain's TTM FLOPs: ascending
-/// `K_n / (1 − h_n)`, with incompressible (`h_n = 1`) modes last (they never
-/// shrink the tensor, so multiplying them early only wastes work).
-pub fn optimal_sthosvd_order(meta: &TuckerMeta) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..meta.order()).collect();
-    let key = |n: usize| {
-        let h = meta.h(n);
-        if h >= 1.0 {
-            f64::INFINITY
-        } else {
-            meta.k(n) as f64 / (1.0 - h)
-        }
-    };
-    order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap().then(a.cmp(&b)));
-    order
-}
-
-/// TTM FLOPs of an STHOSVD chain processed in `order` (normalized model of
-/// the truncation multiplies only; Gram cost is reported separately by the
-/// stats).
-pub fn sthosvd_chain_flops(meta: &TuckerMeta, order: &[usize]) -> f64 {
-    let mut card = meta.input_cardinality();
-    let mut flops = 0.0;
-    for &n in order {
-        flops += meta.k(n) as f64 * card;
-        card *= meta.h(n);
-    }
-    flops
-}
 
 /// Run distributed STHOSVD on `nranks` simulated ranks under a static grid,
 /// in the default measured mode.
@@ -125,6 +97,10 @@ pub fn run_distributed_sthosvd_cfg(
             decomp = Some(d);
         }
     }
+    agg.provenance = Some(PlanProvenance {
+        plan: format!("(sthosvd, {grid})"),
+        predicted_comm: None,
+    });
     (decomp, agg)
 }
 

@@ -25,9 +25,10 @@
 //!   **same** [`ExecutionStats`] fields as measured runs.
 
 use crate::decomposition::TuckerDecomposition;
-use crate::dyn_grid::DynGridScheme;
-use crate::executor::{self, SweepBackend, SweepPhase, SweepStats};
-use crate::planner::Plan;
+use crate::executor::{self, PlanProvenance, SweepBackend, SweepPhase, SweepStats};
+use crate::plan::cost::NetCostModel;
+use crate::plan::grid::DynGridScheme;
+use crate::plan::Plan;
 use std::time::Duration;
 use tucker_distsim::collectives::{allreduce_sum, Group};
 use tucker_distsim::comm::{thread_cpu_time, RunOutput};
@@ -148,6 +149,7 @@ impl SweepBackend for DistsimBackend<'_, '_> {
         let snap = self.sweep_snap.take().expect("sweep_begin not called");
         let vol0 = self.sweep_vol.take().expect("sweep_begin not called");
         stats.wall = self.time.wall_since(self.ctx, &snap);
+        stats.comm_wall = self.time.comm_wall_since(self.ctx, &snap);
         let vol = self.ctx.volume().since(&vol0);
         stats.ttm_volume = vol.elements(VolumeCategory::TtmReduceScatter);
         stats.regrid_volume = vol.elements(VolumeCategory::Regrid);
@@ -331,6 +333,24 @@ pub fn run_distributed_hooi_cfg(
         if let Some(d) = d {
             decomposition = Some(d);
         }
+    }
+
+    // Plan provenance: which plan drove the sweeps, and — for virtual-time
+    // runs — the planner's α–β prediction the measured `comm_wall` must
+    // match (the prediction-vs-execution invariant of DESIGN.md §6).
+    let predicted_comm = match (cfg.time, cfg.net) {
+        (TimeSource::Virtual, Some(net)) => Some(
+            NetCostModel::new(net, nranks)
+                .predict_sweep(&plan.meta, &plan.tree, &plan.grids)
+                .comm_wall,
+        ),
+        _ => None,
+    };
+    for s in &mut per_sweep {
+        s.provenance = Some(PlanProvenance {
+            plan: plan.name(),
+            predicted_comm,
+        });
     }
 
     DistributedHooiOutput {

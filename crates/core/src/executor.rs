@@ -36,7 +36,8 @@
 //! scenario (strategy, machine model, backend) lands here and nowhere else.
 
 use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
+use crate::plan::order::core_chain_order;
+use crate::plan::tree::{NodeLabel, TtmTree};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 use tucker_linalg::{leading_from_gram, Matrix};
@@ -59,6 +60,20 @@ pub enum SweepPhase {
     GramComm,
 }
 
+/// Provenance of the plan that drove a sweep, recorded by the engines so
+/// stats consumers can key measurements back to the planner's decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanProvenance {
+    /// The plan's `"(tree, grid)"` name (or a schedule description for
+    /// plan-less runs like the STHOSVD chain).
+    pub plan: String,
+    /// The planner's α–β prediction of this sweep's communication wall
+    /// (`NetCostModel::predict_sweep(..).comm_wall`); only populated for
+    /// virtual-time runs, where it must match [`SweepStats::comm_wall`]
+    /// within 5% (asserted by the scaling suite).
+    pub predicted_comm: Option<Duration>,
+}
+
 /// Per-sweep measurements, reported identically by every backend (for
 /// distributed backends, aggregated across ranks: times are the maximum
 /// over ranks, the way an MPI experiment reports them; volume is the
@@ -79,6 +94,11 @@ pub struct SweepStats {
     pub gram_comm: Duration,
     /// End-to-end time of the sweep (max over ranks).
     pub wall: Duration,
+    /// Pure communication time of the whole sweep window, **all**
+    /// categories included (max over ranks) — zero on shared-memory
+    /// backends. Under virtual time this is the per-rank α–β clock the
+    /// planner's `NetCostModel` predicts to the nanosecond.
+    pub comm_wall: Duration,
     /// Elements moved by TTM reduce-scatters.
     pub ttm_volume: u64,
     /// Elements moved by regrids.
@@ -87,6 +107,9 @@ pub struct SweepStats {
     pub gram_volume: u64,
     /// Relative error after this sweep.
     pub error: f64,
+    /// The plan that drove this sweep (filled by the engines; `None` on the
+    /// raw executor API).
+    pub provenance: Option<PlanProvenance>,
 }
 
 impl SweepStats {
@@ -132,12 +155,16 @@ impl SweepStats {
         self.svd = self.svd.max(other.svd);
         self.gram_comm = self.gram_comm.max(other.gram_comm);
         self.wall = self.wall.max(other.wall);
+        self.comm_wall = self.comm_wall.max(other.comm_wall);
         // Each rank observes the global ledger over its own sweep window;
         // the max across ranks is the complete per-sweep figure.
         self.ttm_volume = self.ttm_volume.max(other.ttm_volume);
         self.regrid_volume = self.regrid_volume.max(other.regrid_volume);
         self.gram_volume = self.gram_volume.max(other.gram_volume);
         self.error = other.error; // identical on every rank
+        if self.provenance.is_none() {
+            self.provenance.clone_from(&other.provenance);
+        }
     }
 }
 
@@ -255,14 +282,6 @@ pub struct SweepOutcome<T> {
 /// times per sweep.
 pub(crate) fn transpose_all(factors: &[Matrix]) -> Vec<Matrix> {
     factors.iter().map(Matrix::transpose).collect()
-}
-
-/// The engine's canonical core-chain order: all modes, strongest compression
-/// first (any order is mathematically equal; this one minimizes cost).
-fn core_chain_order(meta: &TuckerMeta) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..meta.order()).collect();
-    order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-    order
 }
 
 /// Fold `root` through a TTM-chain over `modes` (pre-transposed factors),

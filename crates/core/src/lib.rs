@@ -7,17 +7,17 @@
 //!
 //! * [`meta`] — problem metadata: input shape `L`, core shape `K`, cost
 //!   factors `K_n` and compression factors `h_n = K_n / L_n`;
-//! * [`tree`] — TTM-trees (§3.1) with the prior-work constructions: chain
-//!   trees, balanced trees (Kaya–Uçar), and mode orderings (§3.2);
-//! * [`cost`] — the FLOP cost model (§3.1);
-//! * [`opt_tree`] — the `O(4^N)` dynamic program for **optimal TTM-trees**
-//!   (§3.3);
-//! * [`volume`] — the communication-volume model `(q_n − 1)·|Out(u)|` and
-//!   optimal **static** grid search (§4.1–4.2);
-//! * [`dyn_grid`] — **dynamic gridding** and the optimal dynamic-grid DP
-//!   (§4.3–4.4);
-//! * [`planner`] — the paper's *planner* module (§5): combines a tree
-//!   strategy and a grid strategy into an executable [`planner::Plan`];
+//! * [`plan`] — the **planning layer** (§3–§5, DESIGN.md §6): TTM-trees
+//!   and the optimal-tree DP (`plan::tree`), mode orderings
+//!   (`plan::order`), the volume model, static/dynamic grid searches and
+//!   symmetric-grid dedup (`plan::grid`), the pluggable
+//!   [`plan::CostModel`] — closed-form flops + volume, or the α–β
+//!   [`plan::NetCostModel`] priced in the engine's virtual nanoseconds —
+//!   the joint grid × tree × order DP (`plan::search`), and the
+//!   brute-force certification oracle (`plan::brute_force`). The historical
+//!   module paths ([`tree`], [`cost`], [`opt_tree`], [`volume`],
+//!   [`dyn_grid`], [`planner`], [`brute_force`]) survive as re-export
+//!   shims;
 //! * [`decomposition`], [`hooi`], [`sthosvd`] — sequential reference
 //!   implementations of the decomposition, HOOI sweeps and STHOSVD
 //!   initialization;
@@ -57,13 +57,19 @@ pub mod executor;
 pub mod hooi;
 pub mod meta;
 pub mod opt_tree;
+pub mod plan;
 pub mod planner;
 pub mod sthosvd;
 pub mod tree;
 pub mod volume;
 
 pub use decomposition::TuckerDecomposition;
-pub use executor::{RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats};
+pub use executor::{
+    PlanProvenance, RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats,
+};
 pub use meta::TuckerMeta;
-pub use planner::{GridStrategy, Plan, Planner, TreeStrategy};
+pub use plan::{
+    CostModel, FlopVolumeModel, GridStrategy, NetCostModel, Plan, Planner, RankedPlans,
+    SearchBudget, TreeStrategy,
+};
 pub use tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};

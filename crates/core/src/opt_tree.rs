@@ -1,348 +1,4 @@
-//! Optimal TTM-tree construction (paper §3.3).
-//!
-//! The dynamic program works over triples `(P, Q, R)`: `P` = modes already
-//! multiplied on the path from the root, `Q` = modes whose new factors must
-//! be produced inside the subtree, `R` = the remaining, *reusable* modes.
-//! Since the triple partitions `[0, N)`, `R` is determined by `(P, Q)` and
-//! states are indexed in base 3 (`3^N` of them). Two moves exist:
-//!
-//! * **reuse** a mode `n ∈ R`: pay `K_n · |T[P]|` for one shared TTM and
-//!   recurse on `(P ∪ {n}, Q, R ∖ {n})` — a single child;
-//! * **split** `Q = Q₁ ⊎ Q₂`: recurse on `(P, Q₁)` and `(P, Q₂)` — two
-//!   children (optimal trees are binary, Lemma 3.1).
-//!
-//! Base case: `|Q| = 1` and `R = ∅` — the leaf. Enumerating submasks of `Q`
-//! over all states gives the paper's `O(4^N)` bound; the table is memoized
-//! so each configuration is looked up once.
+//! Re-export shim — the §3.3 optimal-tree DP lives in [`crate::plan::tree`]
+//! (the planning layer, DESIGN.md §6). Import from there in new code.
 
-use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
-
-/// Result of the optimal-tree construction.
-#[derive(Clone, Debug)]
-pub struct OptimalTree {
-    /// The optimal TTM-tree.
-    pub tree: TtmTree,
-    /// Its FLOP cost (matches `cost::tree_flops(&tree, meta)`).
-    pub flops: f64,
-}
-
-/// How a state's optimum is achieved (for tree reconstruction).
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum Choice {
-    /// Unsolved sentinel.
-    Unset,
-    /// Base case: single leaf remains.
-    Leaf,
-    /// Reuse the given mode.
-    Reuse(usize),
-    /// Split `Q`; payload is the `Q₁` submask.
-    Split(u32),
-}
-
-struct Dp<'a> {
-    meta: &'a TuckerMeta,
-    n: usize,
-    full: u32,
-    pow3: Vec<usize>,
-    cost: Vec<f64>,
-    choice: Vec<Choice>,
-}
-
-impl<'a> Dp<'a> {
-    fn new(meta: &'a TuckerMeta) -> Self {
-        let n = meta.order();
-        assert!(n <= 20, "mode count {n} too large for the bitmask DP");
-        let mut pow3 = vec![1usize; n + 1];
-        for i in 1..=n {
-            pow3[i] = pow3[i - 1] * 3;
-        }
-        let size = pow3[n];
-        Dp {
-            meta,
-            n,
-            full: (1u32 << n) - 1,
-            pow3,
-            cost: vec![f64::NAN; size],
-            choice: vec![Choice::Unset; size],
-        }
-    }
-
-    /// Base-3 state index: digit 0 if the mode is in `R`, 1 if in `Q`, 2 if
-    /// in `P`.
-    fn index(&self, p: u32, q: u32) -> usize {
-        let mut idx = 0;
-        for m in 0..self.n {
-            let digit = if p & (1 << m) != 0 {
-                2
-            } else if q & (1 << m) != 0 {
-                1
-            } else {
-                0
-            };
-            idx += digit * self.pow3[m];
-        }
-        idx
-    }
-
-    fn solve(&mut self, p: u32, q: u32) -> f64 {
-        debug_assert_eq!(p & q, 0, "P and Q must be disjoint");
-        debug_assert!(q != 0, "Q must be non-empty");
-        let idx = self.index(p, q);
-        if !self.cost[idx].is_nan() {
-            return self.cost[idx];
-        }
-
-        let r = self.full & !(p | q);
-        if q.count_ones() == 1 && r == 0 {
-            self.cost[idx] = 0.0;
-            self.choice[idx] = Choice::Leaf;
-            return 0.0;
-        }
-
-        let mut best = f64::INFINITY;
-        let mut best_choice = Choice::Unset;
-
-        // Reuse: one shared TTM along some mode of R.
-        if r != 0 {
-            let card = self.meta.premultiplied_cardinality(p);
-            let mut rm = r;
-            while rm != 0 {
-                let m = rm.trailing_zeros() as usize;
-                rm &= rm - 1;
-                let c = self.meta.k(m) as f64 * card + self.solve(p | (1 << m), q);
-                if c < best {
-                    best = c;
-                    best_choice = Choice::Reuse(m);
-                }
-            }
-        }
-
-        // Split: partition Q into two non-empty halves. Fixing the lowest
-        // set bit of Q inside Q₁ enumerates each unordered partition once.
-        if q.count_ones() >= 2 {
-            let low = q & q.wrapping_neg();
-            let rest = q & !low;
-            // Iterate over all submasks s of `rest`; Q₁ = low | s.
-            let mut s = rest;
-            loop {
-                let q1 = low | s;
-                if q1 != q {
-                    let q2 = q & !q1;
-                    let c = self.solve(p, q1) + self.solve(p, q2);
-                    if c < best {
-                        best = c;
-                        best_choice = Choice::Split(q1);
-                    }
-                }
-                if s == 0 {
-                    break;
-                }
-                s = (s - 1) & rest;
-            }
-        }
-
-        assert!(
-            best.is_finite(),
-            "state (P={p:b}, Q={q:b}) has no feasible move"
-        );
-        self.cost[idx] = best;
-        self.choice[idx] = best_choice;
-        best
-    }
-
-    fn build(&self, tree: &mut TtmTree, attach: usize, p: u32, q: u32) {
-        let idx = self.index(p, q);
-        match self.choice[idx] {
-            Choice::Unset => unreachable!("state not solved"),
-            Choice::Leaf => {
-                let m = q.trailing_zeros() as usize;
-                tree.add_child(attach, NodeLabel::Leaf(m));
-            }
-            Choice::Reuse(m) => {
-                let u = tree.add_child(attach, NodeLabel::Ttm(m));
-                self.build(tree, u, p | (1 << m), q);
-            }
-            Choice::Split(q1) => {
-                self.build(tree, attach, p, q1);
-                self.build(tree, attach, p, q & !q1);
-            }
-        }
-    }
-}
-
-/// Compute the optimal TTM-tree for `meta`.
-pub fn optimal_tree(meta: &TuckerMeta) -> OptimalTree {
-    let mut dp = Dp::new(meta);
-    let full = dp.full;
-    let flops = dp.solve(0, full);
-    let mut tree = TtmTree::new(meta.order());
-    let root = tree.root();
-    dp.build(&mut tree, root, 0, full);
-    debug_assert!(tree.validate().is_ok(), "DP produced an invalid tree");
-    OptimalTree { tree, flops }
-}
-
-/// Optimal cost only (skips tree reconstruction).
-pub fn optimal_flops(meta: &TuckerMeta) -> f64 {
-    let mut dp = Dp::new(meta);
-    let full = dp.full;
-    dp.solve(0, full)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::cost::tree_flops;
-    use crate::tree::{balanced_tree, chain_tree, ModeOrdering};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    #[test]
-    fn reconstructed_tree_cost_matches_dp_value() {
-        let metas = [
-            TuckerMeta::new([20, 50, 100], [4, 25, 10]),
-            TuckerMeta::new([40, 40, 40, 40], [4, 8, 16, 2]),
-            TuckerMeta::new([20, 50, 100, 400, 20], [16, 10, 20, 40, 2]),
-        ];
-        for meta in metas {
-            let opt = optimal_tree(&meta);
-            assert!(opt.tree.validate().is_ok());
-            let recomputed = tree_flops(&opt.tree, &meta);
-            assert!(
-                (opt.flops - recomputed).abs() < opt.flops * 1e-12,
-                "{meta}: DP {} vs tree {recomputed}",
-                opt.flops
-            );
-        }
-    }
-
-    #[test]
-    fn never_worse_than_heuristics_random_meta() {
-        let mut rng = StdRng::seed_from_u64(42);
-        for _ in 0..60 {
-            let n = rng.gen_range(2..=6);
-            let ls: Vec<usize> = (0..n)
-                .map(|_| [20, 50, 100, 400][rng.gen_range(0..4)])
-                .collect();
-            let ks: Vec<usize> = ls
-                .iter()
-                .map(|&l| {
-                    let h = [1.25, 2.0, 5.0, 10.0][rng.gen_range(0..4)];
-                    ((l as f64 / h) as usize).max(1)
-                })
-                .collect();
-            let meta = TuckerMeta::new(ls, ks);
-            let opt = optimal_flops(&meta);
-            for ordering in [
-                ModeOrdering::Natural,
-                ModeOrdering::ByCostFactor,
-                ModeOrdering::ByCompression,
-            ] {
-                let perm = ordering.permutation(&meta);
-                let chain = tree_flops(&chain_tree(&meta, &perm), &meta);
-                let bal = tree_flops(&balanced_tree(&meta, &perm), &meta);
-                assert!(
-                    opt <= chain * (1.0 + 1e-12),
-                    "{meta}: opt {opt} > chain {chain}"
-                );
-                assert!(
-                    opt <= bal * (1.0 + 1e-12),
-                    "{meta}: opt {opt} > balanced {bal}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn two_modes_exact() {
-        // N=2: the only trees are the two chains; each chain tree does both
-        // leaves. Cost of tree with independent chains: K1|T| (for leaf 0's
-        // chain multiplying mode 1) + K0|T| (for leaf 1's chain). No reuse
-        // possible (R empty at root after split). The DP must return
-        // (K0 + K1)|T|.
-        let meta = TuckerMeta::new([10, 20], [3, 7]);
-        let opt = optimal_flops(&meta);
-        let expect = (3.0 + 7.0) * 200.0;
-        assert!((opt - expect).abs() < 1e-9, "got {opt}, want {expect}");
-    }
-
-    #[test]
-    fn uniform_modes_prefer_reuse() {
-        // With many uniform strongly-compressing modes the optimal tree must
-        // use many fewer TTMs than the naive chain scheme.
-        let meta = TuckerMeta::new(vec![100; 6], vec![5; 6]);
-        let opt = optimal_tree(&meta);
-        let chain = chain_tree(&meta, &(0..6).collect::<Vec<_>>());
-        assert!(opt.tree.num_ttms() < chain.num_ttms());
-        assert!(opt.flops < tree_flops(&chain, &meta));
-    }
-
-    #[test]
-    fn paper_remark_sometimes_skips_reuse() {
-        // §3.3 Remarks: the optimal tree may *not* reuse an available mode,
-        // postponing an expensive mode until the tensor has shrunk. Verify
-        // the DP is not a greedy always-reuse strategy: build metadata with
-        // one very expensive, barely-compressing mode and check that some
-        // state on the optimal tree splits while reuse was available.
-        let meta = TuckerMeta::new([400, 20, 20, 400], [399, 2, 2, 40]);
-        let opt = optimal_tree(&meta);
-        // Greedy always-reuse from the root would multiply some mode at the
-        // root level once; compare against a manually built "reuse mode 0
-        // first" tree: cost must be no better than the DP's.
-        let mut greedy = TtmTree::new(4);
-        let root = greedy.root();
-        // Reuse mode 0 at the top (shared by leaves 1,2,3), then chains.
-        let top = greedy.add_child(root, NodeLabel::Ttm(0));
-        for leaf in 1..4 {
-            let mut cur = top;
-            for m in 1..4 {
-                if m != leaf {
-                    cur = greedy.add_child(cur, NodeLabel::Ttm(m));
-                }
-            }
-            greedy.add_child(cur, NodeLabel::Leaf(leaf));
-        }
-        {
-            let mut cur = root;
-            for m in 1..4 {
-                cur = greedy.add_child(cur, NodeLabel::Ttm(m));
-            }
-            greedy.add_child(cur, NodeLabel::Leaf(0));
-        }
-        assert!(greedy.validate().is_ok());
-        assert!(opt.flops <= tree_flops(&greedy, &meta));
-        // And the optimal must strictly beat it here: premultiplying the
-        // K=399 mode at full size is a blunder.
-        assert!(
-            opt.flops < tree_flops(&greedy, &meta) * 0.9,
-            "optimal {} vs greedy-reuse {}",
-            opt.flops,
-            tree_flops(&greedy, &meta)
-        );
-    }
-
-    #[test]
-    fn single_mode_plus_one() {
-        // N=1 is degenerate (leaf with empty chain).
-        let meta = TuckerMeta::new([10], [2]);
-        let opt = optimal_tree(&meta);
-        assert_eq!(opt.flops, 0.0);
-        assert_eq!(opt.tree.num_ttms(), 0);
-        assert!(opt.tree.validate().is_ok());
-    }
-
-    #[test]
-    fn optimal_is_binary() {
-        // Lemma 3.1: there is an optimal binary tree; our construction only
-        // emits nodes with <= 2 children.
-        let meta = TuckerMeta::new([50, 100, 20, 400, 50, 20], [10, 20, 4, 40, 25, 2]);
-        let opt = optimal_tree(&meta);
-        for id in 0..opt.tree.len() {
-            assert!(
-                opt.tree.node(id).children.len() <= 2,
-                "node {id} has >2 children"
-            );
-        }
-    }
-}
+pub use crate::plan::tree::{optimal_flops, optimal_tree, OptimalTree};

@@ -1,0 +1,720 @@
+//! Cost models for plans: the §3.1 FLOP model, the classic flops + volume
+//! objective, and the α–β network-priced [`NetCostModel`] whose objective is
+//! the same virtual nanoseconds the engine's
+//! [`TimeSource::Virtual`](crate::engine::TimeSource) clocks accumulate.
+//!
+//! Everything the planner optimizes goes through one [`CostModel`] trait:
+//! per-phase prices (TTM, regrid, leaf Gram, core chain, per-sweep
+//! overhead) that sum to [`sweep_cost`] — the additive functional the joint
+//! DP in [`crate::plan::search`] minimizes and the brute-force oracle in
+//! [`crate::plan::brute_force`] certifies against. Two implementations:
+//!
+//! * [`FlopVolumeModel`] — the paper's closed forms: TTM FLOPs (§3.1) plus
+//!   the communication volume (§4.1/§4.3) weighted by
+//!   [`VOLUME_FLOP_EQUIV`]. Machine-independent; its `sweep_cost` equals
+//!   the historical `Plan::modeled_cost`.
+//! * [`NetCostModel`] — every phase priced through the α–β
+//!   [`NetModel`](tucker_distsim::NetModel) as the modeled communication
+//!   nanoseconds **rank 0 accumulates** (rank 0 owns the largest block
+//!   under every grid and roots every collective, so its per-operation
+//!   charge is the critical path for TTM reduce-scatters, Gram gathers and
+//!   all-reduces). On top of the additive objective it offers
+//!   [`NetCostModel::predict_sweep`]: an exact per-rank replay of one HOOI
+//!   sweep's communication that reproduces the engine's virtual
+//!   communication clock **to the nanosecond** — the prediction the scaling
+//!   suite certifies against execution within 5%.
+//!
+//! Costs are model-specific scalars (FLOP-equivalents vs. nanoseconds);
+//! only comparisons within one model are meaningful.
+
+use crate::meta::TuckerMeta;
+use crate::plan::grid::DynGridScheme;
+use crate::plan::order::core_chain_order;
+use crate::plan::tree::{NodeLabel, TtmTree};
+use std::time::Duration;
+use tucker_distsim::block::{chunk, chunk_cover, split_extents};
+use tucker_distsim::{Grid, NetModel};
+
+/// Per-node cardinalities and costs for a tree under given metadata.
+#[derive(Clone, Debug)]
+pub struct TreeCost {
+    /// `|In(u)|` per node id (`|T|` for the root; for leaves, the parent's
+    /// output cardinality).
+    pub in_card: Vec<f64>,
+    /// `|Out(u)|` per node id (equal to `in_card` for root and leaves).
+    pub out_card: Vec<f64>,
+    /// FLOPs per node id (0 for root and leaves).
+    pub node_flops: Vec<f64>,
+    /// Total FLOPs of the tree.
+    pub total_flops: f64,
+}
+
+/// Evaluate the §3.1 FLOP cost model on `tree`: an internal node `u` with
+/// label `n` costs `K_n · |In(u)|` multiply-adds and shrinks the tensor by
+/// `h_n`.
+///
+/// # Panics
+/// Panics if the tree refers to modes outside `meta`.
+pub fn tree_cost(tree: &TtmTree, meta: &TuckerMeta) -> TreeCost {
+    let len = tree.len();
+    let mut in_card = vec![0.0; len];
+    let mut out_card = vec![0.0; len];
+    let mut node_flops = vec![0.0; len];
+    let mut total = 0.0;
+
+    for id in tree.topological_order() {
+        let node = tree.node(id);
+        let input = match node.parent {
+            None => meta.input_cardinality(),
+            Some(p) => out_card[p],
+        };
+        in_card[id] = input;
+        match node.label {
+            NodeLabel::Root => {
+                out_card[id] = input;
+            }
+            NodeLabel::Ttm(n) => {
+                assert!(n < meta.order(), "mode {n} out of range");
+                let flops = meta.k(n) as f64 * input;
+                node_flops[id] = flops;
+                total += flops;
+                out_card[id] = input * meta.h(n);
+            }
+            NodeLabel::Leaf(_) => {
+                out_card[id] = input;
+            }
+        }
+    }
+
+    TreeCost {
+        in_card,
+        out_card,
+        node_flops,
+        total_flops: total,
+    }
+}
+
+/// Total FLOPs of a tree (convenience wrapper over [`tree_cost`]).
+pub fn tree_flops(tree: &TtmTree, meta: &TuckerMeta) -> f64 {
+    tree_cost(tree, meta).total_flops
+}
+
+/// Cost normalized by `|T|`, as in the paper's Figure 4.
+pub fn tree_flops_normalized(tree: &TtmTree, meta: &TuckerMeta) -> f64 {
+    tree_flops(tree, meta) / meta.input_cardinality()
+}
+
+/// Machine-balance constant of [`FlopVolumeModel`]: how many FLOPs one
+/// communicated element is worth. Derived from the paper's BG/Q target:
+/// moving an 8-byte element at 1.8 GB/s takes ~4.4 ns, in which a node
+/// sustaining a few GFLOP/s retires on the order of 16 multiply-adds. The
+/// exact value only matters for plans that trade load against volume; the
+/// lineup's optimal plan dominates on both, so plan selection is
+/// insensitive to it (verified against brute-force enumeration in tests).
+pub const VOLUME_FLOP_EQUIV: f64 = 16.0;
+
+/// The global tensor shape after multiplying the modes in `premult` (a
+/// bitmask): `L_n` for untouched modes, `K_n` for multiplied ones.
+pub fn premult_shape(meta: &TuckerMeta, premult: u32) -> Vec<usize> {
+    (0..meta.order())
+        .map(|n| {
+            if premult & (1 << n) != 0 {
+                meta.k(n)
+            } else {
+                meta.l(n)
+            }
+        })
+        .collect()
+}
+
+/// The pluggable objective of the planning layer. All prices are per
+/// *operation of one HOOI sweep* and additive: [`sweep_cost`] sums them over
+/// a concrete `(tree, grid scheme)` and is exactly the functional the
+/// [`crate::plan::search`] DP minimizes.
+pub trait CostModel {
+    /// Short label for reports (`"flops+vol"`, `"net"`).
+    fn name(&self) -> &'static str;
+
+    /// Price of the TTM at a node whose input is `T[premult]` (the global
+    /// tensor with the `premult` modes already multiplied), along mode `n`,
+    /// under grid `g`.
+    fn ttm_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64;
+
+    /// Price of regridding `T[premult]` from `from` onto `to`. The classic
+    /// model charges the §4.3 `|In(u)|` regardless of the grids; the α–β
+    /// model charges rank 0's exact share of the all-to-all (the message
+    /// pattern — and therefore the α term — depends heavily on how the two
+    /// grids overlap).
+    fn regrid_cost(&self, meta: &TuckerMeta, premult: u32, from: &Grid, to: &Grid) -> f64;
+
+    /// Price of the leaf for mode `n`: the distributed Gram of `T[premult]`
+    /// (mode-group all-gather + world all-reduce of the `L_n × L_n` Gram)
+    /// under grid `g`.
+    fn leaf_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64;
+
+    /// Price of the engine's core-update chain (all modes, strongest
+    /// compression first — [`core_chain_order`]) under the initial grid.
+    fn chain_cost(&self, meta: &TuckerMeta, g: &Grid) -> f64 {
+        let mut mask = 0u32;
+        let mut total = 0.0;
+        for &n in &core_chain_order(meta) {
+            total += self.ttm_cost(meta, mask, n, g);
+            mask |= 1 << n;
+        }
+        total
+    }
+
+    /// Fixed per-sweep overhead (the scalar norm all-reduce) on `nranks`.
+    fn sweep_overhead(&self, meta: &TuckerMeta, nranks: usize) -> f64 {
+        let _ = (meta, nranks);
+        0.0
+    }
+}
+
+/// The additive model cost of one HOOI sweep executing `tree` under
+/// `scheme`: Σ over internal nodes of (regrid? + TTM) + Σ over leaves of the
+/// Gram price + the core-update chain under the initial grid + the per-sweep
+/// overhead. The joint DP minimizes exactly this; the brute-force oracle
+/// scores candidates with exactly this.
+///
+/// # Panics
+/// Panics if the scheme's vectors do not match the tree.
+pub fn sweep_cost(
+    model: &dyn CostModel,
+    meta: &TuckerMeta,
+    tree: &TtmTree,
+    scheme: &DynGridScheme,
+) -> f64 {
+    assert_eq!(scheme.node_grids.len(), tree.len());
+    assert_eq!(scheme.regrid.len(), tree.len());
+    let mut mask = vec![0u32; tree.len()];
+    let mut total = 0.0;
+    for id in tree.topological_order() {
+        let node = tree.node(id);
+        let in_mask = node.parent.map_or(0, |p| mask[p]);
+        match node.label {
+            NodeLabel::Root => {}
+            NodeLabel::Ttm(n) => {
+                mask[id] = in_mask | (1 << n);
+                if scheme.regrid[id] {
+                    let parent = node.parent.expect("internal node has a parent");
+                    total += model.regrid_cost(
+                        meta,
+                        in_mask,
+                        &scheme.node_grids[parent],
+                        &scheme.node_grids[id],
+                    );
+                }
+                total += model.ttm_cost(meta, in_mask, n, &scheme.node_grids[id]);
+            }
+            NodeLabel::Leaf(n) => {
+                mask[id] = in_mask;
+                total += model.leaf_cost(meta, in_mask, n, &scheme.node_grids[id]);
+            }
+        }
+    }
+    total += model.chain_cost(meta, &scheme.initial);
+    total + model.sweep_overhead(meta, scheme.initial.nranks())
+}
+
+/// The classic closed-form objective: §3.1 TTM FLOPs plus the §4.1/§4.3
+/// communication volume weighted by [`VOLUME_FLOP_EQUIV`]. Its
+/// [`sweep_cost`] equals the historical `Plan::modeled_cost` (the leaf Gram,
+/// core chain and norm all-reduce are identical across plans of the §4
+/// model and are not priced). Machine-independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlopVolumeModel;
+
+impl CostModel for FlopVolumeModel {
+    fn name(&self) -> &'static str {
+        "flops+vol"
+    }
+
+    fn ttm_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64 {
+        let card = meta.premultiplied_cardinality(premult);
+        meta.k(n) as f64 * card + VOLUME_FLOP_EQUIV * (g.dim(n) as f64 - 1.0) * card * meta.h(n)
+    }
+
+    fn regrid_cost(&self, meta: &TuckerMeta, premult: u32, _from: &Grid, _to: &Grid) -> f64 {
+        VOLUME_FLOP_EQUIV * meta.premultiplied_cardinality(premult)
+    }
+
+    fn leaf_cost(&self, _meta: &TuckerMeta, _premult: u32, _n: usize, _g: &Grid) -> f64 {
+        0.0
+    }
+
+    /// The §4 objective scores the tree only; the core chain is common
+    /// bookkeeping outside it (kept for continuity with the paper's
+    /// figures).
+    fn chain_cost(&self, _meta: &TuckerMeta, _g: &Grid) -> f64 {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------- α–β cost model
+
+/// Exact per-rank communication prediction of one HOOI sweep (see
+/// [`NetCostModel::predict_sweep`]). Every field mirrors the engine's
+/// aggregation: the maximum over ranks of that rank's accumulated modeled
+/// nanoseconds in the sweep window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepPrediction {
+    /// TTM reduce-scatter time (max over ranks).
+    pub ttm_comm: Duration,
+    /// Regrid all-to-all time (max over ranks).
+    pub regrid_comm: Duration,
+    /// Gram gather + all-reduce time (max over ranks).
+    pub gram_comm: Duration,
+    /// Scalar norm all-reduce time (max over ranks).
+    pub other_comm: Duration,
+    /// Total modeled communication of the sweep — the maximum over ranks of
+    /// the per-rank sum across all categories. This is exactly what the
+    /// engine's `SweepStats::comm_wall` reports under
+    /// [`TimeSource::Virtual`](crate::engine::TimeSource).
+    pub comm_wall: Duration,
+}
+
+/// The α–β network cost model: plans are priced in modeled communication
+/// nanoseconds. See the module docs for the rank-0 argument; the prices
+/// mirror the message patterns of `tucker_distsim::{dist_ttm, dist_gram,
+/// redistribute, collectives}` exactly (chunk sizes included).
+#[derive(Clone, Copy, Debug)]
+pub struct NetCostModel {
+    net: NetModel,
+    nranks: usize,
+}
+
+/// Accumulator indices of [`NetCostModel::predict_sweep`].
+const TTM: usize = 0;
+const REGRID: usize = 1;
+const GRAM: usize = 2;
+const OTHER: usize = 3;
+
+impl NetCostModel {
+    /// Price plans for `nranks` ranks under `net`.
+    pub fn new(net: NetModel, nranks: usize) -> Self {
+        assert!(nranks >= 1, "need at least one rank");
+        NetCostModel { net, nranks }
+    }
+
+    /// The α–β model in use.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// The rank count this model prices for.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The reduce-scatter charge of one distributed TTM as accumulated by
+    /// the rank at `coord` (both endpoints pay α + β·bytes per message):
+    /// sends every peer's chunk of its partial, receives `q − 1` copies of
+    /// its own chunk.
+    fn ttm_rank_ns(&self, shape: &[usize], n: usize, k: usize, g: &Grid, coord: &[usize]) -> u64 {
+        let q = g.dim(n);
+        if q <= 1 {
+            return 0;
+        }
+        let prod_other: usize = (0..shape.len())
+            .filter(|&m| m != n)
+            .map(|m| chunk(shape[m], g.dim(m), coord[m]).1)
+            .product();
+        let kchunks = split_extents(k, q);
+        let j = coord[n];
+        let mut ns = 0u64;
+        for (i, &(_, klen)) in kchunks.iter().enumerate() {
+            if i != j {
+                ns += self.net.msg_elems_ns(prod_other * klen);
+            }
+        }
+        ns + (q as u64 - 1) * self.net.msg_elems_ns(prod_other * kchunks[j].1)
+    }
+
+    /// The mode-group all-gather charge of one distributed Gram as
+    /// accumulated by the rank at `coord`: sends its block `q − 1` times,
+    /// receives every peer's block.
+    fn gram_gather_rank_ns(&self, shape: &[usize], n: usize, g: &Grid, coord: &[usize]) -> u64 {
+        let q = g.dim(n);
+        if q <= 1 {
+            return 0;
+        }
+        let prod_other: usize = (0..shape.len())
+            .filter(|&m| m != n)
+            .map(|m| chunk(shape[m], g.dim(m), coord[m]).1)
+            .product();
+        let my_len = chunk(shape[n], q, coord[n]).1;
+        let mut ns = (q as u64 - 1) * self.net.msg_elems_ns(prod_other * my_len);
+        for i in 0..q {
+            if i != coord[n] {
+                ns += self.net.msg_elems_ns(prod_other * chunk(shape[n], q, i).1);
+            }
+        }
+        ns
+    }
+
+    /// The all-to-all charge of one regrid (`from → to`) as accumulated by
+    /// `rank`: one message per overlapping destination block of its old
+    /// block, one per overlapping source block of its new block
+    /// (self-overlaps are free, exactly like the transport).
+    fn regrid_rank_ns(&self, shape: &[usize], from: &Grid, to: &Grid, rank: usize) -> u64 {
+        let mut ns = 0u64;
+        ns += self.regrid_direction_ns(shape, from, to, rank, rank);
+        ns += self.regrid_direction_ns(shape, to, from, rank, rank);
+        ns
+    }
+
+    /// Messages from `rank`'s block under `mine` to the overlapping blocks
+    /// under `theirs` (counting the charge at `charged_rank`'s endpoint; the
+    /// overlap volumes are symmetric, so the send and receive phases are the
+    /// same enumeration with the grids swapped).
+    fn regrid_direction_ns(
+        &self,
+        shape: &[usize],
+        mine: &Grid,
+        theirs: &Grid,
+        rank: usize,
+        charged_rank: usize,
+    ) -> u64 {
+        let order = shape.len();
+        let my_coord = mine.coord(rank);
+        let my_region: Vec<(usize, usize)> = (0..order)
+            .map(|m| chunk(shape[m], mine.dim(m), my_coord[m]))
+            .collect();
+        let ranges: Vec<(usize, usize)> = (0..order)
+            .map(|m| chunk_cover(shape[m], theirs.dim(m), my_region[m].0, my_region[m].1))
+            .collect();
+        let mut coord: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        let count: usize = ranges.iter().map(|&(lo, hi)| hi - lo).product();
+        let mut ns = 0u64;
+        for _ in 0..count {
+            let peer = theirs.rank(&coord);
+            if peer != charged_rank {
+                let overlap: usize = (0..order)
+                    .map(|m| {
+                        let (ms, ml) = my_region[m];
+                        let (ts, tl) = chunk(shape[m], theirs.dim(m), coord[m]);
+                        (ms + ml).min(ts + tl) - ms.max(ts)
+                    })
+                    .product();
+                ns += self.net.msg_elems_ns(overlap);
+            }
+            for m in 0..order {
+                coord[m] += 1;
+                if coord[m] < ranges[m].1 {
+                    break;
+                }
+                coord[m] = ranges[m].0;
+            }
+        }
+        ns
+    }
+
+    /// Exact replay of one HOOI sweep's communication under this model:
+    /// accumulate every rank's modeled charge for every tree-node TTM,
+    /// regrid, leaf Gram (gather + world all-reduce), the core-update chain
+    /// and the scalar norm all-reduce — then take the engine's maxima. The
+    /// result matches the virtual clocks the engine accumulates for the
+    /// same plan bit-for-bit (certified within 5% by the scaling suite, see
+    /// DESIGN.md §6).
+    ///
+    /// # Panics
+    /// Panics if the scheme does not match the tree or the initial grid's
+    /// rank count differs from this model's.
+    pub fn predict_sweep(
+        &self,
+        meta: &TuckerMeta,
+        tree: &TtmTree,
+        scheme: &DynGridScheme,
+    ) -> SweepPrediction {
+        let p = self.nranks;
+        assert_eq!(
+            scheme.initial.nranks(),
+            p,
+            "scheme is for {} ranks, model prices {p}",
+            scheme.initial.nranks()
+        );
+        assert_eq!(scheme.node_grids.len(), tree.len());
+        let mut acc = vec![[0u64; 4]; p];
+
+        // Tree walk: regrids, TTMs, leaf Grams.
+        let mut mask = vec![0u32; tree.len()];
+        for id in tree.topological_order() {
+            let node = tree.node(id);
+            let in_mask = node.parent.map_or(0, |pid| mask[pid]);
+            match node.label {
+                NodeLabel::Root => {}
+                NodeLabel::Ttm(n) => {
+                    mask[id] = in_mask | (1 << n);
+                    let shape = premult_shape(meta, in_mask);
+                    if scheme.regrid[id] {
+                        let from = &scheme.node_grids[node.parent.expect("non-root")];
+                        let to = &scheme.node_grids[id];
+                        for (r, a) in acc.iter_mut().enumerate() {
+                            a[REGRID] += self.regrid_rank_ns(&shape, from, to, r);
+                        }
+                    }
+                    let g = &scheme.node_grids[id];
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, &g.coord(r));
+                    }
+                }
+                NodeLabel::Leaf(n) => {
+                    mask[id] = in_mask;
+                    let shape = premult_shape(meta, in_mask);
+                    let g = &scheme.node_grids[id];
+                    let len = shape[n] * shape[n];
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        a[GRAM] += self.gram_gather_rank_ns(&shape, n, g, &g.coord(r))
+                            + self.net.allreduce_rank_ns(p, r, len);
+                    }
+                }
+            }
+        }
+
+        // Core-update chain under the initial grid (no regrids).
+        let mut chain_mask = 0u32;
+        for &n in &core_chain_order(meta) {
+            let shape = premult_shape(meta, chain_mask);
+            let g = &scheme.initial;
+            for (r, a) in acc.iter_mut().enumerate() {
+                a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, &g.coord(r));
+            }
+            chain_mask |= 1 << n;
+        }
+
+        // Scalar norm all-reduce (VolumeCategory::Other).
+        for (r, a) in acc.iter_mut().enumerate() {
+            a[OTHER] += self.net.allreduce_rank_ns(p, r, 1);
+        }
+
+        let max_of =
+            |cat: usize| Duration::from_nanos(acc.iter().map(|a| a[cat]).max().unwrap_or(0));
+        SweepPrediction {
+            ttm_comm: max_of(TTM),
+            regrid_comm: max_of(REGRID),
+            gram_comm: max_of(GRAM),
+            other_comm: max_of(OTHER),
+            comm_wall: Duration::from_nanos(
+                acc.iter().map(|a| a.iter().sum::<u64>()).max().unwrap_or(0),
+            ),
+        }
+    }
+}
+
+impl CostModel for NetCostModel {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    /// Rank 0's reduce-scatter charge: rank 0 holds the largest block of
+    /// every mode (chunks are front-loaded) and the largest output chunk,
+    /// so its charge is the per-operation critical path.
+    fn ttm_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64 {
+        let shape = premult_shape(meta, premult);
+        let zero = vec![0usize; meta.order()];
+        self.ttm_rank_ns(&shape, n, meta.k(n), g, &zero) as f64
+    }
+
+    /// Rank 0's exact all-to-all charge for `from → to` (message pattern
+    /// and payloads from the real chunk geometry). At paper-scale α
+    /// dominates regrids, and the message count — the number of
+    /// overlapping blocks — depends on *both* grids, which is why this
+    /// price is source-aware (the search memoizes it per
+    /// `(premult, from, to)`).
+    fn regrid_cost(&self, meta: &TuckerMeta, premult: u32, from: &Grid, to: &Grid) -> f64 {
+        let shape = premult_shape(meta, premult);
+        self.regrid_rank_ns(&shape, from, to, 0) as f64
+    }
+
+    /// Rank 0's Gram charge: mode-group all-gather plus its (root) share of
+    /// the world all-reduce of the `L_n × L_n` Gram.
+    fn leaf_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64 {
+        let shape = premult_shape(meta, premult);
+        let zero = vec![0usize; meta.order()];
+        let gather = self.gram_gather_rank_ns(&shape, n, g, &zero);
+        let reduce = self
+            .net
+            .allreduce_rank_ns(self.nranks, 0, shape[n] * shape[n]);
+        (gather + reduce) as f64
+    }
+
+    fn sweep_overhead(&self, _meta: &TuckerMeta, nranks: usize) -> f64 {
+        self.net.allreduce_rank_ns(nranks, 0, 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::grid::{optimal_dynamic_grids, DynGridObjective};
+    use crate::plan::tree::{balanced_tree, chain_tree, optimal_tree};
+
+    #[test]
+    fn chain_cost_closed_form() {
+        // For a chain computing leaf n with ordering m1, m2, ..., the cost is
+        // |T| * (K_{m1} + K_{m2} h_{m1} + K_{m3} h_{m1} h_{m2} + ...).
+        let meta = TuckerMeta::new([10, 20, 30], [2, 4, 3]);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let t = meta.input_cardinality();
+        let (k, h): (Vec<f64>, Vec<f64>) = (0..3).map(|n| (meta.k(n) as f64, meta.h(n))).unzip();
+        // Chain for leaf 0: modes 1,2 ; leaf 1: modes 0,2 ; leaf 2: modes 0,1.
+        let expect = t * ((k[1] + k[2] * h[1]) + (k[0] + k[2] * h[0]) + (k[0] + k[1] * h[0]));
+        let got = tree_flops(&tree, &meta);
+        assert!(
+            (got - expect).abs() < expect * 1e-12,
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn cardinalities_track_compression() {
+        let meta = TuckerMeta::new([10, 10], [5, 2]);
+        let tree = chain_tree(&meta, &[0, 1]);
+        let cost = tree_cost(&tree, &meta);
+        // Root out = 100; chain head for leaf 0 multiplies mode 1 (h=0.2).
+        let c1 = tree.node(tree.root()).children[0];
+        assert_eq!(cost.in_card[c1], 100.0);
+        assert_eq!(cost.out_card[c1], 20.0);
+        assert_eq!(cost.node_flops[c1], 2.0 * 100.0);
+    }
+
+    #[test]
+    fn balanced_at_most_chain_for_uniform() {
+        // With uniform strong compression, reuse (balanced) must win.
+        let meta = TuckerMeta::new(vec![50; 6], vec![5; 6]);
+        let perm: Vec<usize> = (0..6).collect();
+        let chain = chain_tree(&meta, &perm);
+        let bal = balanced_tree(&meta, &perm);
+        assert!(tree_flops(&bal, &meta) < tree_flops(&chain, &meta));
+    }
+
+    #[test]
+    fn ordering_changes_chain_cost() {
+        // With N = 3 each chain has two TTMs whose order matters: putting
+        // the strongly-compressing mode first shrinks the second TTM.
+        // (For N = 2 every chain is a single TTM and ordering is moot.)
+        let meta = TuckerMeta::new([100, 100, 100], [1, 99, 50]);
+        let cheap_first = chain_tree(&meta, &[0, 1, 2]);
+        let costly_first = chain_tree(&meta, &[1, 2, 0]);
+        let c1 = tree_flops(&cheap_first, &meta);
+        let c2 = tree_flops(&costly_first, &meta);
+        assert!(
+            c1 < c2,
+            "compressing mode 0 first must be cheaper: {c1} vs {c2}"
+        );
+    }
+
+    #[test]
+    fn normalized_cost_matches() {
+        let meta = TuckerMeta::new([10, 10, 10], [2, 2, 2]);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let norm = tree_flops_normalized(&tree, &meta);
+        assert!((norm * 1000.0 - tree_flops(&tree, &meta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_and_root_cost_zero() {
+        let meta = TuckerMeta::new([6, 6], [2, 2]);
+        let tree = chain_tree(&meta, &[0, 1]);
+        let cost = tree_cost(&tree, &meta);
+        assert_eq!(cost.node_flops[tree.root()], 0.0);
+        for l in tree.leaves() {
+            assert_eq!(cost.node_flops[l], 0.0);
+        }
+    }
+
+    #[test]
+    fn flop_volume_sweep_cost_matches_closed_forms() {
+        // sweep_cost under the classic model == tree flops + 16 * scheme
+        // volume (the historical modeled_cost).
+        let meta = TuckerMeta::new([40, 100, 20, 50], [8, 20, 4, 10]);
+        let tree = optimal_tree(&meta).tree;
+        let scheme = optimal_dynamic_grids(&tree, &meta, 16, DynGridObjective::Exact);
+        let expect = tree_flops(&tree, &meta) + VOLUME_FLOP_EQUIV * scheme.volume;
+        let got = sweep_cost(&FlopVolumeModel, &meta, &tree, &scheme);
+        assert!(
+            (got - expect).abs() <= expect * 1e-12,
+            "sweep_cost {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn premult_shape_tracks_mask() {
+        let meta = TuckerMeta::new([10, 20, 30], [2, 4, 3]);
+        assert_eq!(premult_shape(&meta, 0), vec![10, 20, 30]);
+        assert_eq!(premult_shape(&meta, 0b101), vec![2, 20, 3]);
+        assert_eq!(premult_shape(&meta, 0b111), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn net_ttm_cost_matches_reduce_scatter_closed_form_even_split() {
+        // One split mode, everything even: rank 0's charge equals the
+        // critical path 2(q−1)·msg(chunk) of the balanced reduce-scatter.
+        let meta = TuckerMeta::new([16, 8], [8, 8]);
+        let g = Grid::new([4, 1]);
+        let model = NetCostModel::new(NetModel::bgq(), 4);
+        let got = model.ttm_cost(&meta, 0, 0, &g);
+        // partial: 8 local rows of mode 1, K=8 split in chunks of 2:
+        // each message is 2*8 = 16 elements.
+        let expect = model.net().reduce_scatter_ns(&[16, 16, 16, 16]) as f64;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn net_costs_are_zero_on_one_rank() {
+        let meta = TuckerMeta::new([8, 8], [4, 4]);
+        let g = Grid::trivial(2);
+        let model = NetCostModel::new(NetModel::bgq(), 1);
+        assert_eq!(model.ttm_cost(&meta, 0, 0, &g), 0.0);
+        assert_eq!(model.leaf_cost(&meta, 0b10, 0, &g), 0.0);
+        assert_eq!(model.sweep_overhead(&meta, 1), 0.0);
+        let tree = chain_tree(&meta, &[0, 1]);
+        let scheme = DynGridScheme::static_scheme(&tree, &meta, g);
+        let pred = model.predict_sweep(&meta, &tree, &scheme);
+        assert_eq!(pred.comm_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn predict_sweep_rank0_dominates_categories() {
+        // Rank 0 is the critical path for TTM and Gram; the per-category
+        // maxima must be at least the rank-0 additive prices.
+        let meta = TuckerMeta::new([12, 10, 8], [4, 4, 4]);
+        let tree = chain_tree(&meta, &[0, 1, 2]);
+        let model = NetCostModel::new(NetModel::bgq(), 8);
+        let g = Grid::new([2, 2, 2]);
+        let scheme = DynGridScheme::static_scheme(&tree, &meta, g.clone());
+        let pred = model.predict_sweep(&meta, &tree, &scheme);
+        assert!(pred.ttm_comm > Duration::ZERO);
+        assert!(pred.gram_comm > Duration::ZERO);
+        assert_eq!(pred.regrid_comm, Duration::ZERO);
+        // comm_wall covers every category but never exceeds their sum.
+        let sum = pred.ttm_comm + pred.regrid_comm + pred.gram_comm + pred.other_comm;
+        assert!(pred.comm_wall <= sum);
+        assert!(pred.comm_wall >= pred.ttm_comm.max(pred.gram_comm));
+        // The additive rank-0 objective is bounded by the per-rank maxima
+        // replay (same charges, rank 0's row).
+        let additive = sweep_cost(&model, &meta, &tree, &scheme);
+        assert!(additive <= sum.as_nanos() as f64 + 1.0);
+    }
+
+    #[test]
+    fn net_regrid_cost_tracks_block_size_and_grid_overlap() {
+        let meta = TuckerMeta::new([64, 64], [8, 8]);
+        let model = NetCostModel::new(NetModel::bgq(), 8);
+        let from = Grid::new([1, 8]);
+        let to = Grid::new([8, 1]);
+        let full = model.regrid_cost(&meta, 0, &from, &to);
+        let shrunk = model.regrid_cost(&meta, 0b01, &from, &to);
+        assert!(full > shrunk, "bigger inputs must cost more to regrid");
+        assert!(shrunk > 0.0);
+        // Regridding onto the same grid moves nothing.
+        assert_eq!(model.regrid_cost(&meta, 0, &to, &to), 0.0);
+        // An orthogonal regrid costs more than a near-aligned one: going
+        // <8,1> -> <4,2> keeps most elements in place for rank 0, while
+        // <8,1> -> <1,8> scatters its whole block.
+        let near = model.regrid_cost(&meta, 0, &to, &Grid::new([4, 2]));
+        let orth = model.regrid_cost(&meta, 0, &to, &from);
+        assert!(orth > near, "orthogonal {orth} should beat aligned {near}");
+    }
+}

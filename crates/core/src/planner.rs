@@ -1,392 +1,7 @@
-//! The planner module (paper §5).
-//!
-//! The planner consumes only metadata — input and core dimension lengths plus
-//! the processor count — and produces an executable [`Plan`]: a TTM-tree and
-//! a grid assignment for every node, along with the model-predicted FLOP load
-//! and communication volume. It runs once; the engine then reuses the plan
-//! across HOOI invocations.
+//! Re-export shim — the planner lives in [`crate::plan`] (the planning
+//! layer, DESIGN.md §6). Import from there in new code.
 
-use crate::cost::tree_flops;
-use crate::dyn_grid::{optimal_dynamic_grids, DynGridObjective, DynGridScheme};
-use crate::meta::TuckerMeta;
-use crate::opt_tree::optimal_tree;
-use crate::tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};
-use crate::volume::optimal_static_grid;
-use tucker_distsim::Grid;
-
-/// Which TTM-tree to build.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum TreeStrategy {
-    /// Naive chain tree with a mode ordering (§3.2). `Chain(ByCostFactor)`
-    /// and `Chain(ByCompression)` are the paper's "(chain, K)" and
-    /// "(chain, h)" heuristics.
-    Chain(ModeOrdering),
-    /// The Kaya–Uçar balanced tree (§3.2); ordering has little effect, the
-    /// natural one is used.
-    Balanced,
-    /// The "always reuse when available" greedy of the §3.3 Remarks
-    /// (ablation baseline; the DP can strictly beat it).
-    GreedyReuse,
-    /// The optimal tree from the §3.3 dynamic program.
-    Optimal,
-}
-
-impl TreeStrategy {
-    /// The paper's "(chain, K)" heuristic.
-    pub fn chain_k() -> Self {
-        TreeStrategy::Chain(ModeOrdering::ByCostFactor)
-    }
-
-    /// The paper's "(chain, h)" heuristic.
-    pub fn chain_h() -> Self {
-        TreeStrategy::Chain(ModeOrdering::ByCompression)
-    }
-
-    /// Short label used in experiment output (matches the paper's legends).
-    pub fn label(&self) -> &'static str {
-        match self {
-            TreeStrategy::Chain(ModeOrdering::Natural) => "chain",
-            TreeStrategy::Chain(ModeOrdering::ByCostFactor) => "chain-K",
-            TreeStrategy::Chain(ModeOrdering::ByCompression) => "chain-h",
-            TreeStrategy::Balanced => "balanced",
-            TreeStrategy::GreedyReuse => "greedy-reuse",
-            TreeStrategy::Optimal => "opt-tree",
-        }
-    }
-}
-
-/// How to assign grids to tree nodes.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum GridStrategy {
-    /// One grid for the whole tree, chosen by exhaustive search (§4.2).
-    StaticOptimal,
-    /// One fixed grid for the whole tree (no search).
-    StaticFixed(Grid),
-    /// The optimal dynamic scheme from the §4.4 DP.
-    Dynamic,
-    /// Dynamic with the paper-literal regrid-target objective (ablation).
-    DynamicChildrenOnly,
-}
-
-impl GridStrategy {
-    /// Short label used in experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            GridStrategy::StaticOptimal => "static",
-            GridStrategy::StaticFixed(_) => "static-fixed",
-            GridStrategy::Dynamic => "dynamic",
-            GridStrategy::DynamicChildrenOnly => "dynamic-lit",
-        }
-    }
-}
-
-/// An executable plan: tree + grids + model predictions.
-#[derive(Clone, Debug)]
-pub struct Plan {
-    /// Problem metadata the plan was built for.
-    pub meta: TuckerMeta,
-    /// Number of ranks.
-    pub nranks: usize,
-    /// The TTM-tree.
-    pub tree: TtmTree,
-    /// Grid per node (+ regrid flags + initial grid).
-    pub grids: DynGridScheme,
-    /// Model FLOP count of the TTM component (one HOOI invocation).
-    pub flops: f64,
-    /// Model communication volume in elements (one HOOI invocation).
-    pub volume: f64,
-    /// Strategy labels, e.g. `("opt-tree", "dynamic")`.
-    pub labels: (&'static str, &'static str),
-}
-
-impl Plan {
-    /// `"(tree, grid)"` label like the paper's legends.
-    pub fn name(&self) -> String {
-        format!("({}, {})", self.labels.0, self.labels.1)
-    }
-
-    /// §4.1 closed-form prediction of the tree's reduce-scatter traffic in
-    /// elements: `Σ_u (q_n(u) − 1)·|Out(u)|` under each node's grid. The
-    /// engine's ledger matches this **exactly** (uneven chunks included —
-    /// the chunks partition `K_n`, so the per-group sums telescope).
-    pub fn modeled_tree_ttm_elements(&self) -> f64 {
-        let cost = crate::cost::tree_cost(&self.tree, &self.meta);
-        let mut vol = 0.0;
-        for id in self.tree.internal_nodes() {
-            let crate::tree::NodeLabel::Ttm(n) = self.tree.node(id).label else {
-                unreachable!()
-            };
-            vol += (self.grids.node_grids[id].dim(n) as f64 - 1.0) * cost.out_card[id];
-        }
-        vol
-    }
-
-    /// §4.3 model of the regrid traffic in elements: `Σ |In(u)|` over the
-    /// regridded nodes. This is an upper bound on the ledger (elements whose
-    /// owner does not change are not transmitted).
-    pub fn modeled_regrid_elements(&self) -> f64 {
-        let cost = crate::cost::tree_cost(&self.tree, &self.meta);
-        self.tree
-            .internal_nodes()
-            .into_iter()
-            .filter(|&id| self.grids.regrid[id])
-            .map(|id| cost.in_card[id])
-            .sum()
-    }
-
-    /// §4.1 prediction for the engine's core-update chain (all modes,
-    /// strongest compression first, under the initial grid — mirroring
-    /// `hooi_sweep` exactly), in elements.
-    pub fn modeled_core_chain_elements(&self) -> f64 {
-        let meta = &self.meta;
-        let mut order: Vec<usize> = (0..meta.order()).collect();
-        order.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap());
-        let g = &self.grids.initial;
-        let mut card = meta.input_cardinality();
-        let mut vol = 0.0;
-        for &n in &order {
-            card *= meta.h(n);
-            vol += (g.dim(n) as f64 - 1.0) * card;
-        }
-        vol
-    }
-
-    /// Total `TtmReduceScatter` ledger prediction for one engine sweep:
-    /// tree reduce-scatters plus the core-update chain. The engine's
-    /// measured per-sweep `ttm_volume` equals this exactly.
-    pub fn modeled_sweep_ttm_elements(&self) -> f64 {
-        self.modeled_tree_ttm_elements() + self.modeled_core_chain_elements()
-    }
-
-    /// Scalar modeled cost of one HOOI invocation under this plan, in
-    /// FLOP-equivalents: the TTM FLOP load plus the communication volume
-    /// weighted by [`VOLUME_FLOP_EQUIV`]. This is the quantity
-    /// [`Planner::best_plan`] minimizes.
-    pub fn modeled_cost(&self) -> f64 {
-        self.flops + VOLUME_FLOP_EQUIV * self.volume
-    }
-}
-
-/// Machine-balance constant of [`Plan::modeled_cost`]: how many FLOPs one
-/// communicated element is worth. Derived from the paper's BG/Q target:
-/// moving an 8-byte element at 1.8 GB/s takes ~4.4 ns, in which a node
-/// sustaining a few GFLOP/s retires on the order of 16 multiply-adds. The
-/// exact value only matters for plans that trade load against volume; the
-/// lineup's optimal plan dominates on both, so [`Planner::best_plan`] is
-/// insensitive to it (verified against brute-force enumeration in tests).
-pub const VOLUME_FLOP_EQUIV: f64 = 16.0;
-
-/// Builds plans from metadata (the paper's planner; §5).
-#[derive(Clone, Debug)]
-pub struct Planner {
-    meta: TuckerMeta,
-    nranks: usize,
-}
-
-impl Planner {
-    /// Create a planner for a problem on `nranks` ranks.
-    ///
-    /// # Panics
-    /// Panics if `nranks` is zero or exceeds the core cardinality (then no
-    /// valid grid exists).
-    pub fn new(meta: TuckerMeta, nranks: usize) -> Self {
-        assert!(nranks >= 1, "need at least one rank");
-        assert!(
-            (nranks as f64) <= meta.core_cardinality(),
-            "P = {nranks} exceeds core cardinality; no valid grid exists"
-        );
-        Planner { meta, nranks }
-    }
-
-    /// The metadata this planner serves.
-    pub fn meta(&self) -> &TuckerMeta {
-        &self.meta
-    }
-
-    /// The rank count.
-    pub fn nranks(&self) -> usize {
-        self.nranks
-    }
-
-    /// Build the tree for a strategy.
-    pub fn build_tree(&self, strategy: TreeStrategy) -> TtmTree {
-        match strategy {
-            TreeStrategy::Chain(ordering) => {
-                chain_tree(&self.meta, &ordering.permutation(&self.meta))
-            }
-            TreeStrategy::Balanced => {
-                balanced_tree(&self.meta, &(0..self.meta.order()).collect::<Vec<_>>())
-            }
-            TreeStrategy::GreedyReuse => crate::brute_force::greedy_reuse_tree(&self.meta),
-            TreeStrategy::Optimal => optimal_tree(&self.meta).tree,
-        }
-    }
-
-    /// Produce a full plan.
-    pub fn plan(&self, tree_strategy: TreeStrategy, grid_strategy: GridStrategy) -> Plan {
-        let tree = self.build_tree(tree_strategy);
-        let flops = tree_flops(&tree, &self.meta);
-        let grids = match &grid_strategy {
-            GridStrategy::StaticOptimal => {
-                let choice = optimal_static_grid(&tree, &self.meta, self.nranks);
-                DynGridScheme::static_scheme(&tree, &self.meta, choice.grid)
-            }
-            GridStrategy::StaticFixed(g) => {
-                assert_eq!(g.nranks(), self.nranks, "fixed grid has wrong rank count");
-                assert!(
-                    g.is_valid_for(self.meta.core().dims()),
-                    "fixed grid {g} invalid for core {}",
-                    self.meta.core()
-                );
-                DynGridScheme::static_scheme(&tree, &self.meta, g.clone())
-            }
-            GridStrategy::Dynamic => {
-                optimal_dynamic_grids(&tree, &self.meta, self.nranks, DynGridObjective::Exact)
-            }
-            GridStrategy::DynamicChildrenOnly => optimal_dynamic_grids(
-                &tree,
-                &self.meta,
-                self.nranks,
-                DynGridObjective::ChildrenOnly,
-            ),
-        };
-        let volume = grids.volume;
-        Plan {
-            meta: self.meta.clone(),
-            nranks: self.nranks,
-            tree,
-            grids,
-            flops,
-            volume,
-            labels: (tree_strategy.label(), grid_strategy.label()),
-        }
-    }
-
-    /// The four configurations compared throughout the paper's evaluation:
-    /// `(chain, K)`, `(chain, h)`, `(balanced)` — all with optimal static
-    /// grids — and `(opt-tree, dynamic)`.
-    pub fn paper_lineup(&self) -> Vec<Plan> {
-        vec![
-            self.plan(TreeStrategy::chain_k(), GridStrategy::StaticOptimal),
-            self.plan(TreeStrategy::chain_h(), GridStrategy::StaticOptimal),
-            self.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal),
-            self.plan(TreeStrategy::Optimal, GridStrategy::Dynamic),
-        ]
-    }
-
-    /// The minimum-[`Plan::modeled_cost`] plan of [`Planner::paper_lineup`]
-    /// (ties break toward the earlier lineup entry). In practice this is
-    /// `(opt-tree, dynamic)`: the §3.3 DP minimizes FLOPs over **all**
-    /// trees and the §4.4 DP minimizes volume for that tree, so it
-    /// dominates the heuristics on both axes — the tests confirm the
-    /// selected plan matches brute-force enumeration over every tree and
-    /// every dynamic grid assignment on small metadata.
-    pub fn best_plan(&self) -> Plan {
-        self.paper_lineup()
-            .into_iter()
-            .min_by(|a, b| a.modeled_cost().partial_cmp(&b.modeled_cost()).unwrap())
-            .expect("lineup is non-empty")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn planner() -> Planner {
-        Planner::new(TuckerMeta::new([40, 100, 20, 50], [8, 20, 4, 10]), 16)
-    }
-
-    #[test]
-    fn optimal_plan_dominates_lineup_on_flops() {
-        let p = planner();
-        let lineup = p.paper_lineup();
-        let opt = &lineup[3];
-        for other in &lineup[..3] {
-            assert!(opt.flops <= other.flops + 1e-9, "{}", other.name());
-        }
-        // Volume dominance is guaranteed within the same tree.
-        let opt_static = p.plan(TreeStrategy::Optimal, GridStrategy::StaticOptimal);
-        assert!(opt.volume <= opt_static.volume + 1e-9);
-    }
-
-    #[test]
-    fn best_plan_agrees_with_brute_force_enumeration() {
-        // On small metadata the selected plan must be certified by the
-        // independent exhaustive searches: its FLOPs equal the minimum over
-        // EVERY TTM-tree (including non-binary ones), and its volume equals
-        // the brute-force optimum over every dynamic grid assignment of its
-        // tree — and it costs no more than any lineup alternative.
-        let metas = [
-            TuckerMeta::new([20, 50, 100], [4, 25, 10]),
-            TuckerMeta::new([40, 40, 20], [8, 20, 4]),
-            TuckerMeta::new([16, 16, 16], [4, 2, 4]),
-        ];
-        for meta in metas {
-            let p = Planner::new(meta.clone(), 4);
-            let best = p.best_plan();
-            let brute_flops = crate::brute_force::exhaustive_optimal_flops(&meta);
-            assert!(
-                (best.flops - brute_flops).abs() <= brute_flops * 1e-12,
-                "{meta}: best_plan flops {} vs brute {brute_flops}",
-                best.flops
-            );
-            let brute_vol = crate::brute_force::brute_force_dynamic_volume(&best.tree, &meta, 4);
-            assert!(
-                (best.volume - brute_vol).abs() <= brute_vol.max(1.0) * 1e-9,
-                "{meta}: best_plan volume {} vs brute {brute_vol}",
-                best.volume
-            );
-            for other in p.paper_lineup() {
-                assert!(best.modeled_cost() <= other.modeled_cost() + 1e-9);
-            }
-        }
-    }
-
-    #[test]
-    fn labels_match_paper() {
-        let p = planner();
-        let lineup = p.paper_lineup();
-        assert_eq!(lineup[0].name(), "(chain-K, static)");
-        assert_eq!(lineup[1].name(), "(chain-h, static)");
-        assert_eq!(lineup[2].name(), "(balanced, static)");
-        assert_eq!(lineup[3].name(), "(opt-tree, dynamic)");
-    }
-
-    #[test]
-    fn static_plans_never_regrid() {
-        let p = planner();
-        let plan = p.plan(TreeStrategy::Balanced, GridStrategy::StaticOptimal);
-        assert_eq!(plan.grids.regrid_count(), 0);
-        for g in &plan.grids.node_grids {
-            assert_eq!(g, &plan.grids.initial);
-        }
-    }
-
-    #[test]
-    fn fixed_grid_respected() {
-        let p = planner();
-        let g = Grid::new([2, 4, 2, 1]);
-        let plan = p.plan(
-            TreeStrategy::chain_k(),
-            GridStrategy::StaticFixed(g.clone()),
-        );
-        assert_eq!(plan.grids.initial, g);
-    }
-
-    #[test]
-    #[should_panic(expected = "exceeds core cardinality")]
-    fn too_many_ranks_rejected() {
-        let _ = Planner::new(TuckerMeta::new([4, 4], [2, 2]), 32);
-    }
-
-    #[test]
-    fn plan_predictions_are_consistent() {
-        let p = planner();
-        let plan = p.plan(TreeStrategy::Optimal, GridStrategy::Dynamic);
-        let flops = crate::cost::tree_flops(&plan.tree, p.meta());
-        assert!((plan.flops - flops).abs() < flops * 1e-12);
-        let vol = crate::dyn_grid::scheme_volume(&plan.tree, p.meta(), &plan.grids);
-        assert!((plan.volume - vol).abs() <= vol.max(1.0) * 1e-9);
-    }
-}
+pub use crate::plan::{
+    GridStrategy, Plan, Planner, RankedPlans, ScoredPlan, SearchBudget, TreeStrategy,
+    VOLUME_FLOP_EQUIV,
+};

@@ -1,507 +1,8 @@
-//! TTM-trees (paper §3.1) and the prior-work constructions (§3.2).
-//!
-//! A TTM-tree encodes one way of executing the HOOI TTM component:
-//! * the root is the input tensor `T`;
-//! * each internal node multiplies its parent's output along one mode;
-//! * each of the `N` leaves is one new factor matrix `F̃_n`, and the path
-//!   from the root to leaf `F̃_n` must multiply along every mode except `n`.
-//!
-//! Prior schemes expressed as trees:
-//! * [`chain_tree`] — the naive scheme: `N` independent chains of `N − 1`
-//!   TTMs each, optionally with the mode orderings of Austin et al.
-//!   ([`ModeOrdering`]);
-//! * [`balanced_tree`] — the divide-and-conquer scheme of Kaya & Uçar with
-//!   roughly `N log N` TTMs.
+//! Re-export shim — TTM-trees and the prior-work constructions live in
+//! [`crate::plan::tree`], mode orderings in [`crate::plan::order`] (the
+//! planning layer, DESIGN.md §6). Import from there in new code.
 
-use crate::meta::TuckerMeta;
-
-/// Label of a TTM-tree node.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum NodeLabel {
-    /// The input tensor `T`.
-    Root,
-    /// TTM along the given mode (`Out(u) = In(u) ×_n F_nᵀ`).
-    Ttm(usize),
-    /// Leaf producing the new factor matrix for the given mode.
-    Leaf(usize),
-}
-
-/// A node in the arena.
-#[derive(Clone, Debug)]
-pub struct Node {
-    /// What this node does.
-    pub label: NodeLabel,
-    /// Parent id (`None` for the root).
-    pub parent: Option<usize>,
-    /// Child ids in insertion order.
-    pub children: Vec<usize>,
-}
-
-/// A TTM-tree stored as an arena; node 0 is always the root.
-#[derive(Clone, Debug)]
-pub struct TtmTree {
-    nodes: Vec<Node>,
-    order: usize,
-}
-
-impl TtmTree {
-    /// Create an empty tree (just the root) over `order` modes.
-    pub fn new(order: usize) -> Self {
-        assert!(order >= 1);
-        TtmTree {
-            nodes: vec![Node {
-                label: NodeLabel::Root,
-                parent: None,
-                children: Vec::new(),
-            }],
-            order,
-        }
-    }
-
-    /// Number of modes `N`.
-    pub fn order(&self) -> usize {
-        self.order
-    }
-
-    /// The root's node id (always 0).
-    pub fn root(&self) -> usize {
-        0
-    }
-
-    /// Number of nodes (root + internal + leaves).
-    pub fn len(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// `true` if only the root exists.
-    pub fn is_empty(&self) -> bool {
-        self.nodes.len() == 1
-    }
-
-    /// Access a node.
-    pub fn node(&self, id: usize) -> &Node {
-        &self.nodes[id]
-    }
-
-    /// Drop every node with id `>= len` (stack-discipline undo for
-    /// enumeration code). Surviving nodes' child lists are pruned.
-    ///
-    /// # Panics
-    /// Panics if `len == 0` (the root must survive).
-    pub fn truncate_nodes(&mut self, len: usize) {
-        assert!(len >= 1, "cannot truncate the root away");
-        self.nodes.truncate(len);
-        for node in &mut self.nodes {
-            node.children.retain(|&c| c < len);
-        }
-    }
-
-    /// Append a child with the given label under `parent`, returning its id.
-    pub fn add_child(&mut self, parent: usize, label: NodeLabel) -> usize {
-        assert!(parent < self.nodes.len(), "bad parent id");
-        assert!(
-            !matches!(label, NodeLabel::Root),
-            "only node 0 may be the root"
-        );
-        let id = self.nodes.len();
-        self.nodes.push(Node {
-            label,
-            parent: Some(parent),
-            children: Vec::new(),
-        });
-        self.nodes[parent].children.push(id);
-        id
-    }
-
-    /// Ids of all internal (TTM) nodes, in a parent-before-child order.
-    pub fn internal_nodes(&self) -> Vec<usize> {
-        self.topological_order()
-            .into_iter()
-            .filter(|&id| matches!(self.nodes[id].label, NodeLabel::Ttm(_)))
-            .collect()
-    }
-
-    /// Ids of all leaves.
-    pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&id| matches!(self.nodes[id].label, NodeLabel::Leaf(_)))
-            .collect()
-    }
-
-    /// Number of TTM operations the tree performs.
-    pub fn num_ttms(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.label, NodeLabel::Ttm(_)))
-            .count()
-    }
-
-    /// All node ids in DFS pre-order from the root (parents before children).
-    pub fn topological_order(&self) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![self.root()];
-        while let Some(id) = stack.pop() {
-            out.push(id);
-            // Push children reversed so the leftmost child is visited first.
-            for &c in self.nodes[id].children.iter().rev() {
-                stack.push(c);
-            }
-        }
-        out
-    }
-
-    /// The set of modes multiplied on the path from the root down to and
-    /// including `id`, as a bitmask.
-    pub fn premultiplied_mask(&self, id: usize) -> u32 {
-        let mut mask = 0u32;
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            if let NodeLabel::Ttm(n) = self.nodes[c].label {
-                mask |= 1 << n;
-            }
-            cur = self.nodes[c].parent;
-        }
-        mask
-    }
-
-    /// Maximum number of internal nodes on any root-to-leaf path.
-    pub fn depth(&self) -> usize {
-        self.leaves()
-            .into_iter()
-            .map(|l| {
-                let mut d = 0;
-                let mut cur = self.nodes[l].parent;
-                while let Some(c) = cur {
-                    if matches!(self.nodes[c].label, NodeLabel::Ttm(_)) {
-                        d += 1;
-                    }
-                    cur = self.nodes[c].parent;
-                }
-                d
-            })
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Check the TTM-tree properties of §3.1; returns a human-readable error
-    /// on violation. Property (iv) — each leaf's path multiplies exactly the
-    /// `N − 1` other modes — implies the others for well-formed arenas.
-    pub fn validate(&self) -> Result<(), String> {
-        let leaves = self.leaves();
-        if leaves.len() != self.order {
-            return Err(format!(
-                "expected {} leaves, found {}",
-                self.order,
-                leaves.len()
-            ));
-        }
-        let mut seen = vec![false; self.order];
-        for l in leaves {
-            let NodeLabel::Leaf(n) = self.nodes[l].label else {
-                unreachable!()
-            };
-            if seen[n] {
-                return Err(format!("duplicate leaf for mode {n}"));
-            }
-            seen[n] = true;
-            if !self.nodes[l].children.is_empty() {
-                return Err(format!("leaf for mode {n} has children"));
-            }
-            // The path must contain every mode except n, each exactly once.
-            let mut mask = 0u32;
-            let mut count = 0;
-            let mut cur = self.nodes[l].parent;
-            while let Some(c) = cur {
-                if let NodeLabel::Ttm(m) = self.nodes[c].label {
-                    if m >= self.order {
-                        return Err(format!("mode {m} out of range"));
-                    }
-                    if mask & (1 << m) != 0 {
-                        return Err(format!("mode {m} repeated on path to leaf {n}"));
-                    }
-                    mask |= 1 << m;
-                    count += 1;
-                }
-                cur = self.nodes[c].parent;
-            }
-            let expect: u32 = ((1u32 << self.order) - 1) & !(1 << n);
-            if mask != expect || count != self.order - 1 {
-                return Err(format!(
-                    "path to leaf {n} multiplies mask {mask:b}, expected {expect:b}"
-                ));
-            }
-        }
-        Ok(())
-    }
-}
-
-impl TtmTree {
-    /// Render the tree in Graphviz DOT format, optionally annotating each
-    /// node with the grid a [`crate::dyn_grid::DynGridScheme`]-like
-    /// assignment gives it (`grids[id]`, any `Display`able).
-    pub fn to_dot<G: std::fmt::Display>(&self, grids: Option<&[G]>) -> String {
-        let mut out =
-            String::from("digraph ttm_tree {\n  node [shape=box, fontname=\"monospace\"];\n");
-        for id in 0..self.len() {
-            let base = match self.nodes[id].label {
-                NodeLabel::Root => "T".to_string(),
-                NodeLabel::Ttm(n) => format!("x{n} F{n}^T"),
-                NodeLabel::Leaf(n) => format!("F~{n}"),
-            };
-            let label = match grids {
-                Some(g) => format!("{base}\\n[{}]", g[id]),
-                None => base,
-            };
-            let shape = if matches!(self.nodes[id].label, NodeLabel::Leaf(_)) {
-                ", shape=ellipse"
-            } else {
-                ""
-            };
-            out.push_str(&format!("  n{id} [label=\"{label}\"{shape}];\n"));
-        }
-        for id in 0..self.len() {
-            for &c in &self.nodes[id].children {
-                out.push_str(&format!("  n{id} -> n{c};\n"));
-            }
-        }
-        out.push_str("}\n");
-        out
-    }
-}
-
-/// Mode orderings for chain trees (Austin et al., §3.2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ModeOrdering {
-    /// The input order `0, 1, …, N−1`.
-    Natural,
-    /// Increasing cost factor `K_n` ("K-ordering"): cheap modes first, so the
-    /// large tensors near the top of the tree incur low per-element cost.
-    ByCostFactor,
-    /// Increasing compression factor `h_n` ("h-ordering"): strongest
-    /// compression first, so the tensor shrinks as early as possible.
-    ByCompression,
-}
-
-impl ModeOrdering {
-    /// The permutation of modes this ordering induces for `meta`.
-    ///
-    /// Ties are broken by mode index, making the permutation deterministic.
-    pub fn permutation(self, meta: &TuckerMeta) -> Vec<usize> {
-        let mut perm: Vec<usize> = (0..meta.order()).collect();
-        match self {
-            ModeOrdering::Natural => {}
-            ModeOrdering::ByCostFactor => {
-                perm.sort_by(|&a, &b| meta.k(a).cmp(&meta.k(b)).then(a.cmp(&b)));
-            }
-            ModeOrdering::ByCompression => {
-                perm.sort_by(|&a, &b| meta.h(a).partial_cmp(&meta.h(b)).unwrap().then(a.cmp(&b)));
-            }
-        }
-        perm
-    }
-}
-
-/// The naive chain tree (§3.2): `N` independent chains, one per new factor.
-/// For leaf `n`, the chain multiplies the other modes in the order they
-/// appear in `perm`.
-///
-/// # Panics
-/// Panics if `perm` is not a permutation of `0..N`.
-pub fn chain_tree(meta: &TuckerMeta, perm: &[usize]) -> TtmTree {
-    let n = meta.order();
-    assert_eq!(perm.len(), n, "permutation arity mismatch");
-    let mut check = vec![false; n];
-    for &m in perm {
-        assert!(m < n && !check[m], "not a permutation: {perm:?}");
-        check[m] = true;
-    }
-
-    let mut tree = TtmTree::new(n);
-    // Leaves in permutation order too: the first chain computes the factor
-    // for the first mode in the ordering, etc.
-    for &leaf_mode in perm {
-        let mut cur = tree.root();
-        for &m in perm {
-            if m != leaf_mode {
-                cur = tree.add_child(cur, NodeLabel::Ttm(m));
-            }
-        }
-        tree.add_child(cur, NodeLabel::Leaf(leaf_mode));
-    }
-    debug_assert!(tree.validate().is_ok());
-    tree
-}
-
-/// The balanced tree of Kaya & Uçar (§3.2): split the modes in two halves
-/// `A, B`; under the current attach point, build a chain of all `A`-modes
-/// followed by the recursive subtree computing `B`'s factors, and a chain of
-/// all `B`-modes followed by the recursive subtree computing `A`'s factors.
-/// Roughly `N log N` TTMs.
-///
-/// `perm` fixes the order in which modes are listed before splitting; the
-/// paper observed ordering has little effect on balanced trees and uses the
-/// natural order.
-pub fn balanced_tree(meta: &TuckerMeta, perm: &[usize]) -> TtmTree {
-    let n = meta.order();
-    assert_eq!(perm.len(), n, "permutation arity mismatch");
-    let mut tree = TtmTree::new(n);
-    let root = tree.root();
-    build_balanced(&mut tree, root, perm);
-    debug_assert!(tree.validate().is_ok());
-    tree
-}
-
-fn build_balanced(tree: &mut TtmTree, attach: usize, modes: &[usize]) {
-    match modes.len() {
-        0 => unreachable!("empty mode set"),
-        1 => {
-            tree.add_child(attach, NodeLabel::Leaf(modes[0]));
-        }
-        _ => {
-            let m = modes.len() / 2;
-            let (a, b) = modes.split_at(m);
-            // Chain of A-modes, then compute B's factors beneath it.
-            let mut cur = attach;
-            for &x in a {
-                cur = tree.add_child(cur, NodeLabel::Ttm(x));
-            }
-            build_balanced(tree, cur, b);
-            // Chain of B-modes, then compute A's factors beneath it.
-            let mut cur = attach;
-            for &x in b {
-                cur = tree.add_child(cur, NodeLabel::Ttm(x));
-            }
-            build_balanced(tree, cur, a);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn meta4() -> TuckerMeta {
-        TuckerMeta::new([40, 30, 20, 10], [4, 3, 2, 5])
-    }
-
-    #[test]
-    fn chain_tree_shape() {
-        let meta = meta4();
-        let t = chain_tree(&meta, &[0, 1, 2, 3]);
-        assert!(t.validate().is_ok());
-        // N chains of N-1 TTMs each.
-        assert_eq!(t.num_ttms(), 4 * 3);
-        assert_eq!(t.leaves().len(), 4);
-        assert_eq!(t.depth(), 3);
-        // Root has N children (one chain head each).
-        assert_eq!(t.node(t.root()).children.len(), 4);
-    }
-
-    #[test]
-    fn chain_tree_respects_ordering() {
-        let meta = meta4();
-        let t = chain_tree(&meta, &[3, 1, 0, 2]);
-        assert!(t.validate().is_ok());
-        // First chain computes F̃_3 and starts multiplying mode 1.
-        let first_chain_head = t.node(t.root()).children[0];
-        assert_eq!(t.node(first_chain_head).label, NodeLabel::Ttm(1));
-    }
-
-    #[test]
-    fn balanced_tree_shape_n4() {
-        let meta = meta4();
-        let t = balanced_tree(&meta, &[0, 1, 2, 3]);
-        assert!(t.validate().is_ok());
-        // Figure 3(c): 8 TTM nodes for N = 4.
-        assert_eq!(t.num_ttms(), 8);
-        assert_eq!(t.leaves().len(), 4);
-    }
-
-    #[test]
-    fn balanced_tree_fewer_ttms_than_chain() {
-        for n in 3..=8 {
-            let meta = TuckerMeta::new(vec![10; n], vec![2; n]);
-            let perm: Vec<usize> = (0..n).collect();
-            let chain = chain_tree(&meta, &perm);
-            let bal = balanced_tree(&meta, &perm);
-            assert!(
-                bal.num_ttms() < chain.num_ttms(),
-                "N={n}: balanced {} !< chain {}",
-                bal.num_ttms(),
-                chain.num_ttms()
-            );
-            assert!(bal.validate().is_ok());
-        }
-    }
-
-    #[test]
-    fn orderings() {
-        // K = [4,3,2,5], h = [0.1, 0.1, 0.1, 0.5]
-        let meta = meta4();
-        assert_eq!(ModeOrdering::Natural.permutation(&meta), vec![0, 1, 2, 3]);
-        assert_eq!(
-            ModeOrdering::ByCostFactor.permutation(&meta),
-            vec![2, 1, 0, 3]
-        );
-        // h: 4/40=0.1, 3/30=0.1, 2/20=0.1, 5/10=0.5 -> ties by index.
-        assert_eq!(
-            ModeOrdering::ByCompression.permutation(&meta),
-            vec![0, 1, 2, 3]
-        );
-    }
-
-    #[test]
-    fn premultiplied_mask_accumulates() {
-        let meta = meta4();
-        let t = chain_tree(&meta, &[0, 1, 2, 3]);
-        // Walk the first chain: masks grow 1 -> 11 -> 111 (modes 1,2,3 for leaf 0).
-        let c1 = t.node(t.root()).children[0];
-        let c2 = t.node(c1).children[0];
-        assert_eq!(t.premultiplied_mask(c1), 0b0010);
-        assert_eq!(t.premultiplied_mask(c2), 0b0110);
-    }
-
-    #[test]
-    fn validate_rejects_missing_leaf() {
-        let mut t = TtmTree::new(2);
-        let a = t.add_child(t.root(), NodeLabel::Ttm(1));
-        t.add_child(a, NodeLabel::Leaf(0));
-        // Missing leaf for mode 1.
-        assert!(t.validate().is_err());
-    }
-
-    #[test]
-    fn validate_rejects_wrong_path() {
-        let mut t = TtmTree::new(2);
-        // Leaf 0's path must multiply mode 1, not mode 0.
-        let a = t.add_child(t.root(), NodeLabel::Ttm(0));
-        t.add_child(a, NodeLabel::Leaf(0));
-        let b = t.add_child(t.root(), NodeLabel::Ttm(0));
-        t.add_child(b, NodeLabel::Leaf(1));
-        assert!(t.validate().is_err());
-    }
-
-    #[test]
-    fn topological_order_is_parent_first() {
-        let meta = meta4();
-        let t = balanced_tree(&meta, &[0, 1, 2, 3]);
-        let topo = t.topological_order();
-        let pos: std::collections::HashMap<usize, usize> =
-            topo.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        for id in 0..t.len() {
-            if let Some(p) = t.node(id).parent {
-                assert!(pos[&p] < pos[&id]);
-            }
-        }
-    }
-
-    #[test]
-    fn two_mode_trees() {
-        let meta = TuckerMeta::new([8, 6], [2, 3]);
-        let c = chain_tree(&meta, &[0, 1]);
-        assert_eq!(c.num_ttms(), 2);
-        let b = balanced_tree(&meta, &[0, 1]);
-        assert_eq!(b.num_ttms(), 2);
-        assert!(b.validate().is_ok());
-    }
-}
+pub use crate::plan::order::ModeOrdering;
+pub use crate::plan::tree::{
+    balanced_tree, chain_tree, greedy_reuse_tree, Node, NodeLabel, TtmTree,
+};

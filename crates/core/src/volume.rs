@@ -1,138 +1,7 @@
-//! The communication-volume model and optimal static grids (paper §4.1–4.2).
-//!
-//! Under a grid `g`, the TTM at node `u` with label `n` incurs a
-//! reduce-scatter volume of `(g_n − 1) · |Out(u)|` elements; the volume of a
-//! tree under a single (static) grid is the sum over its internal nodes. The
-//! optimal static grid is found by exhaustive search over the *valid* grids
-//! (`q_n ≤ K_n`), whose count `ψ(P, N)` is small for practical `P` and `N`
-//! (Table 1).
+//! Re-export shim — the §4.1–4.2 volume model and static grid search live
+//! in [`crate::plan::grid`] (the planning layer, DESIGN.md §6). Import from
+//! there in new code.
 
-use crate::cost::{tree_cost, TreeCost};
-use crate::meta::TuckerMeta;
-use crate::tree::{NodeLabel, TtmTree};
-use tucker_distsim::{enumerate_valid_grids, Grid};
-
-/// Communication volume (elements) of `tree` under the static grid `g`.
-pub fn static_volume(tree: &TtmTree, meta: &TuckerMeta, g: &Grid) -> f64 {
-    let cost = tree_cost(tree, meta);
-    static_volume_with_cost(tree, &cost, g)
-}
-
-/// [`static_volume`] reusing a precomputed [`TreeCost`].
-pub fn static_volume_with_cost(tree: &TtmTree, cost: &TreeCost, g: &Grid) -> f64 {
-    let mut vol = 0.0;
-    for id in tree.internal_nodes() {
-        let NodeLabel::Ttm(n) = tree.node(id).label else {
-            unreachable!()
-        };
-        vol += (g.dim(n) as f64 - 1.0) * cost.out_card[id];
-    }
-    vol
-}
-
-/// Result of the optimal static grid search.
-#[derive(Clone, Debug)]
-pub struct StaticGridChoice {
-    /// The volume-minimizing valid grid.
-    pub grid: Grid,
-    /// Its communication volume in elements.
-    pub volume: f64,
-    /// How many valid grids were scanned.
-    pub candidates: usize,
-}
-
-/// Exhaustively search the valid grids for the one minimizing the tree's
-/// communication volume (§4.2). Ties are broken by enumeration order, which
-/// is lexicographic and therefore deterministic.
-///
-/// # Panics
-/// Panics if no valid grid exists (i.e. `P > ∏ K_n`).
-pub fn optimal_static_grid(tree: &TtmTree, meta: &TuckerMeta, nranks: usize) -> StaticGridChoice {
-    let cost = tree_cost(tree, meta);
-    let grids = enumerate_valid_grids(nranks, meta.core().dims());
-    assert!(
-        !grids.is_empty(),
-        "no valid grid: P = {nranks} exceeds core cardinality {}",
-        meta.core_cardinality()
-    );
-    let mut best: Option<(f64, &Grid)> = None;
-    for g in &grids {
-        let v = static_volume_with_cost(tree, &cost, g);
-        if best.is_none_or(|(bv, _)| v < bv) {
-            best = Some((v, g));
-        }
-    }
-    let (volume, grid) = best.expect("nonempty candidate set");
-    StaticGridChoice {
-        grid: grid.clone(),
-        volume,
-        candidates: grids.len(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::tree::chain_tree;
-
-    fn meta3() -> TuckerMeta {
-        TuckerMeta::new([40, 40, 40], [8, 8, 8])
-    }
-
-    #[test]
-    fn trivial_grid_is_communication_free() {
-        let meta = meta3();
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let g = Grid::trivial(3);
-        assert_eq!(static_volume(&tree, &meta, &g), 0.0);
-    }
-
-    #[test]
-    fn volume_formula_single_chain() {
-        // Grid <q,1,1>: only TTMs along mode 0 communicate.
-        let meta = meta3();
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let g = Grid::new([4, 1, 1]);
-        let cost = tree_cost(&tree, &meta);
-        let mut expect = 0.0;
-        for id in tree.internal_nodes() {
-            if let NodeLabel::Ttm(0) = tree.node(id).label {
-                expect += 3.0 * cost.out_card[id];
-            }
-        }
-        assert_eq!(static_volume(&tree, &meta, &g), expect);
-        assert!(expect > 0.0);
-    }
-
-    #[test]
-    fn optimal_grid_beats_all_candidates() {
-        let meta = TuckerMeta::new([40, 20, 100], [8, 4, 20]);
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let choice = optimal_static_grid(&tree, &meta, 16);
-        assert_eq!(choice.grid.nranks(), 16);
-        assert!(choice.grid.is_valid_for(meta.core().dims()));
-        for g in enumerate_valid_grids(16, meta.core().dims()) {
-            assert!(choice.volume <= static_volume(&tree, &meta, &g) + 1e-9);
-        }
-    }
-
-    #[test]
-    fn asymmetric_meta_prefers_splitting_unused_heavy_mode() {
-        // Mode 2 has a huge K (cheap to split: high q_2 allowed, and output
-        // tensors along other modes shrink a lot) — the optimal grid should
-        // concentrate processors where volume is cheapest.
-        let meta = TuckerMeta::new([400, 400, 400], [2, 2, 256]);
-        let tree = chain_tree(&meta, &[0, 1, 2]);
-        let choice = optimal_static_grid(&tree, &meta, 64);
-        // q_0 and q_1 are capped at K=2, so most processors go to mode 2.
-        assert!(choice.grid.dim(2) >= 16, "grid was {}", choice.grid);
-    }
-
-    #[test]
-    #[should_panic(expected = "no valid grid")]
-    fn too_many_ranks_panics() {
-        let meta = TuckerMeta::new([4, 4], [2, 2]);
-        let tree = chain_tree(&meta, &[0, 1]);
-        let _ = optimal_static_grid(&tree, &meta, 8);
-    }
-}
+pub use crate::plan::grid::{
+    optimal_static_grid, static_volume, static_volume_with_cost, StaticGridChoice,
+};

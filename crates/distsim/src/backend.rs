@@ -83,4 +83,12 @@ impl TimeSource {
             TimeSource::Virtual => self.cpu_since(snap) + self.comm(ctx).since(&snap.comm).total(),
         }
     }
+
+    /// Total communication time (all categories) since the snapshot — the
+    /// pure communication component of [`TimeSource::wall_since`]. Under
+    /// [`TimeSource::Virtual`] this is this rank's accumulated α–β clock,
+    /// the quantity the planner's `NetCostModel` predicts exactly.
+    pub fn comm_wall_since(&self, ctx: &RankCtx, snap: &PhaseSnap) -> Duration {
+        self.comm(ctx).since(&snap.comm).total()
+    }
 }

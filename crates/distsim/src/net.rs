@@ -124,6 +124,59 @@ impl NetModel {
         }
     }
 
+    /// The allreduce charge accumulated by the member at group `index` (not
+    /// just the critical path): counts that member's sends and receives in
+    /// the exact algorithm [`crate::collectives::allreduce_sum`] dispatches
+    /// to. `allreduce_rank_ns(g, 0, len) == allreduce_ns(g, len)` — the
+    /// group root is the critical path. Used to predict per-rank virtual
+    /// clocks exactly (the planner's `NetCostModel`).
+    pub fn allreduce_rank_ns(&self, g: usize, index: usize, len: usize) -> u64 {
+        if g <= 1 {
+            return 0;
+        }
+        debug_assert!(index < g);
+        let m = self.msg_elems_ns(len);
+        if g <= crate::collectives::TREE_ALLREDUCE_THRESHOLD {
+            // Flat gather+broadcast: the root pays 2(g−1), members 2.
+            return if index == 0 {
+                2 * (g as u64 - 1) * m
+            } else {
+                2 * m
+            };
+        }
+        // Binomial tree: count this member's messages in both phases,
+        // mirroring `allreduce_sum_tree` round for round.
+        let mut msgs: u64 = 0;
+        let mut mask = 1usize;
+        while mask < g {
+            if index & mask != 0 {
+                msgs += 1; // send up, then drop out of the reduce phase
+                break;
+            } else if index + mask < g {
+                msgs += 1; // receive
+            }
+            mask <<= 1;
+        }
+        let mut top = 1usize;
+        while top < g {
+            top <<= 1;
+        }
+        let mut mask = if index == 0 {
+            top >> 1
+        } else {
+            msgs += 1; // receive from the broadcast parent
+            let lowbit = index & index.wrapping_neg();
+            lowbit >> 1
+        };
+        while mask >= 1 {
+            if index + mask < g {
+                msgs += 1; // forward down the broadcast tree
+            }
+            mask >>= 1;
+        }
+        msgs * m
+    }
+
     /// Flat broadcast of `len` elements to `g` members: the root serializes
     /// `g − 1` sends.
     pub fn bcast_ns(&self, g: usize, len: usize) -> u64 {
@@ -227,6 +280,29 @@ mod tests {
         assert_eq!(ceil_log2(3), 2);
         assert_eq!(ceil_log2(8), 3);
         assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn per_rank_allreduce_root_is_critical_path() {
+        let m = NetModel::bgq();
+        for g in [2usize, 3, 5, 8, 9, 16, 23, 64] {
+            let root = m.allreduce_rank_ns(g, 0, 17);
+            assert_eq!(root, m.allreduce_ns(g, 17), "g={g}");
+            for i in 1..g {
+                assert!(m.allreduce_rank_ns(g, i, 17) <= root, "g={g} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_allreduce_total_is_2gm1_per_endpoint_pair() {
+        // Each of the 2(g−1) messages charges both endpoints once, so the
+        // sum over members equals 2 · 2(g−1) · msg.
+        let m = NetModel::bgq();
+        for g in [4usize, 11, 16] {
+            let total: u64 = (0..g).map(|i| m.allreduce_rank_ns(g, i, 5)).sum();
+            assert_eq!(total, 4 * (g as u64 - 1) * m.msg_elems_ns(5), "g={g}");
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 
 use tucker_core::engine::{run_distributed_hooi_cfg, EngineConfig, TimeSource};
 use tucker_core::executor::{self, RayonBackend, SeqBackend, SweepBackend};
-use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+use tucker_core::plan::brute_force::{enumerate_all_trees, min_sweep_cost};
+use tucker_core::plan::cost::{sweep_cost, CostModel, FlopVolumeModel, NetCostModel};
+use tucker_core::plan::grid::candidate_grids;
+use tucker_core::plan::{GridStrategy, Planner, SearchBudget, TreeStrategy};
 use tucker_core::TuckerMeta;
 use tucker_distsim::{NetModel, VolumeCategory};
 use tucker_linalg::{leading_from_gram, Matrix};
@@ -119,6 +122,13 @@ pub struct ScalingRow {
     pub model_ttm_elements: f64,
     /// §4.3 closed-form regrid bound — the ledger never exceeds it.
     pub model_regrid_elements: f64,
+    /// The planner's α–β prediction of the sweep's communication wall
+    /// (`NetCostModel::predict_sweep(..).comm_wall`), seconds.
+    pub predicted_comm_s: f64,
+    /// The engine-executed virtual communication wall (max over ranks of
+    /// the per-rank α–β clock), seconds — must match `predicted_comm_s`
+    /// within 5% (in practice: exactly).
+    pub comm_wall_s: f64,
     /// Relative error of the sweep (identical across strategies).
     pub error: f64,
     /// Host wall time spent replaying this configuration, seconds (how fast
@@ -138,16 +148,23 @@ pub fn scaling_ranks() -> Vec<usize> {
     vec![64, 256, 1024, 4096, 8192]
 }
 
-/// Replay the four-strategy lineup at each rank count under the virtual-time
-/// α–β mode (sequential scheduler, no core gather), one HOOI sweep each.
+/// Replay the paper's four-strategy lineup **plus the joint-DP plan**
+/// (`(dp, joint)`, ranked under the α–β [`NetCostModel`]) at each rank
+/// count under the virtual-time α–β mode (sequential scheduler, no core
+/// gather), one HOOI sweep each.
 ///
-/// Every row is self-validating: the ledger's TTM reduce-scatter volume must
-/// equal the §4.1 closed form `Σ (q_n − 1)|Out(u)|` (tree + core chain)
-/// within 1e-9 relative, and the regrid volume must stay within the §4.3
-/// `Σ |In(u)|` bound.
+/// Every row is self-validating, on two levels:
+/// * **volume**: the ledger's TTM reduce-scatter volume must equal the §4.1
+///   closed form `Σ (q_n − 1)|Out(u)|` (tree + core chain) within 1e-9
+///   relative, and the regrid volume must stay within the §4.3 `Σ |In(u)|`
+///   bound;
+/// * **virtual time**: the planner's `NetCostModel::predict_sweep`
+///   communication wall (and its TTM/Gram splits) must match the
+///   engine-executed virtual clocks within 5% — the prediction-vs-execution
+///   invariant of DESIGN.md §6 (in practice the match is exact).
 ///
 /// # Panics
-/// Panics if a measured volume contradicts its closed-form model.
+/// Panics if a measured volume or virtual clock contradicts its model.
 pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<ScalingRow> {
     let fill = |c: &[usize]| crate::fields::hash_noise(c, 0x5CA1E);
     let cfg = EngineConfig {
@@ -159,7 +176,10 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
     let mut rows = Vec::new();
     for &p in ranks {
         let planner = Planner::new(meta.clone(), p);
-        for plan in planner.paper_lineup() {
+        let net_model = NetCostModel::new(net, p);
+        let mut lineup = planner.paper_lineup();
+        lineup.push(planner.best_plan_with(&net_model, &SearchBudget::winner_only()));
+        for plan in lineup {
             let host0 = std::time::Instant::now();
             let out = run_distributed_hooi_cfg(fill, &plan, 1, &cfg);
             let host_s = host0.elapsed().as_secs_f64();
@@ -183,6 +203,34 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
                 "{} P={p}: ledger regrid {regrid_elements} exceeds §4.3 bound {model_regrid}",
                 plan.name()
             );
+
+            // Prediction vs execution: the planner's α–β forecast must
+            // match the virtual clocks the engine accumulated.
+            let pred = plan.predict_net(&net_model);
+            let within =
+                |predicted: std::time::Duration, executed: std::time::Duration, what: &str| {
+                    let p_ns = predicted.as_nanos() as f64;
+                    let e_ns = executed.as_nanos() as f64;
+                    assert!(
+                        (p_ns - e_ns).abs() <= e_ns.max(1.0) * 0.05,
+                        "{} P={p}: predicted {what} {predicted:?} vs executed {executed:?}",
+                        plan.name()
+                    );
+                };
+            within(pred.comm_wall, s.comm_wall, "comm wall");
+            within(pred.ttm_comm, s.ttm_comm, "TTM comm");
+            within(pred.gram_comm, s.gram_comm, "Gram comm");
+            // Regrid phase time additionally carries the pack/unpack CPU
+            // (see `DistsimBackend::regrid`), so only the pure-α–β side of
+            // the comparison is exact: the prediction never exceeds it.
+            assert!(
+                pred.regrid_comm <= s.regrid_comm + std::time::Duration::from_nanos(1),
+                "{} P={p}: predicted regrid {:?} exceeds executed {:?}",
+                plan.name(),
+                pred.regrid_comm,
+                s.regrid_comm
+            );
+
             rows.push(ScalingRow {
                 backend: "distsim",
                 nranks: p,
@@ -198,8 +246,82 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
                 gram_elements,
                 model_ttm_elements: model_ttm,
                 model_regrid_elements: model_regrid,
+                predicted_comm_s: pred.comm_wall.as_secs_f64(),
+                comm_wall_s: s.comm_wall.as_secs_f64(),
                 error: s.error,
                 host_s,
+            });
+        }
+    }
+    rows
+}
+
+/// Strategy count per rank count in [`scaling_sweep`] output (the paper's
+/// four plus `(dp, joint)`).
+pub const SCALING_STRATEGIES: usize = 5;
+
+// ---------------------------------------------------------------- planner
+
+/// One (meta, P, model) certification case of [`dp_certification`].
+#[derive(Clone, Debug)]
+pub struct DpCertRow {
+    /// The problem.
+    pub meta: String,
+    /// Rank count.
+    pub nranks: usize,
+    /// Cost-model label.
+    pub model: &'static str,
+    /// The joint DP winner's cost under that model.
+    pub dp_cost: f64,
+    /// The exhaustive oracle: min cost over every tree × grid assignment.
+    pub oracle_cost: f64,
+    /// Candidate (tree × assignment-space) pairs the oracle enumerated.
+    pub candidates: usize,
+    /// Whether the DP winner matched the oracle within 1e-9 relative.
+    pub agreed: bool,
+}
+
+/// Certify the joint grid × tree × order DP against full brute-force
+/// enumeration (every TTM-tree, every grid assignment) under **both** cost
+/// models, on a fixed battery of small problems. Returns one row per
+/// (meta, P, model); `agreed` must be `true` on every row (asserted by the
+/// planner experiment and CI).
+pub fn dp_certification() -> Vec<DpCertRow> {
+    // N ≤ 3 keeps the oracle truly exhaustive (every tree × every
+    // assignment); larger orders are covered by the sampling proptests.
+    // The 16³ case has a symmetric mode class; the fully symmetric 40³
+    // case at P=16 additionally forces an *uneven* split across the class
+    // (<2,2,4> orbits), pinning the orbit-representative scoring: the
+    // core-chain price is class-order-sensitive, so a naive mirror-grid
+    // dedup would return a ~2% suboptimal plan here under the net model.
+    let cases = [
+        (TuckerMeta::new([16, 16], [4, 4]), 4usize),
+        (TuckerMeta::new([20, 50, 100], [4, 25, 10]), 4),
+        (TuckerMeta::new([16, 16, 16], [4, 2, 4]), 4),
+        (TuckerMeta::new([40, 40, 40], [4, 4, 4]), 16),
+    ];
+    let mut rows = Vec::new();
+    for (meta, p) in cases {
+        let grids = candidate_grids(&meta, p);
+        let trees = enumerate_all_trees(&meta);
+        let planner = Planner::new(meta.clone(), p);
+        let net = NetCostModel::new(NetModel::bgq(), p);
+        let models: [&dyn CostModel; 2] = [&FlopVolumeModel, &net];
+        for model in models {
+            let dp = planner.best_plan_with(model, &SearchBudget::winner_only());
+            let dp_cost = sweep_cost(model, &meta, &dp.tree, &dp.grids);
+            let mut oracle = f64::INFINITY;
+            for tree in &trees {
+                oracle = oracle.min(min_sweep_cost(tree, &meta, &grids, model));
+            }
+            rows.push(DpCertRow {
+                meta: meta.to_string(),
+                nranks: p,
+                model: model.name(),
+                dp_cost,
+                oracle_cost: oracle,
+                candidates: trees.len() * grids.len(),
+                agreed: (dp_cost - oracle).abs() <= oracle.abs().max(1.0) * 1e-9,
             });
         }
     }
@@ -422,23 +544,59 @@ mod tests {
     #[test]
     fn scaling_sweep_rows_are_model_consistent() {
         // Small rank counts keep the test fast; the in-sweep assertions do
-        // the §4.1/§4.3 validation.
+        // the §4.1/§4.3 volume validation AND the predicted-vs-executed
+        // virtual-time certification.
         let rows = scaling_sweep(&scaling_meta(), &[4, 16], NetModel::bgq());
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 2 * SCALING_STRATEGIES);
         for r in &rows {
             assert!(r.wall_s > 0.0, "{}: zero wall", r.strategy);
             assert!(r.error.is_finite());
             assert!(r.wall_s >= r.ttm_comm_s.max(r.gram_comm_s));
+            // The 5% invariant is asserted inside the sweep; re-check the
+            // reported columns here.
+            assert!(
+                (r.predicted_comm_s - r.comm_wall_s).abs() <= r.comm_wall_s.max(1e-12) * 0.05,
+                "{} P={}: predicted {} vs executed {}",
+                r.strategy,
+                r.nranks,
+                r.predicted_comm_s,
+                r.comm_wall_s
+            );
         }
+        // The DP row is present at every P.
+        assert_eq!(
+            rows.iter().filter(|r| r.strategy == "(dp, joint)").count(),
+            2
+        );
         // All strategies compute the same math at a fixed P.
-        for chunk in rows.chunks(4) {
+        for chunk in rows.chunks(SCALING_STRATEGIES) {
             for r in &chunk[1..] {
                 assert!((r.error - chunk[0].error).abs() < 1e-9);
             }
         }
         // Communication volume grows with P for the same problem.
-        let v4: u64 = rows[..4].iter().map(|r| r.ttm_elements).sum();
-        let v16: u64 = rows[4..].iter().map(|r| r.ttm_elements).sum();
+        let v4: u64 = rows[..SCALING_STRATEGIES]
+            .iter()
+            .map(|r| r.ttm_elements)
+            .sum();
+        let v16: u64 = rows[SCALING_STRATEGIES..]
+            .iter()
+            .map(|r| r.ttm_elements)
+            .sum();
         assert!(v16 > v4, "more ranks must move more TTM volume");
+    }
+
+    #[test]
+    fn dp_certification_agrees_everywhere() {
+        let rows = dp_certification();
+        assert_eq!(rows.len(), 8, "4 cases x 2 models");
+        for r in &rows {
+            assert!(
+                r.agreed,
+                "{} P={} under {}: DP {} vs oracle {} over {} candidates",
+                r.meta, r.nranks, r.model, r.dp_cost, r.oracle_cost, r.candidates
+            );
+            assert!(r.candidates > 0);
+        }
     }
 }

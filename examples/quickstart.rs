@@ -10,7 +10,7 @@
 
 use tucker_core::engine::run_distributed_hooi;
 use tucker_core::meta::TuckerMeta;
-use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+use tucker_core::plan::{FlopVolumeModel, GridStrategy, Planner, SearchBudget, TreeStrategy};
 use tucker_suite::fields::combustion_field;
 
 fn main() {
@@ -22,10 +22,21 @@ fn main() {
         meta.compression_ratio()
     );
 
-    // 2. Plan: let the planner pick the minimum-modeled-cost schedule from
-    // the paper's lineup (in practice: optimal TTM-tree + dynamic gridding).
+    // 2. Plan: the joint grid x tree x order search ranks the DP winner
+    // against the paper's heuristic lineup under the chosen cost model.
     let planner = Planner::new(meta.clone(), 8);
-    let plan = planner.best_plan();
+    let ranked = planner.ranked_plans(&FlopVolumeModel, &SearchBudget::default());
+    println!("ranked plans under the {} model:", ranked.model);
+    for s in &ranked.plans {
+        println!(
+            "  {:>22}: cost {:.3e}  ({} TTMs, {} regrids)",
+            s.plan.name(),
+            s.cost,
+            s.plan.tree.num_ttms(),
+            s.plan.grids.regrid_count()
+        );
+    }
+    let plan = ranked.best().plan.clone();
     println!(
         "plan {}: {} TTMs, predicted {:.2} MFLOP, predicted volume {:.0} elements, {} regrids",
         plan.name(),

@@ -1,12 +1,17 @@
 //! Integration: planner optimality properties across the benchmark suite
-//! (property-style sweeps over real generator output, not toy metadata).
+//! (property-style sweeps over real generator output, not toy metadata),
+//! plus the planning layer's prediction-vs-execution certification at
+//! paper-scale rank counts.
 
 use tucker_core::cost::tree_flops;
 use tucker_core::dyn_grid::scheme_volume;
-use tucker_core::planner::{GridStrategy, Planner, TreeStrategy};
+use tucker_core::engine::{run_distributed_hooi_cfg, EngineConfig};
+use tucker_core::plan::{
+    FlopVolumeModel, GridStrategy, NetCostModel, Planner, SearchBudget, TreeStrategy,
+};
 use tucker_core::tree::ModeOrdering;
 use tucker_core::volume::static_volume;
-use tucker_distsim::enumerate_valid_grids;
+use tucker_distsim::{enumerate_valid_grids, NetModel};
 use tucker_suite::generator::{full_enumeration, paper_sized_subsample};
 use tucker_suite::real::real_tensors;
 
@@ -124,4 +129,102 @@ fn grid_count_scales_with_rank_budget() {
     let g32 = enumerate_valid_grids(32, meta.core().dims()).len();
     let g256 = enumerate_valid_grids(256, meta.core().dims()).len();
     assert!(g32 > 0 && g256 > g32);
+}
+
+#[test]
+fn net_prediction_matches_executed_virtual_clock_at_paper_scale() {
+    // The tentpole invariant (DESIGN.md §6): for every plan of the scaling
+    // lineup — the paper's four strategies plus the joint-DP winner — the
+    // NetCostModel's predicted communication wall must match the
+    // distsim-executed virtual clock within 5% (in practice: exactly).
+    // P ∈ {64, 256} here keeps the test fast; the scaling driver asserts
+    // the same invariant at P ∈ {1024, 4096} in CI.
+    let meta = tucker_suite::driver::scaling_meta();
+    let net = NetModel::bgq();
+    let cfg = EngineConfig {
+        time: tucker_core::engine::TimeSource::Virtual,
+        net: Some(net),
+        sequential: true,
+        gather_core: false,
+    };
+    let fill = |c: &[usize]| tucker_suite::fields::hash_noise(c, 0x90DE);
+    for p in [64usize, 256] {
+        let planner = Planner::new(meta.clone(), p);
+        let model = NetCostModel::new(net, p);
+        let mut lineup = planner.paper_lineup();
+        lineup.push(planner.best_plan_with(&model, &SearchBudget::default()));
+        for plan in lineup {
+            let pred = plan.predict_net(&model);
+            let out = run_distributed_hooi_cfg(fill, &plan, 1, &cfg);
+            let s = &out.per_sweep[0];
+            let p_ns = pred.comm_wall.as_nanos() as f64;
+            let e_ns = s.comm_wall.as_nanos() as f64;
+            assert!(
+                (p_ns - e_ns).abs() <= e_ns.max(1.0) * 0.05,
+                "{} P={p}: predicted {:?} vs executed {:?}",
+                plan.name(),
+                pred.comm_wall,
+                s.comm_wall
+            );
+            // Per-category splits agree too (pure α–β phases).
+            for (pc, ec, what) in [
+                (pred.ttm_comm, s.ttm_comm, "ttm"),
+                (pred.gram_comm, s.gram_comm, "gram"),
+            ] {
+                let (pc, ec) = (pc.as_nanos() as f64, ec.as_nanos() as f64);
+                assert!(
+                    (pc - ec).abs() <= ec.max(1.0) * 0.05,
+                    "{} P={p}: {what} predicted {pc} vs executed {ec}",
+                    plan.name()
+                );
+            }
+            // The engine recorded matching provenance.
+            let prov = s.provenance.as_ref().expect("engine records provenance");
+            assert_eq!(prov.plan, plan.name());
+            assert_eq!(prov.predicted_comm, Some(pred.comm_wall));
+        }
+    }
+}
+
+#[test]
+fn ranked_plans_cover_lineup_and_winner_executes_well() {
+    // RankedPlans is threaded through the drivers: it must contain the DP
+    // winner first plus the scored heuristics, and under the net model the
+    // winner's *executed* virtual communication must not lose to any
+    // lineup plan's executed time (the model is faithful enough to rank).
+    let meta = tucker_suite::driver::scaling_meta();
+    let net = NetModel::bgq();
+    let p = 64usize;
+    let planner = Planner::new(meta.clone(), p);
+    let model = NetCostModel::new(net, p);
+    let ranked = planner.ranked_plans(&model, &SearchBudget::default());
+    assert_eq!(ranked.model, "net");
+    assert!(ranked.plans.len() >= 5);
+    assert!(ranked.by_name("(dp, joint)").is_some());
+    for w in ranked.plans.windows(2) {
+        assert!(w[0].cost <= w[1].cost + 1e-9);
+    }
+
+    let cfg = EngineConfig {
+        time: tucker_core::engine::TimeSource::Virtual,
+        net: Some(net),
+        sequential: true,
+        gather_core: false,
+    };
+    let fill = |c: &[usize]| tucker_suite::fields::hash_noise(c, 0x90DE);
+    let exec = |plan: &tucker_core::Plan| {
+        run_distributed_hooi_cfg(fill, plan, 1, &cfg).per_sweep[0].comm_wall
+    };
+    let best_exec = exec(&ranked.best().plan);
+    for other in planner.paper_lineup() {
+        assert!(
+            best_exec <= exec(&other) + std::time::Duration::from_nanos(1),
+            "ranked winner executed {best_exec:?} but {} beat it",
+            other.name()
+        );
+    }
+
+    // The classic model's winner is also available through best_plan().
+    let classic = planner.best_plan();
+    assert!(classic.cost(&FlopVolumeModel) <= ranked.best().plan.cost(&FlopVolumeModel) + 1e-9);
 }
