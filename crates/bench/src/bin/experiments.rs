@@ -8,6 +8,7 @@
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
+//! cargo run --release -p tucker-bench --bin experiments -- serve [--clients N]
 //! ```
 //!
 //! `kernels` times the fused-Gram / workspace-TTM kernels against their
@@ -16,6 +17,11 @@
 //! `backends` runs the same HOOI schedule through the three sweep-executor
 //! backends (seq / rayon / distsim) on the kernel-ablation problem and
 //! persists `results/BENCH_backends.json`.
+//!
+//! `serve` drives the in-process decomposition server with concurrent
+//! synthetic clients issuing repeated same-shape compress jobs, and persists
+//! client-side latency percentiles, plan-cache hit rates and batching
+//! counters to `results/BENCH_serving.json`.
 //!
 //! `planner` certifies the planning layer both ways: predicted-vs-simulated
 //! virtual time for every lineup plan at P = 64…4096 (the α–β `NetCostModel`
@@ -75,9 +81,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(usize::MAX);
 
+    let clients = args
+        .iter()
+        .position(|a| a == "--clients")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6usize);
+
     match what {
         "kernels" => kernels(),
         "backends" => backends(),
+        "serve" => serve(clients),
         "planner" => planner(max_p),
         "scaling" => scaling(max_p),
         "table1" => table1(),
@@ -95,6 +109,7 @@ fn main() {
         "all" => {
             kernels();
             backends();
+            serve(clients);
             planner(max_p);
             scaling(max_p);
             table1();
@@ -112,9 +127,9 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; expected one of: all kernels backends planner \
-                 scaling table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c fig11d fig11e \
-                 fig11f summary"
+                "unknown experiment '{other}'; expected one of: all kernels backends serve \
+                 planner scaling table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c \
+                 fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
@@ -343,9 +358,7 @@ fn backends() {
     const DIST_RANKS: usize = 4;
 
     let meta = TuckerMeta::new(DIMS.to_vec(), vec![K; 3]);
-    let host_cores = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(1);
+    let host_cores = tucker_tensor::host_threads();
     println!(
         "== Backends: seq vs rayon({host_cores} cores) vs distsim(P={DIST_RANKS}) on {meta}, \
          {SWEEPS} sweeps, best of {REPS} ==",
@@ -366,18 +379,32 @@ fn backends() {
     let rayon = rows.iter().find(|r| r.backend == "rayon").unwrap();
     let speedup = seq.wall_s / rayon.wall_s;
     let beats = rayon.wall_s < seq.wall_s;
+    let skipped_single_core = host_cores < 2;
     println!(
         "   rayon vs seq: {speedup:.2}x {} ({host_cores} host cores)",
         if beats { "speedup" } else { "(no gain)" }
     );
-    if host_cores >= 2 {
+    // The gate scales with the host: a single core cannot exhibit a
+    // parallel speedup (the old always-green assert is replaced by an
+    // explicit skip), a wide host must show a real one.
+    if host_cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "RayonBackend must reach >=1.5x over SeqBackend on {host_cores} host cores \
+             (seq {:.1}us vs rayon {:.1}us = {speedup:.2}x)",
+            seq.wall_s * 1e6,
+            rayon.wall_s * 1e6
+        );
+    } else if host_cores >= 2 {
         assert!(
             beats,
-            "RayonBackend must beat SeqBackend on >=2 host cores \
+            "RayonBackend must beat SeqBackend on {host_cores} host cores \
              (seq {:.1}us vs rayon {:.1}us)",
             seq.wall_s * 1e6,
             rayon.wall_s * 1e6
         );
+    } else {
+        println!("   (single host core: rayon-vs-seq speedup gate skipped)");
     }
 
     let json_rows: Vec<String> = rows
@@ -394,12 +421,179 @@ fn backends() {
         "{{\n  \"schema\": \"tucker-bench/backends/v1\",\n  \"input\": \"{}\",\n  \
          \"core\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"sweeps\": {SWEEPS},\n  \
          \"reps\": {REPS},\n  \"rows\": [\n{}\n  ],\n  \
-         \"rayon_speedup_vs_seq\": {speedup:.4},\n  \"rayon_beats_seq\": {beats}\n}}\n",
+         \"rayon_speedup_vs_seq\": {speedup:.4},\n  \"rayon_beats_seq\": {beats},\n  \
+         \"skipped_single_core\": {skipped_single_core}\n}}\n",
         meta.input(),
         meta.core(),
         json_rows.join(",\n")
     );
     let p = write_results("BENCH_backends.json", &json);
+    println!("-> {}\n", p.display());
+}
+
+// ---------------------------------------------------------------- Serving
+
+/// Serving-layer benchmark: `clients` concurrent synthetic clients each
+/// burst-submit a stream of compress jobs over a small set of shapes with
+/// repeated seeds, so the server exercises admission control, same-shape
+/// batching, seed coalescing and the exact plan cache at once. Client-side
+/// latency percentiles and the server's own counters are persisted to
+/// `results/BENCH_serving.json` (schema `tucker-bench/serving/v1`).
+fn serve(clients: usize) {
+    use std::sync::Arc;
+    use tucker_core::{JobSpec, ServeCfg, Server};
+
+    const JOBS_PER_CLIENT: usize = 8;
+    const SWEEPS: usize = 2;
+    const SERVE_RANKS: usize = 8;
+    // Three shapes cycled by every client: only three plan-cache misses
+    // total, everything else is a hit; seeds repeat across clients so
+    // concurrent identical jobs coalesce into shared executions.
+    let shapes: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        (vec![12, 10, 8], vec![4, 4, 3]),
+        (vec![10, 10, 10], vec![4, 4, 4]),
+        (vec![14, 8, 6], vec![4, 3, 3]),
+    ];
+    let total_jobs = clients * JOBS_PER_CLIENT;
+    println!(
+        "== Serving: {clients} clients x {JOBS_PER_CLIENT} jobs over {} shapes, \
+         {SWEEPS} sweeps, P={SERVE_RANKS} ==",
+        shapes.len()
+    );
+
+    // Start paused: every client enqueues its first job before the worker
+    // wakes, so the first wave — identical across clients — is guaranteed
+    // to land in shared batches and coalesce.
+    let server = Arc::new(Server::start(ServeCfg {
+        return_decompositions: false,
+        start_paused: true,
+        ..ServeCfg::default()
+    }));
+    let t0 = std::time::Instant::now();
+    let handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+        .map(|_| {
+            let srv = Arc::clone(&server);
+            let shapes = shapes.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(JOBS_PER_CLIENT);
+                for j in 0..JOBS_PER_CLIENT {
+                    // Shape and seed depend on the step only: at any step
+                    // every client issues the same request, the serving
+                    // pattern batching and coalescing are built for.
+                    let (dims, core) = shapes[j % shapes.len()].clone();
+                    let spec = JobSpec {
+                        sweeps: SWEEPS,
+                        ..JobSpec::compress(dims, core, SERVE_RANKS, (j % 4) as u64)
+                    };
+                    let t = std::time::Instant::now();
+                    let ticket = srv.submit_blocking(spec).expect("server is accepting");
+                    let _ = ticket.wait();
+                    latencies.push(t.elapsed().as_secs_f64());
+                }
+                latencies
+            })
+        })
+        .collect();
+    while server.queued() < clients {
+        if t0.elapsed().as_secs() > 10 {
+            break; // never deadlock the bench on a stuck client
+        }
+        std::thread::yield_now();
+    }
+    server.resume();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let report = Arc::into_inner(server)
+        .expect("all clients joined")
+        .shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p / 100.0).round() as usize];
+    let p50 = pct(50.0);
+    let p99 = pct(99.0);
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let throughput = report.jobs as f64 / elapsed.max(1e-12);
+    let single_job_batches = report.batches - report.multi_job_batches;
+
+    assert_eq!(report.jobs as usize, total_jobs, "no job may be dropped");
+    assert!(
+        report.cache.hits > 0,
+        "repeated same-shape jobs must hit the plan cache"
+    );
+    assert!(
+        report.executed_sweeps < report.requested_sweeps,
+        "coalescing repeated seeds must save sweeps \
+         (executed {} vs requested {})",
+        report.executed_sweeps,
+        report.requested_sweeps
+    );
+
+    println!(
+        "   latency: p50 {:.2}ms  p99 {:.2}ms  mean {:.2}ms  ({:.1} jobs/s over {:.2}s)",
+        p50 * 1e3,
+        p99 * 1e3,
+        mean * 1e3,
+        throughput,
+        elapsed
+    );
+    println!(
+        "   batches: {} total, {} multi-job ({} jobs batched, {} coalesced); \
+         sweeps executed/requested {}/{}",
+        report.batches,
+        report.multi_job_batches,
+        report.batched_jobs,
+        report.coalesced_jobs,
+        report.executed_sweeps,
+        report.requested_sweeps
+    );
+    println!(
+        "   plan cache: {} hits / {} misses (hit rate {:.1}%); queue hwm {}; \
+         workspace hwm {} B; rejected {}",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+        report.queue_depth_hwm,
+        report.workspace_bytes_hwm,
+        report.rejected
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/serving/v1\",\n  \"clients\": {clients},\n  \
+         \"jobs_per_client\": {JOBS_PER_CLIENT},\n  \"total_jobs\": {},\n  \
+         \"sweeps_per_job\": {SWEEPS},\n  \"nranks\": {SERVE_RANKS},\n  \
+         \"shapes\": {},\n  \"latency_ms\": {{\"p50\": {:.4}, \"p99\": {:.4}, \
+         \"mean\": {:.4}}},\n  \"throughput_jobs_per_s\": {:.3},\n  \
+         \"elapsed_s\": {:.6},\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.4}}},\n  \"batches\": {{\"total\": {}, \"multi_job\": {}, \
+         \"single_job\": {}, \"batched_jobs\": {}, \"coalesced_jobs\": {}}},\n  \
+         \"executed_sweeps\": {},\n  \"requested_sweeps\": {},\n  \
+         \"rejected\": {},\n  \"queue_depth_hwm\": {},\n  \
+         \"workspace_bytes_hwm\": {}\n}}\n",
+        report.jobs,
+        shapes.len(),
+        p50 * 1e3,
+        p99 * 1e3,
+        mean * 1e3,
+        throughput,
+        elapsed,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate(),
+        report.batches,
+        report.multi_job_batches,
+        single_job_batches,
+        report.batched_jobs,
+        report.coalesced_jobs,
+        report.executed_sweeps,
+        report.requested_sweeps,
+        report.rejected,
+        report.queue_depth_hwm,
+        report.workspace_bytes_hwm
+    );
+    let p = write_results("BENCH_serving.json", &json);
     println!("-> {}\n", p.display());
 }
 

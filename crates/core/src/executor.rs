@@ -583,6 +583,102 @@ pub fn hooi_loop<B: SweepBackend>(
     }
 }
 
+/// One request of [`hooi_loop_batch`]: a root tensor plus everything
+/// [`hooi_loop`] needs to iterate it. Metadata, tree, and factors are
+/// borrowed so a batch of same-shape requests can share one plan.
+pub struct BatchItem<'a, T> {
+    /// The input tensor (borrowed for the whole batch, never recycled).
+    pub root: &'a T,
+    /// Input/core shapes.
+    pub meta: &'a TuckerMeta,
+    /// The TTM-tree schedule driving every sweep.
+    pub tree: &'a TtmTree,
+    /// Starting factors (consumed; replaced by the sweep outputs).
+    pub init_factors: Vec<Matrix>,
+    /// `‖root‖²_F`, for the core-norm error identity.
+    pub input_norm_sq: f64,
+}
+
+/// The shared-sweep batching hook: run several HOOI requests through **one**
+/// backend, interleaved sweep-by-sweep — sweep `s` of item 0, sweep `s` of
+/// item 1, … — instead of item-by-item. On workspace backends this is what
+/// makes serving batches cheap: a batch of same-shape requests ping-pongs
+/// through the *same* pooled buffers (each item's intermediates are recycled
+/// before the next item's sweep acquires them), so every sweep after the
+/// first is allocation-free across the whole batch, exactly as if the batch
+/// were one request. Per-item convergence (`cfg.tol`) is honored
+/// independently: converged items drop out of later rounds.
+///
+/// Results are returned in item order and are bit-identical to running
+/// [`hooi_loop`] per item (the interleaving only reorders buffer reuse,
+/// never arithmetic).
+///
+/// # Panics
+/// Panics if `cfg.max_sweeps` is zero or any item's tree/factors are
+/// invalid.
+pub fn hooi_loop_batch<B: SweepBackend>(
+    b: &mut B,
+    items: Vec<BatchItem<'_, B::Tensor>>,
+    cfg: LoopCfg,
+) -> Vec<LoopOutcome<B::Tensor>> {
+    assert!(cfg.max_sweeps >= 1, "need at least one sweep");
+    struct Slot<'a, B: SweepBackend> {
+        item: BatchItem<'a, B::Tensor>,
+        core: Option<B::Tensor>,
+        per_sweep: Vec<SweepStats>,
+        errors: Vec<f64>,
+        done: bool,
+    }
+    let mut slots: Vec<Slot<B>> = items
+        .into_iter()
+        .map(|item| Slot {
+            item,
+            core: None,
+            per_sweep: Vec::with_capacity(cfg.max_sweeps),
+            errors: Vec::with_capacity(cfg.max_sweeps),
+            done: false,
+        })
+        .collect();
+
+    for _ in 0..cfg.max_sweeps {
+        let mut any_active = false;
+        for s in slots.iter_mut().filter(|s| !s.done) {
+            any_active = true;
+            let out = hooi_sweep(
+                b,
+                s.item.root,
+                s.item.meta,
+                s.item.tree,
+                &s.item.init_factors,
+                s.item.input_norm_sq,
+            );
+            s.item.init_factors = out.factors;
+            if let Some(old) = s.core.replace(out.core) {
+                b.recycle(old);
+            }
+            s.errors.push(out.stats.error);
+            s.per_sweep.push(out.stats);
+            let l = s.errors.len();
+            if l >= 2 && (s.errors[l - 2] - s.errors[l - 1]).abs() < cfg.tol {
+                s.done = true;
+            }
+        }
+        if !any_active {
+            break;
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|s| LoopOutcome {
+            factors: s.item.init_factors,
+            core: s.core.expect("at least one sweep ran"),
+            per_sweep: s.per_sweep,
+            errors: s.errors,
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------ host backends
 
 /// Shared implementation of the two host (shared-memory) backends: a
@@ -619,13 +715,11 @@ impl<const PAR: bool> HostBackend<PAR> {
     }
 
     /// The worker count this backend flavor pins by construction: 1 for
-    /// [`SeqBackend`], the host's available parallelism for
-    /// [`RayonBackend`].
+    /// [`SeqBackend`], the host's worker count (overridable via
+    /// [`tucker_tensor::set_host_threads_override`]) for [`RayonBackend`].
     fn auto_threads() -> usize {
         if PAR {
-            std::thread::available_parallelism()
-                .map(|w| w.get())
-                .unwrap_or(1)
+            tucker_tensor::host_threads()
         } else {
             1
         }

@@ -27,7 +27,10 @@
 //!   engine's distsim backend);
 //! * [`engine`] — the distributed *engine* (§5): executes a plan on the
 //!   simulated MPI universe (the distsim backend of the executor), with
-//!   per-phase time and volume accounting.
+//!   per-phase time and volume accounting;
+//! * [`serve`] — the in-process decomposition **server**: a bounded job
+//!   queue with admission control, same-shape batching through the sweep
+//!   executor, and an exact [`plan::cache::PlanCache`] over the joint DP.
 //!
 //! ## Quick start
 //!
@@ -59,6 +62,7 @@ pub mod meta;
 pub mod opt_tree;
 pub mod plan;
 pub mod planner;
+pub mod serve;
 pub mod sthosvd;
 pub mod tree;
 pub mod volume;
@@ -69,7 +73,11 @@ pub use executor::{
 };
 pub use meta::TuckerMeta;
 pub use plan::{
-    CostModel, FlopVolumeModel, GridStrategy, NetCostModel, Plan, Planner, RankedPlans,
-    SearchBudget, TreeStrategy,
+    CostModel, FlopVolumeModel, GridStrategy, NetCostModel, Plan, PlanCache, PlanCacheStats,
+    Planner, RankedPlans, SearchBudget, TreeStrategy,
+};
+pub use serve::{
+    JobKind, JobOutput, JobResult, JobSpec, PlanModel, ServeCfg, Server, ServerReport, SubmitError,
+    Ticket,
 };
 pub use tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};

@@ -135,6 +135,16 @@ pub trait CostModel {
     /// Short label for reports (`"flops+vol"`, `"net"`).
     fn name(&self) -> &'static str;
 
+    /// Identity of this model **instance** for memoization (the `model`
+    /// component of a [`crate::plan::cache::PlanKey`]). Two models with the
+    /// same cache key must assign identical costs to every plan; models
+    /// with internal parameters (rank count, network constants) must fold
+    /// them in — `name()` alone would alias every `NetCostModel` onto one
+    /// entry. Parameter-free models can keep the default.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Price of the TTM at a node whose input is `T[premult]` (the global
     /// tensor with the `premult` modes already multiplied), along mode `n`,
     /// under grid `g`.
@@ -505,6 +515,18 @@ impl NetCostModel {
 impl CostModel for NetCostModel {
     fn name(&self) -> &'static str {
         "net"
+    }
+
+    /// Fold the pricing parameters in: two α–β models differing in rank
+    /// count or network constants price plans differently and must not
+    /// share cache entries.
+    fn cache_key(&self) -> String {
+        format!(
+            "net:p={}:alpha_ns={}:beta_ns_per_byte={}",
+            self.nranks,
+            self.net.alpha().as_nanos(),
+            self.net.beta_ns_per_byte()
+        )
     }
 
     /// Rank 0's reduce-scatter charge: rank 0 holds the largest block of

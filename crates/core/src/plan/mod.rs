@@ -17,6 +17,8 @@
 //!   engine's virtual communication clock exactly);
 //! * [`search`] — the joint grid × tree × order DP
 //!   ([`search::optimize`]) producing [`RankedPlans`];
+//! * [`cache`] — the exact LRU memo of search winners keyed by
+//!   `(shape, core, P, model)` that the serving layer plans through;
 //! * [`brute_force`] — the independent exhaustive/sampling certification
 //!   oracle.
 //!
@@ -25,12 +27,14 @@
 //! examples consume.
 
 pub mod brute_force;
+pub mod cache;
 pub mod cost;
 pub mod grid;
 pub mod order;
 pub mod search;
 pub mod tree;
 
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use cost::{CostModel, FlopVolumeModel, NetCostModel, SweepPrediction, VOLUME_FLOP_EQUIV};
 pub use search::{optimize, RankedPlans, ScoredPlan, SearchBudget};
 

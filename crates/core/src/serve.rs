@@ -1,0 +1,1046 @@
+//! Tucker-as-a-service: a long-running in-process decomposition server.
+//!
+//! The roadmap's Tucker-as-a-service item asks for the request-lifecycle
+//! layer on top of the batch pipeline: accept compress/reconstruct/query
+//! jobs from many clients, keep
+//! latency bounded, and reuse the expensive artifacts (plans, workspace
+//! buffers) across requests. This module is that layer, built from
+//! `std::sync` primitives only (no tokio — the queue is local and the
+//! worker is one thread):
+//!
+//! * **Queue lifecycle** — [`Server::submit`] enqueues a [`JobSpec`] behind
+//!   a bounded queue ([`ServeCfg::queue_depth`]); the worker thread pops the
+//!   head, *batches* every queued job with the same [`BatchKey`] (shape,
+//!   core, `P`, sweep count, kind) up to [`ServeCfg::batch_max`], executes
+//!   the batch, and answers each job's [`Ticket`] over its own channel.
+//! * **Batching rule** — same-key compress jobs run through
+//!   [`hooi_loop_batch`] on **one** [`SeqBackend`]: their sweeps interleave
+//!   through the same pooled buffers, so a batch of `k` same-shape requests
+//!   allocates like one request. Jobs that are *identical* (same seed too)
+//!   are coalesced: one execution, results cloned. Every executed sweep is
+//!   stamped with [`PlanProvenance`] so the batch can be audited
+//!   post-hoc.
+//! * **Plan cache** — every compress/query job resolves its plan through a
+//!   [`PlanCache`] keyed by `(shape, core, P, model)`; the joint DP is pure,
+//!   so hits are exact (see [`crate::plan::cache`]).
+//! * **Admission control / backpressure** — a full queue rejects
+//!   [`Server::submit`] with [`SubmitError::QueueFull`] (counted in the
+//!   report); [`Server::submit_blocking`] instead parks the client until the
+//!   worker frees a slot.
+//!
+//! [`Server::shutdown`] drains the queue, joins the worker and returns a
+//! [`ServerReport`] with the cache, batching, queue and workspace
+//! high-water-mark counters the serving bench persists to
+//! `results/BENCH_serving.json`.
+
+use crate::decomposition::TuckerDecomposition;
+use crate::executor::{
+    hooi_loop_batch, BatchItem, LoopCfg, PlanProvenance, SeqBackend, SweepBackend, SweepStats,
+};
+use crate::meta::TuckerMeta;
+use crate::plan::cache::{PlanCache, PlanCacheStats};
+use crate::plan::{CostModel, FlopVolumeModel, NetCostModel, Plan};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tucker_distsim::NetModel;
+use tucker_linalg::{leading_from_gram, Matrix};
+use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::{DenseTensor, Shape, TtmWorkspace};
+
+/// Deterministic hash-based fill in `[-0.5, 0.5)` for synthetic job
+/// tensors: stateless and reproducible, so a client, the server and a test
+/// can all materialize the *same* tensor from `(shape, seed)` without
+/// shipping it through the queue.
+pub fn synthetic_fill(coord: &[usize], seed: u64) -> f64 {
+    let mut h = seed ^ 0xD6E8_FEB8_6659_FD93;
+    for &x in coord {
+        h ^= (x as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((h >> 11) ^ (h & 0x7FF)) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Which cost model the server plans under.
+#[derive(Clone, Debug)]
+pub enum PlanModel {
+    /// The machine-independent closed-form objective.
+    FlopVolume,
+    /// The α–β model; each job is priced for its own `nranks`.
+    Net(NetModel),
+}
+
+impl PlanModel {
+    /// The concrete model for a job on `nranks` ranks.
+    fn model_for(&self, nranks: usize) -> Box<dyn CostModel> {
+        match self {
+            PlanModel::FlopVolume => Box::new(FlopVolumeModel),
+            PlanModel::Net(net) => Box::new(NetCostModel::new(*net, nranks)),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeCfg {
+    /// Admission-control bound on queued (not yet popped) jobs.
+    pub queue_depth: usize,
+    /// Maximum jobs merged into one batch.
+    pub batch_max: usize,
+    /// Capacity of the LRU plan cache.
+    pub plan_cache_capacity: usize,
+    /// The cost model plans are searched under.
+    pub model: PlanModel,
+    /// Byte cap on the worker's pooled TTM workspace (see
+    /// [`TtmWorkspace::with_limit`]); `None` keeps the pool grow-only.
+    pub workspace_limit_bytes: Option<usize>,
+    /// Whether compress results carry the full [`TuckerDecomposition`]
+    /// (cloned per job); `false` returns errors/stats only, which is what
+    /// the throughput bench wants.
+    pub return_decompositions: bool,
+    /// Start with the worker parked: jobs queue up but nothing executes
+    /// until [`Server::resume`]. Deterministic batching for tests and for
+    /// burst-style benches.
+    pub start_paused: bool,
+}
+
+impl Default for ServeCfg {
+    fn default() -> Self {
+        ServeCfg {
+            queue_depth: 64,
+            batch_max: 8,
+            plan_cache_capacity: 32,
+            model: PlanModel::FlopVolume,
+            workspace_limit_bytes: None,
+            return_decompositions: true,
+            start_paused: false,
+        }
+    }
+}
+
+/// What a job asks for.
+#[derive(Clone)]
+pub enum JobKind {
+    /// Decompose the synthetic tensor `(dims, seed)` to the core shape.
+    Compress,
+    /// Reconstruct the full tensor from a decomposition.
+    Reconstruct(Arc<TuckerDecomposition>),
+    /// Plan only: resolve the `(shape, core, P)` plan through the cache and
+    /// report its predictions, executing nothing.
+    Query,
+}
+
+impl JobKind {
+    fn tag(&self) -> u8 {
+        match self {
+            JobKind::Compress => 0,
+            JobKind::Reconstruct(_) => 1,
+            JobKind::Query => 2,
+        }
+    }
+}
+
+/// One request.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Input shape `L₁ … L_N`.
+    pub dims: Vec<usize>,
+    /// Core shape `K₁ … K_N`.
+    pub core: Vec<usize>,
+    /// Rank count the plan is priced for.
+    pub nranks: usize,
+    /// HOOI sweeps to run (compress jobs).
+    pub sweeps: usize,
+    /// Seed of the synthetic fill; jobs identical up to and including the
+    /// seed are coalesced into one execution.
+    pub seed: u64,
+    /// Compress, reconstruct or plan-query.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// A compress job with one sweep.
+    pub fn compress(dims: Vec<usize>, core: Vec<usize>, nranks: usize, seed: u64) -> Self {
+        JobSpec {
+            dims,
+            core,
+            nranks,
+            sweeps: 1,
+            seed,
+            kind: JobKind::Compress,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.dims.is_empty() || self.dims.len() != self.core.len() {
+            return Err(format!(
+                "need matching non-empty shapes, got L={:?} K={:?}",
+                self.dims, self.core
+            ));
+        }
+        for (n, (&l, &k)) in self.dims.iter().zip(&self.core).enumerate() {
+            if k == 0 || k > l {
+                return Err(format!("mode {n}: need 1 <= K ({k}) <= L ({l})"));
+            }
+        }
+        let core_card: f64 = self.core.iter().map(|&k| k as f64).product();
+        if self.nranks == 0 || self.nranks as f64 > core_card {
+            return Err(format!(
+                "nranks {} outside [1, core cardinality {core_card}]",
+                self.nranks
+            ));
+        }
+        if self.sweeps == 0 {
+            return Err("need at least one sweep".to_string());
+        }
+        if let JobKind::Reconstruct(d) = &self.kind {
+            let m = d.meta();
+            if m.input().dims() != self.dims || m.core().dims() != self.core {
+                return Err(format!(
+                    "decomposition is {} -> {}, job says {:?} -> {:?}",
+                    m.input(),
+                    m.core(),
+                    self.dims,
+                    self.core
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn meta(&self) -> TuckerMeta {
+        TuckerMeta::new(self.dims.clone(), self.core.clone())
+    }
+}
+
+/// The batching equivalence class: jobs agreeing on everything but the seed
+/// (and, for reconstructs, the payload) share one batch.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct BatchKey {
+    dims: Vec<usize>,
+    core: Vec<usize>,
+    nranks: usize,
+    sweeps: usize,
+    kind: u8,
+}
+
+impl BatchKey {
+    fn of(spec: &JobSpec) -> Self {
+        BatchKey {
+            dims: spec.dims.clone(),
+            core: spec.core.clone(),
+            nranks: spec.nranks,
+            sweeps: spec.sweeps,
+            kind: spec.kind.tag(),
+        }
+    }
+}
+
+/// How a job's execution was shared, for audit alongside the per-sweep
+/// [`PlanProvenance`] stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Sequential id of the batch that served this job.
+    pub batch_id: u64,
+    /// Number of jobs the batch served.
+    pub batch_jobs: usize,
+    /// Whether this job shared its execution with an identical job
+    /// (same seed) instead of running its own sweeps.
+    pub coalesced: bool,
+}
+
+/// A job's answer.
+pub enum JobOutput {
+    /// Compress: error trace and stamped per-sweep stats; the decomposition
+    /// when [`ServeCfg::return_decompositions`] is set.
+    Compressed {
+        /// The decomposition, if requested.
+        decomposition: Option<TuckerDecomposition>,
+        /// Relative error after each sweep.
+        errors: Vec<f64>,
+        /// Stats of each sweep, provenance-stamped.
+        per_sweep: Vec<SweepStats>,
+    },
+    /// Reconstruct: the full tensor.
+    Reconstructed(DenseTensor),
+    /// Query: the plan's identity and model predictions.
+    Query {
+        /// `"(tree, grid)"` name of the winning plan.
+        plan: String,
+        /// Model FLOPs of one sweep's TTM component.
+        flops: f64,
+        /// Model communication volume (elements).
+        volume: f64,
+    },
+}
+
+/// What a [`Ticket`] resolves to.
+pub struct JobResult {
+    /// Sequential id assigned at submission.
+    pub job_id: u64,
+    /// The plan that drove the job (compress/query; the reconstruct chain
+    /// is plan-less and labeled as such).
+    pub plan: String,
+    /// Batch audit info.
+    pub batch: BatchInfo,
+    /// The payload.
+    pub output: JobOutput,
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at [`ServeCfg::queue_depth`]; retry or use
+    /// [`Server::submit_blocking`].
+    QueueFull,
+    /// [`Server::shutdown`] has begun.
+    ShuttingDown,
+    /// The spec failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "server shutting down"),
+            SubmitError::Invalid(why) => write!(f, "invalid job: {why}"),
+        }
+    }
+}
+
+/// Claim on a submitted job's result.
+pub struct Ticket {
+    /// The job's sequential id.
+    pub job_id: u64,
+    rx: Receiver<JobResult>,
+}
+
+impl Ticket {
+    /// Block until the job completes.
+    ///
+    /// # Panics
+    /// Panics if the server was dropped without answering (worker panic).
+    pub fn wait(self) -> JobResult {
+        self.rx
+            .recv()
+            .expect("server dropped the job without answering")
+    }
+}
+
+struct Pending {
+    job_id: u64,
+    spec: JobSpec,
+    tx: Sender<JobResult>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+    paused: bool,
+    next_job_id: u64,
+    rejected: u64,
+    queue_depth_hwm: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when work arrives, the pause lifts, or shutdown begins.
+    jobs: Condvar,
+    /// Signaled when the worker frees queue slots.
+    space: Condvar,
+}
+
+/// Counters the worker accumulates; merged into [`ServerReport`] at
+/// shutdown.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerStats {
+    jobs: u64,
+    batches: u64,
+    multi_job_batches: u64,
+    batched_jobs: u64,
+    coalesced_jobs: u64,
+    executed_sweeps: u64,
+    requested_sweeps: u64,
+    workspace_bytes_hwm: usize,
+}
+
+/// Lifetime counters of one server, returned by [`Server::shutdown`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerReport {
+    /// Jobs answered.
+    pub jobs: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches that served more than one job.
+    pub multi_job_batches: u64,
+    /// Jobs served by multi-job batches.
+    pub batched_jobs: u64,
+    /// Jobs answered by cloning an identical job's execution.
+    pub coalesced_jobs: u64,
+    /// HOOI sweeps actually executed.
+    pub executed_sweeps: u64,
+    /// HOOI sweeps the jobs asked for (≥ `executed_sweeps`; the gap is
+    /// what coalescing saved).
+    pub requested_sweeps: u64,
+    /// Plan-cache counters.
+    pub cache: PlanCacheStats,
+    /// Submissions refused with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Deepest the queue ever got.
+    pub queue_depth_hwm: usize,
+    /// Peak bytes parked in the worker's TTM workspace pool.
+    pub workspace_bytes_hwm: usize,
+}
+
+/// The in-process decomposition server: one worker thread over a bounded
+/// local job queue. See the module docs for the lifecycle.
+pub struct Server {
+    shared: Arc<Shared>,
+    cfg: ServeCfg,
+    worker: Option<JoinHandle<(WorkerStats, PlanCacheStats)>>,
+}
+
+impl Server {
+    /// Start the worker and return the handle clients submit through.
+    ///
+    /// # Panics
+    /// Panics if `queue_depth`, `batch_max` or `plan_cache_capacity` is
+    /// zero.
+    pub fn start(cfg: ServeCfg) -> Self {
+        assert!(cfg.queue_depth >= 1, "need a queue");
+        assert!(cfg.batch_max >= 1, "need batches of at least one job");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutting_down: false,
+                paused: cfg.start_paused,
+                next_job_id: 0,
+                rejected: 0,
+                queue_depth_hwm: 0,
+            }),
+            jobs: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker_cfg = cfg.clone();
+        let worker = std::thread::Builder::new()
+            .name("tucker-serve".to_string())
+            .spawn(move || worker_loop(&worker_shared, &worker_cfg))
+            .expect("spawn server worker");
+        Server {
+            shared,
+            cfg,
+            worker: Some(worker),
+        }
+    }
+
+    /// Lift [`ServeCfg::start_paused`]: the worker begins draining the
+    /// queue. Idempotent.
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.paused = false;
+        drop(st);
+        self.shared.jobs.notify_all();
+    }
+
+    /// Enqueue a job, refusing when the queue is full (admission control).
+    pub fn submit(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.cfg.queue_depth {
+            st.rejected += 1;
+            return Err(SubmitError::QueueFull);
+        }
+        Ok(self.enqueue(&mut st, spec))
+    }
+
+    /// Enqueue a job, parking the caller until a slot frees (backpressure).
+    pub fn submit_blocking(&self, spec: JobSpec) -> Result<Ticket, SubmitError> {
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let mut st = self.shared.state.lock().unwrap();
+        while !st.shutting_down && st.queue.len() >= self.cfg.queue_depth {
+            st = self.shared.space.wait(st).unwrap();
+        }
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(self.enqueue(&mut st, spec))
+    }
+
+    fn enqueue(&self, st: &mut State, spec: JobSpec) -> Ticket {
+        let job_id = st.next_job_id;
+        st.next_job_id += 1;
+        let (tx, rx) = channel();
+        st.queue.push_back(Pending { job_id, spec, tx });
+        st.queue_depth_hwm = st.queue_depth_hwm.max(st.queue.len());
+        self.shared.jobs.notify_all();
+        Ticket { job_id, rx }
+    }
+
+    /// Jobs currently queued (not yet popped into a batch).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Stop accepting jobs, drain the queue, join the worker and report.
+    pub fn shutdown(mut self) -> ServerReport {
+        let (worker_stats, cache_stats) = self.begin_shutdown();
+        let st = self.shared.state.lock().unwrap();
+        ServerReport {
+            jobs: worker_stats.jobs,
+            batches: worker_stats.batches,
+            multi_job_batches: worker_stats.multi_job_batches,
+            batched_jobs: worker_stats.batched_jobs,
+            coalesced_jobs: worker_stats.coalesced_jobs,
+            executed_sweeps: worker_stats.executed_sweeps,
+            requested_sweeps: worker_stats.requested_sweeps,
+            cache: cache_stats,
+            rejected: st.rejected,
+            queue_depth_hwm: st.queue_depth_hwm,
+            workspace_bytes_hwm: worker_stats.workspace_bytes_hwm,
+        }
+    }
+
+    fn begin_shutdown(&mut self) -> (WorkerStats, PlanCacheStats) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutting_down = true;
+        }
+        self.shared.jobs.notify_all();
+        self.shared.space.notify_all();
+        match self.worker.take() {
+            Some(h) => h.join().expect("server worker panicked"),
+            None => (WorkerStats::default(), PlanCacheStats::default()),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            let _ = self.begin_shutdown();
+        }
+    }
+}
+
+/// The worker: pop → batch → execute → answer, until shutdown drains the
+/// queue.
+fn worker_loop(shared: &Shared, cfg: &ServeCfg) -> (WorkerStats, PlanCacheStats) {
+    let mut cache = PlanCache::new(cfg.plan_cache_capacity);
+    let mut ws = match cfg.workspace_limit_bytes {
+        Some(limit) => TtmWorkspace::with_limit(limit),
+        None => TtmWorkspace::new(),
+    };
+    let mut stats = WorkerStats::default();
+    let mut next_batch_id = 0u64;
+
+    loop {
+        // Pop a batch under the lock.
+        let batch: Vec<Pending> = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                let parked = st.paused && !st.shutting_down;
+                if !parked && !st.queue.is_empty() {
+                    break;
+                }
+                if !parked && st.shutting_down {
+                    return (stats, cache.stats());
+                }
+                st = shared.jobs.wait(st).unwrap();
+            }
+            let head = st.queue.pop_front().expect("checked non-empty");
+            let key = BatchKey::of(&head.spec);
+            let mut batch = vec![head];
+            let mut i = 0;
+            while i < st.queue.len() && batch.len() < cfg.batch_max {
+                if BatchKey::of(&st.queue[i].spec) == key {
+                    batch.push(st.queue.remove(i).expect("index in range"));
+                } else {
+                    i += 1;
+                }
+            }
+            batch
+        };
+        shared.space.notify_all();
+
+        let batch_id = next_batch_id;
+        next_batch_id += 1;
+        stats.batches += 1;
+        stats.jobs += batch.len() as u64;
+        if batch.len() > 1 {
+            stats.multi_job_batches += 1;
+            stats.batched_jobs += batch.len() as u64;
+        }
+        let info = BatchInfo {
+            batch_id,
+            batch_jobs: batch.len(),
+            coalesced: false,
+        };
+
+        match batch[0].spec.kind.tag() {
+            0 => execute_compress_batch(batch, info, cfg, &mut cache, &mut ws, &mut stats),
+            1 => execute_reconstruct_batch(batch, info, &mut ws),
+            _ => execute_query_batch(batch, info, cfg, &mut cache),
+        }
+        stats.workspace_bytes_hwm = stats.workspace_bytes_hwm.max(ws.pooled_bytes());
+    }
+}
+
+/// Resolve a job's plan through the cache (one lookup per job, so repeated
+/// same-shape jobs register as hits even inside one batch).
+fn plan_for(cfg: &ServeCfg, cache: &mut PlanCache, spec: &JobSpec) -> Plan {
+    let meta = spec.meta();
+    let model = cfg.model.model_for(spec.nranks);
+    cache.plan(&meta, spec.nranks, model.as_ref())
+}
+
+fn execute_compress_batch(
+    batch: Vec<Pending>,
+    info: BatchInfo,
+    cfg: &ServeCfg,
+    cache: &mut PlanCache,
+    ws: &mut TtmWorkspace,
+    stats: &mut WorkerStats,
+) {
+    let meta = batch[0].spec.meta();
+    // One plan lookup per job: all keys agree within a batch, so this is
+    // 1 miss + (k−1) hits on a cold cache — the hit-rate signal the bench
+    // asserts on.
+    let plans: Vec<Plan> = batch
+        .iter()
+        .map(|p| plan_for(cfg, cache, &p.spec))
+        .collect();
+    let plan = &plans[0];
+    stats.requested_sweeps += batch.iter().map(|p| p.spec.sweeps as u64).sum::<u64>();
+
+    // Coalesce identical jobs: one executed item per distinct seed.
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut item_of_job: Vec<usize> = Vec::with_capacity(batch.len());
+    for p in &batch {
+        let idx = match seeds.iter().position(|&s| s == p.spec.seed) {
+            Some(i) => i,
+            None => {
+                seeds.push(p.spec.seed);
+                seeds.len() - 1
+            }
+        };
+        item_of_job.push(idx);
+    }
+
+    // Materialize each distinct tensor and its HOSVD init.
+    let roots: Vec<DenseTensor> = seeds
+        .iter()
+        .map(|&seed| {
+            DenseTensor::from_fn(Shape::new(meta.input().dims().to_vec()), |c| {
+                synthetic_fill(c, seed)
+            })
+        })
+        .collect();
+    let items: Vec<BatchItem<DenseTensor>> = roots
+        .iter()
+        .map(|t| {
+            let init: Vec<Matrix> = (0..meta.order())
+                .map(|n| leading_from_gram(&tucker_tensor::gram(t, n), meta.k(n)).u)
+                .collect();
+            BatchItem {
+                root: t,
+                meta: &meta,
+                tree: &plan.tree,
+                init_factors: init,
+                input_norm_sq: fro_norm_sq(t),
+            }
+        })
+        .collect();
+
+    // All distinct items through one backend: shared sweeps, shared pool.
+    let sweeps = batch[0].spec.sweeps;
+    let mut backend = SeqBackend::from_workspace(std::mem::take(ws));
+    let mut outcomes = hooi_loop_batch(&mut backend, items, LoopCfg::exactly(sweeps));
+    stats.executed_sweeps += outcomes
+        .iter()
+        .map(|o| o.per_sweep.len() as u64)
+        .sum::<u64>();
+
+    // Stamp provenance on every executed sweep.
+    let provenance = PlanProvenance {
+        plan: plan.name(),
+        predicted_comm: None,
+    };
+    for o in &mut outcomes {
+        for s in &mut o.per_sweep {
+            s.provenance = Some(provenance.clone());
+        }
+    }
+
+    // Answer each job. A job is "coalesced" when it shares its executed
+    // item with at least one other job in the batch; the counter charges
+    // only the sharers beyond the first (jobs − distinct seeds).
+    for (p, &item) in batch.iter().zip(&item_of_job) {
+        let o = &outcomes[item];
+        let decomposition = cfg
+            .return_decompositions
+            .then(|| TuckerDecomposition::new(o.core.clone(), o.factors.clone()));
+        let coalesced = item_of_job.iter().filter(|&&i| i == item).count() > 1;
+        let _ = p.tx.send(JobResult {
+            job_id: p.job_id,
+            plan: plan.name(),
+            batch: BatchInfo { coalesced, ..info },
+            output: JobOutput::Compressed {
+                decomposition,
+                errors: o.errors.clone(),
+                per_sweep: o.per_sweep.clone(),
+            },
+        });
+    }
+    stats.coalesced_jobs += (batch.len() - seeds.len()) as u64;
+
+    // Recycle the cores (results hold clones when requested) and reclaim
+    // the workspace.
+    for o in outcomes {
+        backend.recycle(o.core);
+    }
+    *ws = backend.into_workspace();
+}
+
+fn execute_reconstruct_batch(batch: Vec<Pending>, info: BatchInfo, ws: &mut TtmWorkspace) {
+    for p in batch {
+        let JobKind::Reconstruct(d) = &p.spec.kind else {
+            unreachable!("batch key pins the kind");
+        };
+        let ops: Vec<(usize, &Matrix)> = d.factors.iter().enumerate().collect();
+        let z = ws.ttm_chain(&d.core, &ops);
+        let _ = p.tx.send(JobResult {
+            job_id: p.job_id,
+            plan: "(reconstruct-chain)".to_string(),
+            batch: info,
+            output: JobOutput::Reconstructed(z),
+        });
+    }
+}
+
+fn execute_query_batch(
+    batch: Vec<Pending>,
+    info: BatchInfo,
+    cfg: &ServeCfg,
+    cache: &mut PlanCache,
+) {
+    for p in batch {
+        let plan = plan_for(cfg, cache, &p.spec);
+        let _ = p.tx.send(JobResult {
+            job_id: p.job_id,
+            plan: plan.name(),
+            batch: info,
+            output: JobOutput::Query {
+                plan: plan.name(),
+                flops: plan.flops,
+                volume: plan.volume,
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::hooi_loop;
+    use crate::plan::Planner;
+
+    fn spec(dims: &[usize], core: &[usize], seed: u64) -> JobSpec {
+        JobSpec {
+            dims: dims.to_vec(),
+            core: core.to_vec(),
+            nranks: 4,
+            sweeps: 2,
+            seed,
+            kind: JobKind::Compress,
+        }
+    }
+
+    fn paused_cfg() -> ServeCfg {
+        ServeCfg {
+            start_paused: true,
+            ..ServeCfg::default()
+        }
+    }
+
+    #[test]
+    fn compress_matches_direct_execution_bitwise() {
+        let dims = [10usize, 8, 6];
+        let core = [4usize, 4, 3];
+        let server = Server::start(ServeCfg::default());
+        let ticket = server.submit(spec(&dims, &core, 7)).unwrap();
+        let result = ticket.wait();
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 1);
+
+        // Same plan, same fill, same init, run directly.
+        let meta = TuckerMeta::new(dims.to_vec(), core.to_vec());
+        let plan = Planner::new(meta.clone(), 4).best_plan();
+        let t = DenseTensor::from_fn(meta.input().clone(), |c| synthetic_fill(c, 7));
+        let init: Vec<Matrix> = (0..meta.order())
+            .map(|n| leading_from_gram(&tucker_tensor::gram(&t, n), meta.k(n)).u)
+            .collect();
+        let mut b = SeqBackend::new();
+        let direct = hooi_loop(
+            &mut b,
+            &t,
+            &meta,
+            &plan.tree,
+            init,
+            fro_norm_sq(&t),
+            LoopCfg::exactly(2),
+        );
+
+        let JobOutput::Compressed {
+            decomposition,
+            errors,
+            per_sweep,
+        } = result.output
+        else {
+            panic!("expected a compress result");
+        };
+        assert_eq!(result.plan, plan.name());
+        assert_eq!(errors.len(), 2);
+        for (a, b) in errors.iter().zip(&direct.errors) {
+            assert_eq!(a.to_bits(), b.to_bits(), "server must be bit-exact");
+        }
+        for s in &per_sweep {
+            let prov = s.provenance.as_ref().expect("every sweep stamped");
+            assert_eq!(prov.plan, plan.name());
+        }
+        let d = decomposition.expect("requested the decomposition");
+        assert_eq!(d.core.max_abs_diff(&direct.core), 0.0);
+        assert!(d.factors_orthonormal(1e-10));
+    }
+
+    #[test]
+    fn same_shape_jobs_batch_and_identical_jobs_coalesce() {
+        let server = Server::start(paused_cfg());
+        let dims = [8usize, 7, 6];
+        let core = [4usize, 3, 3];
+        // Four same-shape jobs, two distinct seeds: one batch, two executed
+        // items, two coalesced jobs.
+        let tickets: Vec<Ticket> = [11u64, 22, 11, 22]
+            .iter()
+            .map(|&s| server.submit(spec(&dims, &core, s)).unwrap())
+            .collect();
+        assert_eq!(server.queued(), 4);
+        server.resume();
+        let results: Vec<JobResult> = tickets.into_iter().map(Ticket::wait).collect();
+        let report = server.shutdown();
+
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.multi_job_batches, 1);
+        assert_eq!(report.batched_jobs, 4);
+        assert_eq!(report.coalesced_jobs, 2);
+        assert_eq!(report.requested_sweeps, 8);
+        assert_eq!(report.executed_sweeps, 4, "two items x two sweeps");
+        assert_eq!(report.cache.misses, 1, "one key, one search");
+        assert_eq!(report.cache.hits, 3);
+        assert!(report.cache.hit_rate() > 0.7);
+        assert_eq!(report.queue_depth_hwm, 4);
+        assert!(report.workspace_bytes_hwm > 0);
+
+        for r in &results {
+            assert_eq!(r.batch.batch_jobs, 4);
+            assert!(r.batch.coalesced, "every job shared its execution");
+        }
+        // Jobs 0 and 2 are identical: identical outputs.
+        let errs = |r: &JobResult| match &r.output {
+            JobOutput::Compressed { errors, .. } => errors.clone(),
+            _ => panic!("compress job"),
+        };
+        assert_eq!(errs(&results[0]), errs(&results[2]));
+        assert_eq!(errs(&results[1]), errs(&results[3]));
+        assert_ne!(errs(&results[0]), errs(&results[1]));
+    }
+
+    #[test]
+    fn distinct_shapes_split_batches() {
+        let server = Server::start(paused_cfg());
+        let t1 = server.submit(spec(&[8, 7, 6], &[4, 3, 3], 1)).unwrap();
+        let t2 = server.submit(spec(&[9, 6, 5], &[3, 3, 2], 1)).unwrap();
+        server.resume();
+        let _ = t1.wait();
+        let _ = t2.wait();
+        let report = server.shutdown();
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.multi_job_batches, 0);
+        assert_eq!(report.cache.misses, 2);
+    }
+
+    #[test]
+    fn queue_full_rejects_and_blocking_submit_waits() {
+        let cfg = ServeCfg {
+            queue_depth: 2,
+            ..paused_cfg()
+        };
+        let server = Arc::new(Server::start(cfg));
+        let s = spec(&[6, 5, 4], &[3, 2, 2], 1);
+        let t1 = server.submit(s.clone()).unwrap();
+        let t2 = server.submit(s.clone()).unwrap();
+        assert!(matches!(
+            server.submit(s.clone()),
+            Err(SubmitError::QueueFull)
+        ));
+        // A blocking submit parks until the worker frees a slot.
+        let srv = Arc::clone(&server);
+        let s3 = s.clone();
+        let blocked = std::thread::spawn(move || srv.submit_blocking(s3).unwrap().wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "must be parked on backpressure");
+        server.resume();
+        let _ = t1.wait();
+        let _ = t2.wait();
+        let r3 = blocked.join().unwrap();
+        assert!(matches!(r3.output, JobOutput::Compressed { .. }));
+        let report = Arc::into_inner(server).unwrap().shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let server = Server::start(paused_cfg());
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| server.submit(spec(&[6, 5, 4], &[3, 2, 2], i)).unwrap())
+            .collect();
+        // Never resumed: shutdown itself must drain the queue.
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 3);
+        for t in tickets {
+            let r = t.wait();
+            assert!(matches!(r.output, JobOutput::Compressed { .. }));
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_refused() {
+        let server = Server::start(ServeCfg::default());
+        let shared = Arc::clone(&server.shared);
+        let _ = server.shutdown();
+        // The shared state outlives the server; a late client sees the flag.
+        assert!(shared.state.lock().unwrap().shutting_down);
+    }
+
+    #[test]
+    fn invalid_specs_rejected_at_submission() {
+        let server = Server::start(ServeCfg::default());
+        let bad_core = JobSpec {
+            core: vec![9, 3, 3],
+            ..spec(&[8, 7, 6], &[4, 3, 3], 1)
+        };
+        assert!(matches!(
+            server.submit(bad_core),
+            Err(SubmitError::Invalid(_))
+        ));
+        let bad_ranks = JobSpec {
+            nranks: 1000,
+            ..spec(&[8, 7, 6], &[4, 3, 3], 1)
+        };
+        assert!(matches!(
+            server.submit(bad_ranks),
+            Err(SubmitError::Invalid(_))
+        ));
+        let bad_sweeps = JobSpec {
+            sweeps: 0,
+            ..spec(&[8, 7, 6], &[4, 3, 3], 1)
+        };
+        assert!(matches!(
+            server.submit(bad_sweeps),
+            Err(SubmitError::Invalid(_))
+        ));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn reconstruct_and_query_jobs() {
+        let server = Server::start(ServeCfg::default());
+        let dims = [8usize, 6, 5];
+        let core = [3usize, 3, 2];
+        let r = server.submit(spec(&dims, &core, 5)).unwrap().wait();
+        let JobOutput::Compressed { decomposition, .. } = r.output else {
+            panic!("compress result");
+        };
+        let d = Arc::new(decomposition.unwrap());
+
+        let rec = server
+            .submit(JobSpec {
+                kind: JobKind::Reconstruct(Arc::clone(&d)),
+                ..spec(&dims, &core, 5)
+            })
+            .unwrap()
+            .wait();
+        let JobOutput::Reconstructed(z) = rec.output else {
+            panic!("reconstruct result");
+        };
+        assert_eq!(z.shape().dims(), &dims);
+        assert!(z.max_abs_diff(&d.reconstruct()) < 1e-12);
+
+        let q = server
+            .submit(JobSpec {
+                kind: JobKind::Query,
+                ..spec(&dims, &core, 5)
+            })
+            .unwrap()
+            .wait();
+        let JobOutput::Query { plan, flops, .. } = q.output else {
+            panic!("query result");
+        };
+        let meta = TuckerMeta::new(dims.to_vec(), core.to_vec());
+        let expect = Planner::new(meta, 4).best_plan();
+        assert_eq!(plan, expect.name());
+        assert_eq!(flops, expect.flops);
+        let report = server.shutdown();
+        // Compress primed the cache; the query key is identical.
+        assert!(report.cache.hits >= 1);
+        let _ = report;
+    }
+
+    #[test]
+    fn workspace_limit_bounds_server_pool() {
+        let cfg = ServeCfg {
+            workspace_limit_bytes: Some(16 * 1024),
+            return_decompositions: false,
+            ..paused_cfg()
+        };
+        let server = Server::start(cfg);
+        // Mixed shapes, including one whose intermediates exceed the cap.
+        let tickets: Vec<Ticket> = [
+            spec(&[6, 5, 4], &[3, 2, 2], 1),
+            spec(&[16, 14, 12], &[6, 6, 5], 2),
+            spec(&[8, 7, 6], &[4, 3, 3], 3),
+        ]
+        .into_iter()
+        .map(|s| server.submit(s).unwrap())
+        .collect();
+        server.resume();
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let report = server.shutdown();
+        assert!(report.workspace_bytes_hwm > 0);
+        assert!(
+            report.workspace_bytes_hwm <= 16 * 1024,
+            "pooled bytes {} exceed the configured cap",
+            report.workspace_bytes_hwm
+        );
+    }
+
+    #[test]
+    fn synthetic_fill_is_deterministic_and_seed_sensitive() {
+        let a = synthetic_fill(&[1, 2, 3], 9);
+        assert_eq!(a, synthetic_fill(&[1, 2, 3], 9));
+        assert_ne!(a, synthetic_fill(&[1, 2, 3], 10));
+        assert_ne!(a, synthetic_fill(&[3, 2, 1], 9));
+        assert!((-0.5..0.5).contains(&a));
+    }
+}

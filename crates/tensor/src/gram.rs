@@ -77,14 +77,7 @@ pub fn gram(t: &DenseTensor, n: usize) -> Matrix {
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
     let ln = shape.dim(n);
     let work = shape.num_fibers(n) * ln * (ln + 1) / 2;
-    let threads = if work < PAR_MIN_WORK {
-        1
-    } else {
-        std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
-    };
-    gram_threads(t, n, threads)
+    gram_threads(t, n, crate::threads::heuristic_threads(work, PAR_MIN_WORK))
 }
 
 /// [`gram`] with an **explicit** worker count: the mode-`n` fiber range is

@@ -33,11 +33,13 @@ pub mod gram;
 pub mod norm;
 pub mod shape;
 pub mod subtensor;
+pub mod threads;
 pub mod ttm;
 pub mod unfold;
 
 pub use dense::{tensor_buffer_allocs, DenseTensor};
 pub use gram::{gram, gram_cols, gram_threads};
 pub use shape::Shape;
+pub use threads::{heuristic_threads, host_threads, set_host_threads_override};
 pub use ttm::{ttm, ttm_chain, ttm_into, ttm_into_threads, TtmWorkspace};
 pub use unfold::{fold, unfold};

@@ -65,10 +65,8 @@ pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Sh
     let inner = shape.inner_extent(n);
     let outer = shape.outer_extent(n);
     let work = inner * shape.dim(n) * a.nrows();
-    let threads = if work >= PAR_MIN_WORK && outer > 1 {
-        std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
+    let threads = if outer > 1 {
+        crate::threads::heuristic_threads(work, PAR_MIN_WORK)
     } else {
         1
     };
@@ -195,9 +193,20 @@ pub fn ttm_into_threads(
 /// buffer that fits (falling back to growing the largest) so steady-state
 /// workloads with a fixed shape schedule converge to an allocation-free
 /// fixed point.
+///
+/// The pool is grow-only **per shape schedule**, which is the right trade
+/// for a batch run but leaks in a long-running server whose request shapes
+/// vary: every new high-water shape parks another large buffer forever.
+/// [`TtmWorkspace::with_limit`] (or [`set_pooled_bytes_limit`](TtmWorkspace::set_pooled_bytes_limit))
+/// caps the bytes parked in the pool; `recycle` sheds smallest-capacity
+/// buffers until the cap holds, so mixed-shape streams keep peak pooled
+/// bytes bounded while the hottest (largest) buffers stay resident.
 #[derive(Default)]
 pub struct TtmWorkspace {
     free: Vec<Vec<f64>>,
+    /// Cap on bytes parked in `free`; `None` keeps the classic grow-only
+    /// behavior.
+    limit_bytes: Option<usize>,
 }
 
 impl TtmWorkspace {
@@ -206,9 +215,32 @@ impl TtmWorkspace {
         Self::default()
     }
 
+    /// An empty workspace whose parked pool may not exceed `limit_bytes`.
+    pub fn with_limit(limit_bytes: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            limit_bytes: Some(limit_bytes),
+        }
+    }
+
+    /// Set or clear (`None`) the parked-pool byte cap; applies immediately.
+    pub fn set_pooled_bytes_limit(&mut self, limit_bytes: Option<usize>) {
+        self.limit_bytes = limit_bytes;
+        self.enforce_limit();
+    }
+
     /// Number of buffers currently parked in the pool.
     pub fn pooled(&self) -> usize {
         self.free.len()
+    }
+
+    /// Bytes held by parked buffers (capacity, not length — capacity is what
+    /// a long-running process actually pays for).
+    pub fn pooled_bytes(&self) -> usize {
+        self.free
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f64>())
+            .sum()
     }
 
     /// `Z = T ×_n A` into a pooled buffer. Allocation-free once the pool
@@ -262,9 +294,30 @@ impl TtmWorkspace {
         cur.unwrap_or_else(|| t.clone())
     }
 
-    /// Return a tensor's buffer to the pool for reuse.
+    /// Return a tensor's buffer to the pool for reuse. If a pooled-bytes
+    /// limit is set, smallest-capacity buffers are dropped until the pool
+    /// fits (the incoming buffer competes on equal terms, so a single
+    /// over-limit buffer is itself rejected).
     pub fn recycle(&mut self, t: DenseTensor) {
         self.free.push(t.into_vec());
+        self.enforce_limit();
+    }
+
+    /// Shed smallest-capacity buffers until `pooled_bytes() <= limit`.
+    fn enforce_limit(&mut self) {
+        let Some(limit) = self.limit_bytes else {
+            return;
+        };
+        while self.pooled_bytes() > limit {
+            let smallest = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("pooled_bytes > 0 implies a non-empty pool");
+            self.free.swap_remove(smallest);
+        }
     }
 
     /// Pop the best-fitting free buffer: the smallest whose capacity covers
@@ -559,6 +612,80 @@ mod tests {
             "warm ping-pong chain must not allocate tensor buffers"
         );
         ws.recycle(z);
+    }
+
+    #[test]
+    fn bounded_workspace_caps_mixed_shape_stream() {
+        // A long-running-server workload: each job's output tensor is
+        // recycled when the job completes, and shapes vary with rare large
+        // spikes. The unbounded pool parks every new high-water buffer
+        // forever; the bounded pool must stay under its cap at every step.
+        let limit = 40 * 1024; // 5120 f64s
+        let shapes: &[&[usize]] = &[
+            &[6, 5, 4],    // 120 f64s
+            &[16, 16, 16], // 4096 f64s, ~32 KB — near the cap but under it
+            &[4, 3, 2],
+            &[24, 20, 18], // spike: 8640 f64s, ~69 KB — over the cap alone
+            &[8, 7, 6],
+            &[16, 16, 16],
+        ];
+        let run = |ws: &mut TtmWorkspace| -> usize {
+            let mut hwm = 0usize;
+            for (j, dims) in shapes.iter().enumerate() {
+                let t = rand_tensor(dims, 200 + j as u64);
+                // Square mode-0 operand: output cardinality == input's, the
+                // shape a reconstruct-style job hands back to the pool.
+                let a = rand_mat(dims[0], dims[0], 210 + j as u64);
+                let z = ws.ttm(&t, 0, &a);
+                let r = ttm(&t, 0, &a);
+                assert_eq!(z.max_abs_diff(&r), 0.0, "job {j} must stay exact");
+                ws.recycle(z);
+                hwm = hwm.max(ws.pooled_bytes());
+            }
+            hwm
+        };
+
+        let mut bounded = TtmWorkspace::with_limit(limit);
+        let bounded_hwm = run(&mut bounded);
+        assert!(bounded_hwm > 0, "pool must actually be exercised");
+        assert!(
+            bounded_hwm <= limit,
+            "peak pooled bytes {bounded_hwm} exceeds cap {limit}"
+        );
+
+        // Same stream, grow-only pool: the spike buffer is parked forever —
+        // the regression this test guards against.
+        let mut unbounded = TtmWorkspace::new();
+        let unbounded_hwm = run(&mut unbounded);
+        assert!(
+            unbounded_hwm > limit,
+            "stream must be big enough that the cap actually binds \
+             (unbounded peak was {unbounded_hwm})"
+        );
+        assert!(unbounded.pooled_bytes() > limit);
+    }
+
+    #[test]
+    fn limit_can_be_set_and_cleared_live() {
+        let mut ws = TtmWorkspace::new();
+        for i in 0..4 {
+            ws.recycle(DenseTensor::from_vec(
+                Shape::new(vec![256 * (i + 1)]),
+                vec![0.0; 256 * (i + 1)],
+            ));
+        }
+        let full = ws.pooled_bytes();
+        assert!(full >= 256 * 10 * 8);
+        ws.set_pooled_bytes_limit(Some(256 * 4 * 8));
+        assert!(ws.pooled_bytes() <= 256 * 4 * 8);
+        // Largest buffer survives the shed.
+        assert_eq!(ws.pooled(), 1);
+        ws.set_pooled_bytes_limit(None);
+        ws.recycle(DenseTensor::from_vec(
+            Shape::new(vec![4096]),
+            vec![0.0; 4096],
+        ));
+        assert!(ws.pooled_bytes() > 256 * 4 * 8);
     }
 
     #[test]
