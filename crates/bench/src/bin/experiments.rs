@@ -599,20 +599,41 @@ fn serve(clients: usize) {
 
 // ---------------------------------------------------------------- Kernels
 
-/// Kernel ablation on the seed's default ablation shape: fused slab-wise
-/// Gram vs the explicit-unfold baseline `syrk(&unfold(..))`, blocked TTM vs
-/// unfold-multiply-fold, and warm-workspace TTM chains vs fresh allocation.
-/// Results are persisted machine-readably to `results/BENCH_kernels.json`
-/// so future PRs can track the speedups.
+/// Kernel ablation: the packed, cache-blocked micro-kernels of
+/// `tucker_linalg::pack` against the unrolled naive references, per mode,
+/// for GEMM (factor x unfold), SYRK (Gram of the unfold), and TTM — on a
+/// small cache-resident shape and a cache-busting one — plus the warm
+/// `TtmWorkspace` chain vs fresh allocation per shape. Both arms of every
+/// packed/naive pair run the same code path except for the kernel dispatch
+/// (flipped via [`tucker_linalg::set_kernel_mode`]) and the same worker
+/// budget, so the speedup isolates the kernel effect. Results persist
+/// machine-readably to `results/BENCH_kernels.json` (schema
+/// `tucker-bench/kernels/v2`) for the CI gate and the README table.
 fn kernels() {
     use std::hint::black_box;
-    use tucker_linalg::syrk;
-    use tucker_tensor::ttm::ttm_explicit_unfold;
-    use tucker_tensor::{gram, ttm, unfold, DenseTensor, TtmWorkspace};
+    use tucker_linalg::{gemm_into, set_kernel_mode, syrk_into, KernelMode, Matrix, Transpose::No};
+    use tucker_tensor::{ttm, ttm_into_threads, unfold, DenseTensor, TtmWorkspace};
 
-    const DIMS: [usize; 3] = [48, 40, 36];
-    const K: usize = 12;
-    const REPS: usize = 30;
+    struct ShapeSpec {
+        dims: [usize; 3],
+        rank: usize,
+        reps: usize,
+    }
+    // The small shape fits in L2; the large one (~35 MB) busts every cache
+    // level, which is where packing pays and where the fresh-allocation
+    // chain pays page faults the warm workspace avoids.
+    const SPECS: [ShapeSpec; 2] = [
+        ShapeSpec {
+            dims: [48, 40, 36],
+            rank: 12,
+            reps: 21,
+        },
+        ShapeSpec {
+            dims: [192, 160, 144],
+            rank: 32,
+            reps: 5,
+        },
+    ];
 
     fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
         let mut ts: Vec<f64> = (0..reps)
@@ -626,89 +647,120 @@ fn kernels() {
         ts[reps / 2]
     }
 
-    println!(
-        "== Kernels: fused vs explicit-unfold ablation ({}x{}x{}, median of {REPS}) ==",
-        DIMS[0], DIMS[1], DIMS[2]
-    );
-    let t = DenseTensor::from_fn(DIMS, |c| hash_noise(c, 0xFACE));
-    let factors: Vec<tucker_linalg::Matrix> = (0..3)
-        .map(|n| tucker_linalg::Matrix::from_fn(K, DIMS[n], |i, j| hash_noise(&[n, i, j], 0xD00D)))
-        .collect();
+    /// Median time of `f` under each kernel mode: (naive_s, packed_s).
+    fn both_modes(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+        set_kernel_mode(KernelMode::Naive);
+        let naive = median_secs(reps, &mut f);
+        set_kernel_mode(KernelMode::Packed);
+        let packed = median_secs(reps, &mut f);
+        set_kernel_mode(KernelMode::Auto);
+        (naive, packed)
+    }
 
-    let mut gram_rows = Vec::new();
-    let mut ttm_rows = Vec::new();
-    for (mode, f) in factors.iter().enumerate() {
-        let fused = median_secs(REPS, || {
-            black_box(gram(black_box(&t), mode));
+    let host_cores = tucker_tensor::host_threads();
+    let skipped_single_core = host_cores < 2;
+    println!("== Kernels: packed vs naive ablation ({host_cores} cores) ==");
+
+    let mut shape_blocks = Vec::new();
+    for spec in &SPECS {
+        let ShapeSpec { dims, rank, reps } = *spec;
+        println!(
+            "-- shape {}x{}x{}, rank {rank}, median of {reps} --",
+            dims[0], dims[1], dims[2]
+        );
+        let t = DenseTensor::from_fn(dims, |c| hash_noise(c, 0xFACE));
+        let factors: Vec<Matrix> = (0..3)
+            .map(|n| Matrix::from_fn(rank, dims[n], |i, j| hash_noise(&[n, i, j], 0xD00D)))
+            .collect();
+
+        let mut gemm_rows = Vec::new();
+        let mut syrk_rows = Vec::new();
+        let mut ttm_rows = Vec::new();
+        for (mode, f) in factors.iter().enumerate() {
+            // GEMM: the mode-n factor applied to the explicit unfold — a
+            // plain K x I_n x (prod others) matrix multiply.
+            let u = unfold(&t, mode);
+            let mut c = Matrix::zeros(rank, u.shape().1);
+            let (gn, gp) = both_modes(reps, || {
+                gemm_into(black_box(f), No, black_box(&u), No, 1.0, 0.0, &mut c);
+                black_box(&mut c);
+            });
+            // SYRK: Gram of the unfold (the factor-update left operand).
+            let mut g = Matrix::zeros(dims[mode], dims[mode]);
+            let (sn, sp) = both_modes(reps, || {
+                syrk_into(black_box(&u), 1.0, 0.0, &mut g);
+                black_box(&mut g);
+            });
+            // TTM: the blocked slab-wise kernel, one worker in both arms.
+            let mut out = Vec::new();
+            let (tn, tp) = both_modes(reps, || {
+                ttm_into_threads(black_box(&t), mode, black_box(f), &mut out, 1);
+                black_box(&mut out);
+            });
+            for (name, naive, packed) in [("gemm", gn, gp), ("syrk", sn, sp), ("ttm", tn, tp)] {
+                println!(
+                    "   {name} mode {mode}: naive {:>10.1}us  packed {:>10.1}us  speedup {:>5.2}x",
+                    naive * 1e6,
+                    packed * 1e6,
+                    naive / packed
+                );
+            }
+            let row = |naive: f64, packed: f64| {
+                format!(
+                    "        {{\"mode\": {mode}, \"naive_s\": {naive:.9}, \
+                     \"packed_s\": {packed:.9}, \"speedup\": {:.4}}}",
+                    naive / packed
+                )
+            };
+            gemm_rows.push(row(gn, gp));
+            syrk_rows.push(row(sn, sp));
+            ttm_rows.push(row(tn, tp));
+        }
+
+        // Full 3-mode chain under the production Auto dispatch: fresh
+        // allocating ttm() per step vs warm workspace.
+        let ops: Vec<(usize, &Matrix)> = factors.iter().enumerate().collect();
+        let fresh = median_secs(reps, || {
+            let mut cur = ttm(&t, ops[0].0, ops[0].1);
+            for &(n, a) in &ops[1..] {
+                cur = ttm(&cur, n, a);
+            }
+            black_box(cur);
         });
-        let via_unfold = median_secs(REPS, || {
-            black_box(syrk(&unfold(black_box(&t), mode)));
+        let mut ws = TtmWorkspace::new();
+        let warm = ws.ttm_chain(&t, &ops); // warm the pool
+        ws.recycle(warm);
+        let pooled = median_secs(reps, || {
+            let z = ws.ttm_chain(&t, &ops);
+            ws.recycle(black_box(z));
         });
         println!(
-            "   gram mode {mode}: fused {:>9.1}us  via-unfold {:>9.1}us  speedup {:>5.2}x",
-            fused * 1e6,
-            via_unfold * 1e6,
-            via_unfold / fused
+            "   ttm-chain (3 modes): fresh {:>10.1}us  workspace {:>10.1}us  speedup {:>5.2}x",
+            fresh * 1e6,
+            pooled * 1e6,
+            fresh / pooled
         );
-        gram_rows.push(format!(
-            "    {{\"mode\": {mode}, \"fused_s\": {fused:.9}, \"via_unfold_s\": {via_unfold:.9}, \
-             \"speedup\": {:.4}}}",
-            via_unfold / fused
-        ));
 
-        let blocked = median_secs(REPS, || {
-            black_box(ttm(black_box(&t), mode, black_box(f)));
-        });
-        let unfolded = median_secs(REPS, || {
-            black_box(ttm_explicit_unfold(black_box(&t), mode, black_box(f)));
-        });
-        println!(
-            "   ttm  mode {mode}: blocked {:>8.1}us  via-unfold {:>9.1}us  speedup {:>5.2}x",
-            blocked * 1e6,
-            unfolded * 1e6,
-            unfolded / blocked
-        );
-        ttm_rows.push(format!(
-            "    {{\"mode\": {mode}, \"blocked_s\": {blocked:.9}, \"via_unfold_s\": {unfolded:.9}, \
-             \"speedup\": {:.4}}}",
-            unfolded / blocked
+        shape_blocks.push(format!(
+            "    {{\n      \"shape\": [{}, {}, {}],\n      \"rank\": {rank},\n      \
+             \"reps\": {reps},\n      \"gemm\": [\n{}\n      ],\n      \
+             \"syrk\": [\n{}\n      ],\n      \"ttm\": [\n{}\n      ],\n      \
+             \"ttm_chain\": {{\"fresh_s\": {fresh:.9}, \"workspace_s\": {pooled:.9}, \
+             \"speedup\": {:.4}}}\n    }}",
+            dims[0],
+            dims[1],
+            dims[2],
+            gemm_rows.join(",\n"),
+            syrk_rows.join(",\n"),
+            ttm_rows.join(",\n"),
+            fresh / pooled
         ));
     }
 
-    // Full 3-mode chain: fresh allocating ttm() per step vs warm workspace.
-    let ops: Vec<(usize, &tucker_linalg::Matrix)> = factors.iter().enumerate().collect();
-    let fresh = median_secs(REPS, || {
-        let mut cur = ttm(&t, ops[0].0, ops[0].1);
-        for &(n, a) in &ops[1..] {
-            cur = ttm(&cur, n, a);
-        }
-        black_box(cur);
-    });
-    let mut ws = TtmWorkspace::new();
-    let warm = ws.ttm_chain(&t, &ops); // warm the pool
-    ws.recycle(warm);
-    let pooled = median_secs(REPS, || {
-        let z = ws.ttm_chain(&t, &ops);
-        ws.recycle(black_box(z));
-    });
-    println!(
-        "   ttm-chain (3 modes): fresh {:>8.1}us  workspace {:>8.1}us  speedup {:>5.2}x",
-        fresh * 1e6,
-        pooled * 1e6,
-        fresh / pooled
-    );
-
     let json = format!(
-        "{{\n  \"schema\": \"tucker-bench/kernels/v1\",\n  \"shape\": [{}, {}, {}],\n  \
-         \"reps\": {REPS},\n  \"gram\": [\n{}\n  ],\n  \"ttm\": [\n{}\n  ],\n  \
-         \"ttm_chain\": {{\"fresh_s\": {fresh:.9}, \"workspace_s\": {pooled:.9}, \
-         \"speedup\": {:.4}}}\n}}\n",
-        DIMS[0],
-        DIMS[1],
-        DIMS[2],
-        gram_rows.join(",\n"),
-        ttm_rows.join(",\n"),
-        fresh / pooled
+        "{{\n  \"schema\": \"tucker-bench/kernels/v2\",\n  \"host_cores\": {host_cores},\n  \
+         \"skipped_single_core\": {skipped_single_core},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        shape_blocks.join(",\n")
     );
     let p = write_results("BENCH_kernels.json", &json);
     println!("-> {}\n", p.display());

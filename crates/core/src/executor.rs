@@ -105,6 +105,13 @@ pub struct SweepStats {
     pub regrid_volume: u64,
     /// Elements moved by the Gram step.
     pub gram_volume: u64,
+    /// Bytes staged through the packed-kernel pack buffers during the sweep
+    /// window, observed on the calling thread (see
+    /// [`tucker_linalg::bytes_packed`]). Host backends fill this; distsim
+    /// leaves it zero (its ranks run the naive reference kernels). Work done
+    /// on scoped worker threads is not included — the counter is a
+    /// calling-thread cache-traffic gauge, not a global ledger.
+    pub kernel_bytes: u64,
     /// Relative error after this sweep.
     pub error: f64,
     /// The plan that drove this sweep (filled by the engines; `None` on the
@@ -161,6 +168,7 @@ impl SweepStats {
         self.ttm_volume = self.ttm_volume.max(other.ttm_volume);
         self.regrid_volume = self.regrid_volume.max(other.regrid_volume);
         self.gram_volume = self.gram_volume.max(other.gram_volume);
+        self.kernel_bytes = self.kernel_bytes.max(other.kernel_bytes);
         self.error = other.error; // identical on every rank
         if self.provenance.is_none() {
             self.provenance.clone_from(&other.provenance);
@@ -692,6 +700,7 @@ pub struct HostBackend<const PAR: bool> {
     ws: TtmWorkspace,
     epoch: Instant,
     sweep_t0: Duration,
+    sweep_pack0: u64,
 }
 
 /// Strictly sequential host backend (today's reference path): one worker,
@@ -711,6 +720,7 @@ impl<const PAR: bool> HostBackend<PAR> {
             ws: TtmWorkspace::new(),
             epoch: Instant::now(),
             sweep_t0: Duration::ZERO,
+            sweep_pack0: 0,
         }
     }
 
@@ -785,11 +795,14 @@ impl<const PAR: bool> SweepBackend for HostBackend<PAR> {
 
     fn sweep_begin(&mut self) {
         self.sweep_t0 = self.epoch.elapsed();
+        self.sweep_pack0 = tucker_linalg::bytes_packed();
     }
 
     fn sweep_end(&mut self, stats: &mut SweepStats) {
         stats.wall = self.epoch.elapsed().saturating_sub(self.sweep_t0);
-        // Volumes stay zero: nothing crosses a memory boundary.
+        // Volumes stay zero: nothing crosses a memory boundary. Kernel
+        // bytes are the calling thread's pack-buffer traffic this window.
+        stats.kernel_bytes = tucker_linalg::bytes_packed().saturating_sub(self.sweep_pack0);
     }
 
     fn gram(&mut self, t: &DenseTensor, n: usize, stats: &mut SweepStats) -> Matrix {
@@ -856,5 +869,23 @@ mod tests {
         assert_eq!(s.time(SweepPhase::Svd), s.svd);
         assert_eq!(s.time(SweepPhase::GramComm), s.gram_comm);
         assert_eq!(s.comm_total(), s.ttm_comm + s.regrid_comm + s.gram_comm);
+    }
+
+    /// `merge_max` keeps the per-rank maximum of the kernel-bytes gauge,
+    /// like the volume fields.
+    #[test]
+    fn merge_max_covers_kernel_bytes() {
+        let mut a = SweepStats {
+            kernel_bytes: 100,
+            ..SweepStats::default()
+        };
+        let b = SweepStats {
+            kernel_bytes: 250,
+            ..SweepStats::default()
+        };
+        a.merge_max(&b);
+        assert_eq!(a.kernel_bytes, 250);
+        a.merge_max(&SweepStats::default());
+        assert_eq!(a.kernel_bytes, 250);
     }
 }

@@ -1,13 +1,22 @@
 //! Blocked general matrix-matrix multiply.
 //!
-//! This is the workspace's `dgemm` replacement. The kernel is a classic
-//! three-level cache-blocked loop nest with a column-panel rayon split at the
-//! outermost level. It is deliberately simple — the experiments compare
-//! *strategies* that all run on this same kernel, so relative results are
-//! unaffected by its absolute speed — but the blocking keeps it within a
-//! small factor of a tuned BLAS for the sizes the benches use.
+//! This is the workspace's `dgemm` replacement. Two implementations live
+//! behind the same entry points:
+//!
+//! * the **packed path** — the register-tiled, panel-packed micro-kernel
+//!   nest from [`crate::pack`], used whenever the problem is big enough to
+//!   amortize packing ([`crate::pack::use_packed`]); transposed operands are
+//!   handled by stride swaps, so no transposed copy is ever materialized;
+//! * the **naive path** — a simple axpy-based cache-blocked loop nest, kept
+//!   both as the small-operand fast path (packing tiny operands costs more
+//!   than it saves) and as the differential baseline the packed kernels are
+//!   tested and benched against (`KernelMode::Naive` pins it).
+//!
+//! Parallelism is a column-panel split of `C` at the outermost level in both
+//! paths; packed workers stage through worker-local pack buffers.
 
 use crate::matrix::Matrix;
+use crate::pack::{self, PackPair};
 use rayon::prelude::*;
 
 /// Whether an operand participates as itself or its transpose.
@@ -76,6 +85,11 @@ pub fn gemm_into(
         return;
     }
 
+    if pack::use_packed(m, n, k) {
+        gemm_into_packed(a, op_a, b, op_b, alpha, c);
+        return;
+    }
+
     // Pack op_a(A) once: the packed buffer is read-only and shared across the
     // parallel column panels of C.
     let a_packed = pack_op(a, op_a);
@@ -101,6 +115,80 @@ pub fn gemm_into(
             .chunks_mut(c_rows * PAR_COL_PANEL)
             .enumerate()
             .for_each(do_panel);
+    }
+}
+
+/// Strided view of `op(X)`: element `(i, j)` of the logical operand at
+/// `x[i·rs + j·cs]` — a stride swap instead of a transposed copy.
+#[inline]
+fn op_strides(x: &Matrix, op: Transpose) -> (usize, usize) {
+    match op {
+        Transpose::No => (1, x.nrows()),
+        Transpose::Yes => (x.nrows(), 1),
+    }
+}
+
+/// The packed-path body of [`gemm_into`] (beta already applied, non-empty
+/// problem): column-panel parallel, worker-local pack buffers.
+fn gemm_into_packed(
+    a: &Matrix,
+    op_a: Transpose,
+    b: &Matrix,
+    op_b: Transpose,
+    alpha: f64,
+    c: &mut Matrix,
+) {
+    let (m, k) = op_a.apply(a.shape());
+    let n = op_b.apply(b.shape()).1;
+    let (a_rs, a_cs) = op_strides(a, op_a);
+    let (b_rs, b_cs) = op_strides(b, op_b);
+    let (a_buf, b_buf) = (a.as_slice(), b.as_slice());
+    let c_buf = c.as_mut_slice();
+
+    let work = m * n * k;
+    let workers = if work >= PAR_MIN_WORK {
+        std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            .min(n.div_ceil(pack::NR))
+    } else {
+        1
+    };
+    if workers > 1 {
+        // Column split of C: per-element accumulation order is unchanged by
+        // the partition (blocking over k is column-independent).
+        let per = n.div_ceil(workers).max(pack::NR);
+        c_buf
+            .par_chunks_mut(m * per)
+            .enumerate()
+            .for_each(|(w, cc)| {
+                let j0 = w * per;
+                let jn = cc.len() / m;
+                // Worker threads are fresh per parallel region (scoped), so a
+                // local pair is equivalent to a worker thread-local.
+                let mut packs = PackPair::new();
+                pack::gemm_packed(
+                    m,
+                    jn,
+                    k,
+                    a_buf,
+                    a_rs,
+                    a_cs,
+                    &b_buf[j0 * b_cs..],
+                    b_rs,
+                    b_cs,
+                    alpha,
+                    cc,
+                    m,
+                    &mut packs,
+                );
+            });
+    } else {
+        pack::with_thread_packs(|packs| {
+            pack::gemm_packed(
+                m, n, k, a_buf, a_rs, a_cs, b_buf, b_rs, b_cs, alpha, c_buf, m, packs,
+            );
+        });
     }
 }
 

@@ -5,6 +5,10 @@
 //!
 //! * [`Matrix`] — a column-major dense `f64` matrix,
 //! * [`gemm`] — blocked, optionally rayon-parallel matrix multiply,
+//! * [`pack`] — the packed, register-tiled micro-kernel layer (panel packing
+//!   into aligned reusable [`PackBuf`]s, `MR×NR` register tiles, `KC/MC/NC`
+//!   cache blocking) that `gemm`/`syrk` and the tensor kernels route through
+//!   once operands are large enough to amortize packing,
 //! * [`syrk`] — symmetric rank-k update `C = A·Aᵀ` exploiting symmetry, with
 //!   accumulating (`β`-aware) and raw-slice `AᵀA` entry points backing the
 //!   fused Gram kernel in `tucker-tensor`,
@@ -22,6 +26,9 @@
 pub mod evd;
 pub mod gemm;
 pub mod matrix;
+#[cfg(feature = "mixed-precision")]
+pub mod mixed;
+pub mod pack;
 pub mod qr;
 pub mod svd;
 pub mod syrk;
@@ -29,6 +36,9 @@ pub mod syrk;
 pub use evd::{jacobi_evd, sym_evd, SymEvd};
 pub use gemm::{gemm, gemm_into, Transpose};
 pub use matrix::Matrix;
+#[cfg(feature = "mixed-precision")]
+pub use mixed::gemm_mixed;
+pub use pack::{bytes_packed, kernel_mode, set_kernel_mode, KernelMode, PackBuf, PackPair};
 pub use qr::{householder_qr, orthonormal_columns};
 pub use svd::{leading_from_gram, leading_left_singular_vectors, GramSvd};
 pub use syrk::{mirror_lower, syrk, syrk_aat_lower, syrk_ata_lower, syrk_into, unrolled_dot};

@@ -1,0 +1,177 @@
+//! Mixed-precision GEMM: `f32` **storage**, `f64` **accumulation**
+//! (feature `mixed-precision`).
+//!
+//! The packed kernels in [`crate::pack`] are memory-bound on large operands:
+//! every `KC`-deep panel is streamed from the pack buffers once per register
+//! tile. Storing the panels in `f32` halves that traffic. The contract is:
+//!
+//! * operands are `f32` (storage precision — inputs are rounded once, on
+//!   entry, by the caller's choice of storage type);
+//! * every product and every sum is computed in `f64` (each `f32` converts
+//!   exactly to `f64`, so the only rounding versus a pure-`f64` GEMM is the
+//!   initial storage rounding of the operands — the accumulation itself
+//!   introduces no additional `f32`-level error);
+//! * the output is `f64`.
+//!
+//! This module is deliberately self-contained (its pack buffers are `f32`,
+//! so [`crate::pack::PackBuf`] does not apply) and gated: nothing in the
+//! workspace's default paths depends on it.
+
+use crate::pack::{KC, MC, MR, NC, NR};
+
+/// `C[m×n] += alpha · A[m×k] · B[k×n]` with `f32` column-major operands and
+/// an `f64` column-major output; all arithmetic in `f64`.
+///
+/// # Panics
+/// Panics if a buffer length disagrees with its stated shape.
+pub fn gemm_mixed(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], alpha: f64, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A must be {m}x{k} column-major");
+    assert_eq!(b.len(), k * n, "B must be {k}x{n} column-major");
+    assert_eq!(c.len(), m * n, "C must be {m}x{n} column-major");
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    let mut apack = vec![0.0f32; m.min(MC).div_ceil(MR) * MR * k.min(KC)];
+    let mut bpack = vec![0.0f32; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp = &mut bpack[..nc.div_ceil(NR) * NR * kc];
+            pack_b32(bp, b, k, pc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let ap = &mut apack[..mc.div_ceil(MR) * MR * kc];
+                pack_a32(ap, a, m, ic, mc, pc, kc);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let bpp = &bp[(jr / NR) * NR * kc..][..NR * kc];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let app = &ap[(ir / MR) * MR * kc..][..MR * kc];
+                        let acc = mk32(app, bpp);
+                        let tile = &mut c[(ic + ir) + (jc + jr) * m..];
+                        for (j, aj) in acc.iter().enumerate().take(nr) {
+                            for (i, &v) in aj.iter().enumerate().take(mr) {
+                                tile[i + j * m] += alpha * v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `f32`-panel micro-kernel with an `f64` register tile.
+#[inline(always)]
+fn mk32(ap: &[f32], bp: &[f32]) -> [[f64; MR]; NR] {
+    let mut acc = [[0.0f64; MR]; NR];
+    for (a8, b4) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for j in 0..NR {
+            let bj = f64::from(b4[j]);
+            for i in 0..MR {
+                acc[j][i] += f64::from(a8[i]) * bj;
+            }
+        }
+    }
+    acc
+}
+
+fn pack_a32(dst: &mut [f32], a: &[f32], lda: usize, i0: usize, mb: usize, l0: usize, kb: usize) {
+    for (p, panel) in dst.chunks_exact_mut(MR * kb).enumerate() {
+        let pi = i0 + p * MR;
+        let pm = MR.min(i0 + mb - pi);
+        for (l, col) in panel.chunks_exact_mut(MR).enumerate() {
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = if i < pm {
+                    a[pi + i + (l0 + l) * lda]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+fn pack_b32(dst: &mut [f32], b: &[f32], ldb: usize, l0: usize, kb: usize, j0: usize, nb: usize) {
+    for (p, panel) in dst.chunks_exact_mut(NR * kb).enumerate() {
+        let pj = j0 + p * NR;
+        let pn = NR.min(j0 + nb - pj);
+        for (l, row) in panel.chunks_exact_mut(NR).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = if j < pn {
+                    b[l0 + l + (pj + j) * ldb]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det32(seed: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_f64_reference_on_promoted_operands() {
+        // Because accumulation is f64 and f32→f64 is exact, the result must
+        // match a plain f64 GEMM on the promoted operands to f64 roundoff —
+        // not merely to f32 precision.
+        for &(m, n, k) in &[(5, 3, 4), (17, 9, 40), (MC + 1, NR + 2, KC + 3)] {
+            let a = det32(1, m * k);
+            let b = det32(2, k * n);
+            let mut c = vec![0.0f64; m * n];
+            gemm_mixed(m, n, k, &a, &b, 1.0, &mut c);
+            for j in 0..n {
+                for i in 0..m {
+                    let want: f64 = (0..k)
+                        .map(|l| f64::from(a[i + l * m]) * f64::from(b[l + j * k]))
+                        .sum();
+                    let got = c[i + j * m];
+                    assert!(
+                        (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                        "({i},{j}) in {m}x{n}x{k}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        let (m, n, k) = (6, 5, 7);
+        let a = det32(3, m * k);
+        let b = det32(4, k * n);
+        let mut once = vec![0.0f64; m * n];
+        gemm_mixed(m, n, k, &a, &b, 1.0, &mut once);
+        let mut twice = vec![0.0f64; m * n];
+        gemm_mixed(m, n, k, &a, &b, 0.5, &mut twice);
+        gemm_mixed(m, n, k, &a, &b, 0.5, &mut twice);
+        for (x, y) in twice.iter().zip(&once) {
+            assert!((x - y).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![1.0f64; 0];
+        gemm_mixed(0, 0, 0, &[], &[], 1.0, &mut c);
+        let mut c = vec![7.0f64; 4];
+        gemm_mixed(2, 2, 0, &[], &[], 1.0, &mut c);
+        assert!(c.iter().all(|&x| x == 7.0));
+    }
+}

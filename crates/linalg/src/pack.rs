@@ -1,0 +1,771 @@
+//! Packed, register-tiled micro-kernel layer: the BLAS-3 floor under
+//! [`gemm`](crate::gemm), [`syrk`](crate::syrk), and the tensor kernels.
+//!
+//! The classic cache-blocked GEMM loop nest (Goto/BLIS) is implemented here
+//! once and shared by every dense kernel in the workspace:
+//!
+//! * the innermost unit is an [`MR`]`×`[`NR`] **micro-kernel** whose
+//!   accumulator tile lives entirely in registers (`[[f64; MR]; NR]` — small
+//!   enough that the autovectorizer keeps it resident);
+//! * operands are staged through **pack buffers** ([`PackBuf`]): `A` blocks
+//!   become `MR`-row panels, `B` blocks become `NR`-column panels, both
+//!   zero-padded to full tiles and 64-byte aligned, so the micro-kernel
+//!   streams two contiguous panels regardless of the source strides;
+//! * the macro loops block by [`KC`] (shared dimension, one packed `B` block
+//!   per step), [`MC`] (rows of `A` resident in L2), and [`NC`] (columns of
+//!   `B` per outermost step).
+//!
+//! Because packing costs `O(mk + kn)` against `O(mnk)` compute, the packed
+//! path only wins once the operands amortize it; [`use_packed`] is the
+//! one-shot runtime pick (`m·n·k` against a fixed threshold), overridable
+//! process-wide via [`set_kernel_mode`] so benches and differential tests can
+//! pin either path. Pack buffers are reused: sequential entry points stage
+//! through a thread-local [`PackPair`] (take-and-put-back, so re-entrant use
+//! degrades to a fresh pair instead of panicking), and `TtmWorkspace` in
+//! `tucker-tensor` pools its own pair so steady-state sweeps stay
+//! allocation-free. [`bytes_packed`] counts the bytes staged through pack
+//! buffers **on the calling thread** (scoped worker threads are fresh per
+//! parallel region and their packing is not folded back) — the sweep
+//! executor snapshots it around each sweep to report kernel traffic.
+//!
+//! Strided operands are described by `(slice, rs, cs)` with element `(i, j)`
+//! at `slice[i·rs + j·cs]` — a plain column-major matrix is `(buf, 1, ld)`
+//! and its transpose is `(buf, ld, 1)`, so no transposed copies are ever
+//! materialized.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Micro-kernel tile rows (rows of `C` per register tile).
+pub const MR: usize = 8;
+/// Micro-kernel tile columns (columns of `C` per register tile).
+pub const NR: usize = 4;
+/// Shared-dimension block: one packed `B` block spans `KC` of `k`.
+pub const KC: usize = 256;
+/// Row block: `MC × KC` of packed `A` is sized to stay L2-resident.
+pub const MC: usize = 96;
+/// Column block: columns of `B` per outermost loop step.
+pub const NC: usize = 2048;
+
+/// `m·n·k` below which packing costs more than it saves (measured on the
+/// bench shapes; tiny operands stay on the unrolled naive paths).
+const PACK_MIN_WORK: usize = 1 << 14;
+
+/// Pack-buffer alignment in bytes (one cache line / AVX-512 vector).
+const ALIGN_BYTES: usize = 64;
+const ALIGN_F64: usize = ALIGN_BYTES / std::mem::size_of::<f64>();
+
+/// Which kernel implementation the dense entry points select.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Pick per call: packed above the work threshold, naive below.
+    Auto,
+    /// Force the unrolled naive paths (bench baselines, differential tests).
+    Naive,
+    /// Force the packed paths even for tiny operands.
+    Packed,
+}
+
+/// Process-wide kernel-mode override; `0 = Auto, 1 = Naive, 2 = Packed`.
+/// Like `tucker_tensor::threads`, racy-by-design: meant for test setup and
+/// bench harnesses, not concurrent reconfiguration.
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The current process-wide [`KernelMode`].
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Naive,
+        2 => KernelMode::Packed,
+        _ => KernelMode::Auto,
+    }
+}
+
+/// Set the process-wide [`KernelMode`] (see [`kernel_mode`]).
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Auto => 0,
+        KernelMode::Naive => 1,
+        KernelMode::Packed => 2,
+    };
+    KERNEL_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The one-shot runtime pick: should an `m×n×k` contraction take the packed
+/// path? Degenerate (empty) problems always say no.
+#[inline]
+pub fn use_packed(m: usize, n: usize, k: usize) -> bool {
+    if m == 0 || n == 0 || k == 0 {
+        return false;
+    }
+    match kernel_mode() {
+        KernelMode::Naive => false,
+        KernelMode::Packed => true,
+        KernelMode::Auto => m.saturating_mul(n).saturating_mul(k) >= PACK_MIN_WORK,
+    }
+}
+
+thread_local! {
+    /// Bytes staged through pack buffers on this thread (see [`bytes_packed`]).
+    static BYTES_PACKED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotone per-thread count of bytes copied into pack buffers. The sweep
+/// executor reports the delta across a sweep as `SweepStats::kernel_bytes`.
+pub fn bytes_packed() -> u64 {
+    BYTES_PACKED.with(|c| c.get())
+}
+
+#[inline]
+fn note_packed(f64s: usize) {
+    BYTES_PACKED.with(|c| c.set(c.get() + (f64s * std::mem::size_of::<f64>()) as u64));
+}
+
+/// A grow-only, 64-byte-aligned scratch buffer for packed operand panels.
+///
+/// `Vec<f64>` only guarantees 8-byte alignment, so the buffer over-allocates
+/// by one alignment unit and serves slices from an aligned offset. Growth is
+/// explicit: [`ensure`](PackBuf::ensure) returns whether the backing
+/// allocation grew, so pooling callers (the tensor workspace) can fold pack
+/// growth into their allocation counters.
+#[derive(Default)]
+pub struct PackBuf {
+    buf: Vec<f64>,
+    off: usize,
+}
+
+impl PackBuf {
+    /// An empty buffer; allocates nothing until the first [`ensure`](PackBuf::ensure).
+    pub const fn new() -> Self {
+        PackBuf {
+            buf: Vec::new(),
+            off: 0,
+        }
+    }
+
+    /// Make room for `len` packed values, returning `true` if the backing
+    /// allocation grew (capacity is kept otherwise — grow-only).
+    pub fn ensure(&mut self, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let need = len + ALIGN_F64;
+        if self.buf.len() >= need {
+            return false;
+        }
+        self.buf.resize(need, 0.0);
+        let o = self.buf.as_ptr().align_offset(ALIGN_BYTES);
+        self.off = if o >= ALIGN_F64 { 0 } else { o };
+        true
+    }
+
+    /// Bytes held by the backing allocation.
+    pub fn allocated_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// The first `len` packed values (after [`ensure`](PackBuf::ensure)).
+    #[inline]
+    pub fn slice(&self, len: usize) -> &[f64] {
+        &self.buf[self.off..self.off + len]
+    }
+
+    /// Mutable view of the first `len` packed values.
+    #[inline]
+    pub fn slice_mut(&mut self, len: usize) -> &mut [f64] {
+        &mut self.buf[self.off..self.off + len]
+    }
+}
+
+/// The `A`/`B` pack-buffer pair one GEMM-shaped contraction needs.
+#[derive(Default)]
+pub struct PackPair {
+    /// Panels of the left (`MR`-row-tiled) operand.
+    pub a: PackBuf,
+    /// Panels of the right (`NR`-column-tiled) operand.
+    pub b: PackBuf,
+}
+
+impl PackPair {
+    /// An empty pair; allocates nothing until first use.
+    pub const fn new() -> Self {
+        PackPair {
+            a: PackBuf::new(),
+            b: PackBuf::new(),
+        }
+    }
+
+    /// Bytes held by both backing allocations.
+    pub fn allocated_bytes(&self) -> usize {
+        self.a.allocated_bytes() + self.b.allocated_bytes()
+    }
+}
+
+thread_local! {
+    static TL_PACKS: Cell<PackPair> = const { Cell::new(PackPair::new()) };
+}
+
+/// Run `f` with this thread's reusable [`PackPair`].
+///
+/// The pair is *taken* out of the slot and put back afterwards, so a
+/// re-entrant call (a parallel region whose single worker is the calling
+/// thread) sees a fresh empty pair instead of a `RefCell` panic; the inner
+/// pair is simply dropped when the outer call restores its own.
+pub fn with_thread_packs<R>(f: impl FnOnce(&mut PackPair) -> R) -> R {
+    TL_PACKS.with(|cell| {
+        let mut packs = cell.take();
+        let r = f(&mut packs);
+        cell.set(packs);
+        r
+    })
+}
+
+/// Packed length of an `mb`-row block tiled into `MR`-row panels of depth `kb`.
+#[inline]
+pub fn packed_a_len(mb: usize, kb: usize) -> usize {
+    mb.div_ceil(MR) * MR * kb
+}
+
+/// Packed length of an `nb`-column block tiled into `NR`-column panels.
+#[inline]
+pub fn packed_b_len(kb: usize, nb: usize) -> usize {
+    nb.div_ceil(NR) * NR * kb
+}
+
+/// Pack rows `i0..i0+mb`, depth `l0..l0+kb` of the strided operand `A`
+/// (element `(i, l)` at `a[i·rs + l·cs]`) into `MR`-row zero-padded panels:
+/// panel `p` holds rows `i0 + p·MR ..`, element `(i, l)` at `l·MR + i`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a_block(
+    dst: &mut [f64],
+    a: &[f64],
+    rs: usize,
+    cs: usize,
+    i0: usize,
+    mb: usize,
+    l0: usize,
+    kb: usize,
+) {
+    debug_assert_eq!(dst.len(), packed_a_len(mb, kb));
+    for (p, panel) in dst.chunks_exact_mut(MR * kb).enumerate() {
+        let pi = i0 + p * MR;
+        let pm = MR.min(i0 + mb - pi);
+        if pm == MR && rs == 1 {
+            // Contiguous column fragments: straight 8-wide copies.
+            for (l, col) in panel.chunks_exact_mut(MR).enumerate() {
+                col.copy_from_slice(&a[pi + (l0 + l) * cs..][..MR]);
+            }
+        } else {
+            for (l, col) in panel.chunks_exact_mut(MR).enumerate() {
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = if i < pm {
+                        a[(pi + i) * rs + (l0 + l) * cs]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+    note_packed(dst.len());
+}
+
+/// Pack depth `l0..l0+kb`, columns `j0..j0+nb` of the strided operand `B`
+/// (element `(l, j)` at `b[l·rs + j·cs]`) into `NR`-column zero-padded
+/// panels: panel `p` holds columns `j0 + p·NR ..`, element `(l, j)` at
+/// `l·NR + j`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b_block(
+    dst: &mut [f64],
+    b: &[f64],
+    rs: usize,
+    cs: usize,
+    l0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+) {
+    debug_assert_eq!(dst.len(), packed_b_len(kb, nb));
+    for (p, panel) in dst.chunks_exact_mut(NR * kb).enumerate() {
+        let pj = j0 + p * NR;
+        let pn = NR.min(j0 + nb - pj);
+        for (l, row) in panel.chunks_exact_mut(NR).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = if j < pn {
+                    b[(l0 + l) * rs + (pj + j) * cs]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    note_packed(dst.len());
+}
+
+/// Total packed length of the full `k×n` operand `B` under the macro-loop
+/// block decomposition (the layout [`pack_b_full`] produces and
+/// [`gemm_prepacked_b`] consumes).
+pub fn packed_b_full_len(k: usize, n: usize) -> usize {
+    let mut len = 0;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            len += packed_b_len(kc, nc);
+        }
+    }
+    len
+}
+
+/// Pack the **entire** `k×n` strided operand `B` block-by-block in macro-loop
+/// order, so [`gemm_prepacked_b`] can replay the same decomposition without
+/// repacking. This is how the TTM kernel packs a factor matrix once and
+/// reuses it across every outer slab.
+pub fn pack_b_full(dst: &mut [f64], k: usize, n: usize, b: &[f64], rs: usize, cs: usize) {
+    debug_assert_eq!(dst.len(), packed_b_full_len(k, n));
+    let mut off = 0;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let len = packed_b_len(kc, nc);
+            pack_b_block(&mut dst[off..off + len], b, rs, cs, pc, kc, jc, nc);
+            off += len;
+        }
+    }
+}
+
+/// The register-tiled inner product: `acc[j][i] = Σ_l ap[l·MR+i] · bp[l·NR+j]`
+/// over one `A` panel and one `B` panel of depth `kc`.
+#[inline(always)]
+fn mk_accumulate(ap: &[f64], bp: &[f64]) -> [[f64; MR]; NR] {
+    let mut acc = [[0.0f64; MR]; NR];
+    for (a8, b4) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for j in 0..NR {
+            let bj = b4[j];
+            for i in 0..MR {
+                acc[j][i] += a8[i] * bj;
+            }
+        }
+    }
+    acc
+}
+
+/// Scale-and-add a micro-tile into `C` (`c` points at the tile origin,
+/// element `(i, j)` at `c[i + j·ldc]`); edge tiles store the `mr×nr` live
+/// corner only.
+#[inline(always)]
+fn mk_store(acc: &[[f64; MR]; NR], alpha: f64, c: &mut [f64], ldc: usize, mr: usize, nr: usize) {
+    if mr == MR && nr == NR {
+        for (j, aj) in acc.iter().enumerate() {
+            let cj = &mut c[j * ldc..j * ldc + MR];
+            for i in 0..MR {
+                cj[i] += alpha * aj[i];
+            }
+        }
+    } else {
+        for (j, aj) in acc.iter().enumerate().take(nr) {
+            for (i, &v) in aj.iter().enumerate().take(mr) {
+                c[i + j * ldc] += alpha * v;
+            }
+        }
+    }
+}
+
+/// Macro-kernel over one packed `mc×kc` `A` block and `kc×nc` `B` block:
+/// `C[..mc, ..nc] += alpha · A·B` with `c` at the block origin.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    alpha: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        let bp = &bpack[(jr / NR) * NR * kc..][..NR * kc];
+        for ir in (0..mc).step_by(MR) {
+            let mr = MR.min(mc - ir);
+            let ap = &apack[(ir / MR) * MR * kc..][..MR * kc];
+            let acc = mk_accumulate(ap, bp);
+            mk_store(&acc, alpha, &mut c[ir + jr * ldc..], ldc, mr, nr);
+        }
+    }
+}
+
+/// Ensure `packs` covers one `A` block and one `B` block of this problem,
+/// returning whether either backing allocation grew.
+fn ensure_packs(m: usize, n: usize, k: usize, packs: &mut PackPair) -> bool {
+    let ga = packs.a.ensure(packed_a_len(m.min(MC), k.min(KC)));
+    let gb = packs.b.ensure(packed_b_len(k.min(KC), n.min(NC)));
+    ga || gb
+}
+
+/// Packed strided GEMM: `C[m×n] += alpha · A[m×k] · B[k×n]` where `A`/`B`
+/// are strided operands (element `(i, j)` at `x[i·rs + j·cs]`) and `C` is
+/// column-major with leading dimension `ldc`.
+///
+/// Returns `true` if a pack buffer had to grow (for allocation accounting).
+/// Strictly sequential; callers split `C` by column ranges for parallelism.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f64],
+    b_rs: usize,
+    b_cs: usize,
+    alpha: f64,
+    c: &mut [f64],
+    ldc: usize,
+    packs: &mut PackPair,
+) -> bool {
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return false;
+    }
+    let grew = ensure_packs(m, n, k, packs);
+    let (pa, pb) = (&mut packs.a, &mut packs.b);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp_len = packed_b_len(kc, nc);
+            pack_b_block(pb.slice_mut(bp_len), b, b_rs, b_cs, pc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let ap_len = packed_a_len(mc, kc);
+                pack_a_block(pa.slice_mut(ap_len), a, a_rs, a_cs, ic, mc, pc, kc);
+                macro_kernel(
+                    mc,
+                    nc,
+                    kc,
+                    pa.slice(ap_len),
+                    pb.slice(bp_len),
+                    alpha,
+                    &mut c[ic + jc * ldc..],
+                    ldc,
+                );
+            }
+        }
+    }
+    grew
+}
+
+/// [`gemm_packed`] against a `B` operand already packed by [`pack_b_full`]:
+/// only `A` blocks are packed (into `apack`). This is the per-slab TTM call —
+/// the factor pack is shared across all slabs and all workers.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_prepacked_b(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    a_rs: usize,
+    a_cs: usize,
+    bpack: &[f64],
+    alpha: f64,
+    c: &mut [f64],
+    ldc: usize,
+    apack: &mut PackBuf,
+) -> bool {
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return false;
+    }
+    debug_assert_eq!(bpack.len(), packed_b_full_len(k, n));
+    let grew = apack.ensure(packed_a_len(m.min(MC), k.min(KC)));
+    let mut boff = 0;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp_len = packed_b_len(kc, nc);
+            let bp = &bpack[boff..boff + bp_len];
+            boff += bp_len;
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let ap_len = packed_a_len(mc, kc);
+                pack_a_block(apack.slice_mut(ap_len), a, a_rs, a_cs, ic, mc, pc, kc);
+                macro_kernel(
+                    mc,
+                    nc,
+                    kc,
+                    apack.slice(ap_len),
+                    bp,
+                    alpha,
+                    &mut c[ic + jc * ldc..],
+                    ldc,
+                );
+            }
+        }
+    }
+    grew
+}
+
+/// Triangle-aware packed SYRK: `C[i, j] += alpha · Σ_l A[i, l] · A[j, l]`
+/// for every `j ≤ i`, where `A` is the `n×k` strided operand and `C` is a
+/// column-major `n×n` buffer of which **only the lower triangle is written**
+/// (the upper triangle is never touched, matching the `syrk_*_lower`
+/// contract).
+///
+/// The macro loop is the GEMM nest with `B = Aᵀ` (same slice, swapped
+/// strides), skipping every tile strictly above the diagonal and masking the
+/// store on diagonal-straddling tiles. Returns `true` if a pack buffer grew.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_packed_lower(
+    n: usize,
+    k: usize,
+    a: &[f64],
+    a_rs: usize,
+    a_cs: usize,
+    alpha: f64,
+    c: &mut [f64],
+    packs: &mut PackPair,
+) -> bool {
+    if n == 0 || k == 0 || alpha == 0.0 {
+        return false;
+    }
+    debug_assert_eq!(c.len(), n * n);
+    let grew = ensure_packs(n, n, k, packs);
+    let (pa, pb) = (&mut packs.a, &mut packs.b);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp_len = packed_b_len(kc, nc);
+            // B = Aᵀ: element (l, j) is A[j, l], i.e. swapped strides.
+            pack_b_block(pb.slice_mut(bp_len), a, a_cs, a_rs, pc, kc, jc, nc);
+            for ic in (0..n).step_by(MC) {
+                let mc = MC.min(n - ic);
+                if ic + mc <= jc {
+                    continue; // whole block strictly above the diagonal
+                }
+                let ap_len = packed_a_len(mc, kc);
+                pack_a_block(pa.slice_mut(ap_len), a, a_rs, a_cs, ic, mc, pc, kc);
+                macro_kernel_lower(
+                    mc,
+                    nc,
+                    kc,
+                    pa.slice(ap_len),
+                    pb.slice(bp_len),
+                    alpha,
+                    &mut c[ic + jc * n..],
+                    n,
+                    ic,
+                    jc,
+                );
+            }
+        }
+    }
+    grew
+}
+
+/// [`macro_kernel`] restricted to the lower triangle: tiles entirely above
+/// the diagonal are skipped, tiles straddling it store element-by-element
+/// under an `i ≥ j` (global indices) mask.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel_lower(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    apack: &[f64],
+    bpack: &[f64],
+    alpha: f64,
+    c: &mut [f64],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        let jg = jc + jr;
+        let bp = &bpack[(jr / NR) * NR * kc..][..NR * kc];
+        for ir in (0..mc).step_by(MR) {
+            let mr = MR.min(mc - ir);
+            let ig = ic + ir;
+            if ig + mr <= jg {
+                continue; // tile entirely above the diagonal
+            }
+            let acc = mk_accumulate(ap_slice(apack, ir, kc), bp);
+            let tile = &mut c[ir + jr * ldc..];
+            if ig >= jg + nr - 1 {
+                mk_store(&acc, alpha, tile, ldc, mr, nr);
+            } else {
+                for (j, aj) in acc.iter().enumerate().take(nr) {
+                    for (i, &v) in aj.iter().enumerate().take(mr) {
+                        if ig + i >= jg + j {
+                            tile[i + j * ldc] += alpha * v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn ap_slice(apack: &[f64], ir: usize, kc: usize) -> &[f64] {
+    &apack[(ir / MR) * MR * kc..][..MR * kc]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(seed: u64, len: usize) -> Vec<f64> {
+        // Cheap deterministic pseudo-noise; avoids pulling rand into the unit
+        // tests of the lowest-level module.
+        (0..len)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn naive_gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f64],
+        a_rs: usize,
+        a_cs: usize,
+        b: &[f64],
+        b_rs: usize,
+        b_cs: usize,
+        alpha: f64,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a[i * a_rs + l * a_cs] * b[l * b_rs + j * b_cs];
+                }
+                c[i + j * m] = alpha * s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_over_blocking_edges() {
+        // Shapes straddling MR/NR/MC/KC boundaries, both stride layouts.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (7, 3, 5),
+            (8, 4, 16),
+            (9, 5, 17),
+            (97, 41, 260),
+            (MC + 3, NR + 1, KC + 2),
+        ] {
+            let a = det(1, m * k);
+            let b = det(2, k * n);
+            let want = naive_gemm(m, n, k, &a, 1, m, &b, 1, k, 1.5);
+            let mut c = vec![0.0; m * n];
+            let mut packs = PackPair::new();
+            gemm_packed(m, n, k, &a, 1, m, &b, 1, k, 1.5, &mut c, m, &mut packs);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-12, "m={m} n={n} k={k}");
+            }
+            // Transposed-stride A (row-major view of the same buffer).
+            let at = det(3, k * m); // k×m storage, used as m×k via strides
+            let want = naive_gemm(m, n, k, &at, k, 1, &b, 1, k, 1.0);
+            let mut c = vec![0.0; m * n];
+            gemm_packed(m, n, k, &at, k, 1, &b, 1, k, 1.0, &mut c, m, &mut packs);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-12, "strided m={m} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_b_matches_direct() {
+        let (m, n, k) = (37, 11, 300); // two KC blocks
+        let a = det(4, m * k);
+        let b = det(5, k * n);
+        let mut direct = vec![0.0; m * n];
+        let mut packs = PackPair::new();
+        gemm_packed(m, n, k, &a, 1, m, &b, 1, k, 1.0, &mut direct, m, &mut packs);
+        let mut bpack = vec![0.0; packed_b_full_len(k, n)];
+        pack_b_full(&mut bpack, k, n, &b, 1, k);
+        let mut c = vec![0.0; m * n];
+        let mut apack = PackBuf::new();
+        gemm_prepacked_b(m, n, k, &a, 1, m, &bpack, 1.0, &mut c, m, &mut apack);
+        assert_eq!(c, direct, "prepacked B must be bit-identical");
+    }
+
+    #[test]
+    fn syrk_lower_touches_only_lower_triangle() {
+        let (n, k) = (23, 40);
+        let a = det(6, n * k); // n×k column-major: rs=1, cs=n
+        let mut c = vec![f64::NAN; n * n];
+        for j in 0..n {
+            for i in j..n {
+                c[i + j * n] = 0.0;
+            }
+        }
+        let mut packs = PackPair::new();
+        syrk_packed_lower(n, k, &a, 1, n, 1.0, &mut c, &mut packs);
+        for j in 0..n {
+            for i in 0..n {
+                let v = c[i + j * n];
+                if i >= j {
+                    let want: f64 = (0..k).map(|l| a[i + l * n] * a[j + l * n]).sum();
+                    assert!((v - want).abs() < 1e-12, "({i},{j})");
+                } else {
+                    assert!(v.is_nan(), "upper ({i},{j}) must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_buffers_are_aligned_and_grow_only() {
+        let mut p = PackBuf::new();
+        assert!(!p.ensure(0));
+        assert!(p.ensure(100));
+        assert_eq!(p.slice(100).as_ptr() as usize % ALIGN_BYTES, 0);
+        assert!(!p.ensure(50), "smaller request must not grow");
+        assert!(!p.ensure(100), "equal request must not grow");
+        assert!(p.ensure(10_000));
+        assert_eq!(p.slice(10_000).as_ptr() as usize % ALIGN_BYTES, 0);
+    }
+
+    #[test]
+    fn bytes_packed_counts_calling_thread_packing() {
+        let before = bytes_packed();
+        let a = det(7, 64 * 64);
+        let b = det(8, 64 * 64);
+        let mut c = vec![0.0; 64 * 64];
+        let mut packs = PackPair::new();
+        gemm_packed(
+            64, 64, 64, &a, 1, 64, &b, 1, 64, 1.0, &mut c, 64, &mut packs,
+        );
+        assert!(bytes_packed() > before, "packing must be counted");
+    }
+
+    #[test]
+    fn kernel_mode_roundtrip() {
+        assert!(use_packed(64, 64, 64));
+        assert!(!use_packed(2, 2, 2));
+        assert!(!use_packed(0, 64, 64));
+        set_kernel_mode(KernelMode::Naive);
+        assert_eq!(kernel_mode(), KernelMode::Naive);
+        assert!(!use_packed(64, 64, 64));
+        set_kernel_mode(KernelMode::Packed);
+        assert!(use_packed(2, 2, 2));
+        assert!(!use_packed(0, 0, 0), "empty problems never pack");
+        set_kernel_mode(KernelMode::Auto);
+        assert_eq!(kernel_mode(), KernelMode::Auto);
+    }
+}

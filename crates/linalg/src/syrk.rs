@@ -13,8 +13,17 @@
 //!   block of the fused Gram kernel in `tucker-tensor`: each contiguous slab
 //!   of the canonical tensor layout is one such contribution, so no unfolding
 //!   is ever materialized.
+//!
+//! Like [`crate::gemm`], every entry point picks between two kernels at
+//! runtime: the packed, register-tiled triangle-aware macro-loop from
+//! [`crate::pack`] (only lower-panel tiles are packed and computed; tiles
+//! straddling the diagonal store under an `i ≥ j` mask) once the problem
+//! amortizes packing, and the original unrolled dot/axpy loops below the
+//! threshold or when `KernelMode::Naive` pins the baseline. Both kernels
+//! honor the same contract: **only the lower triangle is written**.
 
 use crate::matrix::Matrix;
+use crate::pack;
 use rayon::prelude::*;
 
 /// `C = A · Aᵀ` for column-major `A` (`m x k`), allocating the `m x m` output.
@@ -40,6 +49,16 @@ pub fn syrk_into(a: &Matrix, alpha: f64, beta: f64, c: &mut Matrix) {
         c.scale(beta);
     }
     if m == 0 {
+        return;
+    }
+
+    if pack::use_packed(m, m, k) {
+        // A·Aᵀ on the packed triangle-aware kernel: operand strides (1, m),
+        // lower triangle only, mirrored below like the naive path.
+        pack::with_thread_packs(|p| {
+            pack::syrk_packed_lower(m, k, a.as_slice(), 1, m, alpha, c.as_mut_slice(), p);
+        });
+        mirror_lower(c.as_mut_slice(), m);
         return;
     }
 
@@ -95,6 +114,14 @@ pub fn syrk_ata_lower(a: &[f64], lda: usize, n: usize, r0: usize, r1: usize, c: 
     if r0 == r1 {
         return;
     }
+    if pack::use_packed(n, n, r1 - r0) {
+        // The operand is Sᵀ for S = rows r0..r1 of the slab: element (l1, l)
+        // of the n×(r1-r0) strided view sits at a[r0 + l + l1·lda].
+        pack::with_thread_packs(|p| {
+            pack::syrk_packed_lower(n, r1 - r0, &a[r0..], lda, 1, 1.0, c, p);
+        });
+        return;
+    }
     for (l2, cc) in c.chunks_mut(n).enumerate() {
         let y = &a[l2 * lda + r0..l2 * lda + r1];
         for (cv, x_col) in cc[l2..].iter_mut().zip(a[l2 * lda..].chunks(lda)) {
@@ -144,6 +171,13 @@ pub fn unrolled_dot(x: &[f64], y: &[f64]) -> f64 {
 pub fn syrk_aat_lower(a: &[f64], m: usize, c0: usize, c1: usize, c: &mut [f64]) {
     debug_assert!(c0 <= c1 && c1 * m <= a.len(), "column range out of bounds");
     debug_assert_eq!(c.len(), m * m, "output must be {m}x{m}");
+    if pack::use_packed(m, m, c1 - c0) {
+        // Columns c0..c1 as an m×(c1-c0) contiguous operand: strides (1, m).
+        pack::with_thread_packs(|p| {
+            pack::syrk_packed_lower(m, c1 - c0, &a[c0 * m..], 1, m, 1.0, c, p);
+        });
+        return;
+    }
     for col in a[c0 * m..c1 * m].chunks_exact(m) {
         for (j, &v) in col.iter().enumerate() {
             if v == 0.0 {

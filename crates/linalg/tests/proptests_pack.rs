@@ -1,0 +1,224 @@
+//! Property tests for the packed micro-kernel layer (`tucker_linalg::pack`):
+//! the packed GEMM/SYRK paths must match straightforward reference loops to
+//! 1e-12 over random shapes, strides, ranges and scalings — including empty
+//! `r0 == r1` / `c0 == c1` ranges and `k == 0` — and the SYRK paths must
+//! never touch the upper triangle.
+//!
+//! The packed entry points are exercised **directly** (`pack::gemm_packed`,
+//! `pack::syrk_packed_lower`) so coverage does not depend on the `Auto`
+//! dispatch threshold, and the public `syrk_ata_lower`/`syrk_aat_lower`
+//! helpers are run alongside so whichever path `Auto` picks is differential
+//! against the same reference. No test flips the process-wide kernel mode:
+//! the test binary runs tests concurrently and the mode is global.
+//!
+//! Cases are generated deterministically from a fixed per-test seed (see
+//! `vendor/proptest`): CI runs are reproducible, and `PROPTEST_SEED` /
+//! `PROPTEST_CASES` explore other streams or bound the case count.
+
+use proptest::prelude::*;
+use tucker_linalg::pack::{self, PackPair};
+use tucker_linalg::{syrk_aat_lower, syrk_ata_lower};
+
+/// Deterministic hash noise in [-0.5, 0.5).
+fn noise(seed: u64, i: usize) -> f64 {
+    let x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+fn noise_vec(seed: u64, len: usize) -> Vec<f64> {
+    (0..len).map(|i| noise(seed, i)).collect()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `pack::gemm_packed` on random shapes (k = 0 included), random
+    /// operand layouts (column-major or transposed view of a column-major
+    /// buffer) and a padded output leading dimension matches the reference
+    /// triple loop to 1e-12.
+    #[test]
+    fn packed_gemm_matches_reference(
+        m in 1usize..=40,
+        n in 1usize..=40,
+        k in 0usize..=70,
+        a_t in 0u8..2,
+        b_t in 0u8..2,
+        pad in 0usize..=3,
+        seed in 0u64..10_000,
+    ) {
+        let alpha = 0.25 + noise(seed, 0).abs();
+        // A strided view: column-major (rs=1, cs=m) or the transpose of a
+        // column-major k×m buffer (rs=k, cs=1). Same for B.
+        let (a_buf, a_rs, a_cs) = if a_t == 1 {
+            (noise_vec(seed ^ 1, k * m), k, 1)
+        } else {
+            (noise_vec(seed ^ 1, m * k), 1, m)
+        };
+        let (b_buf, b_rs, b_cs) = if b_t == 1 {
+            (noise_vec(seed ^ 2, n * k), n, 1)
+        } else {
+            (noise_vec(seed ^ 2, k * n), 1, k)
+        };
+        let ldc = m + pad;
+        let mut c = noise_vec(seed ^ 3, ldc * n);
+        let c0 = c.clone();
+
+        let mut packs = PackPair::new();
+        pack::gemm_packed(
+            m, n, k, &a_buf, a_rs, a_cs, &b_buf, b_rs, b_cs, alpha, &mut c, ldc, &mut packs,
+        );
+
+        for j in 0..n {
+            for i in 0..ldc {
+                let got = c[i + j * ldc];
+                if i >= m {
+                    // Padding rows below the logical output are never touched.
+                    prop_assert_eq!(got, c0[i + j * ldc]);
+                    continue;
+                }
+                let dot: f64 = (0..k)
+                    .map(|l| a_buf[i * a_rs + l * a_cs] * b_buf[l * b_rs + j * b_cs])
+                    .sum();
+                let want = c0[i + j * ldc] + alpha * dot;
+                prop_assert!(close(got, want), "({i},{j}) {m}x{n}x{k}: {got} vs {want}");
+            }
+        }
+    }
+
+    /// `pack::syrk_packed_lower` and the public `syrk_ata_lower` (whatever
+    /// path `Auto` dispatches) both match the reference lower-triangle
+    /// `AᵀA` accumulate over a random row range — `r0 == r1` included — and
+    /// neither writes the upper triangle.
+    #[test]
+    fn packed_syrk_ata_matches_reference(
+        n in 1usize..=32,
+        rows in 0usize..=60,
+        extra in 0usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        let lda = rows + extra;
+        let r0 = rows.min(extra);
+        let r1 = rows;
+        let a = noise_vec(seed, n * lda);
+
+        // Reference accumulate into a noise-seeded lower triangle.
+        let base = noise_vec(seed ^ 5, n * n);
+        let mut want = base.clone();
+        for l2 in 0..n {
+            for l1 in l2..n {
+                let dot: f64 = (r0..r1).map(|r| a[r + l1 * lda] * a[r + l2 * lda]).sum();
+                want[l1 + l2 * n] += dot;
+            }
+        }
+
+        // Direct packed call (operand Sᵀ: element (l1, l) at a[r0 + l + l1·lda]).
+        let mut c_packed = base.clone();
+        if r1 > r0 {
+            let mut packs = PackPair::new();
+            pack::syrk_packed_lower(n, r1 - r0, &a[r0..], lda, 1, 1.0, &mut c_packed, &mut packs);
+        }
+        // Public helper (Auto dispatch).
+        let mut c_pub = base.clone();
+        syrk_ata_lower(&a, lda, n, r0, r1, &mut c_pub);
+
+        for l2 in 0..n {
+            for l1 in 0..n {
+                let (g_packed, g_pub) = (c_packed[l1 + l2 * n], c_pub[l1 + l2 * n]);
+                if l1 < l2 {
+                    // Upper triangle untouched by both.
+                    prop_assert_eq!(g_packed, base[l1 + l2 * n]);
+                    prop_assert_eq!(g_pub, base[l1 + l2 * n]);
+                } else {
+                    let w = want[l1 + l2 * n];
+                    prop_assert!(close(g_packed, w), "packed ({l1},{l2}): {g_packed} vs {w}");
+                    prop_assert!(close(g_pub, w), "public ({l1},{l2}): {g_pub} vs {w}");
+                }
+            }
+        }
+    }
+
+    /// Same two-way differential for the `A·Aᵀ` column-range helper
+    /// (`c0 == c1` empty ranges included).
+    #[test]
+    fn packed_syrk_aat_matches_reference(
+        m in 1usize..=32,
+        k in 0usize..=60,
+        split in 0usize..=60,
+        seed in 0u64..10_000,
+    ) {
+        let c0 = split.min(k);
+        let c1 = k;
+        let a = noise_vec(seed, m * k);
+
+        let base = noise_vec(seed ^ 7, m * m);
+        let mut want = base.clone();
+        for j in 0..m {
+            for i in j..m {
+                let dot: f64 = (c0..c1).map(|l| a[i + l * m] * a[j + l * m]).sum();
+                want[i + j * m] += dot;
+            }
+        }
+
+        let mut c_packed = base.clone();
+        if c1 > c0 {
+            let mut packs = PackPair::new();
+            pack::syrk_packed_lower(m, c1 - c0, &a[c0 * m..], 1, m, 1.0, &mut c_packed, &mut packs);
+        }
+        let mut c_pub = base.clone();
+        syrk_aat_lower(&a, m, c0, c1, &mut c_pub);
+
+        for j in 0..m {
+            for i in 0..m {
+                let (g_packed, g_pub) = (c_packed[i + j * m], c_pub[i + j * m]);
+                if i < j {
+                    prop_assert_eq!(g_packed, base[i + j * m]);
+                    prop_assert_eq!(g_pub, base[i + j * m]);
+                } else {
+                    let w = want[i + j * m];
+                    prop_assert!(close(g_packed, w), "packed ({i},{j}): {g_packed} vs {w}");
+                    prop_assert!(close(g_pub, w), "public ({i},{j}): {g_pub} vs {w}");
+                }
+            }
+        }
+    }
+
+    /// `pack::gemm_prepacked_b` (the shared-factor TTM path) is
+    /// bit-identical to `pack::gemm_packed` on the same operands, for any
+    /// shape and either B layout.
+    #[test]
+    fn prepacked_b_path_is_bit_identical(
+        m in 1usize..=48,
+        n in 1usize..=24,
+        k in 1usize..=48,
+        b_t in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let a = noise_vec(seed ^ 11, m * k);
+        let (b_buf, b_rs, b_cs) = if b_t == 1 {
+            (noise_vec(seed ^ 12, n * k), n, 1)
+        } else {
+            (noise_vec(seed ^ 12, k * n), 1, k)
+        };
+
+        let mut c_direct = vec![0.0; m * n];
+        let mut packs = PackPair::new();
+        pack::gemm_packed(
+            m, n, k, &a, 1, m, &b_buf, b_rs, b_cs, 1.0, &mut c_direct, m, &mut packs,
+        );
+
+        let mut bpack = vec![0.0; pack::packed_b_full_len(k, n)];
+        pack::pack_b_full(&mut bpack, k, n, &b_buf, b_rs, b_cs);
+        let mut c_pre = vec![0.0; m * n];
+        let mut apack = pack::PackBuf::new();
+        pack::gemm_prepacked_b(m, n, k, &a, 1, m, &bpack, 1.0, &mut c_pre, m, &mut apack);
+
+        prop_assert_eq!(c_direct, c_pre);
+    }
+}

@@ -10,6 +10,19 @@
 //! `Out_o = In_o · Aᵀ` on those slabs — **no unfolding is ever
 //! materialized**. Slabs are independent, so the batch is rayon-parallel.
 //!
+//! Above the packing threshold the slab GEMMs run on the packed
+//! micro-kernels of `tucker_linalg::pack`, and this is where packing
+//! amortizes best: the factor operand `Aᵀ` is **packed once per TTM call**
+//! (`pack_b_full`) and the same pack is streamed by every outer slab and
+//! every worker; only the slab operand is packed per block. Mode 0
+//! (`inner == 1`) collapses to a single column-partitioned GEMM
+//! `Out = A · Src`. Pack buffers are pooled: [`TtmWorkspace`] owns a
+//! [`PackPair`] whose growth is counted by the debug allocation counter
+//! exactly like tensor buffers, so steady-state sweeps stay allocation-free
+//! pack buffers included; the free functions stage through a thread-local
+//! pair. Below the threshold (or under `KernelMode::Naive`) the original
+//! unrolled dot/axpy slab loops run unchanged.
+//!
 //! The workhorse entry point is [`ttm_into`], which writes into a
 //! caller-provided grow-only buffer; [`TtmWorkspace`] pools such buffers so
 //! TTM chains ping-pong between two reused buffers (trees cycle through a
@@ -27,10 +40,16 @@ use crate::dense::{note_buffer_alloc, DenseTensor};
 use crate::shape::Shape;
 use crate::unfold::{fold, unfold};
 use rayon::prelude::*;
+use tucker_linalg::pack::{self, PackBuf, PackPair};
 use tucker_linalg::{gemm, Matrix, Transpose};
 
 /// Minimum per-slab work before the slab loop goes parallel.
 const PAR_MIN_WORK: usize = 1 << 14;
+
+/// Smallest `inner` extent for which the packed per-slab GEMM path is used:
+/// below this the slab matrices are too skinny for `MR`-row tiles and the
+/// interleaved-fiber loop wins.
+const PACK_MIN_INNER: usize = 16;
 
 /// `Z = T ×_n A` with `A` of shape `K × L_n`.
 ///
@@ -60,17 +79,23 @@ pub fn ttm(t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
 /// # Panics
 /// Panics if `n` is out of range or `A.ncols() != L_n`.
 pub fn ttm_into(t: &DenseTensor, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Shape {
+    ttm_into_threads(t, n, a, out, auto_threads(t, n, a))
+}
+
+/// The heuristic worker count [`ttm_into`] (and the workspace's auto entry
+/// points) use: sequential below the per-slab work threshold or when there
+/// is a single slab, one worker per host core otherwise.
+fn auto_threads(t: &DenseTensor, n: usize, a: &Matrix) -> usize {
     let shape = t.shape();
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
     let inner = shape.inner_extent(n);
     let outer = shape.outer_extent(n);
     let work = inner * shape.dim(n) * a.nrows();
-    let threads = if outer > 1 {
+    if outer > 1 {
         crate::threads::heuristic_threads(work, PAR_MIN_WORK)
     } else {
         1
-    };
-    ttm_into_threads(t, n, a, out, threads)
+    }
 }
 
 /// [`ttm_into`] with an **explicit** worker count: the `outer` slab range is
@@ -88,6 +113,21 @@ pub fn ttm_into_threads(
     a: &Matrix,
     out: &mut Vec<f64>,
     threads: usize,
+) -> Shape {
+    pack::with_thread_packs(|packs| ttm_into_impl(t, n, a, out, threads, packs))
+}
+
+/// The shared TTM body behind every entry point. `packs` is the pack-buffer
+/// pair the packed path stages through — the workspace passes its pooled
+/// pair, the free functions a thread-local one; pack identity never affects
+/// the arithmetic, so workspace and fresh paths stay bit-identical.
+fn ttm_into_impl(
+    t: &DenseTensor,
+    n: usize,
+    a: &Matrix,
+    out: &mut Vec<f64>,
+    threads: usize,
+    packs: &mut PackPair,
 ) -> Shape {
     let shape = t.shape();
     assert!(n < shape.order(), "mode {n} out of range for {shape}");
@@ -113,6 +153,16 @@ pub fn ttm_into_threads(
 
     let in_slab = inner * ln;
     let out_slab = inner * k;
+
+    // One-shot runtime pick for the whole call: the packed micro-kernel path
+    // once total work amortizes packing and the slabs are wide enough for
+    // register tiles (mode 0 is always eligible — it is a single GEMM).
+    if (inner == 1 || inner >= PACK_MIN_INNER)
+        && pack::use_packed(inner.saturating_mul(outer), k, ln)
+    {
+        ttm_packed(src, a_buf, inner, ln, k, outer, out, threads, packs);
+        return out_shape;
+    }
 
     // inner == 1 (mode 0): each slab is one contiguous fiber and each output
     // element is a plain dot product against a row of A. Transpose A once
@@ -179,6 +229,130 @@ pub fn ttm_into_threads(
     out_shape
 }
 
+/// The packed-kernel TTM body: `out` is zeroed, shapes validated.
+///
+/// * `inner == 1` (mode 0): one GEMM `Out[k×outer] = A[k×ln] · Src[ln×outer]`,
+///   column-partitioned across workers. Per-element accumulation order only
+///   depends on the `KC` blocking of `ln`, so any worker count produces
+///   bit-identical results.
+/// * `inner > 1`: `Aᵀ` is packed **once** into `packs.b` and shared
+///   (read-only) by every slab and every worker; each slab runs
+///   `Out_o[inner×k] = S_o[inner×ln] · Aᵀ` with only its `A`-side blocks
+///   packed (workspace/thread-local buffer sequentially, worker-local
+///   buffers in the parallel split).
+///
+/// Pack growth on the calling thread is counted as a tensor-buffer
+/// allocation; scoped worker threads are fresh per call and outside the
+/// debug counter (same blind spot as the naive parallel path).
+#[allow(clippy::too_many_arguments)]
+fn ttm_packed(
+    src: &[f64],
+    a_buf: &[f64],
+    inner: usize,
+    ln: usize,
+    k: usize,
+    outer: usize,
+    out: &mut [f64],
+    threads: usize,
+    packs: &mut PackPair,
+) {
+    if inner == 1 {
+        // Mode 0: Out = A · Src with A[kk,l] = a_buf[kk + l*k] (strides 1, k)
+        // and Src[l,o] = src[l + o*ln] (strides 1, ln).
+        let workers = threads.max(1).min(outer.max(1));
+        if workers > 1 {
+            let per = outer.div_ceil(workers);
+            out.par_chunks_mut(k * per)
+                .enumerate()
+                .for_each(|(w, dst)| {
+                    let o0 = w * per;
+                    let cols = dst.len() / k;
+                    let mut local = PackPair::new();
+                    pack::gemm_packed(
+                        k,
+                        cols,
+                        ln,
+                        a_buf,
+                        1,
+                        k,
+                        &src[o0 * ln..],
+                        1,
+                        ln,
+                        1.0,
+                        dst,
+                        k,
+                        &mut local,
+                    );
+                });
+        } else {
+            let grew = pack::gemm_packed(k, outer, ln, a_buf, 1, k, src, 1, ln, 1.0, out, k, packs);
+            if grew {
+                note_buffer_alloc();
+            }
+        }
+        return;
+    }
+
+    // General mode: pack the factor operand Aᵀ once (element (l, j) of Aᵀ is
+    // A[j, l] = a_buf[j + l*k], i.e. strides (k, 1)) and stream it from
+    // every slab GEMM.
+    let bp_len = pack::packed_b_full_len(ln, k);
+    if packs.b.ensure(bp_len) {
+        note_buffer_alloc();
+    }
+    pack::pack_b_full(packs.b.slice_mut(bp_len), ln, k, a_buf, k, 1);
+    let in_slab = inner * ln;
+    let out_slab = inner * k;
+    let workers = threads.max(1).min(outer.max(1));
+    if workers > 1 {
+        let bpack: &[f64] = packs.b.slice(bp_len);
+        let per = outer.div_ceil(workers);
+        out.par_chunks_mut(out_slab * per)
+            .enumerate()
+            .for_each(|(w, run)| {
+                let mut apack = PackBuf::new();
+                for (i, dst) in run.chunks_mut(out_slab).enumerate() {
+                    let o = w * per + i;
+                    pack::gemm_prepacked_b(
+                        inner,
+                        k,
+                        ln,
+                        &src[o * in_slab..(o + 1) * in_slab],
+                        1,
+                        inner,
+                        bpack,
+                        1.0,
+                        dst,
+                        inner,
+                        &mut apack,
+                    );
+                }
+            });
+    } else {
+        let bpack: &[f64] = packs.b.slice(bp_len);
+        let apack = &mut packs.a;
+        let mut grew = false;
+        for (o, dst) in out.chunks_mut(out_slab).enumerate() {
+            grew |= pack::gemm_prepacked_b(
+                inner,
+                k,
+                ln,
+                &src[o * in_slab..(o + 1) * in_slab],
+                1,
+                inner,
+                bpack,
+                1.0,
+                dst,
+                inner,
+                apack,
+            );
+        }
+        if grew {
+            note_buffer_alloc();
+        }
+    }
+}
+
 /// Grow-only buffer pool for TTM pipelines.
 ///
 /// A chain (`T ×_{n₁} A₁ ×_{n₂} A₂ …`) ping-pongs between two pooled
@@ -207,6 +381,13 @@ pub struct TtmWorkspace {
     /// Cap on bytes parked in `free`; `None` keeps the classic grow-only
     /// behavior.
     limit_bytes: Option<usize>,
+    /// Pooled pack-buffer pair for the packed kernel path: grows to the
+    /// largest factor pack / slab block the workspace has seen, then every
+    /// further call stages through it allocation-free. Not subject to
+    /// `limit_bytes` (packs are KC-block-bounded, orders of magnitude
+    /// smaller than the tensor buffers the cap exists for); see
+    /// [`TtmWorkspace::pack_bytes`].
+    packs: PackPair,
 }
 
 impl TtmWorkspace {
@@ -218,9 +399,16 @@ impl TtmWorkspace {
     /// An empty workspace whose parked pool may not exceed `limit_bytes`.
     pub fn with_limit(limit_bytes: usize) -> Self {
         Self {
-            free: Vec::new(),
             limit_bytes: Some(limit_bytes),
+            ..Self::default()
         }
+    }
+
+    /// Bytes held by the pooled pack buffers (the packed kernel path's
+    /// staging space — grow-only, counted by the debug allocation counter
+    /// when it grows, and excluded from the `limit_bytes` cap).
+    pub fn pack_bytes(&self) -> usize {
+        self.packs.allocated_bytes()
     }
 
     /// Set or clear (`None`) the parked-pool byte cap; applies immediately.
@@ -249,15 +437,14 @@ impl TtmWorkspace {
     /// # Panics
     /// Panics if `n` is out of range or `A.ncols() != L_n`.
     pub fn ttm(&mut self, t: &DenseTensor, n: usize, a: &Matrix) -> DenseTensor {
-        let out_card = t.cardinality() / t.shape().dim(n) * a.nrows();
-        let mut buf = self.acquire(out_card);
-        let shape = ttm_into(t, n, a, &mut buf);
-        DenseTensor::from_vec(shape, buf)
+        self.ttm_threads(t, n, a, auto_threads(t, n, a))
     }
 
     /// [`TtmWorkspace::ttm`] with an explicit worker count (see
     /// [`ttm_into_threads`]): the pooled-buffer discipline is identical,
-    /// only the slab partition is pinned instead of heuristic.
+    /// only the slab partition is pinned instead of heuristic. The packed
+    /// path stages through the workspace's own pooled pack buffers instead
+    /// of the thread-local pair.
     ///
     /// # Panics
     /// Panics if `n` is out of range or `A.ncols() != L_n`.
@@ -270,7 +457,7 @@ impl TtmWorkspace {
     ) -> DenseTensor {
         let out_card = t.cardinality() / t.shape().dim(n) * a.nrows();
         let mut buf = self.acquire(out_card);
-        let shape = ttm_into_threads(t, n, a, &mut buf, threads);
+        let shape = ttm_into_impl(t, n, a, &mut buf, threads, &mut self.packs);
         DenseTensor::from_vec(shape, buf)
     }
 
@@ -612,6 +799,25 @@ mod tests {
             "warm ping-pong chain must not allocate tensor buffers"
         );
         ws.recycle(z);
+    }
+
+    #[test]
+    fn workspace_pack_buffers_pool_and_grow_only() {
+        // Big enough for the packed path (inner = 24, work over threshold):
+        // the first call grows the workspace's pack pair, repeats reuse it.
+        let t = rand_tensor(&[24, 20, 18], 17);
+        let a = rand_mat(8, 20, 170);
+        let mut ws = TtmWorkspace::new();
+        assert_eq!(ws.pack_bytes(), 0);
+        let z = ws.ttm(&t, 1, &a);
+        ws.recycle(z);
+        let warm = ws.pack_bytes();
+        assert!(warm > 0, "packed path must stage through the pooled pair");
+        for _ in 0..3 {
+            let z = ws.ttm(&t, 1, &a);
+            ws.recycle(z);
+        }
+        assert_eq!(ws.pack_bytes(), warm, "pack pool must be grow-only");
     }
 
     #[test]
