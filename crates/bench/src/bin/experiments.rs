@@ -8,6 +8,7 @@
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
+//! cargo run --release -p tucker-bench --bin experiments -- recovery [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- serve [--clients N]
 //! ```
 //!
@@ -36,6 +37,12 @@
 //! and the virtual clocks against the planner's prediction, and persists
 //! `results/BENCH_scaling.json`.
 //!
+//! `recovery` kills one rank mid-sweep at P = 64 and 1024 under the mesh
+//! runtime's `Recover` policy and compares time-to-recover and wasted
+//! sweeps against fail-stop (abort + from-scratch restart on the
+//! survivors), asserting the 1e-10 recovered-vs-restart differential.
+//! Persists `results/BENCH_recovery.json`.
+//!
 //! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
 //! full-size benchmark — load and volume are machine-independent (§6.2).
 //! Measured experiments (Figures 10a/b/c, 11a/b/e) execute the simulated
@@ -48,8 +55,8 @@ use tucker_core::planner::{GridStrategy, Plan, Planner, TreeStrategy};
 use tucker_core::TuckerMeta;
 use tucker_distsim::{count_grids, NetModel};
 use tucker_suite::driver::{
-    dp_certification, gridding_comparison, load_comparison, scaling_meta, scaling_ranks,
-    scaling_sweep,
+    dp_certification, gridding_comparison, load_comparison, recovery_bench, scaling_meta,
+    scaling_ranks, scaling_sweep, RECOVERY_FAIL_AFTER_LEAVES, RECOVERY_FAIL_SWEEP, RECOVERY_SWEEPS,
 };
 use tucker_suite::fields::hash_noise;
 use tucker_suite::generator::{benchmark_5d, benchmark_6d, full_enumeration};
@@ -94,6 +101,7 @@ fn main() {
         "serve" => serve(clients),
         "planner" => planner(max_p),
         "scaling" => scaling(max_p),
+        "recovery" => recovery(max_p),
         "table1" => table1(),
         "table2" => table2(),
         "fig10a" => fig10_overall(5, sample),
@@ -112,6 +120,7 @@ fn main() {
             serve(clients);
             planner(max_p);
             scaling(max_p);
+            recovery(max_p);
             table1();
             table2();
             fig11cd_load(5);
@@ -128,8 +137,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all kernels backends serve \
-                 planner scaling table1 table2 fig10a fig10b fig10c fig11a fig11b fig11c \
-                 fig11d fig11e fig11f summary"
+                 planner scaling recovery table1 table2 fig10a fig10b fig10c fig11a fig11b \
+                 fig11c fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
@@ -342,6 +351,92 @@ fn scaling(max_p: usize) {
     println!("-> {}\n", p.display());
 }
 
+// --------------------------------------------------------------- Recovery
+
+/// Failure-recovery smoke: kill one rank mid-sweep at paper-scale rank
+/// counts under the mesh runtime and compare recovery (quarantine →
+/// survivor re-plan → resume, DESIGN.md §9) against fail-stop (abort +
+/// from-scratch restart on the survivors). The 1e-10 recovered-vs-restart
+/// differential is asserted inside `recovery_bench`. Persists
+/// `results/BENCH_recovery.json` (schema `tucker-bench/recovery/v1`).
+fn recovery(max_p: usize) {
+    let meta = scaling_meta();
+    let net = NetModel::bgq();
+    let ranks: Vec<usize> = [64usize, 1024]
+        .into_iter()
+        .filter(|&p| p <= max_p)
+        .collect();
+    println!(
+        "== Recovery: injected mid-sweep rank failure vs fail-stop, P = {ranks:?}, \
+         {RECOVERY_SWEEPS} sweeps, kill P/2 at sweep {RECOVERY_FAIL_SWEEP} \
+         after {RECOVERY_FAIL_AFTER_LEAVES} leaves =="
+    );
+    let rows = recovery_bench(&meta, &ranks, net);
+    for r in &rows {
+        assert!(r.survivors < r.nranks, "survivor grid must shrink");
+        assert!(r.wasted_sweeps_recover < r.wasted_sweeps_failstop + 1);
+        println!(
+            "   P={:<5} -> {:<5} survivors [{}]: recover {:.3}s (to-recover {:.3}s, \
+             {} wasted sweeps, {} salvaged leaves, {} elements reused) vs \
+             fail-stop restart {:.3}s ({} wasted sweeps); err gap {:.3e}",
+            r.nranks,
+            r.survivors,
+            r.replanned,
+            r.recover_total_s,
+            r.time_to_recover_s,
+            r.wasted_sweeps_recover,
+            r.salvaged_leaves,
+            r.reused_elements,
+            r.restart_total_s,
+            r.wasted_sweeps_failstop,
+            (r.recovered_error - r.failstop_error).abs()
+        );
+    }
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"p\": {}, \"survivors\": {}, \"replanned\": \"{}\", \
+                 \"fail_sweep\": {}, \"resumed_sweep\": {}, \"salvaged_leaves\": {}, \
+                 \"reused_elements\": {}, \"recover_total_s\": {:.6}, \
+                 \"time_to_recover_s\": {:.6}, \"restart_total_s\": {:.6}, \
+                 \"wasted_sweeps_recover\": {}, \"wasted_sweeps_failstop\": {}, \
+                 \"recovered_error\": {:.15}, \"failstop_error\": {:.15}, \
+                 \"error_gap\": {:.3e}}}",
+                r.nranks,
+                r.survivors,
+                r.replanned,
+                r.fail_sweep,
+                r.resumed_sweep,
+                r.salvaged_leaves,
+                r.reused_elements,
+                r.recover_total_s,
+                r.time_to_recover_s,
+                r.restart_total_s,
+                r.wasted_sweeps_recover,
+                r.wasted_sweeps_failstop,
+                r.recovered_error,
+                r.failstop_error,
+                (r.recovered_error - r.failstop_error).abs()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/recovery/v1\",\n  \"input\": \"{}\",\n  \
+         \"core\": \"{}\",\n  \"net\": {{\"alpha_ns\": {}, \"beta_ns_per_byte\": {:.6}}},\n  \
+         \"sweeps\": {RECOVERY_SWEEPS},\n  \"fail_sweep\": {RECOVERY_FAIL_SWEEP},\n  \
+         \"fail_after_leaves\": {RECOVERY_FAIL_AFTER_LEAVES},\n  \"tolerance\": 1e-10,\n  \
+         \"ranks\": {ranks:?},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        meta.input(),
+        meta.core(),
+        net.alpha().as_nanos(),
+        net.beta_ns_per_byte(),
+        json_rows.join(",\n")
+    );
+    let p = write_results("BENCH_recovery.json", &json);
+    println!("-> {}\n", p.display());
+}
+
 // --------------------------------------------------------------- Backends
 
 /// Backend comparison on the kernel-ablation problem: the same
@@ -487,7 +582,7 @@ fn serve(clients: usize) {
                     };
                     let t = std::time::Instant::now();
                     let ticket = srv.submit_blocking(spec).expect("server is accepting");
-                    let _ = ticket.wait();
+                    let _ = ticket.wait().expect("worker alive");
                     latencies.push(t.elapsed().as_secs_f64());
                 }
                 latencies

@@ -24,21 +24,29 @@
 //!   paper-scale rank counts (P = 2⁶…2¹³) in seconds, reporting through the
 //!   **same** [`ExecutionStats`] fields as measured runs.
 
+use crate::checkpoint::RecoveryLog;
 use crate::decomposition::TuckerDecomposition;
-use crate::executor::{self, PlanProvenance, SweepBackend, SweepPhase, SweepStats};
+use crate::executor::{self, PlanProvenance, SweepBackend, SweepObserver, SweepPhase, SweepStats};
+use crate::meta::TuckerMeta;
 use crate::plan::cost::NetCostModel;
 use crate::plan::grid::DynGridScheme;
-use crate::plan::Plan;
+use crate::plan::{FlopVolumeModel, Plan, Planner, SearchBudget};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
+use tucker_distsim::block::rank_region;
 use tucker_distsim::collectives::{allreduce_sum, Group};
 use tucker_distsim::comm::{thread_cpu_time, RunOutput};
 use tucker_distsim::dist_gram::{dist_gram, dist_gram_all_with_norm};
 use tucker_distsim::dist_ttm::dist_ttm;
+use tucker_distsim::grid::largest_usable_rank_count;
+use tucker_distsim::mesh::MeshCfg;
 use tucker_distsim::net::NetModel;
-use tucker_distsim::redistribute::redistribute;
+use tucker_distsim::redistribute::{redistribute, BlockStore};
 use tucker_distsim::{DistTensor, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeReport};
 use tucker_linalg::{leading_from_gram, Matrix};
 use tucker_tensor::norm::fro_norm_sq;
+use tucker_tensor::subtensor::Region;
+use tucker_tensor::DenseTensor;
 
 pub use tucker_distsim::backend::{PhaseSnap, TimeSource};
 
@@ -49,6 +57,28 @@ pub type ExecutionStats = SweepStats;
 /// Tag of the scalar (norm) all-reduce — the same tag
 /// [`DistTensor::global_norm_sq`] uses, so both paths are bit-identical.
 const NORM_TAG: u32 = 9001;
+
+/// What the mesh engine does when a rank fails mid-run (DESIGN.md §9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Fail-stop: re-raise the root failure (the pre-mesh semantics).
+    #[default]
+    Abort,
+    /// Quarantine the dead rank, re-plan on the survivor count via the
+    /// joint search, redistribute live blocks and resume from the last
+    /// committed sweep (skipping leaves the interrupted sweep finished).
+    Recover {
+        /// Upper bound on recovery rounds before giving up.
+        max_restarts: usize,
+    },
+}
+
+impl FailurePolicy {
+    /// Recover with a generous restart budget.
+    pub fn recover() -> Self {
+        FailurePolicy::Recover { max_restarts: 8 }
+    }
+}
 
 /// Execution-mode configuration for the distributed algorithms.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +94,10 @@ pub struct EngineConfig {
     /// scaling sweeps where only the stats matter — the world-wide
     /// all-gather is `O(P²)` messages and would dominate large-`P` runs.
     pub gather_core: bool,
+    /// Rank-failure policy of mesh runs
+    /// ([`run_distributed_hooi_mesh`]); thread/sequential universes are
+    /// always fail-stop.
+    pub on_failure: FailurePolicy,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +107,7 @@ impl Default for EngineConfig {
             net: None,
             sequential: false,
             gather_core: true,
+            on_failure: FailurePolicy::Abort,
         }
     }
 }
@@ -87,6 +122,7 @@ impl EngineConfig {
             net: Some(net),
             sequential: true,
             gather_core: true,
+            on_failure: FailurePolicy::Abort,
         }
     }
 
@@ -360,6 +396,392 @@ pub fn run_distributed_hooi_cfg(
     }
 }
 
+// --------------------------------------------------- mesh runner + recovery
+
+/// A scripted rank failure for recovery tests and benches: `rank` panics
+/// during `sweep` after completing `after_leaves` of its leaves
+/// (`0` fails at the sweep boundary, before any leaf). Fires at most once
+/// per run, so the recovered epochs complete.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedFault {
+    /// Rank that dies.
+    pub rank: usize,
+    /// Global sweep index it dies in.
+    pub sweep: usize,
+    /// Leaves it completes first.
+    pub after_leaves: usize,
+}
+
+/// One quarantine/re-plan/resume round of a mesh run.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Root-cause ranks removed from the universe (epoch-local ids).
+    pub dead_ranks: Vec<usize>,
+    /// Ranks the run continued on.
+    pub survivors: usize,
+    /// The sweep the resumed epoch started from (committed count).
+    pub resumed_sweep: usize,
+    /// Leaves of the interrupted sweep that were salvaged.
+    pub salvaged_leaves: usize,
+    /// Name of the survivor-grid plan searched after the failure.
+    pub replanned: String,
+    /// Elements of the new epoch's initial blocks served from live blocks
+    /// of the aborted epoch instead of the input generator.
+    pub reused_elements: u64,
+}
+
+/// Output of [`run_distributed_hooi_mesh`].
+#[derive(Debug)]
+pub struct MeshHooiOutput {
+    /// The final decomposition (rank 0 of the last epoch); `None` with
+    /// `gather_core: false`.
+    pub decomposition: Option<TuckerDecomposition>,
+    /// Stats per sweep, cross-rank merged, provenance-stamped per epoch.
+    /// Sweeps committed before a failure keep the clocks they measured
+    /// under the original grid.
+    pub per_sweep: Vec<ExecutionStats>,
+    /// Volume ledger of each epoch (one entry per attempt, including
+    /// aborted ones).
+    pub epoch_volumes: Vec<VolumeReport>,
+    /// Every quarantine/re-plan/resume round, in order (empty: clean run).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Worker threads the last epoch's mesh multiplexed its ranks over.
+    pub workers: usize,
+    /// Plan names, one per epoch.
+    pub plans: Vec<String>,
+}
+
+impl MeshHooiOutput {
+    /// Error trace (one entry per sweep).
+    pub fn errors(&self) -> Vec<f64> {
+        self.per_sweep.iter().map(|s| s.error).collect()
+    }
+}
+
+/// Observer wired into every mesh rank: records progress into the shared
+/// [`RecoveryLog`] and fires the scripted fault at its exact tree position.
+struct MeshObserver<'l> {
+    rank: usize,
+    log: &'l RecoveryLog,
+    fault: Option<InjectedFault>,
+    fault_fired: &'l AtomicBool,
+    leaves_this_sweep: usize,
+}
+
+impl MeshObserver<'_> {
+    fn maybe_fail(&self, sweep: usize) {
+        if let Some(f) = self.fault {
+            if f.rank == self.rank
+                && f.sweep == sweep
+                && f.after_leaves == self.leaves_this_sweep
+                && !self.fault_fired.swap(true, Ordering::SeqCst)
+            {
+                panic!(
+                    "injected rank failure (rank {}, sweep {}, after {} leaves)",
+                    f.rank, f.sweep, f.after_leaves
+                );
+            }
+        }
+    }
+}
+
+impl SweepObserver for MeshObserver<'_> {
+    fn sweep_started(&mut self, sweep: usize) {
+        self.leaves_this_sweep = 0;
+        self.maybe_fail(sweep);
+    }
+
+    fn leaf_done(&mut self, sweep: usize, mode: usize, factor: &Matrix) {
+        self.log.leaf_done(sweep, mode, factor);
+        self.leaves_this_sweep += 1;
+        self.maybe_fail(sweep);
+    }
+
+    fn sweep_done(&mut self, sweep: usize, factors: &[Matrix], stats: &SweepStats) {
+        self.log.sweep_done(sweep, factors, stats);
+    }
+}
+
+/// Cascade panics the mesh injects into surviving ranks when quarantining a
+/// root failure — these ranks are alive, their epoch merely aborted.
+fn is_cascade_failure(msg: &str) -> bool {
+    msg.contains("epoch aborted") || msg.contains("sender dropped")
+}
+
+/// Run distributed HOOI on the **actor mesh**: `nranks` resumable actors
+/// multiplexed over a bounded worker pool (no thread-per-rank), planned by
+/// the joint grid × tree × order search at the current survivor count.
+///
+/// Under [`FailurePolicy::Abort`] a rank failure re-raises, exactly like
+/// [`run_distributed_hooi_cfg`]. Under [`FailurePolicy::Recover`] the
+/// failed rank is quarantined and the run continues on the survivors: the
+/// planner re-optimizes for the shrunk universe, live blocks of the aborted
+/// epoch are redistributed host-side onto the new grid (only the dead
+/// rank's region is re-materialized from `global_fn`), and the sweep loop
+/// resumes from the last committed sweep, skipping leaves the interrupted
+/// sweep already finished. Virtual-time epochs carry the per-epoch α–β
+/// prediction in their provenance (the PR 5 predict-vs-execute invariant,
+/// per surviving-grid re-plan); a *resumed* sweep's prediction is voided —
+/// only part of it executed under the new plan.
+///
+/// # Panics
+/// Panics on invalid arguments, under `Abort` on any rank failure, or under
+/// `Recover` when `max_restarts` is exhausted or no survivor remains.
+pub fn run_distributed_hooi_mesh(
+    global_fn: impl Fn(&[usize]) -> f64 + Sync,
+    meta: &TuckerMeta,
+    nranks: usize,
+    sweeps: usize,
+    cfg: &EngineConfig,
+    mesh: &MeshCfg,
+    fault: Option<InjectedFault>,
+) -> MeshHooiOutput {
+    assert!(sweeps >= 1, "need at least one sweep");
+    assert!(nranks >= 1, "need at least one rank");
+    assert!(
+        cfg.time != TimeSource::Virtual || cfg.net.is_some(),
+        "TimeSource::Virtual requires a NetModel"
+    );
+
+    let log = RecoveryLog::new(meta.order());
+    let fault_fired = AtomicBool::new(false);
+    let recover = matches!(cfg.on_failure, FailurePolicy::Recover { .. });
+    let mut survivors = nranks;
+    let mut restarts = 0usize;
+    let mut prev_blocks: Option<(BlockStore, Vec<Region>)> = None;
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut epoch_volumes: Vec<VolumeReport> = Vec::new();
+    let mut plans: Vec<String> = Vec::new();
+
+    loop {
+        // (Re-)plan at the current survivor count via the joint search.
+        let planner = Planner::new(meta.clone(), survivors);
+        let budget = SearchBudget::winner_only();
+        let plan = match cfg.net {
+            Some(net) => planner.best_plan_with(&NetCostModel::new(net, survivors), &budget),
+            None => planner.best_plan_with(&FlopVolumeModel, &budget),
+        };
+        plans.push(plan.name());
+        if let Some(ev) = recoveries.last_mut() {
+            if ev.replanned.is_empty() {
+                ev.replanned = plan.name();
+            }
+        }
+        let predicted_comm = match (cfg.time, cfg.net) {
+            (TimeSource::Virtual, Some(net)) => Some(
+                NetCostModel::new(net, survivors)
+                    .predict_sweep(&plan.meta, &plan.tree, &plan.grids)
+                    .comm_wall,
+            ),
+            _ => None,
+        };
+        log.begin_epoch(
+            survivors,
+            Some(PlanProvenance {
+                plan: plan.name(),
+                predicted_comm,
+            }),
+        );
+
+        // Restore point: committed sweeps + salvaged leaves of the
+        // interrupted sweep. (Empty on the first epoch.)
+        let ckpt = log.checkpoint(meta, sweeps);
+        let first_sweep = ckpt.resume_sweep();
+        let basis: Option<Vec<Matrix>> =
+            (first_sweep > 0 || ckpt.init_factors.is_some()).then(|| ckpt.basis_factors());
+
+        let store = BlockStore::new(meta.input().clone());
+        let reused = AtomicU64::new(0);
+        let mesh_cfg = MeshCfg {
+            net: cfg.net,
+            ..mesh.clone()
+        };
+        let out = Universe::run_mesh(survivors, &mesh_cfg, |ctx| {
+            let grid = &plan.grids.initial;
+            let t = match &prev_blocks {
+                Some((live, dead_regions)) => {
+                    // Redistribute live blocks of the aborted epoch onto
+                    // this rank's new-grid block; only coordinates the dead
+                    // rank owned are re-materialized from the generator.
+                    let region = rank_region(meta.input(), grid, ctx.rank());
+                    let mut local = DenseTensor::zeros(region.shape());
+                    reused.fetch_add(live.fill(&region, &mut local), Ordering::Relaxed);
+                    for dead in dead_regions {
+                        if let Some(gap) = dead.intersect(&region) {
+                            fill_region_from(&mut local, &gap, &region, &global_fn);
+                        }
+                    }
+                    DistTensor::from_parts(meta.input().clone(), grid.clone(), ctx.rank(), local)
+                }
+                None => DistTensor::from_global_fn(ctx, meta.input(), grid, |c| global_fn(c)),
+            };
+            if recover {
+                store.deposit(ctx.rank(), t.region(), t.local().clone());
+            }
+
+            let (init_factors, input_norm_sq) = match &basis {
+                Some(fs) => (fs.clone(), t.global_norm_sq(ctx)),
+                None => {
+                    let (grams, norm) = dist_gram_all_with_norm(ctx, &t);
+                    let init: Vec<Matrix> = grams
+                        .iter()
+                        .enumerate()
+                        .map(|(n, gram)| leading_from_gram(gram, meta.k(n)).u)
+                        .collect();
+                    log.record_init(&init);
+                    (init, norm)
+                }
+            };
+
+            let mut obs = MeshObserver {
+                rank: ctx.rank(),
+                log: &log,
+                fault,
+                fault_fired: &fault_fired,
+                leaves_this_sweep: 0,
+            };
+            let mut backend = DistsimBackend::new(&mut *ctx, cfg.time, Some(&plan.grids));
+            let run = executor::hooi_loop_from(
+                &mut backend,
+                &t,
+                meta,
+                &plan.tree,
+                init_factors,
+                input_norm_sq,
+                executor::LoopCfg::exactly(sweeps),
+                first_sweep,
+                ckpt.predone(),
+                &mut obs,
+            );
+
+            if cfg.gather_core {
+                let dense_core = run.core.allgather_global(ctx);
+                (ctx.rank() == 0).then(|| TuckerDecomposition::new(dense_core, run.factors))
+            } else {
+                None
+            }
+        });
+        epoch_volumes.push(out.volume);
+        if let Some(ev) = recoveries.last_mut() {
+            if ev.reused_elements == 0 {
+                ev.reused_elements = reused.load(Ordering::Relaxed);
+            }
+        }
+
+        if out.all_ok() {
+            let committed = log.committed();
+            assert_eq!(committed.len(), sweeps, "all sweeps must have committed");
+            let mut decomposition = None;
+            for o in out.results {
+                if let tucker_distsim::RankOutcome::Ok(Some(d)) = o {
+                    decomposition = Some(d);
+                }
+            }
+            return MeshHooiOutput {
+                decomposition,
+                per_sweep: committed.into_iter().map(|c| c.stats).collect(),
+                epoch_volumes,
+                recoveries,
+                workers: out.workers,
+                plans,
+            };
+        }
+
+        // Failure path: identify root-cause deaths (cascade panics are
+        // survivors whose epoch aborted), then recover or re-raise.
+        let dead: Vec<usize> = out
+            .failed_ranks()
+            .into_iter()
+            .filter(|&r| {
+                out.failure_message(r)
+                    .is_some_and(|m| !is_cascade_failure(m))
+            })
+            .collect();
+        let dead = if dead.is_empty() {
+            vec![out.first_failure.expect("abort implies a root failure")]
+        } else {
+            dead
+        };
+        match cfg.on_failure {
+            FailurePolicy::Abort => {
+                let _ = out.into_results(); // re-raises the root payload
+                unreachable!("into_results re-raises on failure");
+            }
+            FailurePolicy::Recover { max_restarts } => {
+                restarts += 1;
+                assert!(
+                    restarts <= max_restarts,
+                    "rank failures exceeded max_restarts ({max_restarts})"
+                );
+                assert!(
+                    dead.len() < survivors,
+                    "no survivors left after {dead:?} failed"
+                );
+                let dead_regions: Vec<Region> = dead
+                    .iter()
+                    .map(|&r| rank_region(meta.input(), &plan.grids.initial, r))
+                    .collect();
+                for &r in &dead {
+                    store.evict(r);
+                }
+                // A survivor count that factors badly (e.g. a prime larger
+                // than every mode) admits no valid grid — shrink to the
+                // largest usable subset and idle the rest.
+                let usable = largest_usable_rank_count(survivors - dead.len(), meta.core().dims());
+                let salvaged = ckpt_salvaged(&log, meta);
+                recoveries.push(RecoveryEvent {
+                    dead_ranks: dead.clone(),
+                    survivors: usable,
+                    resumed_sweep: log.committed_count(),
+                    salvaged_leaves: salvaged,
+                    replanned: String::new(), // filled after the re-plan
+                    reused_elements: 0,       // filled after the next epoch
+                });
+                survivors = usable;
+                prev_blocks = Some((store, dead_regions));
+            }
+        }
+    }
+}
+
+/// Leaves of the interrupted sweep the log salvaged (for recovery reports).
+fn ckpt_salvaged(log: &RecoveryLog, meta: &TuckerMeta) -> usize {
+    log.checkpoint(meta, usize::MAX)
+        .partial
+        .iter()
+        .filter(|f| f.is_some())
+        .count()
+}
+
+/// Evaluate `global_fn` over `gap` (global coordinates) into the local
+/// buffer of the block at `block` (the gap must lie inside the block).
+fn fill_region_from(
+    local: &mut DenseTensor,
+    gap: &Region,
+    block: &Region,
+    global_fn: &(impl Fn(&[usize]) -> f64 + Sync),
+) {
+    let rel = gap.relative_to(&block.start);
+    let mut coord = vec![0usize; gap.start.len()];
+    let count = gap.cardinality();
+    let mut global = gap.start.clone();
+    for _ in 0..count {
+        for (g, (c, s)) in global.iter_mut().zip(coord.iter().zip(&gap.start)) {
+            *g = c + s;
+        }
+        let local_coord: Vec<usize> = coord.iter().zip(&rel.start).map(|(c, s)| c + s).collect();
+        local.set(&local_coord, global_fn(&global));
+        // Odometer over the gap box, mode 0 fastest.
+        for (n, c) in coord.iter_mut().enumerate() {
+            *c += 1;
+            if *c < gap.len[n] {
+                break;
+            }
+            *c = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,5 +970,149 @@ mod tests {
         let out = run_distributed_hooi_cfg(smooth, &plan, 1, &cfg);
         assert!(out.decomposition.is_none());
         assert!(out.per_sweep[0].error.is_finite());
+    }
+
+    // ------------------------------------------------ mesh runner tests
+
+    #[test]
+    fn mesh_clean_run_matches_thread_universe() {
+        // A fault-free mesh run is the same math as the thread-per-rank
+        // engine on the same plan; virtual clocks match exactly.
+        let meta = meta_small();
+        let cfg = EngineConfig::virtual_time(NetModel::bgq());
+        let planner = Planner::new(meta.clone(), 4);
+        let plan = planner.best_plan_with(
+            &NetCostModel::new(NetModel::bgq(), 4),
+            &SearchBudget::winner_only(),
+        );
+        let threads = run_distributed_hooi_cfg(smooth, &plan, 2, &cfg);
+        let mesh = run_distributed_hooi_mesh(smooth, &meta, 4, 2, &cfg, &MeshCfg::default(), None);
+        assert!(mesh.recoveries.is_empty());
+        assert_eq!(mesh.plans, vec![plan.name()]);
+        for (a, b) in threads.per_sweep.iter().zip(&mesh.per_sweep) {
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.comm_wall, b.comm_wall);
+        }
+        let td = threads.expect_decomposition();
+        let md = mesh.decomposition.as_ref().expect("rank 0 gathers");
+        assert_eq!(td.core.max_abs_diff(&md.core), 0.0);
+    }
+
+    #[test]
+    fn mesh_abort_policy_reraises_injected_failure() {
+        let meta = meta_small();
+        let fault = InjectedFault {
+            rank: 1,
+            sweep: 0,
+            after_leaves: 1,
+        };
+        let res = std::panic::catch_unwind(|| {
+            run_distributed_hooi_mesh(
+                smooth,
+                &meta,
+                4,
+                2,
+                &EngineConfig::default(),
+                &MeshCfg::default(),
+                Some(fault),
+            )
+        });
+        let payload = res.expect_err("abort policy must re-raise");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected rank failure"),
+            "unexpected payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn mesh_recovers_mid_sweep_failure_within_float_noise() {
+        // Kill rank 2 one leaf into sweep 1 of 3. The run must quarantine
+        // it, re-plan on 3 survivors, resume from the last committed sweep
+        // and land within summation-order noise of a from-scratch 3-rank
+        // run (HOOI math is grid-independent).
+        let meta = meta_small();
+        let cfg = EngineConfig {
+            on_failure: FailurePolicy::recover(),
+            ..EngineConfig::virtual_time(NetModel::bgq())
+        };
+        let fault = InjectedFault {
+            rank: 2,
+            sweep: 1,
+            after_leaves: 1,
+        };
+        let out =
+            run_distributed_hooi_mesh(smooth, &meta, 4, 3, &cfg, &MeshCfg::default(), Some(fault));
+        assert_eq!(out.recoveries.len(), 1);
+        let ev = &out.recoveries[0];
+        assert_eq!(ev.dead_ranks, vec![2]);
+        assert_eq!(ev.survivors, 3);
+        assert_eq!(ev.resumed_sweep, 1, "sweep 0 committed before the kill");
+        assert_eq!(ev.salvaged_leaves, 1);
+        assert!(!ev.replanned.is_empty());
+        assert!(ev.reused_elements > 0, "live blocks must be redistributed");
+        assert_eq!(out.per_sweep.len(), 3);
+        assert_eq!(out.epoch_volumes.len(), 2);
+
+        // Differential: from-scratch survivor-grid run, same sweep budget.
+        let clean = run_distributed_hooi_mesh(smooth, &meta, 3, 3, &cfg, &MeshCfg::default(), None);
+        let e = out.per_sweep.last().unwrap().error;
+        let c = clean.per_sweep.last().unwrap().error;
+        assert!((e - c).abs() < 1e-10, "recovered {e} vs from-scratch {c}");
+
+        // Pre-failure sweeps keep the virtual clocks they measured under
+        // the original 4-rank grid — not re-priced under the survivor plan.
+        let four = run_distributed_hooi_mesh(smooth, &meta, 4, 1, &cfg, &MeshCfg::default(), None);
+        assert_eq!(
+            out.per_sweep[0].comm_wall, four.per_sweep[0].comm_wall,
+            "pre-failure clocks must be preserved"
+        );
+        // The resumed sweep's prediction is voided (partial execution
+        // under the new plan), later sweeps carry the survivor prediction.
+        assert!(out.per_sweep[1]
+            .provenance
+            .as_ref()
+            .unwrap()
+            .predicted_comm
+            .is_none());
+        assert!(out.per_sweep[2]
+            .provenance
+            .as_ref()
+            .unwrap()
+            .predicted_comm
+            .is_some());
+    }
+
+    #[test]
+    fn mesh_failure_at_sweep_boundary_resumes_from_salvaged_leaves() {
+        // after_leaves == 0 dies right after sweep 0's last collective —
+        // before the survivors ran their (local) commit records. The commit
+        // protocol is conservative: sweep 0 does not commit, but all of its
+        // leaf factors were salvaged, so the resumed epoch replays sweep 0
+        // with every leaf skipped (TTM chain + error only) and then runs
+        // sweep 1 fresh.
+        let meta = meta_small();
+        let cfg = EngineConfig {
+            on_failure: FailurePolicy::recover(),
+            gather_core: false,
+            ..EngineConfig::default()
+        };
+        let fault = InjectedFault {
+            rank: 0,
+            sweep: 1,
+            after_leaves: 0,
+        };
+        let out =
+            run_distributed_hooi_mesh(smooth, &meta, 3, 2, &cfg, &MeshCfg::default(), Some(fault));
+        assert_eq!(out.recoveries.len(), 1);
+        assert_eq!(out.recoveries[0].salvaged_leaves, 3);
+        assert_eq!(out.recoveries[0].resumed_sweep, 0);
+        assert_eq!(out.per_sweep.len(), 2);
+        let clean = run_distributed_hooi_mesh(smooth, &meta, 2, 2, &cfg, &MeshCfg::default(), None);
+        let (e, c) = (out.per_sweep[1].error, clean.per_sweep[1].error);
+        assert!((e - c).abs() < 1e-10, "recovered {e} vs from-scratch {c}");
     }
 }

@@ -246,6 +246,33 @@ pub trait SweepBackend {
     }
 }
 
+/// Observer of sweep progress — the checkpoint hook of the recovery layer
+/// (DESIGN.md §9). The executor calls it at the three points a resumable
+/// run can be reconstructed from: sweep start, each completed leaf (the new
+/// factor is replicated on every participant, so a first-write-wins
+/// recorder is exact), and sweep end. All methods default to no-ops; `()`
+/// is the "no observer" instance.
+pub trait SweepObserver {
+    /// Sweep `sweep` is about to walk the tree.
+    fn sweep_started(&mut self, sweep: usize) {
+        let _ = sweep;
+    }
+
+    /// The leaf of `mode` finished during `sweep`: `factor` is the new
+    /// factor matrix (identical on every participant — the Gram is
+    /// all-reduced and the EVD truncation is deterministic).
+    fn leaf_done(&mut self, sweep: usize, mode: usize, factor: &Matrix) {
+        let _ = (sweep, mode, factor);
+    }
+
+    /// Sweep `sweep` completed with `factors` and `stats`.
+    fn sweep_done(&mut self, sweep: usize, factors: &[Matrix], stats: &SweepStats) {
+        let _ = (sweep, factors, stats);
+    }
+}
+
+impl SweepObserver for () {}
+
 /// A node's input during a tree walk or chain: the root tensor is borrowed
 /// (never cloned, never recycled); intermediates are reference-counted so a
 /// node shared by several children is recycled exactly when its last
@@ -340,12 +367,59 @@ pub fn hooi_sweep<B: SweepBackend>(
     factors: &[Matrix],
     input_norm_sq: f64,
 ) -> SweepOutcome<B::Tensor> {
+    hooi_sweep_resumed(b, root, meta, tree, factors, input_norm_sq, 0, &[], &mut ())
+}
+
+/// [`hooi_sweep`] generalized for checkpoint/restore: `sweep` is the global
+/// sweep index reported to `obs`, and `predone` carries leaf factors already
+/// computed by an interrupted run of this same sweep (empty slice: none).
+/// Subtrees whose leaves are all predone are pruned — their TTMs, regrids
+/// and Grams are skipped entirely, which is what makes resuming from the
+/// last completed leaf cheaper than re-running the sweep. Predone factors
+/// are spliced into the outcome unchanged, so a resumed sweep is
+/// mathematically identical to the uninterrupted one; its stats cover only
+/// the work actually executed.
+///
+/// # Panics
+/// Panics if a non-empty `predone` mismatches the mode count, or the tree
+/// or factor arity is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn hooi_sweep_resumed<B: SweepBackend, O: SweepObserver>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    tree: &TtmTree,
+    factors: &[Matrix],
+    input_norm_sq: f64,
+    sweep: usize,
+    predone: &[Option<Matrix>],
+    obs: &mut O,
+) -> SweepOutcome<B::Tensor> {
     assert_eq!(factors.len(), meta.order(), "factor arity mismatch");
+    assert!(
+        predone.is_empty() || predone.len() == meta.order(),
+        "predone arity mismatch"
+    );
     tree.validate().expect("invalid TTM tree");
+    obs.sweep_started(sweep);
+
+    // Which nodes still need to execute: a leaf iff its factor is not
+    // predone, an internal node iff any node below it is needed. Computed
+    // post-order over the arena (children always have larger ids than their
+    // parent, so a reverse scan is a valid post-order).
+    let mut needed: Vec<bool> = vec![false; tree.len()];
+    for id in (0..tree.len()).rev() {
+        needed[id] = match tree.node(id).label {
+            NodeLabel::Root => true,
+            NodeLabel::Ttm(_) => tree.node(id).children.iter().any(|&c| needed[c]),
+            NodeLabel::Leaf(n) => predone.get(n).is_none_or(|f| f.is_none()),
+        };
+    }
 
     b.sweep_begin();
     let mut stats = SweepStats::default();
-    let mut new_factors: Vec<Option<Matrix>> = vec![None; meta.order()];
+    let mut new_factors: Vec<Option<Matrix>> = predone.to_vec();
+    new_factors.resize(meta.order(), None);
     // Hoisted once: each F_nᵀ is reused by every tree node on mode n.
     let factors_t = transpose_all(factors);
 
@@ -353,7 +427,9 @@ pub fn hooi_sweep<B: SweepBackend>(
     // children (in-order traversal bounds live intermediates by the depth).
     let mut stack: Vec<(usize, NodeInput<B::Tensor>)> = Vec::new();
     for &c in tree.node(tree.root()).children.iter().rev() {
-        stack.push((c, NodeInput::Root(root)));
+        if needed[c] {
+            stack.push((c, NodeInput::Root(root)));
+        }
     }
     while let Some((id, input)) = stack.pop() {
         match tree.node(id).label {
@@ -370,13 +446,16 @@ pub fn hooi_sweep<B: SweepBackend>(
                 let out = Rc::new(b.ttm(input.tensor(), n, &factors_t[n], &mut stats));
                 input.release(b);
                 for &c in tree.node(id).children.iter().rev() {
-                    stack.push((c, NodeInput::Interm(Rc::clone(&out))));
+                    if needed[c] {
+                        stack.push((c, NodeInput::Interm(Rc::clone(&out))));
+                    }
                 }
             }
             NodeLabel::Leaf(n) => {
                 let g = b.gram(input.tensor(), n, &mut stats);
                 input.release(b);
                 let f = truncate(b, &g, meta.k(n), &mut stats);
+                obs.leaf_done(sweep, n, &f);
                 assert!(
                     new_factors[n].replace(f).is_none(),
                     "leaf for mode {n} computed twice"
@@ -400,6 +479,7 @@ pub fn hooi_sweep<B: SweepBackend>(
     let core_norm_sq = b.norm_sq(&core);
     stats.error = relative_error_from_core(input_norm_sq, core_norm_sq);
     b.sweep_end(&mut stats);
+    obs.sweep_done(sweep, &factors, &stats);
 
     SweepOutcome {
         factors,
@@ -564,14 +644,69 @@ pub fn hooi_loop<B: SweepBackend>(
     input_norm_sq: f64,
     cfg: LoopCfg,
 ) -> LoopOutcome<B::Tensor> {
+    hooi_loop_from(
+        b,
+        root,
+        meta,
+        tree,
+        init_factors,
+        input_norm_sq,
+        cfg,
+        0,
+        &[],
+        &mut (),
+    )
+}
+
+/// [`hooi_loop`] generalized for checkpoint/restore: sweeps run with global
+/// indices `first_sweep .. cfg.max_sweeps` (so `cfg.max_sweeps` stays the
+/// *total* sweep budget across interruptions), `predone` carries the leaf
+/// factors an interrupted run of sweep `first_sweep` already completed, and
+/// `obs` sees every sweep boundary and leaf. `init_factors` are the factors
+/// the interrupted sweep started from (for `first_sweep == 0`, the HOSVD
+/// init). The returned `per_sweep`/`errors` cover only the sweeps executed
+/// here — the recovery layer splices them after the checkpointed ones.
+///
+/// # Panics
+/// Panics if `first_sweep >= cfg.max_sweeps` or the tree/factors are
+/// invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn hooi_loop_from<B: SweepBackend, O: SweepObserver>(
+    b: &mut B,
+    root: &B::Tensor,
+    meta: &TuckerMeta,
+    tree: &TtmTree,
+    init_factors: Vec<Matrix>,
+    input_norm_sq: f64,
+    cfg: LoopCfg,
+    first_sweep: usize,
+    predone: &[Option<Matrix>],
+    obs: &mut O,
+) -> LoopOutcome<B::Tensor> {
     assert!(cfg.max_sweeps >= 1, "need at least one sweep");
+    assert!(
+        first_sweep < cfg.max_sweeps,
+        "first sweep {first_sweep} outside the {} sweep budget",
+        cfg.max_sweeps
+    );
     let LoopCfg { max_sweeps, tol } = cfg;
     let mut factors = init_factors;
     let mut core: Option<B::Tensor> = None;
-    let mut per_sweep: Vec<SweepStats> = Vec::with_capacity(max_sweeps);
-    let mut errors: Vec<f64> = Vec::with_capacity(max_sweeps);
-    for _ in 0..max_sweeps {
-        let out = hooi_sweep(b, root, meta, tree, &factors, input_norm_sq);
+    let mut per_sweep: Vec<SweepStats> = Vec::with_capacity(max_sweeps - first_sweep);
+    let mut errors: Vec<f64> = Vec::with_capacity(max_sweeps - first_sweep);
+    for sweep in first_sweep..max_sweeps {
+        let pre: &[Option<Matrix>] = if sweep == first_sweep { predone } else { &[] };
+        let out = hooi_sweep_resumed(
+            b,
+            root,
+            meta,
+            tree,
+            &factors,
+            input_norm_sq,
+            sweep,
+            pre,
+            obs,
+        );
         factors = out.factors;
         if let Some(old) = core.replace(out.core) {
             b.recycle(old);

@@ -27,7 +27,13 @@
 //!   engine's distsim backend);
 //! * [`engine`] — the distributed *engine* (§5): executes a plan on the
 //!   simulated MPI universe (the distsim backend of the executor), with
-//!   per-phase time and volume accounting;
+//!   per-phase time and volume accounting; its mesh runner
+//!   ([`engine::run_distributed_hooi_mesh`]) schedules ranks as resumable
+//!   actors over a bounded worker pool and survives rank failures via
+//!   quarantine → survivor re-plan → resume (DESIGN.md §9);
+//! * [`checkpoint`] — the sweep-granular [`checkpoint::RecoveryLog`] and
+//!   the durable [`checkpoint::SweepCheckpoint`] (bit-exact text format)
+//!   behind that recovery path, also usable to restart long HOOI runs;
 //! * [`serve`] — the in-process decomposition **server**: a bounded job
 //!   queue with admission control, same-shape batching through the sweep
 //!   executor, and an exact [`plan::cache::PlanCache`] over the joint DP.
@@ -51,6 +57,7 @@
 //! ```
 
 pub mod brute_force;
+pub mod checkpoint;
 pub mod cost;
 pub mod decomposition;
 pub mod dist_sthosvd;
@@ -67,7 +74,12 @@ pub mod sthosvd;
 pub mod tree;
 pub mod volume;
 
+pub use checkpoint::{RecoveryLog, SweepCheckpoint};
 pub use decomposition::TuckerDecomposition;
+pub use engine::{
+    run_distributed_hooi_mesh, EngineConfig, FailurePolicy, InjectedFault, MeshHooiOutput,
+    RecoveryEvent,
+};
 pub use executor::{
     PlanProvenance, RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats,
 };
@@ -77,7 +89,7 @@ pub use plan::{
     Planner, RankedPlans, SearchBudget, TreeStrategy,
 };
 pub use serve::{
-    JobKind, JobOutput, JobResult, JobSpec, PlanModel, ServeCfg, Server, ServerReport, SubmitError,
-    Ticket,
+    JobError, JobKind, JobOutput, JobResult, JobSpec, PlanModel, ServeCfg, Server, ServerReport,
+    SubmitError, Ticket,
 };
 pub use tree::{balanced_tree, chain_tree, ModeOrdering, TtmTree};

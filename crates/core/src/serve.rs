@@ -105,6 +105,12 @@ pub struct ServeCfg {
     /// until [`Server::resume`]. Deterministic batching for tests and for
     /// burst-style benches.
     pub start_paused: bool,
+    /// Keep serving after a batch panics. The panicking batch's jobs are
+    /// answered [`JobError::WorkerLost`] either way; with this set the
+    /// worker then continues with the next batch instead of propagating
+    /// (in which case queued jobs are also answered `WorkerLost` and the
+    /// server refuses further submissions).
+    pub recover_worker: bool,
 }
 
 impl Default for ServeCfg {
@@ -117,6 +123,7 @@ impl Default for ServeCfg {
             workspace_limit_bytes: None,
             return_decompositions: true,
             start_paused: false,
+            recover_worker: false,
         }
     }
 }
@@ -131,6 +138,10 @@ pub enum JobKind {
     /// Plan only: resolve the `(shape, core, P)` plan through the cache and
     /// report its predictions, executing nothing.
     Query,
+    /// Fault injection: panic the worker when the batch executes. Drives
+    /// the worker-death tests and the recovery bench; never batches with
+    /// real work (distinct batch key).
+    Fault,
 }
 
 impl JobKind {
@@ -139,6 +150,7 @@ impl JobKind {
             JobKind::Compress => 0,
             JobKind::Reconstruct(_) => 1,
             JobKind::Query => 2,
+            JobKind::Fault => 3,
         }
     }
 }
@@ -312,29 +324,48 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
+/// Why an accepted job resolved without a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The worker died (batch panic) before answering this job. In-flight
+    /// jobs of the fatal batch and everything still queued are all answered
+    /// with this — a ticket never hangs on a dead worker.
+    WorkerLost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerLost => write!(f, "worker lost before answering"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// Claim on a submitted job's result.
 pub struct Ticket {
     /// The job's sequential id.
     pub job_id: u64,
-    rx: Receiver<JobResult>,
+    rx: Receiver<Result<JobResult, JobError>>,
 }
 
 impl Ticket {
-    /// Block until the job completes.
-    ///
-    /// # Panics
-    /// Panics if the server was dropped without answering (worker panic).
-    pub fn wait(self) -> JobResult {
-        self.rx
-            .recv()
-            .expect("server dropped the job without answering")
+    /// Block until the job completes, or until the worker is lost —
+    /// a dead worker answers [`JobError::WorkerLost`] rather than leaving
+    /// the caller to panic (or hang) on a closed channel.
+    pub fn wait(self) -> Result<JobResult, JobError> {
+        match self.rx.recv() {
+            Ok(answer) => answer,
+            Err(_) => Err(JobError::WorkerLost),
+        }
     }
 }
 
 struct Pending {
     job_id: u64,
     spec: JobSpec,
-    tx: Sender<JobResult>,
+    tx: Sender<Result<JobResult, JobError>>,
 }
 
 struct State {
@@ -352,6 +383,9 @@ struct Shared {
     jobs: Condvar,
     /// Signaled when the worker frees queue slots.
     space: Condvar,
+    /// Worker totals mirrored after every batch, so the report survives a
+    /// worker death (the join result is then an unwind payload, not stats).
+    totals: Mutex<(WorkerStats, PlanCacheStats)>,
 }
 
 /// Counters the worker accumulates; merged into [`ServerReport`] at
@@ -366,10 +400,11 @@ struct WorkerStats {
     executed_sweeps: u64,
     requested_sweeps: u64,
     workspace_bytes_hwm: usize,
+    worker_panics: u64,
 }
 
 /// Lifetime counters of one server, returned by [`Server::shutdown`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerReport {
     /// Jobs answered.
     pub jobs: u64,
@@ -394,6 +429,13 @@ pub struct ServerReport {
     pub queue_depth_hwm: usize,
     /// Peak bytes parked in the worker's TTM workspace pool.
     pub workspace_bytes_hwm: usize,
+    /// Batches that panicked (their jobs answered [`JobError::WorkerLost`]).
+    pub worker_panics: u64,
+    /// Panic message of a worker that died instead of returning its stats;
+    /// `None` for a clean shutdown. Surfaced here instead of re-panicking
+    /// out of [`Server::shutdown`]/`Drop` (a panic in `Drop` mid-unwind
+    /// aborts the process).
+    pub worker_error: Option<String>,
 }
 
 /// The in-process decomposition server: one worker thread over a bounded
@@ -424,6 +466,7 @@ impl Server {
             }),
             jobs: Condvar::new(),
             space: Condvar::new(),
+            totals: Mutex::new((WorkerStats::default(), PlanCacheStats::default())),
         });
         let worker_shared = Arc::clone(&shared);
         let worker_cfg = cfg.clone();
@@ -490,8 +533,12 @@ impl Server {
     }
 
     /// Stop accepting jobs, drain the queue, join the worker and report.
+    ///
+    /// A worker that died mid-run does **not** panic the shutdown: its
+    /// last mirrored totals are reported with the panic message in
+    /// [`ServerReport::worker_error`].
     pub fn shutdown(mut self) -> ServerReport {
-        let (worker_stats, cache_stats) = self.begin_shutdown();
+        let (worker_stats, cache_stats, worker_error) = self.begin_shutdown();
         let st = self.shared.state.lock().unwrap();
         ServerReport {
             jobs: worker_stats.jobs,
@@ -505,10 +552,16 @@ impl Server {
             rejected: st.rejected,
             queue_depth_hwm: st.queue_depth_hwm,
             workspace_bytes_hwm: worker_stats.workspace_bytes_hwm,
+            worker_panics: worker_stats.worker_panics,
+            worker_error,
         }
     }
 
-    fn begin_shutdown(&mut self) -> (WorkerStats, PlanCacheStats) {
+    /// Flag shutdown, wake everyone and join the worker. A join error
+    /// (worker panic) is swallowed — `Drop` runs this too, and a panic
+    /// while already unwinding aborts the process — and reported as the
+    /// panic message alongside the last mirrored totals.
+    fn begin_shutdown(&mut self) -> (WorkerStats, PlanCacheStats, Option<String>) {
         {
             let mut st = self.shared.state.lock().unwrap();
             st.shutting_down = true;
@@ -516,9 +569,26 @@ impl Server {
         self.shared.jobs.notify_all();
         self.shared.space.notify_all();
         match self.worker.take() {
-            Some(h) => h.join().expect("server worker panicked"),
-            None => (WorkerStats::default(), PlanCacheStats::default()),
+            Some(h) => match h.join() {
+                Ok((stats, cache)) => (stats, cache, None),
+                Err(payload) => {
+                    let (stats, cache) = *self.shared.totals.lock().unwrap();
+                    (stats, cache, Some(panic_message(payload.as_ref())))
+                }
+            },
+            None => (WorkerStats::default(), PlanCacheStats::default(), None),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
     }
 }
 
@@ -584,13 +654,66 @@ fn worker_loop(shared: &Shared, cfg: &ServeCfg) -> (WorkerStats, PlanCacheStats)
             coalesced: false,
         };
 
-        match batch[0].spec.kind.tag() {
-            0 => execute_compress_batch(batch, info, cfg, &mut cache, &mut ws, &mut stats),
-            1 => execute_reconstruct_batch(batch, info, &mut ws),
-            _ => execute_query_batch(batch, info, cfg, &mut cache),
-        }
+        // Execute under catch_unwind so a panicking batch (a bug, or a
+        // JobKind::Fault injection) can answer every in-flight ticket with
+        // WorkerLost *before* the worker propagates — a ticket never hangs.
+        let txs: Vec<Sender<Result<JobResult, JobError>>> =
+            batch.iter().map(|p| p.tx.clone()).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match batch[0].spec.kind.tag() {
+                0 => execute_compress_batch(batch, info, cfg, &mut cache, &mut ws, &mut stats),
+                1 => execute_reconstruct_batch(batch, info, &mut ws),
+                2 => execute_query_batch(batch, info, cfg, &mut cache),
+                _ => execute_fault_batch(&batch),
+            }
+        }));
         stats.workspace_bytes_hwm = stats.workspace_bytes_hwm.max(ws.pooled_bytes());
+        if let Err(payload) = outcome {
+            stats.worker_panics += 1;
+            // Answer the fatal batch. Jobs answered before the panic have
+            // their real result first in channel order; the extra error is
+            // never read.
+            for tx in txs {
+                let _ = tx.send(Err(JobError::WorkerLost));
+            }
+            if cfg.recover_worker {
+                // The panicking execution may have taken the pooled
+                // workspace with it; reinstall one with the configured cap.
+                ws = match cfg.workspace_limit_bytes {
+                    Some(limit) => TtmWorkspace::with_limit(limit),
+                    None => TtmWorkspace::new(),
+                };
+            } else {
+                // Refuse future submissions, answer everything queued, then
+                // die. Clients observe WorkerLost / ShuttingDown, never a
+                // hang.
+                let drained: Vec<Pending> = {
+                    let mut st = shared.state.lock().unwrap();
+                    st.shutting_down = true;
+                    st.queue.drain(..).collect()
+                };
+                shared.jobs.notify_all();
+                shared.space.notify_all();
+                for p in drained {
+                    let _ = p.tx.send(Err(JobError::WorkerLost));
+                }
+                *shared.totals.lock().unwrap() = (stats, cache.stats());
+                std::panic::resume_unwind(payload);
+            }
+        }
+        *shared.totals.lock().unwrap() = (stats, cache.stats());
     }
+}
+
+/// A [`JobKind::Fault`] batch: panic the worker. The surrounding
+/// catch_unwind turns this into `WorkerLost` answers plus either recovery
+/// or a clean propagate, per [`ServeCfg::recover_worker`].
+fn execute_fault_batch(batch: &[Pending]) {
+    panic!(
+        "injected worker fault (batch of {} job{})",
+        batch.len(),
+        if batch.len() == 1 { "" } else { "s" }
+    );
 }
 
 /// Resolve a job's plan through the cache (one lookup per job, so repeated
@@ -688,7 +811,7 @@ fn execute_compress_batch(
             .return_decompositions
             .then(|| TuckerDecomposition::new(o.core.clone(), o.factors.clone()));
         let coalesced = item_of_job.iter().filter(|&&i| i == item).count() > 1;
-        let _ = p.tx.send(JobResult {
+        let _ = p.tx.send(Ok(JobResult {
             job_id: p.job_id,
             plan: plan.name(),
             batch: BatchInfo { coalesced, ..info },
@@ -697,7 +820,7 @@ fn execute_compress_batch(
                 errors: o.errors.clone(),
                 per_sweep: o.per_sweep.clone(),
             },
-        });
+        }));
     }
     stats.coalesced_jobs += (batch.len() - seeds.len()) as u64;
 
@@ -716,12 +839,12 @@ fn execute_reconstruct_batch(batch: Vec<Pending>, info: BatchInfo, ws: &mut TtmW
         };
         let ops: Vec<(usize, &Matrix)> = d.factors.iter().enumerate().collect();
         let z = ws.ttm_chain(&d.core, &ops);
-        let _ = p.tx.send(JobResult {
+        let _ = p.tx.send(Ok(JobResult {
             job_id: p.job_id,
             plan: "(reconstruct-chain)".to_string(),
             batch: info,
             output: JobOutput::Reconstructed(z),
-        });
+        }));
     }
 }
 
@@ -733,7 +856,7 @@ fn execute_query_batch(
 ) {
     for p in batch {
         let plan = plan_for(cfg, cache, &p.spec);
-        let _ = p.tx.send(JobResult {
+        let _ = p.tx.send(Ok(JobResult {
             job_id: p.job_id,
             plan: plan.name(),
             batch: info,
@@ -742,7 +865,7 @@ fn execute_query_batch(
                 flops: plan.flops,
                 volume: plan.volume,
             },
-        });
+        }));
     }
 }
 
@@ -776,7 +899,7 @@ mod tests {
         let core = [4usize, 4, 3];
         let server = Server::start(ServeCfg::default());
         let ticket = server.submit(spec(&dims, &core, 7)).unwrap();
-        let result = ticket.wait();
+        let result = ticket.wait().unwrap();
         let report = server.shutdown();
         assert_eq!(report.jobs, 1);
 
@@ -833,7 +956,7 @@ mod tests {
             .collect();
         assert_eq!(server.queued(), 4);
         server.resume();
-        let results: Vec<JobResult> = tickets.into_iter().map(Ticket::wait).collect();
+        let results: Vec<JobResult> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
         let report = server.shutdown();
 
         assert_eq!(report.jobs, 4);
@@ -869,8 +992,8 @@ mod tests {
         let t1 = server.submit(spec(&[8, 7, 6], &[4, 3, 3], 1)).unwrap();
         let t2 = server.submit(spec(&[9, 6, 5], &[3, 3, 2], 1)).unwrap();
         server.resume();
-        let _ = t1.wait();
-        let _ = t2.wait();
+        let _ = t1.wait().unwrap();
+        let _ = t2.wait().unwrap();
         let report = server.shutdown();
         assert_eq!(report.batches, 2);
         assert_eq!(report.multi_job_batches, 0);
@@ -894,12 +1017,12 @@ mod tests {
         // A blocking submit parks until the worker frees a slot.
         let srv = Arc::clone(&server);
         let s3 = s.clone();
-        let blocked = std::thread::spawn(move || srv.submit_blocking(s3).unwrap().wait());
+        let blocked = std::thread::spawn(move || srv.submit_blocking(s3).unwrap().wait().unwrap());
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!blocked.is_finished(), "must be parked on backpressure");
         server.resume();
-        let _ = t1.wait();
-        let _ = t2.wait();
+        let _ = t1.wait().unwrap();
+        let _ = t2.wait().unwrap();
         let r3 = blocked.join().unwrap();
         assert!(matches!(r3.output, JobOutput::Compressed { .. }));
         let report = Arc::into_inner(server).unwrap().shutdown();
@@ -917,7 +1040,7 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.jobs, 3);
         for t in tickets {
-            let r = t.wait();
+            let r = t.wait().unwrap();
             assert!(matches!(r.output, JobOutput::Compressed { .. }));
         }
     }
@@ -966,7 +1089,11 @@ mod tests {
         let server = Server::start(ServeCfg::default());
         let dims = [8usize, 6, 5];
         let core = [3usize, 3, 2];
-        let r = server.submit(spec(&dims, &core, 5)).unwrap().wait();
+        let r = server
+            .submit(spec(&dims, &core, 5))
+            .unwrap()
+            .wait()
+            .unwrap();
         let JobOutput::Compressed { decomposition, .. } = r.output else {
             panic!("compress result");
         };
@@ -978,7 +1105,8 @@ mod tests {
                 ..spec(&dims, &core, 5)
             })
             .unwrap()
-            .wait();
+            .wait()
+            .unwrap();
         let JobOutput::Reconstructed(z) = rec.output else {
             panic!("reconstruct result");
         };
@@ -991,7 +1119,8 @@ mod tests {
                 ..spec(&dims, &core, 5)
             })
             .unwrap()
-            .wait();
+            .wait()
+            .unwrap();
         let JobOutput::Query { plan, flops, .. } = q.output else {
             panic!("query result");
         };
@@ -1024,7 +1153,7 @@ mod tests {
         .collect();
         server.resume();
         for t in tickets {
-            let _ = t.wait();
+            let _ = t.wait().unwrap();
         }
         let report = server.shutdown();
         assert!(report.workspace_bytes_hwm > 0);
@@ -1033,6 +1162,100 @@ mod tests {
             "pooled bytes {} exceed the configured cap",
             report.workspace_bytes_hwm
         );
+    }
+
+    fn fault(dims: &[usize], core: &[usize]) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Fault,
+            ..spec(dims, core, 0)
+        }
+    }
+
+    #[test]
+    fn worker_death_answers_every_ticket_and_report_survives() {
+        // A fatal batch (recover_worker = false, the default): the fault
+        // job AND the job queued behind it both resolve WorkerLost instead
+        // of hanging or panicking, and shutdown reports the death instead
+        // of re-panicking out of join().
+        let server = Server::start(paused_cfg());
+        let dims = [6usize, 5, 4];
+        let core = [3usize, 2, 2];
+        let t_ok = server.submit(spec(&dims, &core, 1)).unwrap();
+        let t_fault = server.submit(fault(&dims, &core)).unwrap();
+        let t_queued = server.submit(spec(&[8, 7, 6], &[4, 3, 3], 2)).unwrap();
+        server.resume();
+        // The compress batch ahead of the fault still answers normally.
+        assert!(t_ok.wait().is_ok());
+        assert!(matches!(t_fault.wait(), Err(JobError::WorkerLost)));
+        assert!(matches!(t_queued.wait(), Err(JobError::WorkerLost)));
+        // The dying worker flagged shutdown: submissions now refused.
+        assert!(matches!(
+            server.submit(spec(&dims, &core, 9)),
+            Err(SubmitError::ShuttingDown)
+        ));
+        let report = server.shutdown();
+        assert_eq!(report.worker_panics, 1);
+        let msg = report.worker_error.expect("death must be surfaced");
+        assert!(msg.contains("injected worker fault"), "got: {msg}");
+        // Mirrored totals survive the death: the clean batch is counted.
+        assert_eq!(report.jobs, 2, "clean batch + fatal batch");
+    }
+
+    #[test]
+    fn drop_after_worker_death_does_not_panic() {
+        // The Drop path joins the dead worker too; swallowing the join
+        // error here is what keeps a worker panic from aborting the
+        // process when the server is dropped mid-unwind.
+        let server = Server::start(ServeCfg::default());
+        let t = server.submit(fault(&[6, 5, 4], &[3, 2, 2])).unwrap();
+        assert!(matches!(t.wait(), Err(JobError::WorkerLost)));
+        drop(server);
+    }
+
+    #[test]
+    fn recover_worker_keeps_serving_after_fault() {
+        let cfg = ServeCfg {
+            recover_worker: true,
+            ..paused_cfg()
+        };
+        let server = Server::start(cfg);
+        let dims = [6usize, 5, 4];
+        let core = [3usize, 2, 2];
+        let t_fault = server.submit(fault(&dims, &core)).unwrap();
+        let t_after = server.submit(spec(&dims, &core, 3)).unwrap();
+        server.resume();
+        assert!(matches!(t_fault.wait(), Err(JobError::WorkerLost)));
+        let r = t_after.wait().expect("worker must survive the fault");
+        assert!(matches!(r.output, JobOutput::Compressed { .. }));
+        // Still accepting new work after the fault.
+        let t_late = server.submit(spec(&dims, &core, 4)).unwrap();
+        assert!(t_late.wait().is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.worker_panics, 1);
+        assert!(report.worker_error.is_none(), "worker exited cleanly");
+        assert_eq!(report.jobs, 3);
+    }
+
+    #[test]
+    fn paused_shutdown_answers_or_rejects_every_job() {
+        // Regression: a start_paused server shut down before resume() must
+        // deterministically answer every queued job (the shutdown drain
+        // un-parks the worker) and refuse anything submitted after — no
+        // ticket may hang on the never-resumed pause.
+        let server = Server::start(paused_cfg());
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| server.submit(spec(&[6, 5, 4], &[3, 2, 2], i)).unwrap())
+            .collect();
+        let shared = Arc::clone(&server.shared);
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 4);
+        assert!(report.worker_error.is_none());
+        for t in tickets {
+            let r = t.wait().expect("paused shutdown must answer");
+            assert!(matches!(r.output, JobOutput::Compressed { .. }));
+        }
+        // A late client sees the flag (ShuttingDown), not a hang.
+        assert!(shared.state.lock().unwrap().shutting_down);
     }
 
     #[test]

@@ -16,6 +16,20 @@
 //! operate on tensor *regions* rather than flat buffers, so they live with
 //! their callers in [`crate::dist_ttm`] / [`crate::dist_gram`] and use the
 //! same point-to-point layer (and therefore the same ledger).
+//!
+//! # Failure semantics under the mesh (DESIGN.md §9)
+//!
+//! On the actor mesh ([`crate::mesh`]) a member dying mid-collective
+//! quarantines the epoch: every rank blocked in (or later entering) a
+//! point-to-point op of the collective panics with the typed abort payload
+//! ("epoch aborted: …") instead of deadlocking, and sends addressed to the
+//! dead rank fail with "sender dropped". No collective ever delivers a
+//! *partial* result — a member either returns the full reduction (every
+//! contribution arrived before the death) or unwinds. The recovery layer
+//! leans on exactly this all-or-nothing property: a factor recorded by the
+//! sweep log was truncated from a complete world allreduce and is therefore
+//! bitwise identical on every surviving rank, so salvaged leaves can seed
+//! the resumed epoch without cross-rank reconciliation.
 
 use crate::comm::{RankCtx, VolumeCategory};
 

@@ -49,7 +49,21 @@ use std::time::{Duration, Instant};
 /// unavailable (some sandboxes and exotic kernels), the function falls back
 /// to a process-wide monotonic clock instead of returning garbage — phase
 /// splits degrade gracefully rather than corrupting the stats.
+///
+/// On a mesh universe ([`Universe::run_mesh`]) many ranks share one worker
+/// thread, so the raw per-thread clock would charge a rank for its
+/// neighbors' compute. When the caller is a mesh fiber this returns the
+/// fiber's own virtual CPU clock (accumulated across suspensions) instead.
 pub fn thread_cpu_time() -> Duration {
+    if let Some(d) = crate::mesh::current_fiber_cpu() {
+        return d;
+    }
+    raw_thread_cpu_time()
+}
+
+/// The raw per-OS-thread CPU clock, ignoring fiber multiplexing. The mesh
+/// scheduler uses this to meter fiber slices.
+pub(crate) fn raw_thread_cpu_time() -> Duration {
     let mut ts = libc::timespec {
         tv_sec: 0,
         tv_nsec: 0,
@@ -209,7 +223,7 @@ impl CommTimers {
 
 /// A message: an operation tag for sanity checking plus the payload.
 #[derive(Debug)]
-struct Msg {
+pub(crate) struct Msg {
     tag: u32,
     payload: Vec<f64>,
 }
@@ -217,7 +231,7 @@ struct Msg {
 /// One rank's inbox: FIFO queues keyed by source rank, created lazily so a
 /// universe costs `O(P + communicating pairs)` memory, not `O(P²)`.
 #[derive(Default)]
-struct Mailbox {
+pub(crate) struct Mailbox {
     queues: Mutex<HashMap<usize, VecDeque<Msg>>>,
     cv: Condvar,
 }
@@ -484,15 +498,39 @@ pub struct UniverseCfg {
 }
 
 /// Shared state of one universe.
-struct Shared {
+pub(crate) struct Shared {
     mail: Vec<Mailbox>,
-    ledger: VolumeLedger,
+    pub(crate) ledger: VolumeLedger,
     done: Vec<AtomicBool>,
     poisoned: AtomicBool,
     /// Threaded-mode barrier (the sequential mode has its own).
     barrier: Barrier,
     sched: Option<SeqSched>,
     net: Option<NetModel>,
+    /// Mesh-mode scheduler ([`Universe::run_mesh`]); the other two modes
+    /// leave it `None`.
+    pub(crate) mesh: Option<crate::mesh::MeshSched>,
+}
+
+impl Shared {
+    /// Shared state for a mesh universe (no threaded barrier users, no
+    /// sequential scheduler; the mesh scheduler owns all blocking).
+    pub(crate) fn for_mesh(
+        nranks: usize,
+        mesh: crate::mesh::MeshSched,
+        net: Option<NetModel>,
+    ) -> Shared {
+        Shared {
+            mail: (0..nranks).map(|_| Mailbox::default()).collect(),
+            ledger: VolumeLedger::default(),
+            done: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            poisoned: AtomicBool::new(false),
+            barrier: Barrier::new(nranks),
+            sched: None,
+            net,
+            mesh: Some(mesh),
+        }
+    }
 }
 
 /// Handle to one simulated MPI rank. Created by [`Universe::run`]; all
@@ -506,9 +544,24 @@ pub struct RankCtx {
     /// Modeled (α–β virtual clock) communication time for this rank; all
     /// zero unless the universe was configured with a [`NetModel`].
     pub vtimers: CommTimers,
+    /// Communication ops issued so far (mesh mode: the clock the simulated
+    /// allocator schedules kills against).
+    mesh_ops: u64,
 }
 
 impl RankCtx {
+    /// Context for a mesh-mode rank (see [`Universe::run_mesh`]).
+    pub(crate) fn for_mesh(rank: usize, nranks: usize, shared: Arc<Shared>) -> RankCtx {
+        RankCtx {
+            rank,
+            nranks,
+            shared,
+            timers: CommTimers::default(),
+            vtimers: CommTimers::default(),
+            mesh_ops: 0,
+        }
+    }
+
     /// This rank's id in `0..nranks`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -534,10 +587,15 @@ impl RankCtx {
     /// Block until every rank reaches the barrier.
     pub fn barrier(&mut self) {
         let t0 = Instant::now();
-        match &self.shared.sched {
-            Some(sched) => sched.barrier(self.rank),
-            None => {
-                self.shared.barrier.wait();
+        if let Some(mesh) = &self.shared.mesh {
+            mesh.precheck(self.rank, &mut self.mesh_ops);
+            mesh.barrier(self.rank);
+        } else {
+            match &self.shared.sched {
+                Some(sched) => sched.barrier(self.rank),
+                None => {
+                    self.shared.barrier.wait();
+                }
             }
         }
         self.timers.add(VolumeCategory::Other, t0.elapsed());
@@ -551,6 +609,9 @@ impl RankCtx {
     /// Self-sends are delivered but cost neither volume nor modeled time.
     pub fn send(&mut self, dst: usize, tag: u32, payload: Vec<f64>, cat: VolumeCategory) {
         debug_assert!(dst < self.nranks, "bad destination {dst}");
+        if let Some(mesh) = &self.shared.mesh {
+            mesh.precheck(self.rank, &mut self.mesh_ops);
+        }
         if dst != self.rank {
             let bytes = (payload.len() * 8) as u64;
             self.shared.ledger.add(cat, bytes);
@@ -566,9 +627,13 @@ impl RankCtx {
                 .or_default()
                 .push_back(Msg { tag, payload });
         }
-        match &self.shared.sched {
-            Some(sched) => sched.on_message(dst, self.rank),
-            None => self.shared.mail[dst].cv.notify_all(),
+        if let Some(mesh) = &self.shared.mesh {
+            mesh.on_message(dst, self.rank);
+        } else {
+            match &self.shared.sched {
+                Some(sched) => sched.on_message(dst, self.rank),
+                None => self.shared.mail[dst].cv.notify_all(),
+            }
         }
         self.timers.add(cat, t0.elapsed());
     }
@@ -582,9 +647,13 @@ impl RankCtx {
     pub fn recv(&mut self, src: usize, tag: u32, cat: VolumeCategory) -> Vec<f64> {
         debug_assert!(src < self.nranks, "bad source {src}");
         let t0 = Instant::now();
-        let msg = match &self.shared.sched {
-            Some(_) => self.recv_sequential(src),
-            None => self.recv_threaded(src),
+        let msg = if self.shared.mesh.is_some() {
+            self.recv_mesh(src)
+        } else {
+            match &self.shared.sched {
+                Some(_) => self.recv_sequential(src),
+                None => self.recv_threaded(src),
+            }
         };
         self.timers.add(cat, t0.elapsed());
         if src != self.rank {
@@ -623,6 +692,12 @@ impl RankCtx {
             }
             q = mb.cv.wait(q).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    fn recv_mesh(&mut self, src: usize) -> Msg {
+        let mesh = self.shared.mesh.as_ref().expect("mesh mode");
+        mesh.precheck(self.rank, &mut self.mesh_ops);
+        mesh.recv_wait(self.rank, src, || self.try_pop(src))
     }
 
     fn recv_sequential(&self, src: usize) -> Msg {
@@ -722,6 +797,7 @@ impl Universe {
             barrier: Barrier::new(nranks),
             sched: cfg.sequential.then(|| SeqSched::new(nranks)),
             net: cfg.net,
+            mesh: None,
         });
 
         let results: Vec<R> = std::thread::scope(|s| {
@@ -751,6 +827,7 @@ impl Universe {
                                 shared: Arc::clone(&guard.shared),
                                 timers: CommTimers::default(),
                                 vtimers: CommTimers::default(),
+                                mesh_ops: 0,
                             };
                             f(&mut ctx)
                         })

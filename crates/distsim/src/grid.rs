@@ -245,6 +245,22 @@ fn enumerate_valid_rec(p: usize, dims: &[usize], cur: &mut Vec<usize>, out: &mut
     }
 }
 
+/// Largest rank count `p' ≤ p` that admits at least one grid valid for
+/// `dims`. Used by the mesh engine's failure recovery: after quarantining
+/// dead ranks the survivor count may factor badly (e.g. 7 survivors on a
+/// `[4,4,4]` tensor admit no valid grid), in which case the re-plan runs on
+/// the largest usable subset and idles the rest.
+///
+/// Always ≥ 1 (the trivial grid is valid for every non-empty `dims`).
+pub fn largest_usable_rank_count(p: usize, dims: &[usize]) -> usize {
+    assert!(p >= 1, "need at least one rank");
+    assert!(!dims.is_empty(), "need at least one mode");
+    (1..=p)
+        .rev()
+        .find(|&q| !enumerate_valid_grids(q, dims).is_empty())
+        .expect("p = 1 always admits the trivial grid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +378,17 @@ mod tests {
         let g = Grid::trivial(4);
         assert_eq!(g.nranks(), 1);
         assert_eq!(g.coord(0), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn largest_usable_rank_count_shrinks_to_a_valid_factorization() {
+        // 7 survivors on [4,4,4]: 7 is prime and > 4, so no valid grid;
+        // 6 = 2·3 fits.
+        assert_eq!(largest_usable_rank_count(7, &[4, 4, 4]), 6);
+        // Any p ≤ Π dims with smooth factors is usable as-is.
+        assert_eq!(largest_usable_rank_count(8, &[4, 4, 4]), 8);
+        assert_eq!(largest_usable_rank_count(1, &[2]), 1);
+        // Single mode: the count must divide into one factor ≤ dims[0].
+        assert_eq!(largest_usable_rank_count(9, &[8]), 8);
     }
 }

@@ -47,6 +47,7 @@ pub mod dist_gram;
 pub mod dist_tensor;
 pub mod dist_ttm;
 pub mod grid;
+pub mod mesh;
 pub mod net;
 pub mod redistribute;
 
@@ -56,5 +57,11 @@ pub use comm::{
     CommTimers, RankCtx, Universe, UniverseCfg, VolumeCategory, VolumeLedger, VolumeReport,
 };
 pub use dist_tensor::DistTensor;
-pub use grid::{count_grids, enumerate_grids, enumerate_valid_grids, Grid};
+pub use grid::{
+    count_grids, enumerate_grids, enumerate_valid_grids, largest_usable_rank_count, Grid,
+};
+pub use mesh::{
+    mesh_switches, process_thread_count, MeshCfg, MeshOutput, RankOutcome, SimAllocator,
+    MESH_STACK_BYTES, MESH_WORKER_CAP,
+};
 pub use net::NetModel;

@@ -21,8 +21,9 @@ const REGRID_TAG: u32 = 0x5E61;
 /// rank order. The overlapping coordinates form a box (per-mode chunk
 /// intervals via [`chunk_cover`]), so this enumerates `O(overlaps)` ranks
 /// instead of scanning all `P` — the difference between `O(P)` and `O(P²)`
-/// work per regrid at paper-scale rank counts.
-fn overlapping_ranks(shape: &Shape, grid: &Grid, region: &Region) -> Vec<usize> {
+/// work per regrid at paper-scale rank counts. Public because the mesh
+/// recovery layer uses the same cover to reassemble survivor blocks.
+pub fn overlapping_ranks(shape: &Shape, grid: &Grid, region: &Region) -> Vec<usize> {
     let order = shape.order();
     let ranges: Vec<(usize, usize)> = (0..order)
         .map(|n| chunk_cover(shape.dim(n), grid.dim(n), region.start[n], region.len[n]))
@@ -94,9 +95,87 @@ pub fn redistribute(ctx: &mut RankCtx, t: &DistTensor, new_grid: &Grid) -> DistT
     DistTensor::from_parts(shape, new_grid.clone(), me, local)
 }
 
+/// Host-side archive of the live blocks of one mesh epoch, used by the
+/// recovery layer to **redistribute live blocks** across a re-plan: each
+/// rank deposits (a clone of) its initial block at epoch start; after a
+/// quarantine, the dead rank's deposit is evicted and every surviving
+/// epoch's rank [`BlockStore::fill`]s its new-grid block from the stored
+/// intersections — the same region cover [`redistribute`] ships over the
+/// wire, performed host-side because the two epochs are different
+/// universes. Elements only the dead rank held are the caller's to
+/// re-materialize (the engine falls back to the input generator for them).
+pub struct BlockStore {
+    shape: Shape,
+    blocks: std::sync::Mutex<Vec<(usize, Region, DenseTensor)>>,
+}
+
+impl BlockStore {
+    /// An empty store for blocks of `shape`.
+    pub fn new(shape: Shape) -> Self {
+        BlockStore {
+            shape,
+            blocks: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(usize, Region, DenseTensor)>> {
+        match self.blocks.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Deposit `rank`'s block (idempotent per rank: a re-deposit replaces).
+    pub fn deposit(&self, rank: usize, region: Region, local: DenseTensor) {
+        assert_eq!(region.shape().dims(), local.shape().dims(), "block shape");
+        let mut g = self.lock();
+        g.retain(|(r, _, _)| *r != rank);
+        g.push((rank, region, local));
+    }
+
+    /// Drop a dead rank's block (its data is lost with the rank).
+    pub fn evict(&self, rank: usize) {
+        self.lock().retain(|(r, _, _)| *r != rank);
+    }
+
+    /// Number of live blocks held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy every stored intersection with `region` into `local` (shaped
+    /// `region.shape()`), returning the number of elements reused. Stored
+    /// blocks are disjoint (one per old rank), so the count is exact.
+    pub fn fill(&self, region: &Region, local: &mut DenseTensor) -> u64 {
+        assert_eq!(region.shape().dims(), local.shape().dims(), "fill shape");
+        let mut reused = 0u64;
+        for (_, src_region, src) in self.lock().iter() {
+            let Some(overlap) = src_region.intersect(region) else {
+                continue;
+            };
+            let data = extract(src, &overlap.relative_to(&src_region.start));
+            insert(local, &overlap.relative_to(&region.start), &data);
+            reused += data.len() as u64;
+        }
+        let _ = &self.shape;
+        reused
+    }
+
+    /// The global shape the blocks belong to.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::rank_region as block_of;
     use crate::comm::Universe;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -168,6 +247,58 @@ mod tests {
         // Transposing the grid moves everything except the diagonal overlap.
         assert!(moved <= global.cardinality());
         assert!(moved >= global.cardinality() / 2, "most elements must move");
+    }
+
+    #[test]
+    fn block_store_reassembles_survivor_blocks() {
+        // Four blocks on a [2,2] grid; rank 2 dies. A [3,1] survivor grid's
+        // blocks must reassemble exactly, with only rank 2's region missing.
+        let global = rand_tensor(&[6, 4], 6);
+        let shape = global.shape().clone();
+        let old = Grid::new([2, 2]);
+        let store = BlockStore::new(shape.clone());
+        for r in 0..4 {
+            let region = block_of(&shape, &old, r);
+            let local = DenseTensor::from_fn(region.shape(), |c| {
+                let gc: Vec<usize> = c.iter().zip(&region.start).map(|(x, s)| x + s).collect();
+                global.get(&gc)
+            });
+            store.deposit(r, region, local);
+        }
+        assert_eq!(store.len(), 4);
+        store.evict(2);
+        assert_eq!(store.len(), 3);
+
+        let new = Grid::new([3, 1]);
+        let dead_region = block_of(&shape, &old, 2);
+        let mut total_reused = 0u64;
+        for r in 0..3 {
+            let region = block_of(&shape, &new, r);
+            let mut local = DenseTensor::zeros(region.shape());
+            total_reused += store.fill(&region, &mut local);
+            for c in 0..region.cardinality() {
+                // Odometer over the block, mode 0 fastest (matches layout).
+                let mut rem = c;
+                let gc: Vec<usize> = region
+                    .len
+                    .iter()
+                    .zip(&region.start)
+                    .map(|(&l, &s)| {
+                        let x = rem % l;
+                        rem /= l;
+                        x + s
+                    })
+                    .collect();
+                let got = local.as_slice()[c];
+                if dead_region.contains(&gc) {
+                    assert_eq!(got, 0.0, "dead data must not be resurrected");
+                } else {
+                    assert_eq!(got, global.get(&gc), "live data must be exact");
+                }
+            }
+        }
+        let dead = dead_region.cardinality() as u64;
+        assert_eq!(total_reused, global.cardinality() as u64 - dead);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use tucker_distsim::collectives::{allreduce_sum_flat, Group};
 use tucker_distsim::dist_ttm::dist_ttm;
-use tucker_distsim::{DistTensor, Grid, Universe, VolumeCategory};
+use tucker_distsim::{DistTensor, Grid, MeshCfg, Universe, VolumeCategory};
 use tucker_linalg::Matrix;
 use tucker_tensor::{DenseTensor, Shape};
 
@@ -163,4 +163,56 @@ fn skipped_receive_is_caught() {
             let _ = ctx.recv(0, 61, VolumeCategory::Other);
         }
     });
+}
+
+// ------------------------------------------------------- mesh quarantine
+
+#[test]
+fn mesh_quarantines_root_failure_and_labels_cascades() {
+    // On the actor mesh a rank failure is data, not a panic: the run
+    // returns with the root cause quarantined and every blocked survivor
+    // unwound with a cascade label, so a recovery layer can tell "who
+    // actually died" from "whose epoch merely aborted".
+    let out = Universe::run_mesh(6, &MeshCfg::default(), |ctx| {
+        if ctx.rank() == 4 {
+            panic!("deliberate mesh failure");
+        }
+        let g = Group::world(ctx);
+        let mut buf = vec![1.0];
+        allreduce_sum_flat(ctx, &g, &mut buf, 3, VolumeCategory::Other);
+        buf[0]
+    });
+    assert!(!out.all_ok());
+    assert_eq!(out.first_failure, Some(4));
+    let failed = out.failed_ranks();
+    assert!(failed.contains(&4));
+    let root = out.failure_message(4).expect("root is quarantined");
+    assert!(root.contains("deliberate mesh failure"), "got: {root}");
+    for r in failed {
+        if r != 4 {
+            let msg = out.failure_message(r).expect("cascade recorded");
+            assert!(
+                msg.contains("epoch aborted") || msg.contains("sender dropped"),
+                "rank {r} should be a cascade, got: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "deliberate mesh failure")]
+fn mesh_into_results_reraises_root_payload() {
+    // The fail-stop adapter: collapsing a failed MeshOutput back into
+    // results re-raises the ROOT payload (not a cascade), so `Abort`-policy
+    // callers keep the thread-universe diagnostics.
+    let out = Universe::run_mesh(4, &MeshCfg::default(), |ctx| {
+        if ctx.rank() == 1 {
+            panic!("deliberate mesh failure");
+        }
+        let g = Group::world(ctx);
+        let mut buf = vec![1.0];
+        allreduce_sum_flat(ctx, &g, &mut buf, 3, VolumeCategory::Other);
+        buf[0]
+    });
+    let _ = out.into_results();
 }

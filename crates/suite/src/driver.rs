@@ -9,14 +9,16 @@
 //! virtual-time α–β mode — the strong-scaling analogue of Figures 10a/11a
 //! that honest measured runs cannot reach.
 
-use tucker_core::engine::{run_distributed_hooi_cfg, EngineConfig, TimeSource};
+use tucker_core::engine::{
+    run_distributed_hooi_cfg, run_distributed_hooi_mesh, EngineConfig, FailurePolicy, InjectedFault,
+};
 use tucker_core::executor::{self, RayonBackend, SeqBackend, SweepBackend};
 use tucker_core::plan::brute_force::{enumerate_all_trees, min_sweep_cost};
 use tucker_core::plan::cost::{sweep_cost, CostModel, FlopVolumeModel, NetCostModel};
 use tucker_core::plan::grid::candidate_grids;
 use tucker_core::plan::{GridStrategy, Planner, SearchBudget, TreeStrategy};
 use tucker_core::TuckerMeta;
-use tucker_distsim::{NetModel, VolumeCategory};
+use tucker_distsim::{MeshCfg, NetModel, VolumeCategory};
 use tucker_linalg::{leading_from_gram, Matrix};
 use tucker_tensor::DenseTensor;
 
@@ -168,10 +170,8 @@ pub fn scaling_ranks() -> Vec<usize> {
 pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<ScalingRow> {
     let fill = |c: &[usize]| crate::fields::hash_noise(c, 0x5CA1E);
     let cfg = EngineConfig {
-        time: TimeSource::Virtual,
-        net: Some(net),
-        sequential: true,
         gather_core: false,
+        ..EngineConfig::virtual_time(net)
     };
     let mut rows = Vec::new();
     for &p in ranks {
@@ -259,6 +259,166 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
 /// Strategy count per rank count in [`scaling_sweep`] output (the paper's
 /// four plus `(dp, joint)`).
 pub const SCALING_STRATEGIES: usize = 5;
+
+// --------------------------------------------------------------- recovery
+
+/// One recovery-vs-fail-stop comparison at one rank count
+/// ([`recovery_bench`]).
+#[derive(Clone, Debug)]
+pub struct RecoveryRow {
+    /// Rank count before the failure.
+    pub nranks: usize,
+    /// Live ranks the resumed epoch ran on (survivors clamped to the
+    /// largest count with a valid grid on the core shape).
+    pub survivors: usize,
+    /// Sweep the injected failure struck.
+    pub fail_sweep: usize,
+    /// Sweep the resumed epoch restarted from (committed-sweep count).
+    pub resumed_sweep: usize,
+    /// Leaf factors of the interrupted sweep salvaged into the resume.
+    pub salvaged_leaves: usize,
+    /// Tensor elements seeded from survivors' blocks instead of the field.
+    pub reused_elements: u64,
+    /// Plan name the survivor re-plan chose.
+    pub replanned: String,
+    /// Host wall of the full recovered run (prefix + re-plan + resume).
+    pub recover_total_s: f64,
+    /// Host wall from the failure to completion under recovery
+    /// (`recover_total_s` minus the measured pre-failure prefix).
+    pub time_to_recover_s: f64,
+    /// Host wall a fail-stop policy pays *after* the failure: a
+    /// from-scratch run on the survivor count, full sweep budget.
+    pub restart_total_s: f64,
+    /// Committed sweeps recovery re-executes (work discarded by recovery).
+    pub wasted_sweeps_recover: usize,
+    /// Committed sweeps fail-stop re-executes (all pre-failure sweeps).
+    pub wasted_sweeps_failstop: usize,
+    /// Final relative error of the recovered run.
+    pub recovered_error: f64,
+    /// Final relative error of the from-scratch survivor run.
+    pub failstop_error: f64,
+}
+
+/// Sweep budget of [`recovery_bench`] runs.
+pub const RECOVERY_SWEEPS: usize = 2;
+/// Sweep the injected failure strikes in [`recovery_bench`].
+pub const RECOVERY_FAIL_SWEEP: usize = 1;
+/// Leaves of the failure sweep completed before the injected death.
+pub const RECOVERY_FAIL_AFTER_LEAVES: usize = 2;
+
+/// Measure failure recovery against fail-stop at each rank count: kill rank
+/// `P/2` mid-sweep (sweep [`RECOVERY_FAIL_SWEEP`], after
+/// [`RECOVERY_FAIL_AFTER_LEAVES`] leaves) under
+/// [`FailurePolicy::Recover`], and compare the recovered run against the
+/// two fail-stop halves — an [`FailurePolicy::Abort`] run of the same fault
+/// (the pre-failure prefix) plus a from-scratch run on the survivor count
+/// (the restart).
+///
+/// Every row is self-validating: exactly one recovery round, live blocks
+/// reused, the recovered final error within 1e-10 of the from-scratch
+/// survivor run (DESIGN.md §9), and recovery never re-executing more
+/// committed sweeps than fail-stop discards.
+///
+/// # Panics
+/// Panics if a recovered run contradicts the from-scratch differential or
+/// the recovery bookkeeping.
+pub fn recovery_bench(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<RecoveryRow> {
+    let fill = |c: &[usize]| crate::fields::hash_noise(c, 0x5CA1E);
+    let recover_cfg = EngineConfig {
+        gather_core: false,
+        on_failure: FailurePolicy::recover(),
+        ..EngineConfig::virtual_time(net)
+    };
+    let abort_cfg = EngineConfig {
+        gather_core: false,
+        ..EngineConfig::virtual_time(net)
+    };
+    let mesh = MeshCfg::default();
+    let mut rows = Vec::new();
+    for &p in ranks {
+        let fault = InjectedFault {
+            rank: p / 2,
+            sweep: RECOVERY_FAIL_SWEEP,
+            after_leaves: RECOVERY_FAIL_AFTER_LEAVES,
+        };
+
+        let host0 = std::time::Instant::now();
+        let out = run_distributed_hooi_mesh(
+            fill,
+            meta,
+            p,
+            RECOVERY_SWEEPS,
+            &recover_cfg,
+            &mesh,
+            Some(fault),
+        );
+        let recover_total_s = host0.elapsed().as_secs_f64();
+        assert_eq!(out.recoveries.len(), 1, "P={p}: exactly one recovery round");
+        let ev = out.recoveries[0].clone();
+        assert_eq!(ev.dead_ranks, vec![p / 2], "P={p}: the injected rank dies");
+        assert!(
+            ev.reused_elements > 0,
+            "P={p}: live blocks must seed resume"
+        );
+
+        // Fail-stop prefix: the same fault under Abort, timed to the panic.
+        let host1 = std::time::Instant::now();
+        let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_distributed_hooi_mesh(
+                fill,
+                meta,
+                p,
+                RECOVERY_SWEEPS,
+                &abort_cfg,
+                &mesh,
+                Some(fault),
+            )
+        }));
+        let prefix_s = host1.elapsed().as_secs_f64();
+        assert!(aborted.is_err(), "P={p}: Abort must re-raise the failure");
+
+        // Fail-stop restart: from scratch on the survivor count, full
+        // budget — also the 1e-10 differential oracle for the recovery.
+        let host2 = std::time::Instant::now();
+        let clean = run_distributed_hooi_mesh(
+            fill,
+            meta,
+            ev.survivors,
+            RECOVERY_SWEEPS,
+            &recover_cfg,
+            &mesh,
+            None,
+        );
+        let restart_total_s = host2.elapsed().as_secs_f64();
+        let recovered_error = out.per_sweep.last().unwrap().error;
+        let failstop_error = clean.per_sweep.last().unwrap().error;
+        assert!(
+            (recovered_error - failstop_error).abs() < 1e-10,
+            "P={p}: recovered {recovered_error} vs from-scratch {failstop_error}"
+        );
+
+        let wasted_recover = RECOVERY_FAIL_SWEEP - ev.resumed_sweep;
+        let wasted_failstop = RECOVERY_FAIL_SWEEP;
+        assert!(wasted_recover <= wasted_failstop);
+        rows.push(RecoveryRow {
+            nranks: p,
+            survivors: ev.survivors,
+            fail_sweep: RECOVERY_FAIL_SWEEP,
+            resumed_sweep: ev.resumed_sweep,
+            salvaged_leaves: ev.salvaged_leaves,
+            reused_elements: ev.reused_elements,
+            replanned: ev.replanned,
+            recover_total_s,
+            time_to_recover_s: (recover_total_s - prefix_s).max(0.0),
+            restart_total_s,
+            wasted_sweeps_recover: wasted_recover,
+            wasted_sweeps_failstop: wasted_failstop,
+            recovered_error,
+            failstop_error,
+        });
+    }
+    rows
+}
 
 // ---------------------------------------------------------------- planner
 

@@ -142,10 +142,8 @@ fn net_prediction_matches_executed_virtual_clock_at_paper_scale() {
     let meta = tucker_suite::driver::scaling_meta();
     let net = NetModel::bgq();
     let cfg = EngineConfig {
-        time: tucker_core::engine::TimeSource::Virtual,
-        net: Some(net),
-        sequential: true,
         gather_core: false,
+        ..EngineConfig::virtual_time(net)
     };
     let fill = |c: &[usize]| tucker_suite::fields::hash_noise(c, 0x90DE);
     for p in [64usize, 256] {
@@ -206,10 +204,8 @@ fn ranked_plans_cover_lineup_and_winner_executes_well() {
     }
 
     let cfg = EngineConfig {
-        time: tucker_core::engine::TimeSource::Virtual,
-        net: Some(net),
-        sequential: true,
         gather_core: false,
+        ..EngineConfig::virtual_time(net)
     };
     let fill = |c: &[usize]| tucker_suite::fields::hash_noise(c, 0x90DE);
     let exec = |plan: &tucker_core::Plan| {

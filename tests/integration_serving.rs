@@ -68,7 +68,10 @@ fn concurrent_clients_get_bit_exact_batched_answers() {
                     .map(|j| {
                         let (dims, core) = shapes[j % shapes.len()];
                         let spec = compress_spec(dims, core, (j % 2) as u64);
-                        srv.submit_blocking(spec).expect("accepting").wait()
+                        srv.submit_blocking(spec)
+                            .expect("accepting")
+                            .wait()
+                            .expect("answered")
                     })
                     .collect()
             })
@@ -167,7 +170,7 @@ fn burst_past_queue_depth_is_rejected_not_lost() {
     assert_eq!(rejected, 8);
     server.resume();
     for t in tickets {
-        let r = t.wait();
+        let r = t.wait().expect("answered");
         assert!(matches!(r.output, JobOutput::Compressed { .. }));
     }
     let report = server.shutdown();

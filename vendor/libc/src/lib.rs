@@ -1,5 +1,6 @@
 //! Offline subset of the `libc` crate: exactly the pieces the simulated MPI
-//! runtime needs to read per-thread CPU time on Unix.
+//! runtime needs — per-thread CPU time on Unix, plus anonymous mappings with
+//! guard pages for the actor-mesh fiber stacks.
 
 #![allow(non_camel_case_types)]
 
@@ -28,6 +29,44 @@ pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 16;
 #[cfg(unix)]
 extern "C" {
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+// ------------------------------------------------------- anonymous mappings
+
+#[cfg(unix)]
+pub type c_void = std::ffi::c_void;
+#[cfg(unix)]
+pub type size_t = usize;
+#[cfg(unix)]
+pub type off_t = i64;
+
+#[cfg(unix)]
+pub const PROT_NONE: c_int = 0;
+#[cfg(unix)]
+pub const PROT_READ: c_int = 1;
+#[cfg(unix)]
+pub const PROT_WRITE: c_int = 2;
+#[cfg(unix)]
+pub const MAP_PRIVATE: c_int = 0x02;
+#[cfg(target_os = "linux")]
+pub const MAP_ANONYMOUS: c_int = 0x20;
+#[cfg(target_os = "macos")]
+pub const MAP_ANONYMOUS: c_int = 0x1000;
+#[cfg(unix)]
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+#[cfg(unix)]
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
 }
 
 #[cfg(all(test, unix))]
