@@ -8,6 +8,7 @@
 //! cargo run --release -p tucker-bench --bin experiments -- table1
 //! cargo run --release -p tucker-bench --bin experiments -- fig10a [--sample N]
 //! cargo run --release -p tucker-bench --bin experiments -- scaling [--max-p N]
+//! cargo run --release -p tucker-bench --bin experiments -- topology [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- recovery [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- serve [--clients N]
 //! ```
@@ -37,6 +38,14 @@
 //! and the virtual clocks against the planner's prediction, and persists
 //! `results/BENCH_scaling.json`.
 //!
+//! `topology` compares topology-aware planning (the hierarchical α–β
+//! `NetCostModel`, which sees intra/inter link classes and node-aligned
+//! grid variants) against flat-model planning at P = 64…8192: both DP plans
+//! execute on the hierarchical cluster simulator, the topology-aware plan
+//! must strictly win on executed virtual communication at every P, and
+//! prediction must match execution to the nanosecond under both topologies.
+//! Persists `results/BENCH_topology.json`.
+//!
 //! `recovery` kills one rank mid-sweep at P = 64 and 1024 under the mesh
 //! runtime's `Recover` policy and compares time-to-recover and wasted
 //! sweeps against fail-stop (abort + from-scratch restart on the
@@ -56,7 +65,8 @@ use tucker_core::TuckerMeta;
 use tucker_distsim::{count_grids, NetModel};
 use tucker_suite::driver::{
     dp_certification, gridding_comparison, load_comparison, recovery_bench, scaling_meta,
-    scaling_ranks, scaling_sweep, RECOVERY_FAIL_AFTER_LEAVES, RECOVERY_FAIL_SWEEP, RECOVERY_SWEEPS,
+    scaling_ranks, scaling_sweep, topology_sweep, RECOVERY_FAIL_AFTER_LEAVES, RECOVERY_FAIL_SWEEP,
+    RECOVERY_SWEEPS,
 };
 use tucker_suite::fields::hash_noise;
 use tucker_suite::generator::{benchmark_5d, benchmark_6d, full_enumeration};
@@ -101,6 +111,7 @@ fn main() {
         "serve" => serve(clients),
         "planner" => planner(max_p),
         "scaling" => scaling(max_p),
+        "topology" => topology(max_p),
         "recovery" => recovery(max_p),
         "table1" => table1(),
         "table2" => table2(),
@@ -120,6 +131,7 @@ fn main() {
             serve(clients);
             planner(max_p);
             scaling(max_p);
+            topology(max_p);
             recovery(max_p);
             table1();
             table2();
@@ -137,8 +149,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all kernels backends serve \
-                 planner scaling recovery table1 table2 fig10a fig10b fig10c fig11a fig11b \
-                 fig11c fig11d fig11e fig11f summary"
+                 planner scaling topology recovery table1 table2 fig10a fig10b fig10c fig11a \
+                 fig11b fig11c fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
@@ -348,6 +360,109 @@ fn scaling(max_p: usize) {
         json_rows.join(",\n")
     );
     let p = write_results("BENCH_scaling.json", &json);
+    println!("-> {}\n", p.display());
+}
+
+// --------------------------------------------------------------- Topology
+
+/// Topology comparison at paper-scale rank counts: the topology-aware DP
+/// plan (ranked under the hierarchical cluster `NetCostModel`) against the
+/// flat-model DP plan (ranked under a flat model carrying the same
+/// inter-node α–β), both executed on the hierarchical simulator. The
+/// nanosecond predict-vs-execute invariant per topology is asserted inside
+/// `topology_sweep`; the strict topology-beats-flat win at every swept P is
+/// asserted here. Persists `results/BENCH_topology.json` (schema
+/// `tucker-bench/topology/v1`).
+fn topology(max_p: usize) {
+    let meta = scaling_meta();
+    let hier = NetModel::cluster();
+    let ranks: Vec<usize> = scaling_ranks()
+        .into_iter()
+        .filter(|&p| p <= max_p)
+        .collect();
+    assert!(!ranks.is_empty(), "--max-p filtered out every rank count");
+    println!(
+        "== Topology: topology-aware vs flat-model planning on the hierarchical \
+         cluster (intra {:?}/{:.3} ns/B, inter {:?}/{:.3} ns/B, {} ranks/node) ==",
+        hier.intra_alpha(),
+        hier.intra_beta_ns_per_byte(),
+        hier.alpha(),
+        hier.beta_ns_per_byte(),
+        hier.node_size()
+    );
+    println!("   problem {meta}, P in {ranks:?}");
+
+    let rows = topology_sweep(&meta, &ranks, hier);
+    for r in &rows {
+        // The headline gate: the topology-aware plan strictly beats the
+        // flat-model plan's executed virtual communication at every P.
+        assert!(
+            r.topo_comm_s < r.flat_comm_s,
+            "P={}: topology-aware plan ({}s, grid {}) must strictly beat the \
+             flat-model plan ({}s, grid {})",
+            r.nranks,
+            r.topo_comm_s,
+            r.topo_initial_grid,
+            r.flat_comm_s,
+            r.flat_initial_grid
+        );
+        println!(
+            "   P={:>5}: topo {:>11.6}s (grid {})  flat-plan {:>11.6}s (grid {})  \
+             speedup {:>5.3}x  flat-sim control {:>11.6}s  (host {:.1}s)",
+            r.nranks,
+            r.topo_comm_s,
+            r.topo_initial_grid,
+            r.flat_comm_s,
+            r.flat_initial_grid,
+            r.comm_speedup,
+            r.control_comm_s,
+            r.host_s
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"p\": {}, \"topo_plan\": \"{}\", \"topo_initial_grid\": \"{}\", \
+                 \"flat_plan\": \"{}\", \"flat_initial_grid\": \"{}\", \
+                 \"topo_comm_s\": {:.9}, \"flat_comm_s\": {:.9}, \
+                 \"topo_predicted_comm_s\": {:.9}, \"flat_predicted_comm_s\": {:.9}, \
+                 \"control_comm_s\": {:.9}, \"control_predicted_comm_s\": {:.9}, \
+                 \"comm_speedup\": {:.4}, \"topo_wall_s\": {:.9}, \"host_s\": {:.3}}}",
+                r.nranks,
+                r.topo_plan,
+                r.topo_initial_grid,
+                r.flat_plan,
+                r.flat_initial_grid,
+                r.topo_comm_s,
+                r.flat_comm_s,
+                r.topo_predicted_comm_s,
+                r.flat_predicted_comm_s,
+                r.control_comm_s,
+                r.control_predicted_comm_s,
+                r.comm_speedup,
+                r.topo_wall_s,
+                r.host_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/topology/v1\",\n  \"input\": \"{}\",\n  \
+         \"core\": \"{}\",\n  \"net\": {{\"intra_alpha_ns\": {}, \
+         \"intra_beta_ns_per_byte\": {:.6}, \"inter_alpha_ns\": {}, \
+         \"inter_beta_ns_per_byte\": {:.6}, \"node_size\": {}}},\n  \
+         \"ranks\": {ranks:?},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        meta.input(),
+        meta.core(),
+        hier.intra_alpha().as_nanos(),
+        hier.intra_beta_ns_per_byte(),
+        hier.alpha().as_nanos(),
+        hier.beta_ns_per_byte(),
+        hier.node_size(),
+        json_rows.join(",\n")
+    );
+    let p = write_results("BENCH_topology.json", &json);
     println!("-> {}\n", p.display());
 }
 
@@ -716,8 +831,10 @@ fn kernels() {
     }
     // The small shape fits in L2; the large one (~35 MB) busts every cache
     // level, which is where packing pays and where the fresh-allocation
-    // chain pays page faults the warm workspace avoids.
-    const SPECS: [ShapeSpec; 2] = [
+    // chain pays page faults the warm workspace avoids. The skinny shape's
+    // middle mode has contiguous inner extent 6 — the 1 < inner < 16 gap
+    // served by the slab-grouped small-inner packed path.
+    const SPECS: [ShapeSpec; 3] = [
         ShapeSpec {
             dims: [48, 40, 36],
             rank: 12,
@@ -727,6 +844,11 @@ fn kernels() {
             dims: [192, 160, 144],
             rank: 32,
             reps: 5,
+        },
+        ShapeSpec {
+            dims: [6, 96, 80],
+            rank: 16,
+            reps: 21,
         },
     ];
 

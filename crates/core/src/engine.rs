@@ -24,14 +24,14 @@
 //!   paper-scale rank counts (P = 2⁶…2¹³) in seconds, reporting through the
 //!   **same** [`ExecutionStats`] fields as measured runs.
 
-use crate::checkpoint::RecoveryLog;
+use crate::checkpoint::{RecoveryLog, SweepCheckpoint};
 use crate::decomposition::TuckerDecomposition;
 use crate::executor::{self, PlanProvenance, SweepBackend, SweepObserver, SweepPhase, SweepStats};
 use crate::meta::TuckerMeta;
 use crate::plan::cost::NetCostModel;
 use crate::plan::grid::DynGridScheme;
 use crate::plan::{FlopVolumeModel, Plan, Planner, SearchBudget};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 use tucker_distsim::block::rank_region;
 use tucker_distsim::collectives::{allreduce_sum, Group};
@@ -80,8 +80,20 @@ impl FailurePolicy {
     }
 }
 
+/// Periodic durable checkpointing of mesh runs: every `every` committed
+/// sweeps, one rank writes the bit-exact `tucker-checkpoint/v1` snapshot to
+/// `path`, so a killed **process** (not just a failed rank) restarts from
+/// the last spill via [`run_distributed_hooi_mesh_from`].
+#[derive(Clone, Debug)]
+pub struct CheckpointCfg {
+    /// Spill after every `every` committed sweeps (must be ≥ 1).
+    pub every: usize,
+    /// Destination file (written atomically: tmp + rename).
+    pub path: std::path::PathBuf,
+}
+
 /// Execution-mode configuration for the distributed algorithms.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Clock feeding the [`ExecutionStats`] reported by distributed runs.
     pub time: TimeSource,
@@ -98,6 +110,8 @@ pub struct EngineConfig {
     /// ([`run_distributed_hooi_mesh`]); thread/sequential universes are
     /// always fail-stop.
     pub on_failure: FailurePolicy,
+    /// Periodic disk spill of the recovery log (mesh runs only).
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +122,7 @@ impl Default for EngineConfig {
             sequential: false,
             gather_core: true,
             on_failure: FailurePolicy::Abort,
+            checkpoint: None,
         }
     }
 }
@@ -123,7 +138,23 @@ impl EngineConfig {
             sequential: true,
             gather_core: true,
             on_failure: FailurePolicy::Abort,
+            checkpoint: None,
         }
+    }
+
+    /// Spill the recovery log to `path` after every `n` committed sweeps
+    /// (mesh runs only — see [`CheckpointCfg`]).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn checkpoint_every(mut self, n: usize, path: impl Into<std::path::PathBuf>) -> Self {
+        assert!(n >= 1, "checkpoint cadence must be >= 1");
+        self.checkpoint = Some(CheckpointCfg {
+            every: n,
+            path: path.into(),
+        });
+        self
     }
 
     /// The universe configuration this engine config induces.
@@ -466,6 +497,35 @@ struct MeshObserver<'l> {
     fault: Option<InjectedFault>,
     fault_fired: &'l AtomicBool,
     leaves_this_sweep: usize,
+    /// Periodic disk spill: cadence + path + the problem context the
+    /// checkpoint needs, plus the highest committed count already spilled
+    /// (shared so exactly one rank writes each new multiple).
+    spill: Option<&'l SpillState<'l>>,
+}
+
+/// Shared state of the periodic checkpoint spill (one per run).
+struct SpillState<'r> {
+    cfg: &'r CheckpointCfg,
+    meta: &'r TuckerMeta,
+    total_sweeps: usize,
+    last_spilled: AtomicUsize,
+}
+
+impl SpillState<'_> {
+    /// Spill if `log` has newly reached a cadence multiple. The committing
+    /// rank (the last to report the sweep) usually wins the `fetch_max`
+    /// race; any later observer sees `last_spilled` already advanced.
+    fn maybe_spill(&self, log: &RecoveryLog) {
+        let committed = log.committed_count();
+        if committed == 0 || !committed.is_multiple_of(self.cfg.every) {
+            return;
+        }
+        if self.last_spilled.fetch_max(committed, Ordering::SeqCst) < committed {
+            log.checkpoint(self.meta, self.total_sweeps)
+                .save(&self.cfg.path)
+                .expect("checkpoint spill failed");
+        }
+    }
 }
 
 impl MeshObserver<'_> {
@@ -499,6 +559,9 @@ impl SweepObserver for MeshObserver<'_> {
 
     fn sweep_done(&mut self, sweep: usize, factors: &[Matrix], stats: &SweepStats) {
         self.log.sweep_done(sweep, factors, stats);
+        if let Some(spill) = self.spill {
+            spill.maybe_spill(self.log);
+        }
     }
 }
 
@@ -536,6 +599,30 @@ pub fn run_distributed_hooi_mesh(
     mesh: &MeshCfg,
     fault: Option<InjectedFault>,
 ) -> MeshHooiOutput {
+    run_distributed_hooi_mesh_from(global_fn, meta, nranks, sweeps, cfg, mesh, fault, None)
+}
+
+/// [`run_distributed_hooi_mesh`] restarted from a durable checkpoint (the
+/// whole-process crash-restart path, paired with
+/// [`EngineConfig::checkpoint_every`]): the recovery log is restored from
+/// `resume` before the first epoch, so committed sweeps replay for free and
+/// execution continues from [`SweepCheckpoint::resume_sweep`], skipping any
+/// salvaged leaves of the interrupted sweep.
+///
+/// # Panics
+/// Panics like [`run_distributed_hooi_mesh`], or if the checkpoint's
+/// metadata does not match `meta`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_hooi_mesh_from(
+    global_fn: impl Fn(&[usize]) -> f64 + Sync,
+    meta: &TuckerMeta,
+    nranks: usize,
+    sweeps: usize,
+    cfg: &EngineConfig,
+    mesh: &MeshCfg,
+    fault: Option<InjectedFault>,
+    resume: Option<SweepCheckpoint>,
+) -> MeshHooiOutput {
     assert!(sweeps >= 1, "need at least one sweep");
     assert!(nranks >= 1, "need at least one rank");
     assert!(
@@ -544,6 +631,21 @@ pub fn run_distributed_hooi_mesh(
     );
 
     let log = RecoveryLog::new(meta.order());
+    if let Some(ckpt) = &resume {
+        assert_eq!(
+            ckpt.meta.input().dims(),
+            meta.input().dims(),
+            "checkpoint is for a different problem"
+        );
+        assert_eq!(ckpt.meta.core().dims(), meta.core().dims());
+        log.restore(ckpt);
+    }
+    let spill = cfg.checkpoint.as_ref().map(|c| SpillState {
+        cfg: c,
+        meta,
+        total_sweeps: sweeps,
+        last_spilled: AtomicUsize::new(log.committed_count()),
+    });
     let fault_fired = AtomicBool::new(false);
     let recover = matches!(cfg.on_failure, FailurePolicy::Recover { .. });
     let mut survivors = nranks;
@@ -639,6 +741,7 @@ pub fn run_distributed_hooi_mesh(
                 fault,
                 fault_fired: &fault_fired,
                 leaves_this_sweep: 0,
+                spill: spill.as_ref(),
             };
             let mut backend = DistsimBackend::new(&mut *ctx, cfg.time, Some(&plan.grids));
             let run = executor::hooi_loop_from(
@@ -1084,6 +1187,81 @@ mod tests {
             .unwrap()
             .predicted_comm
             .is_some());
+    }
+
+    #[test]
+    fn checkpoint_spill_survives_a_process_kill_and_restart() {
+        // A mesh run spilling every committed sweep is killed mid-sweep 2
+        // (Abort policy: the whole process would die). A "restarted
+        // process" holding only the spill file resumes from it and must
+        // land within summation-order noise of an uninterrupted run.
+        let meta = meta_small();
+        let path = std::env::temp_dir().join(format!(
+            "tucker-ckpt-spill-{}-{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cfg = EngineConfig {
+            gather_core: false,
+            ..EngineConfig::virtual_time(NetModel::bgq())
+        }
+        .checkpoint_every(1, &path);
+        let fault = InjectedFault {
+            rank: 1,
+            sweep: 2,
+            after_leaves: 1,
+        };
+        let res = std::panic::catch_unwind(|| {
+            run_distributed_hooi_mesh(smooth, &meta, 4, 3, &cfg, &MeshCfg::default(), Some(fault))
+        });
+        assert!(res.is_err(), "abort policy must re-raise the kill");
+
+        // Restart: only the spill file survives the process.
+        let ckpt = crate::checkpoint::SweepCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ckpt.resume_sweep(), 2, "sweeps 0 and 1 were spilled");
+        assert_eq!(ckpt.total_sweeps, 3);
+        let out = run_distributed_hooi_mesh_from(
+            smooth,
+            &meta,
+            4,
+            3,
+            &EngineConfig {
+                gather_core: false,
+                ..EngineConfig::virtual_time(NetModel::bgq())
+            },
+            &MeshCfg::default(),
+            None,
+            Some(ckpt),
+        );
+        assert_eq!(out.per_sweep.len(), 3);
+        // Restored sweeps keep the stats they measured before the kill.
+        assert!(out.per_sweep[0].comm_wall > Duration::ZERO);
+
+        let clean = run_distributed_hooi_mesh(
+            smooth,
+            &meta,
+            4,
+            3,
+            &EngineConfig {
+                gather_core: false,
+                ..EngineConfig::virtual_time(NetModel::bgq())
+            },
+            &MeshCfg::default(),
+            None,
+        );
+        let (e, c) = (
+            out.per_sweep.last().unwrap().error,
+            clean.per_sweep.last().unwrap().error,
+        );
+        assert!((e - c).abs() < 1e-10, "resumed {e} vs uninterrupted {c}");
+        for (a, b) in out.per_sweep[..2].iter().zip(&clean.per_sweep[..2]) {
+            assert_eq!(
+                a.error.to_bits(),
+                b.error.to_bits(),
+                "pre-kill sweeps round-trip bit-exactly through the spill"
+            );
+        }
     }
 
     #[test]

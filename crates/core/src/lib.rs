@@ -77,8 +77,8 @@ pub mod volume;
 pub use checkpoint::{RecoveryLog, SweepCheckpoint};
 pub use decomposition::TuckerDecomposition;
 pub use engine::{
-    run_distributed_hooi_mesh, EngineConfig, FailurePolicy, InjectedFault, MeshHooiOutput,
-    RecoveryEvent,
+    run_distributed_hooi_mesh, run_distributed_hooi_mesh_from, CheckpointCfg, EngineConfig,
+    FailurePolicy, InjectedFault, MeshHooiOutput, RecoveryEvent,
 };
 pub use executor::{
     PlanProvenance, RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats,

@@ -179,6 +179,23 @@ pub trait CostModel {
         let _ = (meta, nranks);
         0.0
     }
+
+    /// Whether this model's prices are invariant under relabeling the grid
+    /// axes of symmetric modes (identical `(L_n, K_n)`). The search uses
+    /// this to dedup symmetric grid candidates to orbit representatives;
+    /// topology-aware models must answer `false` — under a hierarchical
+    /// network, `⟨2,4⟩` and `⟨4,2⟩` put different mode groups inside nodes
+    /// even when the modes are symmetric.
+    fn grid_symmetry_invariant(&self) -> bool {
+        true
+    }
+
+    /// Let the model extend the candidate grid list with variants of its
+    /// own (e.g. node-aligned rank orderings). Called once by the search
+    /// after the geometric enumeration; the default adds nothing.
+    fn augment_grids(&self, meta: &TuckerMeta, grids: &mut Vec<Grid>) {
+        let _ = (meta, grids);
+    }
 }
 
 /// The additive model cost of one HOOI sweep executing `tree` under
@@ -318,49 +335,148 @@ impl NetCostModel {
     }
 
     /// The reduce-scatter charge of one distributed TTM as accumulated by
-    /// the rank at `coord` (both endpoints pay α + β·bytes per message):
-    /// sends every peer's chunk of its partial, receives `q − 1` copies of
-    /// its own chunk.
-    fn ttm_rank_ns(&self, shape: &[usize], n: usize, k: usize, g: &Grid, coord: &[usize]) -> u64 {
+    /// `rank` (both endpoints pay α + β·bytes per message): sends every
+    /// peer's chunk of its partial, receives `q − 1` copies of its own
+    /// chunk. Each message is priced on the link class of the concrete
+    /// `(rank, peer)` endpoint pair.
+    fn ttm_rank_ns(&self, shape: &[usize], n: usize, k: usize, g: &Grid, rank: usize) -> u64 {
         let q = g.dim(n);
         if q <= 1 {
             return 0;
         }
+        let coord = g.coord(rank);
         let prod_other: usize = (0..shape.len())
             .filter(|&m| m != n)
             .map(|m| chunk(shape[m], g.dim(m), coord[m]).1)
             .product();
         let kchunks = split_extents(k, q);
         let j = coord[n];
+        let mut peer_coord = coord.clone();
         let mut ns = 0u64;
         for (i, &(_, klen)) in kchunks.iter().enumerate() {
             if i != j {
-                ns += self.net.msg_elems_ns(prod_other * klen);
+                peer_coord[n] = i;
+                let peer = g.rank(&peer_coord);
+                // Chunk i of my partial goes to the peer; the peer's copy of
+                // my chunk j comes back.
+                ns += self.net.msg_elems_ns_between(rank, peer, prod_other * klen);
+                ns += self
+                    .net
+                    .msg_elems_ns_between(peer, rank, prod_other * kchunks[j].1);
             }
         }
-        ns + (q as u64 - 1) * self.net.msg_elems_ns(prod_other * kchunks[j].1)
+        ns
     }
 
     /// The mode-group all-gather charge of one distributed Gram as
-    /// accumulated by the rank at `coord`: sends its block `q − 1` times,
-    /// receives every peer's block.
-    fn gram_gather_rank_ns(&self, shape: &[usize], n: usize, g: &Grid, coord: &[usize]) -> u64 {
+    /// accumulated by `rank`: sends its block `q − 1` times, receives every
+    /// peer's block, each message priced on its endpoint pair's link.
+    fn gram_gather_rank_ns(&self, shape: &[usize], n: usize, g: &Grid, rank: usize) -> u64 {
         let q = g.dim(n);
         if q <= 1 {
             return 0;
         }
+        let coord = g.coord(rank);
         let prod_other: usize = (0..shape.len())
             .filter(|&m| m != n)
             .map(|m| chunk(shape[m], g.dim(m), coord[m]).1)
             .product();
         let my_len = chunk(shape[n], q, coord[n]).1;
-        let mut ns = (q as u64 - 1) * self.net.msg_elems_ns(prod_other * my_len);
+        let mut peer_coord = coord.clone();
+        let mut ns = 0u64;
         for i in 0..q {
             if i != coord[n] {
-                ns += self.net.msg_elems_ns(prod_other * chunk(shape[n], q, i).1);
+                peer_coord[n] = i;
+                let peer = g.rank(&peer_coord);
+                ns += self
+                    .net
+                    .msg_elems_ns_between(rank, peer, prod_other * my_len);
+                ns +=
+                    self.net
+                        .msg_elems_ns_between(peer, rank, prod_other * chunk(shape[n], q, i).1);
             }
         }
         ns
+    }
+
+    /// The node-aligned axis-order variant of `g`: modes sorted by
+    /// descending rank-0 TTM reduce-scatter price, so the heaviest
+    /// mode-reductions get the smallest rank strides — and with them the
+    /// best chance of keeping their groups inside one node. Returns `None`
+    /// when the reordering would not change the rank mapping (e.g. flat
+    /// models, or grids whose split modes are already heaviest-first).
+    pub fn node_aligned_variant(&self, meta: &TuckerMeta, g: &Grid) -> Option<Grid> {
+        if !self.net.is_hierarchical() || !g.has_identity_axes() {
+            return None;
+        }
+        let weights: Vec<f64> = (0..g.order())
+            .map(|n| {
+                if g.dim(n) <= 1 {
+                    0.0
+                } else {
+                    self.ttm_cost(meta, 0, n, g)
+                }
+            })
+            .collect();
+        let mut modes: Vec<usize> = (0..g.order()).collect();
+        modes.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .expect("finite weights")
+                .then(a.cmp(&b))
+        });
+        // Identical mapping iff the split (q > 1) modes keep their relative
+        // order: singleton axes contribute nothing to the mixed radix.
+        let split: Vec<usize> = modes.iter().copied().filter(|&ax| g.dim(ax) > 1).collect();
+        if split.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        Some(Grid::with_axes(g.dims().to_vec(), modes))
+    }
+
+    /// A bounded set of structurally distinct ranks for hierarchical
+    /// pricing: the first and last rank of the first node, the first rank
+    /// of the second node, the middle of the machine and the last node's
+    /// boundary ranks. Under the block rank → node packing these cover the
+    /// qualitatively different positions a rank can occupy (node leader,
+    /// node tail, interior, machine edge) without an `O(P)` scan.
+    fn representative_ranks(&self) -> Vec<usize> {
+        let p = self.nranks;
+        let s = self.net.node_size().max(1);
+        let mut reps = vec![0, s - 1, s, 2 * s - 1, p / 2, p.saturating_sub(s), p - 1];
+        reps.retain(|&r| r < p);
+        reps.sort_unstable();
+        reps.dedup();
+        reps
+    }
+
+    /// The node-aligned relabeling of a whole grid scheme: every grid is
+    /// replaced by its [`NetCostModel::node_aligned_variant`] where one
+    /// exists. The transform is a deterministic function of each grid, so
+    /// equal grids stay equal and the scheme's regrid flags remain faithful;
+    /// the geometric volume is unchanged (only the rank → coordinate mapping
+    /// moves). Returns `None` when no grid changes.
+    pub fn node_align_scheme(
+        &self,
+        meta: &TuckerMeta,
+        scheme: &DynGridScheme,
+    ) -> Option<DynGridScheme> {
+        let mut changed = false;
+        let mut align = |g: &Grid| match self.node_aligned_variant(meta, g) {
+            Some(v) => {
+                changed = true;
+                v
+            }
+            None => g.clone(),
+        };
+        let initial = align(&scheme.initial);
+        let node_grids: Vec<Grid> = scheme.node_grids.iter().map(&mut align).collect();
+        changed.then_some(DynGridScheme {
+            initial,
+            node_grids,
+            regrid: scheme.regrid.clone(),
+            volume: scheme.volume,
+        })
     }
 
     /// The all-to-all charge of one regrid (`from → to`) as accumulated by
@@ -407,7 +523,7 @@ impl NetCostModel {
                         (ms + ml).min(ts + tl) - ms.max(ts)
                     })
                     .product();
-                ns += self.net.msg_elems_ns(overlap);
+                ns += self.net.msg_elems_ns_between(charged_rank, peer, overlap);
             }
             for m in 0..order {
                 coord[m] += 1;
@@ -466,7 +582,7 @@ impl NetCostModel {
                     }
                     let g = &scheme.node_grids[id];
                     for (r, a) in acc.iter_mut().enumerate() {
-                        a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, &g.coord(r));
+                        a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, r);
                     }
                 }
                 NodeLabel::Leaf(n) => {
@@ -475,7 +591,7 @@ impl NetCostModel {
                     let g = &scheme.node_grids[id];
                     let len = shape[n] * shape[n];
                     for (r, a) in acc.iter_mut().enumerate() {
-                        a[GRAM] += self.gram_gather_rank_ns(&shape, n, g, &g.coord(r))
+                        a[GRAM] += self.gram_gather_rank_ns(&shape, n, g, r)
                             + self.net.allreduce_rank_ns(p, r, len);
                     }
                 }
@@ -488,7 +604,7 @@ impl NetCostModel {
             let shape = premult_shape(meta, chain_mask);
             let g = &scheme.initial;
             for (r, a) in acc.iter_mut().enumerate() {
-                a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, &g.coord(r));
+                a[TTM] += self.ttm_rank_ns(&shape, n, meta.k(n), g, r);
             }
             chain_mask |= 1 << n;
         }
@@ -522,47 +638,106 @@ impl CostModel for NetCostModel {
     /// share cache entries.
     fn cache_key(&self) -> String {
         format!(
-            "net:p={}:alpha_ns={}:beta_ns_per_byte={}",
+            "net:p={}:alpha_ns={}:beta_ns_per_byte={}:intra_alpha_ns={}:intra_beta_ns_per_byte={}:node_size={}",
             self.nranks,
             self.net.alpha().as_nanos(),
-            self.net.beta_ns_per_byte()
+            self.net.beta_ns_per_byte(),
+            self.net.intra_alpha().as_nanos(),
+            self.net.intra_beta_ns_per_byte(),
+            self.net.node_size()
         )
     }
 
-    /// Rank 0's reduce-scatter charge: rank 0 holds the largest block of
-    /// every mode (chunks are front-loaded) and the largest output chunk,
-    /// so its charge is the per-operation critical path.
+    /// The reduce-scatter critical path of one distributed TTM. Flat
+    /// models: rank 0's charge — rank 0 holds the largest block of every
+    /// mode (chunks are front-loaded) and the largest output chunk, so no
+    /// rank pays more. Hierarchical models: the max over ranks — a
+    /// node-aligned grid makes rank 0's group intra-node (cheap) while a
+    /// node-crossing group elsewhere pays inter-node prices, so rank 0 is
+    /// no longer the critical path.
     fn ttm_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64 {
         let shape = premult_shape(meta, premult);
-        let zero = vec![0usize; meta.order()];
-        self.ttm_rank_ns(&shape, n, meta.k(n), g, &zero) as f64
+        if !self.net.is_hierarchical() {
+            return self.ttm_rank_ns(&shape, n, meta.k(n), g, 0) as f64;
+        }
+        (0..self.nranks)
+            .map(|r| self.ttm_rank_ns(&shape, n, meta.k(n), g, r))
+            .max()
+            .unwrap_or(0) as f64
     }
 
-    /// Rank 0's exact all-to-all charge for `from → to` (message pattern
-    /// and payloads from the real chunk geometry). At paper-scale α
+    /// The all-to-all charge of one regrid (`from → to`), message pattern
+    /// and payloads from the real chunk geometry. At paper-scale α
     /// dominates regrids, and the message count — the number of
     /// overlapping blocks — depends on *both* grids, which is why this
     /// price is source-aware (the search memoizes it per
     /// `(premult, from, to)`).
+    ///
+    /// Flat models: rank 0's charge (front-loaded chunks make it maximal).
+    /// Hierarchical models: the max over a bounded set of structurally
+    /// distinct representative ranks (node leaders, node tails, the middle
+    /// and the ends of the machine) — a full max over ranks would cost
+    /// `O(P · blocks)` per memoized `(premult, from, to)` triple, which the
+    /// joint DP cannot afford at paper-scale P, while rank 0 alone
+    /// systematically *underprices* regrids whose node-crossing traffic
+    /// lands elsewhere. The exact per-rank replay happens in
+    /// [`NetCostModel::predict_sweep`].
     fn regrid_cost(&self, meta: &TuckerMeta, premult: u32, from: &Grid, to: &Grid) -> f64 {
         let shape = premult_shape(meta, premult);
-        self.regrid_rank_ns(&shape, from, to, 0) as f64
+        if !self.net.is_hierarchical() {
+            return self.regrid_rank_ns(&shape, from, to, 0) as f64;
+        }
+        self.representative_ranks()
+            .into_iter()
+            .map(|r| self.regrid_rank_ns(&shape, from, to, r))
+            .max()
+            .unwrap_or(0) as f64
     }
 
-    /// Rank 0's Gram charge: mode-group all-gather plus its (root) share of
-    /// the world all-reduce of the `L_n × L_n` Gram.
+    /// The Gram critical path: mode-group all-gather plus the rank's share
+    /// of the world all-reduce of the `L_n × L_n` Gram. Rank 0 under flat
+    /// models (largest block, all-reduce root); max over ranks of the
+    /// *joint* charge under hierarchical ones — the two phases accumulate on
+    /// the same clock, so the critical rank is the one maximizing the sum.
     fn leaf_cost(&self, meta: &TuckerMeta, premult: u32, n: usize, g: &Grid) -> f64 {
         let shape = premult_shape(meta, premult);
-        let zero = vec![0usize; meta.order()];
-        let gather = self.gram_gather_rank_ns(&shape, n, g, &zero);
-        let reduce = self
-            .net
-            .allreduce_rank_ns(self.nranks, 0, shape[n] * shape[n]);
-        (gather + reduce) as f64
+        let len = shape[n] * shape[n];
+        if !self.net.is_hierarchical() {
+            let gather = self.gram_gather_rank_ns(&shape, n, g, 0);
+            let reduce = self.net.allreduce_rank_ns(self.nranks, 0, len);
+            return (gather + reduce) as f64;
+        }
+        (0..self.nranks)
+            .map(|r| {
+                self.gram_gather_rank_ns(&shape, n, g, r)
+                    + self.net.allreduce_rank_ns(self.nranks, r, len)
+            })
+            .max()
+            .unwrap_or(0) as f64
     }
 
     fn sweep_overhead(&self, _meta: &TuckerMeta, nranks: usize) -> f64 {
         self.net.allreduce_rank_ns(nranks, 0, 1) as f64
+    }
+
+    /// Hierarchical pricing sees the axis order, so symmetric-mode
+    /// relabeling changes costs and the orbit dedup must stay off.
+    fn grid_symmetry_invariant(&self) -> bool {
+        !self.net.is_hierarchical()
+    }
+
+    /// Under a hierarchical network, offer one node-aligned rank-ordering
+    /// variant per geometric candidate (heaviest mode-reduction fastest) —
+    /// the DP then picks whichever mapping prices lower.
+    fn augment_grids(&self, meta: &TuckerMeta, grids: &mut Vec<Grid>) {
+        if !self.net.is_hierarchical() {
+            return;
+        }
+        let variants: Vec<Grid> = grids
+            .iter()
+            .filter_map(|g| self.node_aligned_variant(meta, g))
+            .collect();
+        grids.extend(variants);
     }
 }
 

@@ -198,6 +198,19 @@ impl Plan {
         model.predict_sweep(&self.meta, &self.tree, &self.grids)
     }
 
+    /// The node-aligned relabeling of this plan under a hierarchical model:
+    /// same tree, same geometric grids, axes reordered per grid so the
+    /// heaviest mode-reductions sit on the smallest rank strides (see
+    /// [`cost::NetCostModel::node_align_scheme`]). `None` when no grid
+    /// changes (flat models included).
+    pub fn node_aligned(&self, model: &NetCostModel) -> Option<Plan> {
+        let grids = model.node_align_scheme(&self.meta, &self.grids)?;
+        Some(Plan {
+            grids,
+            ..self.clone()
+        })
+    }
+
     /// Scalar modeled cost of one HOOI invocation under the classic
     /// closed-form objective: TTM FLOPs plus the communication volume
     /// weighted by [`VOLUME_FLOP_EQUIV`] — equal to
@@ -324,6 +337,38 @@ impl Planner {
     /// brute-force enumeration in the property suite.
     pub fn best_plan(&self) -> Plan {
         self.best_plan_with(&FlopVolumeModel, &SearchBudget::winner_only())
+    }
+
+    /// Topology-aware plan selection under an α–β [`NetCostModel`]: build a
+    /// candidate portfolio, then choose the plan minimizing the **exact**
+    /// predicted communication wall of [`NetCostModel::predict_sweep`].
+    ///
+    /// The DP's scalar objective sums per-operation critical paths — an
+    /// upper bound whose argmin can differ from the engine's aggregation
+    /// (max over ranks of the per-rank total) when a hierarchical topology
+    /// makes different ranks critical in different operations — so the
+    /// final choice is settled by the exact replay over a portfolio of:
+    ///
+    /// * the joint-DP candidates ranked under `model`;
+    /// * for hierarchical models, the topology-blind winner (the plan a
+    ///   flat planner would pick, priced on the inter-node link alone) —
+    ///   its presence means the topology-aware choice can never lose to a
+    ///   hierarchy-unaware planner on the exact clock;
+    /// * the node-aligned relabeling of every candidate above
+    ///   ([`Plan::node_aligned`]): same geometry, heaviest mode-reductions
+    ///   on the smallest rank strides.
+    pub fn best_plan_net(&self, model: &NetCostModel, budget: &SearchBudget) -> Plan {
+        let ranked = self.ranked_plans(model, budget);
+        let mut pool: Vec<Plan> = ranked.plans.iter().map(|s| s.plan.clone()).collect();
+        if model.net().is_hierarchical() {
+            let flat = NetCostModel::new(model.net().flattened(), self.nranks);
+            pool.push(self.best_plan_with(&flat, &SearchBudget::winner_only()));
+        }
+        let aligned: Vec<Plan> = pool.iter().filter_map(|p| p.node_aligned(model)).collect();
+        pool.extend(aligned);
+        pool.into_iter()
+            .min_by_key(|p| p.predict_net(model).comm_wall)
+            .expect("candidate pool is non-empty")
     }
 }
 

@@ -122,6 +122,9 @@ pub fn optimize(
     if let Some(cap) = budget.grid_cap {
         grids.truncate(cap.max(1));
     }
+    // Topology-aware models add node-aligned rank-ordering variants here;
+    // the DP prices them like any other candidate.
+    model.augment_grids(meta, &mut grids);
 
     let dp_plan = JointDp::new(meta, model, &grids).run(nranks);
 
@@ -441,6 +444,11 @@ impl<'a> JointDp<'a> {
     /// survivor, shared via
     /// [`crate::plan::grid::canonical_symmetric_dims`]).
     fn orbit_representatives(&self) -> Vec<usize> {
+        // Models whose prices see the rank mapping (hierarchical networks)
+        // are not class-equivariant: every grid is its own representative.
+        if !self.model.grid_symmetry_invariant() {
+            return (0..self.ng).collect();
+        }
         let classes = crate::plan::grid::mode_symmetry_classes(self.meta);
         if classes.is_empty() {
             return (0..self.ng).collect();
@@ -680,6 +688,72 @@ mod tests {
             assert!(plan.tree.validate().is_ok());
             let recomputed = sweep_cost(model, &meta, &plan.tree, &plan.grids);
             assert!((recomputed - ranked.best().cost).abs() <= oracle * 1e-9);
+        }
+    }
+
+    #[test]
+    fn hierarchical_dp_matches_brute_force_over_augmented_grids() {
+        // Under a hierarchical model the orbit dedup is off and the grid set
+        // gains node-aligned variants; the DP must still equal the
+        // exhaustive oracle over exactly that augmented set.
+        let meta = TuckerMeta::new([40, 20, 10], [4, 2, 2]);
+        let p = 8usize;
+        let net = NetCostModel::new(
+            NetModel::hierarchical(
+                std::time::Duration::from_nanos(500),
+                12.0e9,
+                std::time::Duration::from_nanos(5_000),
+                1.2e9,
+                4,
+            ),
+            p,
+        );
+        assert!(!net.grid_symmetry_invariant());
+        let mut grids = candidate_grids(&meta, p);
+        let before = grids.len();
+        net.augment_grids(&meta, &mut grids);
+        assert!(grids.len() > before, "variants must be added");
+        let ranked = optimize(&meta, p, &net, &SearchBudget::default());
+        let mut oracle = f64::INFINITY;
+        for tree in crate::plan::brute_force::enumerate_all_trees(&meta) {
+            oracle = oracle.min(crate::plan::brute_force::min_sweep_cost(
+                &tree, &meta, &grids, &net,
+            ));
+        }
+        assert!(
+            (ranked.best().cost - oracle).abs() <= oracle * 1e-9,
+            "DP {} vs oracle {oracle}",
+            ranked.best().cost
+        );
+        let plan = &ranked.best().plan;
+        assert!(plan.tree.validate().is_ok());
+        let recomputed = sweep_cost(&net, &meta, &plan.tree, &plan.grids);
+        assert!((recomputed - ranked.best().cost).abs() <= oracle * 1e-9);
+    }
+
+    #[test]
+    fn topology_aware_dp_never_loses_to_the_flat_model_plan() {
+        // The flat-model winner is a feasible candidate of the hierarchical
+        // search (same geometric grid set), so pricing both under the
+        // hierarchical model must favor the topology-aware DP.
+        let meta = meta();
+        for p in [16usize, 64] {
+            let hier = NetModel::cluster();
+            let hier_model = NetCostModel::new(hier, p);
+            let flat_model = NetCostModel::new(hier.flattened(), p);
+            let topo = optimize(&meta, p, &hier_model, &SearchBudget::winner_only());
+            let flat = optimize(&meta, p, &flat_model, &SearchBudget::winner_only());
+            let flat_under_hier = sweep_cost(
+                &hier_model,
+                &meta,
+                &flat.best().plan.tree,
+                &flat.best().plan.grids,
+            );
+            assert!(
+                topo.best().cost <= flat_under_hier * (1.0 + 1e-9),
+                "p={p}: topo {} vs flat-plan-under-hier {flat_under_hier}",
+                topo.best().cost
+            );
         }
     }
 

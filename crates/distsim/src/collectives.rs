@@ -131,10 +131,83 @@ pub(crate) const TREE_ALLREDUCE_THRESHOLD: usize = 8;
 /// instead of `O(g)` serialization at the root, mirroring real MPI
 /// implementations.
 pub fn allreduce_sum(ctx: &mut RankCtx, g: &Group, buf: &mut [f64], tag: u32, cat: VolumeCategory) {
-    if g.len() > TREE_ALLREDUCE_THRESHOLD {
+    // Under a hierarchical network model, *always* take the topology-aware
+    // three-phase algorithm (even for single-node groups) so executed
+    // virtual clocks and the closed forms in `net.rs` stay in lockstep.
+    if ctx.net().is_some_and(|n| n.is_hierarchical()) {
+        allreduce_sum_hier(ctx, g, buf, tag, cat);
+    } else if g.len() > TREE_ALLREDUCE_THRESHOLD {
         allreduce_sum_tree(ctx, g, buf, tag, cat);
     } else {
         allreduce_sum_flat(ctx, g, buf, tag, cat);
+    }
+}
+
+/// Hierarchical three-phase allreduce (DESIGN.md §10): members bucket by
+/// node id (first-appearance order), each node's first member acts as its
+/// leader. Phase 1 flat-gathers within each node at the leader (intra-node
+/// traffic), phase 2 runs the ordinary flat/tree allreduce among the
+/// leaders (inter-node traffic — leaders sit on distinct nodes), phase 3
+/// broadcasts the result back within each node. Total message count is
+/// `2(g−1)`, the same as the single-link algorithms, so the byte ledger is
+/// unchanged; only the link classes (and hence virtual time) differ.
+///
+/// Uses tags `tag..=tag+2` for phases 1–2 and `tag+3` for phase 3.
+fn allreduce_sum_hier(
+    ctx: &mut RankCtx,
+    g: &Group,
+    buf: &mut [f64],
+    tag: u32,
+    cat: VolumeCategory,
+) {
+    if g.len() <= 1 {
+        return;
+    }
+    let net = *ctx
+        .net()
+        .expect("hierarchical allreduce requires a net model");
+    let members: Vec<usize> = g.iter().collect();
+    let buckets = net.node_buckets(&members);
+    let me = g.my_index();
+    let my_node = net.node_of(members[me]);
+    let my_bucket = buckets
+        .iter()
+        .position(|b| net.node_of(members[b[0]]) == my_node)
+        .expect("own node must be bucketed");
+    let bucket = &buckets[my_bucket];
+    let leader = bucket[0];
+
+    if me != leader {
+        // Phase 1: contribute to the node leader; phase 3: receive result.
+        ctx.send(g.member(leader), tag, buf.to_vec(), cat);
+        let summed = ctx.recv(g.member(leader), tag + 3, cat);
+        assert_eq!(summed.len(), buf.len(), "allreduce length mismatch");
+        buf.copy_from_slice(&summed);
+        return;
+    }
+
+    // Phase 1 (leader side): accumulate the node's contributions in bucket
+    // order — deterministic, so every rank sees identical reduction order.
+    for &i in &bucket[1..] {
+        let part = ctx.recv(g.member(i), tag, cat);
+        assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
+        for (a, b) in buf.iter_mut().zip(&part) {
+            *a += b;
+        }
+    }
+
+    // Phase 2: single-link allreduce among the node leaders.
+    let leaders: Vec<usize> = buckets.iter().map(|b| g.member(b[0])).collect();
+    let lg = Group::new(ctx, leaders);
+    if lg.len() > TREE_ALLREDUCE_THRESHOLD {
+        allreduce_sum_tree(ctx, &lg, buf, tag + 1, cat);
+    } else {
+        allreduce_sum_flat(ctx, &lg, buf, tag + 1, cat);
+    }
+
+    // Phase 3: fan the result back out within the node.
+    for &i in &bucket[1..] {
+        ctx.send(g.member(i), tag + 3, buf.to_vec(), cat);
     }
 }
 

@@ -616,7 +616,8 @@ impl RankCtx {
             let bytes = (payload.len() * 8) as u64;
             self.shared.ledger.add(cat, bytes);
             if let Some(net) = &self.shared.net {
-                self.vtimers.add_nanos(cat, net.msg_ns(bytes));
+                self.vtimers
+                    .add_nanos(cat, net.msg_ns_between(self.rank, dst, bytes));
             }
         }
         let t0 = Instant::now();
@@ -658,8 +659,10 @@ impl RankCtx {
         self.timers.add(cat, t0.elapsed());
         if src != self.rank {
             if let Some(net) = &self.shared.net {
-                self.vtimers
-                    .add_nanos(cat, net.msg_ns((msg.payload.len() * 8) as u64));
+                self.vtimers.add_nanos(
+                    cat,
+                    net.msg_ns_between(src, self.rank, (msg.payload.len() * 8) as u64),
+                );
             }
         }
         assert_eq!(

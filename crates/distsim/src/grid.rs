@@ -9,15 +9,25 @@
 
 use std::fmt;
 
-/// A processor grid: the per-mode processor counts `(q₀, …, q_{N−1})`.
+/// A processor grid: the per-mode processor counts `(q₀, …, q_{N−1})`, plus
+/// the **axis significance order** of the rank ↔ coordinate mixed radix.
 ///
-/// Rank ↔ grid-coordinate conversion uses the same mode-0-fastest mixed-radix
-/// convention as the tensor layout.
+/// By default (`Grid::new`) the convention is mode-0-fastest, matching the
+/// tensor layout. A grid built with [`Grid::with_axes`] keeps the same block
+/// decomposition but maps blocks to ranks in a different digit order:
+/// `axes[0]` is the fastest-varying mode (stride 1), `axes[1]` the next,
+/// and so on. Under a hierarchical network model this is the planner's
+/// rank-ordering lever — giving a mode a small stride keeps its mode groups
+/// inside node-aligned windows of consecutive ranks, turning that mode's
+/// reduce-scatter into intra-node traffic.
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Grid(Vec<usize>);
+pub struct Grid {
+    q: Vec<usize>,
+    axes: Vec<usize>,
+}
 
 impl Grid {
-    /// Create a grid from per-mode counts.
+    /// Create a grid from per-mode counts (mode-0-fastest rank order).
     ///
     /// # Panics
     /// Panics if empty or any count is zero.
@@ -25,51 +35,83 @@ impl Grid {
         let q = q.into();
         assert!(!q.is_empty(), "grid must have at least one mode");
         assert!(q.iter().all(|&v| v > 0), "zero processor count in {q:?}");
-        Grid(q)
+        let axes = (0..q.len()).collect();
+        Grid { q, axes }
+    }
+
+    /// Create a grid with an explicit axis significance order: `axes[0]`
+    /// varies fastest in the rank numbering.
+    ///
+    /// # Panics
+    /// Panics on the [`Grid::new`] conditions or if `axes` is not a
+    /// permutation of `0..q.len()`.
+    pub fn with_axes(q: impl Into<Vec<usize>>, axes: impl Into<Vec<usize>>) -> Self {
+        let mut g = Grid::new(q);
+        let axes = axes.into();
+        let mut seen = vec![false; g.q.len()];
+        assert_eq!(axes.len(), g.q.len(), "axes arity mismatch");
+        for &ax in &axes {
+            assert!(ax < g.q.len() && !seen[ax], "axes must permute 0..order");
+            seen[ax] = true;
+        }
+        g.axes = axes;
+        g
     }
 
     /// The trivial `1 × 1 × … × 1` grid (single rank).
     pub fn trivial(order: usize) -> Self {
-        Grid(vec![1; order])
+        Grid::new(vec![1; order])
     }
 
     /// Number of modes.
     #[inline]
     pub fn order(&self) -> usize {
-        self.0.len()
+        self.q.len()
     }
 
     /// Processor count along mode `n`.
     #[inline]
     pub fn dim(&self, n: usize) -> usize {
-        self.0[n]
+        self.q[n]
     }
 
     /// All per-mode counts.
     #[inline]
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.q
+    }
+
+    /// The axis significance order (`axes[0]` varies fastest).
+    #[inline]
+    pub fn axes(&self) -> &[usize] {
+        &self.axes
+    }
+
+    /// `true` when the rank numbering is the default mode-0-fastest order.
+    pub fn has_identity_axes(&self) -> bool {
+        self.axes.iter().enumerate().all(|(i, &ax)| i == ax)
     }
 
     /// Total processors `P = ∏ q_n`.
     #[inline]
     pub fn nranks(&self) -> usize {
-        self.0.iter().product()
+        self.q.iter().product()
     }
 
     /// `true` iff `q_n ≤ k_n` for all modes (no empty blocks; paper §4.1).
     pub fn is_valid_for(&self, dims: &[usize]) -> bool {
         assert_eq!(dims.len(), self.order(), "dimension arity mismatch");
-        self.0.iter().zip(dims).all(|(&q, &k)| q <= k)
+        self.q.iter().zip(dims).all(|(&q, &k)| q <= k)
     }
 
-    /// Grid coordinate of `rank` (mode-0-fastest mixed radix).
+    /// Grid coordinate of `rank` (mixed radix in axis significance order;
+    /// mode-0-fastest for default grids).
     pub fn coord(&self, mut rank: usize) -> Vec<usize> {
         debug_assert!(rank < self.nranks());
-        let mut c = Vec::with_capacity(self.order());
-        for &q in &self.0 {
-            c.push(rank % q);
-            rank /= q;
+        let mut c = vec![0usize; self.order()];
+        for &ax in &self.axes {
+            c[ax] = rank % self.q[ax];
+            rank /= self.q[ax];
         }
         c
     }
@@ -79,10 +121,10 @@ impl Grid {
         debug_assert_eq!(coord.len(), self.order());
         let mut r = 0;
         let mut stride = 1;
-        for (c, q) in coord.iter().zip(&self.0) {
-            debug_assert!(c < q);
-            r += c * stride;
-            stride *= q;
+        for &ax in &self.axes {
+            debug_assert!(coord[ax] < self.q[ax]);
+            r += coord[ax] * stride;
+            stride *= self.q[ax];
         }
         r
     }
@@ -93,7 +135,7 @@ impl Grid {
     /// TTM reduce-scatters over.
     pub fn mode_group(&self, rank: usize, n: usize) -> Vec<usize> {
         let mut coord = self.coord(rank);
-        (0..self.0[n])
+        (0..self.q[n])
             .map(|i| {
                 coord[n] = i;
                 self.rank(&coord)
@@ -105,11 +147,20 @@ impl Grid {
 impl fmt::Debug for Grid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Grid<")?;
-        for (i, q) in self.0.iter().enumerate() {
+        for (i, q) in self.q.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
             write!(f, "{q}")?;
+        }
+        if !self.has_identity_axes() {
+            write!(f, ";axes=")?;
+            for (i, ax) in self.axes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{ax}")?;
+            }
         }
         write!(f, ">")
     }
@@ -117,11 +168,21 @@ impl fmt::Debug for Grid {
 
 impl fmt::Display for Grid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, q) in self.0.iter().enumerate() {
+        for (i, q) in self.q.iter().enumerate() {
             if i > 0 {
                 write!(f, "x")?;
             }
             write!(f, "{q}")?;
+        }
+        if !self.has_identity_axes() {
+            write!(f, "[a=")?;
+            for (i, ax) in self.axes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{ax}")?;
+            }
+            write!(f, "]")?;
         }
         Ok(())
     }
@@ -332,6 +393,44 @@ mod tests {
         // Mode-0 fastest.
         assert_eq!(g.coord(1), vec![1, 0, 0]);
         assert_eq!(g.coord(2), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn axes_reorder_rank_numbering() {
+        // Mode 2 fastest: rank 1 should be coord [0,0,1].
+        let g = Grid::with_axes([2, 3, 4], [2, 0, 1]);
+        assert!(!g.has_identity_axes());
+        assert_eq!(g.coord(1), vec![0, 0, 1]);
+        assert_eq!(g.coord(4), vec![1, 0, 0]);
+        for r in 0..24 {
+            assert_eq!(g.rank(&g.coord(r)), r);
+        }
+        // The fastest axis's mode group is a window of consecutive ranks.
+        assert_eq!(g.mode_group(0, 2), vec![0, 1, 2, 3]);
+        // Identity axes compare equal to the default construction.
+        assert_eq!(Grid::with_axes([2, 3], [0, 1]), Grid::new([2, 3]));
+        assert_ne!(Grid::with_axes([2, 3], [1, 0]), Grid::new([2, 3]));
+        assert_eq!(format!("{}", Grid::with_axes([2, 3], [1, 0])), "2x3[a=1,0]");
+    }
+
+    #[test]
+    fn mode_groups_partition_ranks_with_axes() {
+        let g = Grid::with_axes([2, 3, 2], [1, 2, 0]);
+        for n in 0..3 {
+            let mut seen = [false; 12];
+            for r in 0..12 {
+                let grp = g.mode_group(r, n);
+                assert_eq!(grp.len(), g.dim(n));
+                assert!(grp.contains(&r));
+                if grp[0] == r {
+                    for &m in &grp {
+                        assert!(!seen[m]);
+                        seen[m] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "groups must cover all ranks");
+        }
     }
 
     #[test]

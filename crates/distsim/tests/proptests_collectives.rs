@@ -350,3 +350,223 @@ fn virtual_barrier_matches_closed_form() {
         }
     }
 }
+
+// --------------------------------------- hierarchical virtual-time closed forms
+//
+// The two-level mirror of the flat suite above: the same collectives executed
+// under a `NetModel::hierarchical` universe must accumulate EXACTLY the
+// member-aware closed forms — every message priced on its endpoint pair's
+// link class, charged at both endpoints. `node_size == 1` degenerates to an
+// all-inter flat model and is included in the sampled range on purpose.
+
+/// A hierarchical model with deliberately very different link classes, so a
+/// message billed to the wrong class cannot cancel out.
+fn hier_net(node_size: usize) -> NetModel {
+    NetModel::hierarchical(
+        Duration::from_nanos(300),
+        8.0e9,
+        Duration::from_nanos(4_000),
+        1.0e9,
+        node_size,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Hierarchical allreduce dispatch: values still equal the sequential
+    /// elementwise sum, and every member's executed virtual clock equals
+    /// `allreduce_members_rank_ns` exactly — leaders and non-leaders, any
+    /// node size, rotated member lists, ranks outside the group untouched.
+    #[test]
+    fn hier_allreduce_matches_reference_and_member_closed_form(
+        p in 1usize..=10,
+        node_size in 1usize..=5,
+        extra in 0usize..=2,
+        rot in 0usize..8,
+        len in 1usize..=9,
+        seed in 0u64..1000,
+    ) {
+        let net = hier_net(node_size);
+        let total = p + extra; // extra ranks sit outside the group
+        let members = rotated_members(p, rot);
+        let expect: Vec<f64> = (0..len)
+            .map(|s| members.iter().map(|&r| val(r, s, seed)).sum::<f64>())
+            .collect();
+        let out = Universe::run_cfg(total, &vcfg(net), |ctx| {
+            let vals = if ctx.rank() < p {
+                let g = Group::new(ctx, rotated_members(p, rot));
+                let mut buf: Vec<f64> = (0..len).map(|s| val(ctx.rank(), s, seed)).collect();
+                allreduce_sum(ctx, &g, &mut buf, 7, VolumeCategory::Gram);
+                Some(buf)
+            } else {
+                None
+            };
+            (vals, ctx.vtimers.time(VolumeCategory::Gram).as_nanos() as u64)
+        });
+        for (rank, (vals, ns)) in out.results.into_iter().enumerate() {
+            match vals {
+                Some(v) => {
+                    for (got, want) in v.iter().zip(&expect) {
+                        prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));
+                    }
+                    let index = members.iter().position(|&m| m == rank).unwrap();
+                    prop_assert_eq!(
+                        ns,
+                        net.allreduce_members_rank_ns(&members, index, len),
+                        "rank {} node_size {}", rank, node_size
+                    );
+                }
+                None => prop_assert_eq!(ns, 0, "outside rank {} charged", rank),
+            }
+        }
+    }
+
+    /// World groups are node-contiguous, so the arithmetic per-rank form
+    /// `allreduce_rank_ns` applies — and the group root is the critical path.
+    #[test]
+    fn hier_world_allreduce_matches_rank_closed_form(
+        p in 1usize..=12,
+        node_size in 1usize..=5,
+        len in 1usize..=8,
+    ) {
+        let net = hier_net(node_size);
+        let got = virtual_nanos(p, net, VolumeCategory::Gram, |ctx| {
+            let g = Group::world(ctx);
+            let mut buf = vec![1.0; len];
+            allreduce_sum(ctx, &g, &mut buf, 1, VolumeCategory::Gram);
+        });
+        for (r, &ns) in got.iter().enumerate() {
+            prop_assert_eq!(ns, net.allreduce_rank_ns(p, r, len), "rank {}", r);
+        }
+        prop_assert_eq!(got.iter().copied().max().unwrap(), net.allreduce_ns(p, len));
+    }
+
+    /// The direct-exchange collectives (bcast, gather, allgather, alltoallv)
+    /// keep their algorithms under a hierarchical model; only per-message
+    /// link classes change. Each member's clock must equal the member-aware
+    /// closed form exactly.
+    #[test]
+    fn hier_collectives_match_member_closed_forms(
+        p in 1usize..=8,
+        node_size in 1usize..=4,
+        rot in 0usize..8,
+        len in 1usize..=7,
+        seed in 0u64..500,
+    ) {
+        let net = hier_net(node_size);
+        let members = rotated_members(p, rot);
+        let index_of = |rank: usize| members.iter().position(|&m| m == rank).unwrap();
+
+        let root = members[0];
+        let b = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let mut buf: Vec<f64> = if ctx.rank() == root {
+                (0..len).map(|s| val(root, s, seed)).collect()
+            } else {
+                Vec::new()
+            };
+            bcast(ctx, &g, &mut buf, 1, VolumeCategory::Other);
+        });
+        for (rank, &ns) in b.iter().enumerate() {
+            prop_assert_eq!(
+                ns,
+                net.bcast_members_rank_ns(&members, index_of(rank), len),
+                "bcast rank {}", rank
+            );
+        }
+
+        let ga = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            // Variable-length payloads: member with rank r contributes r+1.
+            let mine: Vec<f64> = (0..ctx.rank() + 1).map(|s| val(ctx.rank(), s, seed)).collect();
+            let _ = gather(ctx, &g, mine, 1, VolumeCategory::Other);
+        });
+        let nonroot_lens: Vec<usize> = (1..p).map(|j| members[j] + 1).collect();
+        for (rank, &ns) in ga.iter().enumerate() {
+            prop_assert_eq!(
+                ns,
+                net.gather_members_rank_ns(&members, index_of(rank), &nonroot_lens),
+                "gather rank {}", rank
+            );
+        }
+
+        let ag = virtual_nanos(p, net, VolumeCategory::Other, |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let _ = allgather(ctx, &g, vec![1.0; len], 1, VolumeCategory::Other);
+        });
+        for (rank, &ns) in ag.iter().enumerate() {
+            prop_assert_eq!(
+                ns,
+                net.allgather_members_rank_ns(&members, index_of(rank), len),
+                "allgather rank {}", rank
+            );
+        }
+
+        let lens: Vec<Vec<usize>> = (0..p)
+            .map(|i| (0..p).map(|j| (i * 3 + j * 5 + seed as usize) % 4).collect())
+            .collect();
+        let lens_run = lens.clone();
+        let av = virtual_nanos(p, net, VolumeCategory::Regrid, move |ctx| {
+            let g = Group::new(ctx, rotated_members(p, rot));
+            let me = g.my_index();
+            let send: Vec<Vec<f64>> = (0..p).map(|j| vec![0.5; lens_run[me][j]]).collect();
+            let _ = alltoallv(ctx, &g, send, 1, VolumeCategory::Regrid);
+        });
+        for (rank, &ns) in av.iter().enumerate() {
+            prop_assert_eq!(
+                ns,
+                net.alltoallv_members_rank_ns(&members, index_of(rank), &lens),
+                "alltoallv rank {}", rank
+            );
+        }
+    }
+}
+
+#[test]
+fn hier_virtual_reduce_scatter_matches_member_closed_form() {
+    // The distributed TTM's reduce-scatter over a mode group spanning nodes:
+    // grid <q, 1>, K = 5 over q = 5 ranks gives uneven chunks (1, 1, 1, 1, 1)
+    // only when q == k; take k = 7 for chunks (2, 2, 1, 1, 1).
+    use tucker_distsim::dist_ttm::dist_ttm;
+    use tucker_distsim::{DistTensor, Grid};
+    use tucker_linalg::Matrix;
+    use tucker_tensor::{DenseTensor, Shape};
+
+    for node_size in [1usize, 2, 3] {
+        let net = hier_net(node_size);
+        let (l, rest, k, q) = (8usize, 6usize, 7usize, 5usize);
+        let global = DenseTensor::from_fn(Shape::from([l, rest]), |c| (c[0] * 10 + c[1]) as f64);
+        let f = Matrix::from_fn(k, l, |i, j| ((i + 2 * j) % 3) as f64 - 1.0);
+        let grid = Grid::new([q, 1]);
+        let got = virtual_nanos(q, net, VolumeCategory::TtmReduceScatter, |ctx| {
+            let dt = DistTensor::scatter_from_global(ctx, &global, &grid);
+            let _ = dist_ttm(ctx, &dt, 0, &f);
+        });
+        let chunk_lens: Vec<usize> = tucker_distsim::split_extents(k, q)
+            .into_iter()
+            .map(|(_, len)| len * rest)
+            .collect();
+        let members: Vec<usize> = (0..q).collect();
+        for (i, &ns) in got.iter().enumerate() {
+            assert_eq!(
+                ns,
+                net.reduce_scatter_members_rank_ns(&members, i, &chunk_lens),
+                "node_size {node_size} rank {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hier_virtual_barrier_matches_closed_form() {
+    for node_size in [1usize, 2, 3, 5] {
+        let net = hier_net(node_size);
+        for p in [1usize, 2, 5, 8, 12] {
+            let got = virtual_nanos(p, net, VolumeCategory::Other, |ctx| ctx.barrier());
+            for &ns in &got {
+                assert_eq!(ns, net.barrier_ns(p), "node_size {node_size} p {p}");
+            }
+        }
+    }
+}

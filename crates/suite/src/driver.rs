@@ -260,6 +260,159 @@ pub fn scaling_sweep(meta: &TuckerMeta, ranks: &[usize], net: NetModel) -> Vec<S
 /// four plus `(dp, joint)`).
 pub const SCALING_STRATEGIES: usize = 5;
 
+// --------------------------------------------------------------- topology
+
+/// One rank count in the topology comparison ([`topology_sweep`]): the
+/// topology-aware DP plan against the flat-model DP plan, both executed on
+/// the same hierarchical simulator.
+#[derive(Clone, Debug)]
+pub struct TopologyRow {
+    /// Simulated rank count `P`.
+    pub nranks: usize,
+    /// The topology-aware plan's label.
+    pub topo_plan: String,
+    /// The topology-aware plan's initial grid (axes-reordered variants show
+    /// their rank→grid axis order as an `[a=…]` suffix).
+    pub topo_initial_grid: String,
+    /// The flat-model plan's label.
+    pub flat_plan: String,
+    /// The flat-model plan's initial grid.
+    pub flat_initial_grid: String,
+    /// Executed virtual communication wall of the **topology-aware** plan on
+    /// the hierarchical simulator, seconds.
+    pub topo_comm_s: f64,
+    /// Executed virtual communication wall of the **flat-model** plan on the
+    /// same hierarchical simulator, seconds.
+    pub flat_comm_s: f64,
+    /// `NetCostModel::predict_sweep` forecast for the topology-aware plan
+    /// under the hierarchical model — matches `topo_comm_s` exactly.
+    pub topo_predicted_comm_s: f64,
+    /// Forecast for the flat-model plan **under the hierarchical model** —
+    /// matches `flat_comm_s` exactly (the prediction replays whatever grids
+    /// the plan carries; it does not require the plan to have been ranked
+    /// under this model).
+    pub flat_predicted_comm_s: f64,
+    /// Control: the flat-model plan executed on the flat simulator, seconds.
+    pub control_comm_s: f64,
+    /// Forecast for the control — matches `control_comm_s` exactly.
+    pub control_predicted_comm_s: f64,
+    /// `flat_comm_s / topo_comm_s` — how much executed communication the
+    /// topology-aware plan saves (> 1 means the topology-aware plan wins).
+    pub comm_speedup: f64,
+    /// End-to-end modeled sweep wall of the topology-aware plan, seconds.
+    pub topo_wall_s: f64,
+    /// Host wall time spent replaying this rank count, seconds.
+    pub host_s: f64,
+}
+
+/// Compare topology-aware planning against flat-model planning at each rank
+/// count: plan once under the hierarchical [`NetCostModel`] (which sees link
+/// classes and may pick axes-reordered, node-aligned grids) and once under a
+/// flat model carrying the same inter-node α–β, then execute **both** plans
+/// on the hierarchical simulator (`hier`, e.g. [`NetModel::cluster`]) for
+/// one HOOI sweep and record the executed virtual communication walls.
+///
+/// Every row is self-validating:
+/// * the predicted communication wall matches the executed one **to the
+///   nanosecond** for all three runs (both plans on the hierarchical
+///   simulator, plus the flat-simulator control) — the PR 5 invariant per
+///   topology;
+/// * the topology-aware plan never loses to the flat-model plan on executed
+///   communication. (The *strict* win at paper-scale rank counts is asserted
+///   by the bench experiment and CI, not here, so small smoke sweeps where
+///   both models pick the same plan stay valid.)
+///
+/// # Panics
+/// Panics if a prediction misses its executed clock or the topology-aware
+/// plan loses.
+pub fn topology_sweep(meta: &TuckerMeta, ranks: &[usize], hier: NetModel) -> Vec<TopologyRow> {
+    assert!(
+        hier.is_hierarchical(),
+        "topology sweep needs a hierarchical model"
+    );
+    let flat = hier.flattened();
+    let fill = |c: &[usize]| crate::fields::hash_noise(c, 0x5CA1E);
+    let hier_cfg = EngineConfig {
+        gather_core: false,
+        ..EngineConfig::virtual_time(hier)
+    };
+    let flat_cfg = EngineConfig {
+        gather_core: false,
+        ..EngineConfig::virtual_time(flat)
+    };
+    let mut rows = Vec::new();
+    for &p in ranks {
+        let planner = Planner::new(meta.clone(), p);
+        let hier_model = NetCostModel::new(hier, p);
+        let flat_model = NetCostModel::new(flat, p);
+        // The topology-aware side builds the full portfolio (hierarchical
+        // DP candidates, the topology-blind winner, node-aligned
+        // relabelings) and lets the exact predict_sweep replay pick; the
+        // flat side is the plain DP winner (the baseline a topology-blind
+        // planner would ship).
+        let topo_plan = planner.best_plan_net(&hier_model, &SearchBudget::default());
+        let flat_plan = planner.best_plan_with(&flat_model, &SearchBudget::winner_only());
+
+        let host0 = std::time::Instant::now();
+        let topo_out = run_distributed_hooi_cfg(fill, &topo_plan, 1, &hier_cfg);
+        let flat_out = run_distributed_hooi_cfg(fill, &flat_plan, 1, &hier_cfg);
+        let ctrl_out = run_distributed_hooi_cfg(fill, &flat_plan, 1, &flat_cfg);
+        let host_s = host0.elapsed().as_secs_f64();
+
+        // The PR 5 invariant, per topology: predict_sweep replays the exact
+        // per-rank α–β charges, so prediction == execution to the nanosecond.
+        let exact = |pred: std::time::Duration, exec: std::time::Duration, what: &str| {
+            assert_eq!(
+                pred.as_nanos(),
+                exec.as_nanos(),
+                "P={p}: predicted {what} {pred:?} != executed {exec:?}"
+            );
+        };
+        let topo_pred = topo_plan.predict_net(&hier_model);
+        let flat_pred = flat_plan.predict_net(&hier_model);
+        let ctrl_pred = flat_plan.predict_net(&flat_model);
+        exact(
+            topo_pred.comm_wall,
+            topo_out.per_sweep[0].comm_wall,
+            "topo-plan hierarchical comm wall",
+        );
+        exact(
+            flat_pred.comm_wall,
+            flat_out.per_sweep[0].comm_wall,
+            "flat-plan hierarchical comm wall",
+        );
+        exact(
+            ctrl_pred.comm_wall,
+            ctrl_out.per_sweep[0].comm_wall,
+            "flat-plan flat comm wall",
+        );
+
+        let topo_comm_s = topo_out.per_sweep[0].comm_wall.as_secs_f64();
+        let flat_comm_s = flat_out.per_sweep[0].comm_wall.as_secs_f64();
+        assert!(
+            topo_comm_s <= flat_comm_s * (1.0 + 1e-12),
+            "P={p}: topology-aware plan executed {topo_comm_s}s, flat-model plan {flat_comm_s}s"
+        );
+        rows.push(TopologyRow {
+            nranks: p,
+            topo_plan: topo_plan.name(),
+            topo_initial_grid: topo_plan.grids.initial.to_string(),
+            flat_plan: flat_plan.name(),
+            flat_initial_grid: flat_plan.grids.initial.to_string(),
+            topo_comm_s,
+            flat_comm_s,
+            topo_predicted_comm_s: topo_pred.comm_wall.as_secs_f64(),
+            flat_predicted_comm_s: flat_pred.comm_wall.as_secs_f64(),
+            control_comm_s: ctrl_out.per_sweep[0].comm_wall.as_secs_f64(),
+            control_predicted_comm_s: ctrl_pred.comm_wall.as_secs_f64(),
+            comm_speedup: flat_comm_s / topo_comm_s.max(f64::MIN_POSITIVE),
+            topo_wall_s: topo_out.per_sweep[0].wall.as_secs_f64(),
+            host_s,
+        });
+    }
+    rows
+}
+
 // --------------------------------------------------------------- recovery
 
 /// One recovery-vs-fail-stop comparison at one rank count
@@ -744,6 +897,23 @@ mod tests {
             .map(|r| r.ttm_elements)
             .sum();
         assert!(v16 > v4, "more ranks must move more TTM volume");
+    }
+
+    #[test]
+    fn topology_sweep_rows_are_model_consistent() {
+        // Small rank counts keep the test fast; the in-sweep assertions do
+        // the nanosecond predict-vs-execute certification under both
+        // topologies and the never-loses comparison.
+        let rows = topology_sweep(&scaling_meta(), &[4, 16], NetModel::cluster());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.topo_comm_s > 0.0 && r.flat_comm_s > 0.0);
+            assert_eq!(r.topo_predicted_comm_s, r.topo_comm_s);
+            assert_eq!(r.flat_predicted_comm_s, r.flat_comm_s);
+            assert_eq!(r.control_predicted_comm_s, r.control_comm_s);
+            assert!(r.comm_speedup >= 1.0 - 1e-12, "P={}", r.nranks);
+            assert!(r.topo_wall_s >= r.topo_comm_s);
+        }
     }
 
     #[test]

@@ -46,9 +46,11 @@ use tucker_linalg::{gemm, Matrix, Transpose};
 /// Minimum per-slab work before the slab loop goes parallel.
 const PAR_MIN_WORK: usize = 1 << 14;
 
-/// Smallest `inner` extent for which the packed per-slab GEMM path is used:
-/// below this the slab matrices are too skinny for `MR`-row tiles and the
-/// interleaved-fiber loop wins.
+/// Smallest `inner` extent for which the packed path runs one GEMM **per
+/// slab**: below this a single slab is too skinny for `MR`-row register
+/// tiles, so the packed path instead gathers groups of consecutive slabs
+/// into one `(g·inner) × L_n` staging matrix (see
+/// [`ttm_packed_small_inner_run`]) and full tiles are restored.
 const PACK_MIN_INNER: usize = 16;
 
 /// `Z = T ×_n A` with `A` of shape `K × L_n`.
@@ -155,11 +157,10 @@ fn ttm_into_impl(
     let out_slab = inner * k;
 
     // One-shot runtime pick for the whole call: the packed micro-kernel path
-    // once total work amortizes packing and the slabs are wide enough for
-    // register tiles (mode 0 is always eligible — it is a single GEMM).
-    if (inner == 1 || inner >= PACK_MIN_INNER)
-        && pack::use_packed(inner.saturating_mul(outer), k, ln)
-    {
+    // once total work amortizes packing. Every `inner` extent is eligible —
+    // mode 0 collapses to a single GEMM, wide slabs run one GEMM each, and
+    // small-inner shapes go through the slab-grouped staging path.
+    if pack::use_packed(inner.saturating_mul(outer), k, ln) {
         ttm_packed(src, a_buf, inner, ln, k, outer, out, threads, packs);
         return out_shape;
     }
@@ -193,8 +194,9 @@ fn ttm_into_impl(
                 }
             }
         } else {
-            // Small inner (1 < inner < 16): iterate the `inner` interleaved
-            // fibers and do axpys over K using A's contiguous columns.
+            // Small inner (1 < inner < 16), below the packing threshold or
+            // forced naive: iterate the `inner` interleaved fibers and do
+            // axpys over K using A's contiguous columns.
             for i in 0..inner {
                 for l in 0..ln {
                     let x = s[i + l * inner];
@@ -304,6 +306,62 @@ fn ttm_packed(
     let in_slab = inner * ln;
     let out_slab = inner * k;
     let workers = threads.max(1).min(outer.max(1));
+
+    if inner < PACK_MIN_INNER {
+        // Small inner: single slabs cannot fill MR-row register tiles, so
+        // consecutive slabs are staged together (see the run function).
+        let bpack: &[f64] = packs.b.slice(bp_len);
+        let rows_max = small_inner_rows(inner, outer);
+        if workers > 1 {
+            let per = outer.div_ceil(workers);
+            out.par_chunks_mut(out_slab * per)
+                .enumerate()
+                .for_each(|(w, run)| {
+                    let mut apack = PackBuf::new();
+                    let (mut sin, mut sout) = (Vec::new(), Vec::new());
+                    ttm_packed_small_inner_run(
+                        &src[w * per * in_slab..],
+                        bpack,
+                        inner,
+                        ln,
+                        k,
+                        run.len() / out_slab,
+                        run,
+                        &mut apack,
+                        &mut sin,
+                        &mut sout,
+                    );
+                });
+        } else {
+            with_small_inner_stage(|sin, sout| {
+                // Grow the staging buffers up-front on the calling thread so
+                // their growth is counted and the run itself stays in
+                // capacity.
+                if sin.capacity() < rows_max * ln || sout.capacity() < rows_max * k {
+                    note_buffer_alloc();
+                }
+                sin.reserve(rows_max * ln);
+                sout.reserve(rows_max * k);
+                let grew = ttm_packed_small_inner_run(
+                    src,
+                    bpack,
+                    inner,
+                    ln,
+                    k,
+                    outer,
+                    out,
+                    &mut packs.a,
+                    sin,
+                    sout,
+                );
+                if grew {
+                    note_buffer_alloc();
+                }
+            });
+        }
+        return;
+    }
+
     if workers > 1 {
         let bpack: &[f64] = packs.b.slice(bp_len);
         let per = outer.div_ceil(workers);
@@ -351,6 +409,92 @@ fn ttm_packed(
             note_buffer_alloc();
         }
     }
+}
+
+/// Rows of the small-inner staging matrix: enough consecutive slabs to
+/// approach the `MC` L2 block (never fewer than two slabs, never more than
+/// the whole slab range).
+fn small_inner_rows(inner: usize, outer: usize) -> usize {
+    (pack::MC / inner).max(2).min(outer) * inner
+}
+
+thread_local! {
+    /// Reusable gather/scatter staging for the small-inner packed path
+    /// (take-and-put-back like `with_thread_packs`, so re-entrant use sees
+    /// fresh buffers instead of panicking).
+    static SMALL_INNER_STAGE: std::cell::Cell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::Cell::new((Vec::new(), Vec::new())) };
+}
+
+fn with_small_inner_stage<R>(f: impl FnOnce(&mut Vec<f64>, &mut Vec<f64>) -> R) -> R {
+    SMALL_INNER_STAGE.with(|cell| {
+        let (mut sin, mut sout) = cell.take();
+        let r = f(&mut sin, &mut sout);
+        cell.set((sin, sout));
+        r
+    })
+}
+
+/// The small-inner packed body (`1 < inner < PACK_MIN_INNER`): slabs are too
+/// short for `MR`-row register tiles on their own, so groups of up to
+/// `MC/inner` consecutive slabs are gathered into one `(g·inner) × ln`
+/// column-major staging matrix (row `o·inner + i` is fiber `i` of slab `o` —
+/// every copy is a contiguous `inner`-length run), multiplied against the
+/// shared `Aᵀ` pack with full tiles, and scattered back into the interleaved
+/// output layout. Gather + scatter move `O((ln + k)·g·inner)` values per
+/// group against `O(ln·k·g·inner)` multiply work, so the copies amortize for
+/// any nontrivial `ln`, `k`. Per-element accumulation order depends only on
+/// the `KC` blocking of `ln`, so grouping and worker count never change the
+/// bits.
+///
+/// `src`/`out_run` start at the first slab of this run; `slabs` is the run
+/// length. Returns whether `apack` grew (staging growth is accounted by the
+/// caller).
+#[allow(clippy::too_many_arguments)]
+fn ttm_packed_small_inner_run(
+    src: &[f64],
+    bpack: &[f64],
+    inner: usize,
+    ln: usize,
+    k: usize,
+    slabs: usize,
+    out_run: &mut [f64],
+    apack: &mut PackBuf,
+    stage_in: &mut Vec<f64>,
+    stage_out: &mut Vec<f64>,
+) -> bool {
+    let in_slab = inner * ln;
+    let out_slab = inner * k;
+    let g_max = (pack::MC / inner).max(2);
+    let mut grew = false;
+    let mut o = 0;
+    while o < slabs {
+        let g = g_max.min(slabs - o);
+        let rows = g * inner;
+        stage_in.clear();
+        stage_in.resize(rows * ln, 0.0);
+        for ol in 0..g {
+            let s = &src[(o + ol) * in_slab..][..in_slab];
+            for l in 0..ln {
+                stage_in[ol * inner + l * rows..][..inner]
+                    .copy_from_slice(&s[l * inner..][..inner]);
+            }
+        }
+        stage_out.clear();
+        stage_out.resize(rows * k, 0.0);
+        grew |= pack::gemm_prepacked_b(
+            rows, k, ln, stage_in, 1, rows, bpack, 1.0, stage_out, rows, apack,
+        );
+        for ol in 0..g {
+            let dst = &mut out_run[(o + ol) * out_slab..][..out_slab];
+            for kk in 0..k {
+                dst[kk * inner..][..inner]
+                    .copy_from_slice(&stage_out[ol * inner + kk * rows..][..inner]);
+            }
+        }
+        o += g;
+    }
+    grew
 }
 
 /// Grow-only buffer pool for TTM pipelines.
@@ -697,6 +841,49 @@ mod tests {
         let z1 = ttm(&t, 0, &a);
         let z2 = ttm_explicit_unfold(&t, 0, &a);
         assert!(z1.max_abs_diff(&z2) < 1e-11);
+    }
+
+    #[test]
+    fn small_inner_packed_path_matches_naive() {
+        // 1 < inner < PACK_MIN_INNER with enough work to clear the packing
+        // threshold: the slab-grouped gather/GEMM/scatter path must stay
+        // exact across group-boundary shapes (inner dividing MC or not,
+        // outer a multiple of the group width or not).
+        for (dims, n, k) in [
+            (vec![4, 40, 50], 1, 12),
+            (vec![2, 60, 41], 1, 8),
+            (vec![15, 33, 21], 1, 9),
+            (vec![3, 5, 30, 24], 2, 10),
+            (vec![8, 24, 96], 1, 16),
+        ] {
+            let t = rand_tensor(&dims, 31);
+            let inner: usize = dims[..n].iter().product();
+            assert!(
+                inner > 1 && inner < 16,
+                "shape must hit the small-inner gap"
+            );
+            let a = rand_mat(k, t.shape().dim(n), 310 + n as u64);
+            let z = ttm(&t, n, &a);
+            let r = ttm_explicit_unfold(&t, n, &a);
+            assert!(z.max_abs_diff(&r) < 1e-12, "dims {dims:?} mode {n} k {k}");
+        }
+    }
+
+    #[test]
+    fn small_inner_thread_counts_are_bit_identical() {
+        // Worker splits restart slab grouping at each run boundary; the
+        // per-element accumulation order must not notice.
+        let t = rand_tensor(&[6, 48, 40], 32);
+        let a = rand_mat(16, 48, 320);
+        let mut buf = Vec::new();
+        let s = ttm_into_threads(&t, 1, &a, &mut buf, 1);
+        let reference = DenseTensor::from_vec(s, buf);
+        for w in [2usize, 3, 8, 64] {
+            let mut buf = Vec::new();
+            let s = ttm_into_threads(&t, 1, &a, &mut buf, w);
+            let z = DenseTensor::from_vec(s, buf);
+            assert_eq!(z.max_abs_diff(&reference), 0.0, "{w} workers");
+        }
     }
 
     #[test]

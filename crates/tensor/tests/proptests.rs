@@ -19,6 +19,15 @@ fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..=6, 1..=4)
 }
 
+/// Strategy: shapes whose middle mode has a contiguous inner extent in the
+/// `1 < inner < 16` gap, sized so the TTM clears the packing threshold and
+/// exercises the slab-grouped small-inner packed path (group boundaries
+/// included: outer need not divide the group width).
+fn small_inner_shape_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (2usize..=15, 24usize..=48, 40usize..=96, 8usize..=16)
+        .prop_map(|(inner, ln, outer, k)| (vec![inner, ln, outer], k))
+}
+
 fn tensor_from_seed(dims: &[usize], seed: u64) -> DenseTensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = rand::distributions::Uniform::new(-1.0, 1.0);
@@ -61,6 +70,26 @@ proptest! {
         let a = mat_from_seed(k, t.shape().dim(n), seed + 7);
         let z = ttm(&t, n, &a);
         prop_assert_eq!(z.cardinality(), k * t.cardinality() / t.shape().dim(n));
+    }
+
+    /// The slab-grouped small-inner packed TTM (1 < inner < 16, above the
+    /// packing threshold) agrees with the explicit-unfold reference and is
+    /// bit-identical across worker counts.
+    #[test]
+    fn small_inner_packed_ttm_matches_unfold((dims, k) in small_inner_shape_strategy(), seed in 0u64..1000) {
+        let t = tensor_from_seed(&dims, seed);
+        let a = mat_from_seed(k, dims[1], seed + 11);
+        let z = ttm(&t, 1, &a);
+        let reference = {
+            let u = unfold(&t, 1);
+            let z = tucker_linalg::gemm(&a, tucker_linalg::Transpose::No, &u, tucker_linalg::Transpose::No, 1.0);
+            fold(&z, 1, &t.shape().with_dim(1, k))
+        };
+        prop_assert!(z.max_abs_diff(&reference) < 1e-12);
+        let mut buf = Vec::new();
+        let s = tucker_tensor::ttm_into_threads(&t, 1, &a, &mut buf, 4);
+        let par = DenseTensor::from_vec(s, buf);
+        prop_assert_eq!(par.max_abs_diff(&z), 0.0);
     }
 
     /// TTM-chain commutativity on two random distinct modes.
