@@ -11,6 +11,8 @@
 //! cargo run --release -p tucker-bench --bin experiments -- topology [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- recovery [--max-p N]
 //! cargo run --release -p tucker-bench --bin experiments -- serve [--clients N]
+//! cargo run --release -p tucker-bench --bin experiments -- views
+//! cargo run --release -p tucker-bench --bin experiments -- repro [--check]
 //! ```
 //!
 //! `kernels` times the fused-Gram / workspace-TTM kernels against their
@@ -51,6 +53,20 @@
 //! sweeps against fail-stop (abort + from-scratch restart on the
 //! survivors), asserting the 1e-10 recovered-vs-restart differential.
 //! Persists `results/BENCH_recovery.json`.
+//!
+//! `views` exercises the zero-copy `TensorView` layer (DESIGN.md §11):
+//! view-native Gram/TTM against extract-then-compute on boundary and
+//! interior regions (asserted bit-identical), the one-copy regrid pack
+//! byte ledger against the seed's two-copy staging, out-of-core tiled
+//! sweeps on a tensor several times the workspace cap, and the
+//! sliding-window incremental mode. Persists `results/BENCH_views.json`.
+//!
+//! `repro` regenerates every artifact currently present under `results/`;
+//! with `--check` it first snapshots the committed files, diffs each
+//! regenerated artifact against its snapshot under per-schema tolerances
+//! (virtual-time and count fields tight, host-clock timings ignored,
+//! measured percentile curves structure-only), restores the snapshot, and
+//! prints one summary table — exiting non-zero on any drift.
 //!
 //! Analytic experiments (Table 1, Figures 11c/d/f, summary) run on the
 //! full-size benchmark — load and volume are machine-independent (§6.2).
@@ -113,6 +129,8 @@ fn main() {
         "scaling" => scaling(max_p),
         "topology" => topology(max_p),
         "recovery" => recovery(max_p),
+        "views" => views(),
+        "repro" => repro(args.iter().any(|a| a == "--check"), sample, max_p, clients),
         "table1" => table1(),
         "table2" => table2(),
         "fig10a" => fig10_overall(5, sample),
@@ -133,6 +151,7 @@ fn main() {
             scaling(max_p);
             topology(max_p);
             recovery(max_p);
+            views();
             table1();
             table2();
             fig11cd_load(5);
@@ -149,8 +168,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all kernels backends serve \
-                 planner scaling topology recovery table1 table2 fig10a fig10b fig10c fig11a \
-                 fig11b fig11c fig11d fig11e fig11f summary"
+                 planner scaling topology recovery views repro table1 table2 fig10a fig10b \
+                 fig10c fig11a fig11b fig11c fig11d fig11e fig11f summary"
             );
             std::process::exit(2);
         }
@@ -1415,4 +1434,396 @@ fn curve_rows(curves: &[(&str, PercentileCurve)]) -> Vec<String> {
             row
         })
         .collect()
+}
+
+// ------------------------------------------------------------------ Views
+
+/// View-layer benchmark (DESIGN.md §11). Every kernel pair is asserted
+/// bit-identical; the regrid byte ledger must show exactly one copy per
+/// block (the seed's staging pass eliminated, saving precisely the
+/// self-overlap bytes); the out-of-core arm must match in-core within
+/// 1e-10 on a tensor 4x its workspace cap; the pack-speedup gate scales
+/// with the host like the `backends` gate.
+fn views() {
+    use tucker_suite::driver::{
+        pack_timing_bench, regrid_bytes_bench, view_kernel_bench, views_incremental_bench,
+        views_outofcore_bench,
+    };
+
+    let host_cores = tucker_tensor::host_threads();
+    let skipped_single_core = host_cores < 2;
+    println!(
+        "== Views: view-native kernels vs extract-then-compute, 64^3 input \
+         ({host_cores} host cores) =="
+    );
+    let kernel_rows = view_kernel_bench();
+    for r in &kernel_rows {
+        println!(
+            "   {:>8} {:>4} mode {}: view {:>8.1}us  extract {:>8.1}us  ({:.2}x)",
+            r.region,
+            r.kind,
+            r.mode,
+            r.view_s * 1e6,
+            r.extract_s * 1e6,
+            r.speedup()
+        );
+        assert!(
+            r.bitwise_equal,
+            "view-native {} over the {} region (mode {}) must be bit-identical \
+             to extract-then-compute",
+            r.kind, r.region, r.mode
+        );
+    }
+
+    let regrid = regrid_bytes_bench();
+    println!("   regrid 2x2x1 -> 1x2x2 of 24x18x8 on P=4:");
+    println!(
+        "      copied bytes {} -> {} (self-overlap {}), wire bytes {}",
+        regrid.copy_bytes_wire,
+        regrid.copy_bytes_view,
+        regrid.self_overlap_bytes,
+        regrid.wire_bytes
+    );
+    assert_eq!(
+        regrid.max_abs_diff, 0.0,
+        "view regrid must reproduce the wire regrid exactly"
+    );
+    assert!(
+        regrid.copy_bytes_view < regrid.copy_bytes_wire,
+        "view regrid must move strictly fewer bytes than the staged wire path \
+         ({} vs {})",
+        regrid.copy_bytes_view,
+        regrid.copy_bytes_wire
+    );
+    assert_eq!(
+        regrid.copy_bytes_wire - regrid.copy_bytes_view,
+        regrid.self_overlap_bytes,
+        "the saving must be exactly the self-overlap staging pass"
+    );
+
+    let pack = pack_timing_bench();
+    assert!(pack.equal, "both pack arms must fill identical wire bytes");
+    println!(
+        "   interior pack of {} KiB: extract+copy {:.1}us vs one view copy {:.1}us ({:.2}x)",
+        pack.bytes / 1024,
+        pack.extract_pack_s * 1e6,
+        pack.view_pack_s * 1e6,
+        pack.speedup()
+    );
+    // Like the `backends` gate: a wide host must show the win, a narrow
+    // one reports it, a single-core host skips the timing gate outright
+    // (byte/bit asserts above always hold).
+    if host_cores >= 4 {
+        assert!(
+            pack.speedup() >= 1.2,
+            "one-pass view pack must be >=1.2x over extract-then-pack on \
+             {host_cores} host cores (got {:.2}x)",
+            pack.speedup()
+        );
+    } else if host_cores >= 2 {
+        println!(
+            "   ({host_cores} host cores: pack speedup {:.2}x, informational)",
+            pack.speedup()
+        );
+    } else {
+        println!("   (single host core: pack speedup gate skipped)");
+    }
+
+    let ooc = views_outofcore_bench();
+    let ooc_delta = (ooc.err_incore - ooc.err_outofcore).abs();
+    println!(
+        "   out-of-core {:?} -> {:?} (tile {}, cap {} KiB of {} KiB): \
+         err {:.6} vs in-core {:.6} (|delta| {:.1e}), {:.1}ms vs {:.1}ms, pool {} KiB",
+        ooc.dims,
+        ooc.ranks,
+        ooc.tile_len,
+        ooc.limit_bytes / 1024,
+        ooc.tensor_bytes / 1024,
+        ooc.err_outofcore,
+        ooc.err_incore,
+        ooc_delta,
+        ooc.outofcore_s * 1e3,
+        ooc.incore_s * 1e3,
+        ooc.pooled_bytes / 1024
+    );
+    assert!(
+        ooc.tensor_bytes >= 2 * ooc.limit_bytes,
+        "the out-of-core tensor must exceed the workspace cap at least 2x"
+    );
+    assert!(
+        ooc_delta <= 1e-10,
+        "tiled sweeps must match in-core within 1e-10 (got {ooc_delta:.2e})"
+    );
+    assert!(
+        ooc.pooled_bytes <= ooc.limit_bytes,
+        "the tile pool must respect the byte cap ({} > {})",
+        ooc.pooled_bytes,
+        ooc.limit_bytes
+    );
+
+    let inc = views_incremental_bench();
+    println!(
+        "   incremental {:?} window, {} pushes of {} frame(s): {:.3}s/{} sweeps \
+         vs cold {:.3}s/{} sweeps ({:.2}x), max |err delta| {:.1e}",
+        inc.window,
+        inc.pushes,
+        inc.slab_len,
+        inc.inc_total_s,
+        inc.inc_sweeps,
+        inc.full_total_s,
+        inc.full_sweeps,
+        inc.full_total_s / inc.inc_total_s.max(f64::MIN_POSITIVE),
+        inc.max_err_delta
+    );
+    assert!(
+        inc.max_err_delta <= 1e-8,
+        "incremental Tucker must track cold recompute within 1e-8 \
+         (got {:.2e})",
+        inc.max_err_delta
+    );
+
+    let kernel_json: Vec<String> = kernel_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"region\": \"{}\", \"kind\": \"{}\", \"mode\": {}, \
+                 \"view_s\": {:.9}, \"extract_s\": {:.9}, \"speedup\": {:.4}, \
+                 \"bitwise_equal\": {}}}",
+                r.region,
+                r.kind,
+                r.mode,
+                r.view_s,
+                r.extract_s,
+                r.speedup(),
+                r.bitwise_equal
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"tucker-bench/views/v1\",\n  \"host_cores\": {host_cores},\n  \
+         \"skipped_single_core\": {skipped_single_core},\n  \"kernels\": [\n{}\n  ],\n  \
+         \"regrid\": {{\"copy_bytes_wire\": {}, \"copy_bytes_view\": {}, \
+         \"self_overlap_bytes\": {}, \"wire_bytes\": {}, \"max_abs_diff\": {:.1}, \
+         \"one_copy_per_block\": true}},\n  \
+         \"pack\": {{\"bytes\": {}, \"extract_pack_s\": {:.9}, \"view_pack_s\": {:.9}, \
+         \"speedup\": {:.4}, \"equal\": {}}},\n  \
+         \"outofcore\": {{\"dims\": {:?}, \"ranks\": {:?}, \"tensor_bytes\": {}, \
+         \"limit_bytes\": {}, \"pooled_bytes\": {}, \"tile_len\": {}, \"sweeps\": {}, \
+         \"err_incore\": {:.12}, \"err_outofcore\": {:.12}, \"err_delta\": {:.3e}, \
+         \"incore_s\": {:.9}, \"outofcore_s\": {:.9}}},\n  \
+         \"incremental\": {{\"pushes\": {}, \"window\": {:?}, \"slab_len\": {}, \
+         \"inc_total_s\": {:.9}, \"full_total_s\": {:.9}, \"inc_sweeps\": {}, \
+         \"full_sweeps\": {}, \"max_err_delta\": {:.3e}}}\n}}\n",
+        kernel_json.join(",\n"),
+        regrid.copy_bytes_wire,
+        regrid.copy_bytes_view,
+        regrid.self_overlap_bytes,
+        regrid.wire_bytes,
+        regrid.max_abs_diff,
+        pack.bytes,
+        pack.extract_pack_s,
+        pack.view_pack_s,
+        pack.speedup(),
+        pack.equal,
+        ooc.dims,
+        ooc.ranks,
+        ooc.tensor_bytes,
+        ooc.limit_bytes,
+        ooc.pooled_bytes,
+        ooc.tile_len,
+        ooc.sweeps,
+        ooc.err_incore,
+        ooc.err_outofcore,
+        ooc_delta,
+        ooc.incore_s,
+        ooc.outofcore_s,
+        inc.pushes,
+        inc.window,
+        inc.slab_len,
+        inc.inc_total_s,
+        inc.full_total_s,
+        inc.inc_sweeps,
+        inc.full_sweeps,
+        inc.max_err_delta
+    );
+    let p = write_results("BENCH_views.json", &json);
+    println!("-> {}\n", p.display());
+}
+
+// ------------------------------------------------------------------ Repro
+
+/// Rerun the generator of one committed artifact. Returns `false` for
+/// files no experiment produces (left untouched by `repro`).
+fn regenerate_artifact(name: &str, sample: usize, max_p: usize, clients: usize) -> bool {
+    match name {
+        "BENCH_kernels.json" => kernels(),
+        "BENCH_backends.json" => backends(),
+        "BENCH_serving.json" => serve(clients),
+        "BENCH_planner.json" => planner(max_p),
+        "BENCH_scaling.json" => scaling(max_p),
+        "BENCH_topology.json" => topology(max_p),
+        "BENCH_recovery.json" => recovery(max_p),
+        "BENCH_views.json" => views(),
+        "table1_grid_counts.csv" => table1(),
+        "table2_real_tensors.csv" => table2(),
+        "fig10a_overall_5d.csv" => fig10_overall(5, sample),
+        "fig10b_overall_6d.csv" => fig10_overall(6, sample),
+        "fig10c_real_breakdown.csv" => fig10c_real(),
+        "fig11a_compute_time_5d.csv" => fig11ab_compute_time(5, sample),
+        "fig11b_compute_time_6d.csv" => fig11ab_compute_time(6, sample),
+        "fig11c_load_5d.csv" => fig11cd_load(5),
+        "fig11d_load_6d.csv" => fig11cd_load(6),
+        "fig11e_comm_time.csv" => fig11e_comm_time(sample),
+        "fig11f_volume.csv" => fig11f_volume(),
+        _ => return false,
+    }
+    true
+}
+
+/// Per-schema diff policy for `repro --check`: relative tolerance plus
+/// flattened-path substrings to ignore. Virtual-time artifacts (planner,
+/// scaling, topology, recovery — engine clocks, ledgers, DP costs, errors)
+/// are deterministic and compare tight except the wall-clock `host_s`
+/// column; host-measured artifacts compare their deterministic fields
+/// (counts, bytes, errors) and ignore host timings; percentile curves of
+/// measured wall times are structure-only (`f64::INFINITY`).
+fn repro_policy(name: &str) -> (f64, &'static [&'static str]) {
+    const HOST_TIMED: &[&str] = &["_s", "speedup", "host_cores", "skipped_single_core"];
+    const SERVING_TIMED: &[&str] = &[
+        "latency",
+        "throughput",
+        "elapsed",
+        "hit",
+        "miss",
+        "batch",
+        "coalesced",
+        "executed_sweeps",
+        "rejected",
+        "queue_depth",
+        "workspace_bytes",
+    ];
+    match name {
+        "table1_grid_counts.csv" => (0.0, &[]),
+        "table2_real_tensors.csv" => (1e-6, &[]),
+        "fig11c_load_5d.csv" | "fig11d_load_6d.csv" | "fig11f_volume.csv" => (1e-9, &[]),
+        // Planner / recovery / scaling / topology mix deterministic model
+        // outputs (bytes, counts, virtual-time costs) with measured host
+        // wall-clock seconds; only the former are reproducible, so every
+        // `*_s` field is excluded and the tight tolerance covers the rest.
+        "BENCH_planner.json"
+        | "BENCH_recovery.json"
+        | "BENCH_scaling.json"
+        | "BENCH_topology.json" => (1e-6, &["_s"]),
+        "BENCH_kernels.json" | "BENCH_backends.json" | "BENCH_views.json" => (1e-9, HOST_TIMED),
+        "BENCH_serving.json" => (1e-9, SERVING_TIMED),
+        _ => (f64::INFINITY, &[]),
+    }
+}
+
+/// Regenerate every artifact currently committed under `results/`; with
+/// `check`, diff each fresh file against the committed snapshot under
+/// [`repro_policy`], restore the snapshot, print one summary table, and
+/// exit non-zero on drift.
+fn repro(check: bool, sample: usize, max_p: usize, clients: usize) {
+    use tucker_bench::repro::{diff_csv, diff_json};
+
+    let dir = std::path::Path::new("results");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "results/ is empty; run `experiments -- all` and `experiments -- views` \
+             once to seed the committed artifacts"
+        );
+        std::process::exit(2);
+    }
+    let snapshot: Vec<(String, String)> = names
+        .iter()
+        .map(|n| {
+            let body = std::fs::read_to_string(dir.join(n)).expect("read committed artifact");
+            (n.clone(), body)
+        })
+        .collect();
+
+    println!(
+        "== Repro: regenerating {} committed artifacts{} ==\n",
+        names.len(),
+        if check { " (check mode)" } else { "" }
+    );
+    let mut orphans: Vec<&str> = Vec::new();
+    for n in &names {
+        if !regenerate_artifact(n, sample, max_p, clients) {
+            orphans.push(n);
+        }
+    }
+    for n in &orphans {
+        println!("   (no generator for {n}; left untouched)");
+    }
+    if !check {
+        return;
+    }
+
+    let mut failures = 0usize;
+    let mut table: Vec<String> = Vec::new();
+    for (name, committed) in &snapshot {
+        let fresh = std::fs::read_to_string(dir.join(name)).expect("read regenerated artifact");
+        let (tol, ignore) = repro_policy(name);
+        let d = if name.ends_with(".json") {
+            diff_json(committed, &fresh, tol, ignore)
+        } else {
+            diff_csv(committed, &fresh, tol)
+        };
+        let status = if let Some(s) = &d.structural {
+            failures += 1;
+            format!("STRUCTURAL: {s}")
+        } else if !d.mismatches.is_empty() {
+            failures += 1;
+            for m in d.mismatches.iter().take(5) {
+                println!("   {name}: {m}");
+            }
+            format!("DRIFTED ({} fields)", d.mismatches.len())
+        } else if tol.is_infinite() {
+            "ok (structure)".to_string()
+        } else {
+            "ok".to_string()
+        };
+        table.push(format!(
+            "{:<28} {:>8} {:>7}  {:>9}  {}",
+            name,
+            d.compared,
+            d.ignored,
+            if d.worst_key.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1e}", d.worst_rel)
+            },
+            status
+        ));
+    }
+    // Every regenerated byte is scratch: put the committed snapshot back so
+    // `repro --check` never dirties the tree it certifies.
+    for (name, committed) in &snapshot {
+        std::fs::write(dir.join(name), committed).expect("restore committed artifact");
+    }
+
+    println!(
+        "\n{:<28} {:>8} {:>7}  {:>9}  status",
+        "artifact", "compared", "ignored", "worst rel"
+    );
+    for line in &table {
+        println!("{line}");
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} artifact(s) failed to reproduce under tolerance");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} artifacts reproduced under tolerance",
+        snapshot.len()
+    );
 }

@@ -3,6 +3,8 @@
 
 use tucker_core::TuckerMeta;
 
+pub mod repro;
+
 /// Scale metadata down by the smallest integer factor that brings the input
 /// cardinality under `max_card`, preserving mode proportions. Returns `None`
 /// if the scaled core becomes too small to host `nranks` (no valid grid) —

@@ -1,0 +1,375 @@
+//! Artifact diffing for `experiments -- repro --check`: a dependency-free
+//! JSON flattener and tolerance-aware comparators for the committed
+//! `results/` files.
+//!
+//! Every `BENCH_*.json` is flattened to `(path, atom)` pairs
+//! (`rows[3].wall_s` → `Num(0.0016)`); a diff then walks the union of the
+//! two key sets. Numeric leaves compare under a per-file relative
+//! tolerance, string/bool leaves must match exactly, and keys whose
+//! flattened path contains a policy substring (host-clock timings,
+//! machine-width fields) are skipped and counted as ignored. CSVs compare
+//! cell-wise with the same numeric rule. A tolerance of `f64::INFINITY`
+//! checks structure only — the right policy for percentile curves of
+//! measured wall times, which are shaped by the host scheduler.
+
+use std::collections::BTreeMap;
+
+/// A JSON leaf value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Outcome of diffing one artifact against its committed snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct FileDiff {
+    /// Leaves compared under the tolerance.
+    pub compared: usize,
+    /// Leaves skipped by the ignore policy.
+    pub ignored: usize,
+    /// Worst relative deviation among compared numeric leaves.
+    pub worst_rel: f64,
+    /// Flattened path of the worst deviation.
+    pub worst_key: String,
+    /// Human-readable mismatches (tolerance violations, type flips,
+    /// string/bool changes). Empty ⇒ the artifact reproduced.
+    pub mismatches: Vec<String>,
+    /// Set when the two files do not even share a structure (parse error,
+    /// key-set or row/column drift); value explains the drift.
+    pub structural: Option<String>,
+}
+
+impl FileDiff {
+    /// The artifact reproduced under the policy.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty() && self.structural.is_none()
+    }
+}
+
+/// Relative deviation `|a − b| / max(|a|, |b|)`, 0 for exact equality
+/// (including `−0` vs `0` and NaN vs NaN).
+fn rel_dev(a: f64, b: f64) -> f64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0.0;
+    }
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+// ------------------------------------------------------------------ JSON
+
+/// Flatten a JSON document to sorted `(path, atom)` pairs. Object keys
+/// join with `.`, array elements index as `[i]`. Rejects trailing junk.
+pub fn flatten_json(src: &str) -> Result<BTreeMap<String, Atom>, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut out = BTreeMap::new();
+    parse_value(bytes, &mut pos, String::new(), &mut out)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(out)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(
+    b: &[u8],
+    pos: &mut usize,
+    path: String,
+    out: &mut BTreeMap<String, Atom>,
+) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let child = if path.is_empty() {
+                    key
+                } else {
+                    format!("{path}.{key}")
+                };
+                parse_value(b, pos, child, out)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            let mut i = 0usize;
+            loop {
+                parse_value(b, pos, format!("{path}[{i}]"), out)?;
+                i += 1;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            let s = parse_string(b, pos)?;
+            out.insert(path, Atom::Str(s));
+            Ok(())
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            out.insert(path, Atom::Bool(true));
+            Ok(())
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            out.insert(path, Atom::Bool(false));
+            Ok(())
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            out.insert(path, Atom::Null);
+            Ok(())
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let lit = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            let n: f64 = lit
+                .parse()
+                .map_err(|_| format!("bad number '{lit}' at offset {start}"))?;
+            out.insert(path, Atom::Num(n));
+            Ok(())
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at offset {pos}"));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(*pos..*pos + 4).ok_or("short \\u")?)
+                            .map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        s.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                }
+            }
+            _ => s.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Diff two JSON documents. Keys whose flattened path contains any
+/// substring of `ignore` are skipped; numeric leaves compare within
+/// `rel_tol` relative; key-set drift is structural.
+pub fn diff_json(committed: &str, fresh: &str, rel_tol: f64, ignore: &[&str]) -> FileDiff {
+    let mut d = FileDiff::default();
+    let (a, b) = match (flatten_json(committed), flatten_json(fresh)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) => {
+            d.structural = Some(format!("committed file does not parse: {e}"));
+            return d;
+        }
+        (_, Err(e)) => {
+            d.structural = Some(format!("regenerated file does not parse: {e}"));
+            return d;
+        }
+    };
+    let only_a: Vec<&String> = a.keys().filter(|k| !b.contains_key(*k)).collect();
+    let only_b: Vec<&String> = b.keys().filter(|k| !a.contains_key(*k)).collect();
+    if !only_a.is_empty() || !only_b.is_empty() {
+        d.structural = Some(format!(
+            "key sets drifted ({} only committed, {} only regenerated; e.g. {})",
+            only_a.len(),
+            only_b.len(),
+            only_a.first().or(only_b.first()).expect("nonempty drift")
+        ));
+        return d;
+    }
+    for (k, va) in &a {
+        if ignore.iter().any(|pat| k.contains(pat)) {
+            d.ignored += 1;
+            continue;
+        }
+        let vb = &b[k];
+        d.compared += 1;
+        match (va, vb) {
+            (Atom::Num(x), Atom::Num(y)) => {
+                let dev = rel_dev(*x, *y);
+                if dev > d.worst_rel {
+                    d.worst_rel = dev;
+                    d.worst_key = k.clone();
+                }
+                if dev > rel_tol {
+                    d.mismatches
+                        .push(format!("{k}: {x:e} -> {y:e} (rel {dev:.2e})"));
+                }
+            }
+            _ if va == vb => {}
+            _ => d.mismatches.push(format!("{k}: {va:?} -> {vb:?}")),
+        }
+    }
+    d
+}
+
+// ------------------------------------------------------------------- CSV
+
+/// Diff two CSVs cell-wise: identical header line, identical row count,
+/// numeric cells within `rel_tol` relative, other cells byte-equal.
+pub fn diff_csv(committed: &str, fresh: &str, rel_tol: f64) -> FileDiff {
+    let mut d = FileDiff::default();
+    let a: Vec<&str> = committed.lines().collect();
+    let b: Vec<&str> = fresh.lines().collect();
+    if a.len() != b.len() {
+        d.structural = Some(format!("row count drifted: {} -> {}", a.len(), b.len()));
+        return d;
+    }
+    if a.first() != b.first() {
+        d.structural = Some("header drifted".into());
+        return d;
+    }
+    for (li, (ra, rb)) in a.iter().zip(&b).enumerate().skip(1) {
+        let ca: Vec<&str> = ra.split(',').collect();
+        let cb: Vec<&str> = rb.split(',').collect();
+        if ca.len() != cb.len() {
+            d.structural = Some(format!("column count drifted on line {}", li + 1));
+            return d;
+        }
+        for (ci, (xa, xb)) in ca.iter().zip(&cb).enumerate() {
+            d.compared += 1;
+            match (xa.parse::<f64>(), xb.parse::<f64>()) {
+                (Ok(x), Ok(y)) => {
+                    let dev = rel_dev(x, y);
+                    if dev > d.worst_rel {
+                        d.worst_rel = dev;
+                        d.worst_key = format!("line {} col {}", li + 1, ci + 1);
+                    }
+                    if dev > rel_tol {
+                        d.mismatches.push(format!(
+                            "line {} col {}: {x} -> {y} (rel {dev:.2e})",
+                            li + 1,
+                            ci + 1
+                        ));
+                    }
+                }
+                _ if xa == xb => {}
+                _ => d
+                    .mismatches
+                    .push(format!("line {} col {}: '{xa}' -> '{xb}'", li + 1, ci + 1)),
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_walks_nesting_arrays_and_exponent_numbers() {
+        let m = flatten_json(
+            "{\"a\": {\"b\": [1, 2.5e-3, -0.0]}, \"s\": \"x\", \"t\": true, \"n\": null}",
+        )
+        .unwrap();
+        assert_eq!(m["a.b[0]"], Atom::Num(1.0));
+        assert_eq!(m["a.b[1]"], Atom::Num(2.5e-3));
+        assert_eq!(m["a.b[2]"], Atom::Num(-0.0));
+        assert_eq!(m["s"], Atom::Str("x".into()));
+        assert_eq!(m["t"], Atom::Bool(true));
+        assert_eq!(m["n"], Atom::Null);
+    }
+
+    #[test]
+    fn json_diff_tolerates_within_and_flags_beyond() {
+        let a = "{\"x\": 1.0, \"wall_s\": 5.0, \"name\": \"p\"}";
+        let b = "{\"x\": 1.0000001, \"wall_s\": 9.0, \"name\": \"p\"}";
+        let d = diff_json(a, b, 1e-6, &["_s"]);
+        assert!(d.ok(), "{:?}", d.mismatches);
+        assert_eq!(d.ignored, 1);
+        let d = diff_json(a, b, 1e-9, &["_s"]);
+        assert!(!d.ok());
+        assert_eq!(d.mismatches.len(), 1);
+    }
+
+    #[test]
+    fn json_diff_reports_key_drift_as_structural() {
+        let d = diff_json("{\"x\": 1}", "{\"y\": 1}", 1e-6, &[]);
+        assert!(d.structural.is_some());
+    }
+
+    #[test]
+    fn csv_diff_checks_cells_and_structure() {
+        let a = "p,v\n1,2.0\n2,3.0\n";
+        let ok = diff_csv(a, "p,v\n1,2.0\n2,3.0000000001\n", 1e-6);
+        assert!(ok.ok());
+        let bad = diff_csv(a, "p,v\n1,2.0\n2,4.0\n", 1e-6);
+        assert_eq!(bad.mismatches.len(), 1);
+        let drift = diff_csv(a, "p,v\n1,2.0\n", 1e-6);
+        assert!(drift.structural.is_some());
+        let inf = diff_csv(a, "p,v\n1,9.0\n2,4.0\n", f64::INFINITY);
+        assert!(inf.ok());
+        assert!(inf.worst_rel > 0.0);
+    }
+}

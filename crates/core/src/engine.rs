@@ -864,7 +864,12 @@ fn fill_region_from(
     block: &Region,
     global_fn: &(impl Fn(&[usize]) -> f64 + Sync),
 ) {
-    let rel = gap.relative_to(&block.start);
+    let rel_start: Vec<usize> = gap
+        .start
+        .iter()
+        .zip(&block.start)
+        .map(|(&s, &o)| s - o)
+        .collect();
     let mut coord = vec![0usize; gap.start.len()];
     let count = gap.cardinality();
     let mut global = gap.start.clone();
@@ -872,7 +877,7 @@ fn fill_region_from(
         for (g, (c, s)) in global.iter_mut().zip(coord.iter().zip(&gap.start)) {
             *g = c + s;
         }
-        let local_coord: Vec<usize> = coord.iter().zip(&rel.start).map(|(c, s)| c + s).collect();
+        let local_coord: Vec<usize> = coord.iter().zip(&rel_start).map(|(c, s)| c + s).collect();
         local.set(&local_coord, global_fn(&global));
         // Odometer over the gap box, mode 0 fastest.
         for (n, c) in coord.iter_mut().enumerate() {

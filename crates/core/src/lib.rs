@@ -67,6 +67,7 @@ pub mod executor;
 pub mod hooi;
 pub mod meta;
 pub mod opt_tree;
+pub mod outofcore;
 pub mod plan;
 pub mod planner;
 pub mod serve;
@@ -81,9 +82,14 @@ pub use engine::{
     FailurePolicy, InjectedFault, MeshHooiOutput, RecoveryEvent,
 };
 pub use executor::{
-    PlanProvenance, RayonBackend, SeqBackend, SweepBackend, SweepPhase, SweepStats,
+    LoopCfg, LoopOutcome, PlanProvenance, RayonBackend, SeqBackend, SweepBackend, SweepPhase,
+    SweepStats,
 };
 pub use meta::TuckerMeta;
+pub use outofcore::{
+    full_recompute, hooi_sweep_outofcore, sthosvd_outofcore, tucker_outofcore, OocOutcome,
+    SlidingTucker,
+};
 pub use plan::{
     CostModel, FlopVolumeModel, GridStrategy, NetCostModel, Plan, PlanCache, PlanCacheStats,
     Planner, RankedPlans, SearchBudget, TreeStrategy,

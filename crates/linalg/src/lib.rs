@@ -41,7 +41,10 @@ pub use mixed::gemm_mixed;
 pub use pack::{bytes_packed, kernel_mode, set_kernel_mode, KernelMode, PackBuf, PackPair};
 pub use qr::{householder_qr, orthonormal_columns};
 pub use svd::{leading_from_gram, leading_left_singular_vectors, GramSvd};
-pub use syrk::{mirror_lower, syrk, syrk_aat_lower, syrk_ata_lower, syrk_into, unrolled_dot};
+pub use syrk::{
+    mirror_lower, syrk, syrk_aat_lower, syrk_ata_lower, syrk_into, unrolled_dot,
+    unrolled_dot_strided,
+};
 
 /// Relative tolerance used by the crate's internal convergence checks.
 pub const EPS: f64 = 1e-12;

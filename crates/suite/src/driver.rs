@@ -20,7 +20,11 @@ use tucker_core::plan::{GridStrategy, Planner, SearchBudget, TreeStrategy};
 use tucker_core::TuckerMeta;
 use tucker_distsim::{MeshCfg, NetModel, VolumeCategory};
 use tucker_linalg::{leading_from_gram, Matrix};
-use tucker_tensor::DenseTensor;
+use tucker_tensor::subtensor::{extract, Region};
+use tucker_tensor::{
+    copy_into, gram_threads, gram_view_threads, view_bytes_copied, DenseTensor, Shape, TensorView,
+    TensorViewMut, TtmWorkspace,
+};
 
 /// Analytic metrics of one strategy on one tensor.
 #[derive(Clone, Debug)]
@@ -802,6 +806,413 @@ pub fn backend_lineup(
         error: err,
     });
     rows
+}
+
+// ------------------------------------------------------------------ views
+
+/// Median wall time of `f` over `reps` runs.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut ts: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts[reps / 2]
+}
+
+/// One kernel timing of the views bench: the same Gram/TTM over the same
+/// region, view-native vs extract-then-compute (both single-threaded, so
+/// the pair is bit-comparable and the difference isolates the copy).
+#[derive(Clone, Debug)]
+pub struct ViewKernelRow {
+    /// Region label: `"boundary"` (contiguous slab) or `"interior"`
+    /// (offset in every mode, strided).
+    pub region: &'static str,
+    /// `"gram"` or `"ttm"`.
+    pub kind: &'static str,
+    /// Mode the kernel contracts.
+    pub mode: usize,
+    /// Median seconds for the view-native call.
+    pub view_s: f64,
+    /// Median seconds for extract-into-fresh-tensor-then-compute.
+    pub extract_s: f64,
+    /// The two arms agreed to the last bit.
+    pub bitwise_equal: bool,
+}
+
+impl ViewKernelRow {
+    /// Extract-arm time over view-arm time.
+    pub fn speedup(&self) -> f64 {
+        self.extract_s / self.view_s
+    }
+}
+
+/// View-native Gram/TTM vs extract-then-compute over a boundary (contiguous)
+/// and an interior (strided in every mode) region of a 64^3 tensor, every
+/// mode, both kernels. Bit-equality of each pair is recorded per row (and
+/// asserted by the `views` experiment).
+pub fn view_kernel_bench() -> Vec<ViewKernelRow> {
+    use std::hint::black_box;
+    const RANK: usize = 16;
+    const REPS: usize = 9;
+    let t = DenseTensor::from_fn(Shape::new(vec![64, 64, 64]), |c| {
+        crate::fields::hash_noise(c, 0x51DE)
+    });
+    let regions: [(&'static str, Region); 2] = [
+        (
+            "boundary",
+            Region {
+                start: vec![0, 0, 0],
+                len: vec![64, 64, 32],
+            },
+        ),
+        (
+            "interior",
+            Region {
+                start: vec![5, 7, 9],
+                len: vec![48, 48, 48],
+            },
+        ),
+    ];
+    let mut ws = TtmWorkspace::new();
+    let mut rows = Vec::new();
+    for (label, r) in &regions {
+        let v = TensorView::region(&t, r);
+        for mode in 0..3 {
+            // Gram of the region along `mode`.
+            let gv = gram_view_threads(&v, mode, 1);
+            let sub = DenseTensor::from_vec(r.shape(), extract(&t, r));
+            let ge = gram_threads(&sub, mode, 1);
+            let gram_equal = gv.as_slice() == ge.as_slice();
+            drop(sub);
+            let view_s = median_secs(REPS, || {
+                black_box(gram_view_threads(black_box(&v), mode, 1));
+            });
+            let extract_s = median_secs(REPS, || {
+                let sub = DenseTensor::from_vec(r.shape(), extract(black_box(&t), r));
+                black_box(gram_threads(&sub, mode, 1));
+            });
+            rows.push(ViewKernelRow {
+                region: label,
+                kind: "gram",
+                mode,
+                view_s,
+                extract_s,
+                bitwise_equal: gram_equal,
+            });
+
+            // TTM of the region along `mode` by a RANK x L_mode factor.
+            let a = Matrix::from_fn(RANK, r.len[mode], |i, j| {
+                crate::fields::hash_noise(&[mode, i, j], 0xA11E)
+            });
+            let tv = ws.ttm_view_threads(&v, mode, &a, 1);
+            let sub = DenseTensor::from_vec(r.shape(), extract(&t, r));
+            let te = ws.ttm_threads(&sub, mode, &a, 1);
+            let ttm_equal = tv.as_slice() == te.as_slice();
+            ws.recycle(tv);
+            ws.recycle(te);
+            drop(sub);
+            let view_s = median_secs(REPS, || {
+                let z = ws.ttm_view_threads(black_box(&v), mode, &a, 1);
+                ws.recycle(black_box(z));
+            });
+            let extract_s = median_secs(REPS, || {
+                let sub = DenseTensor::from_vec(r.shape(), extract(black_box(&t), r));
+                let z = ws.ttm_threads(&sub, mode, &a, 1);
+                ws.recycle(black_box(z));
+            });
+            rows.push(ViewKernelRow {
+                region: label,
+                kind: "ttm",
+                mode,
+                view_s,
+                extract_s,
+                bitwise_equal: ttm_equal,
+            });
+        }
+    }
+    rows
+}
+
+/// Byte accounting of the regrid pack/unpack rewrite: the seed-idiom wire
+/// path (self block staged through a scratch buffer — two copies) against
+/// the view path (one direct view-to-view copy), same grids, same tensor.
+#[derive(Clone, Debug)]
+pub struct RegridBytes {
+    /// Strided-copy bytes summed over ranks, wire (seed) arm.
+    pub copy_bytes_wire: u64,
+    /// Strided-copy bytes summed over ranks, view arm.
+    pub copy_bytes_view: u64,
+    /// Self-overlap bytes (elements every rank keeps, × 8) — the exact
+    /// saving the view path must realize.
+    pub self_overlap_bytes: u64,
+    /// Cross-rank regrid bytes on the simulated wire (identical by
+    /// construction in both arms).
+    pub wire_bytes: u64,
+    /// Worst per-rank local difference between the two arms (must be 0).
+    pub max_abs_diff: f64,
+}
+
+/// Run the same 4-rank regrid through `redistribute_via_wire` (seed) and
+/// `redistribute` (view path) and account every copied byte.
+pub fn regrid_bytes_bench() -> RegridBytes {
+    use tucker_distsim::block::rank_region;
+    use tucker_distsim::redistribute::{redistribute, redistribute_via_wire};
+    use tucker_distsim::{DistTensor, Grid, Universe};
+
+    let global = DenseTensor::from_fn(Shape::new(vec![24, 18, 8]), |c| {
+        crate::fields::hash_noise(c, 0x9E9D)
+    });
+    let g1 = Grid::new([2, 2, 1]);
+    let g2 = Grid::new([1, 2, 2]);
+    let wire = Universe::run(4, |ctx| {
+        let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+        let before = view_bytes_copied();
+        let local = redistribute_via_wire(ctx, &dt, &g2).local().clone();
+        (local, view_bytes_copied() - before)
+    });
+    let view = Universe::run(4, |ctx| {
+        let dt = DistTensor::scatter_from_global(ctx, &global, &g1);
+        let before = view_bytes_copied();
+        let local = redistribute(ctx, &dt, &g2).local().clone();
+        (local, view_bytes_copied() - before)
+    });
+    let mut self_overlap_bytes = 0u64;
+    let mut max_abs_diff = 0.0f64;
+    for (r, ((a, _), (b, _))) in wire.results.iter().zip(&view.results).enumerate() {
+        max_abs_diff = max_abs_diff.max(a.max_abs_diff(b));
+        let old = rank_region(global.shape(), &g1, r);
+        let new = rank_region(global.shape(), &g2, r);
+        let kept = old.intersect(&new).map_or(0, |o| o.cardinality());
+        self_overlap_bytes += (kept * 8) as u64;
+    }
+    RegridBytes {
+        copy_bytes_wire: wire.results.iter().map(|(_, b)| b).sum(),
+        copy_bytes_view: view.results.iter().map(|(_, b)| b).sum(),
+        self_overlap_bytes,
+        wire_bytes: wire.volume.bytes(tucker_distsim::VolumeCategory::Regrid),
+        max_abs_diff,
+    }
+}
+
+/// Wall time of packing one interior block into a wire buffer: the seed
+/// idiom (extract into a fresh canonical buffer, then copy that into the
+/// wire buffer — two passes over the data plus an allocation) against the
+/// view path (one strided pass straight into the wire buffer).
+#[derive(Clone, Debug)]
+pub struct PackTiming {
+    /// Median seconds, extract-then-pack (seed, two copies).
+    pub extract_pack_s: f64,
+    /// Median seconds, single view-to-view copy.
+    pub view_pack_s: f64,
+    /// Payload of one pack (region cardinality × 8 bytes).
+    pub bytes: usize,
+    /// Both arms produced identical wire bytes.
+    pub equal: bool,
+}
+
+impl PackTiming {
+    /// Seed-arm time over view-arm time.
+    pub fn speedup(&self) -> f64 {
+        self.extract_pack_s / self.view_pack_s
+    }
+}
+
+/// Time the regrid pack of an interior (strided in every mode) block of a
+/// 96 × 96 × 64 tensor, both ways.
+pub fn pack_timing_bench() -> PackTiming {
+    use std::hint::black_box;
+    const REPS: usize = 15;
+    let t = DenseTensor::from_fn(Shape::new(vec![96, 96, 64]), |c| {
+        crate::fields::hash_noise(c, 0x9AC0)
+    });
+    let r = Region {
+        start: vec![5, 9, 7],
+        len: vec![80, 72, 48],
+    };
+    let card = r.cardinality();
+    let canonical: Vec<usize> = {
+        let mut acc = 1usize;
+        r.len
+            .iter()
+            .map(|&d| {
+                let s = acc;
+                acc *= d;
+                s
+            })
+            .collect()
+    };
+    let mut buf = vec![0.0f64; card];
+
+    let reference = extract(&t, &r);
+    {
+        let mut dst = TensorViewMut::from_parts(&mut buf, r.len.clone(), canonical.clone());
+        copy_into(&TensorView::region(&t, &r), &mut dst);
+    }
+    let equal = reference == buf;
+
+    let extract_pack_s = median_secs(REPS, || {
+        let staged = extract(black_box(&t), &r);
+        buf.copy_from_slice(black_box(&staged));
+    });
+    let view_pack_s = median_secs(REPS, || {
+        let mut dst = TensorViewMut::from_parts(&mut buf, r.len.clone(), canonical.clone());
+        copy_into(black_box(&TensorView::region(&t, &r)), &mut dst);
+    });
+    PackTiming {
+        extract_pack_s,
+        view_pack_s,
+        bytes: card * 8,
+        equal,
+    }
+}
+
+/// Out-of-core tiled sweeps vs the in-core loop on a tensor whose footprint
+/// exceeds the workspace byte cap several times over.
+#[derive(Clone, Debug)]
+pub struct OocRow {
+    /// Input shape.
+    pub dims: Vec<usize>,
+    /// Core shape.
+    pub ranks: Vec<usize>,
+    /// Input footprint in bytes.
+    pub tensor_bytes: usize,
+    /// Workspace pool cap in bytes.
+    pub limit_bytes: usize,
+    /// Pool high-water mark after the run (must stay under the cap).
+    pub pooled_bytes: usize,
+    /// Frames per tile.
+    pub tile_len: usize,
+    /// HOOI sweeps executed by both arms.
+    pub sweeps: usize,
+    /// Final relative error, in-core arm.
+    pub err_incore: f64,
+    /// Final relative error, out-of-core arm.
+    pub err_outofcore: f64,
+    /// Wall seconds, in-core arm.
+    pub incore_s: f64,
+    /// Wall seconds, out-of-core arm.
+    pub outofcore_s: f64,
+}
+
+/// Run STHOSVD + a fixed number of HOOI sweeps in-core and out-of-core
+/// (tiled, workspace capped at a quarter of the tensor) on the same input.
+pub fn views_outofcore_bench() -> OocRow {
+    use tucker_core::executor::LoopCfg;
+    use tucker_core::{full_recompute, tucker_outofcore};
+
+    let dims = vec![48usize, 48, 64];
+    let ranks = vec![6usize, 6, 5];
+    const TILE: usize = 8;
+    const SWEEPS: usize = 3;
+    let t = DenseTensor::from_fn(Shape::new(dims.clone()), |c| {
+        crate::fields::video_field(c, &[48, 48, 64])
+    });
+    let meta = TuckerMeta::new(dims.clone(), ranks.clone());
+    let tensor_bytes = t.cardinality() * std::mem::size_of::<f64>();
+    let limit_bytes = tensor_bytes / 4;
+    let cfg = LoopCfg::exactly(SWEEPS);
+
+    let t0 = std::time::Instant::now();
+    let (_, err_incore, _) = full_recompute(&t, &meta, cfg);
+    let incore_s = t0.elapsed().as_secs_f64();
+
+    let mut ws = TtmWorkspace::with_limit(limit_bytes);
+    let t0 = std::time::Instant::now();
+    let ooc = tucker_outofcore(&t, &meta, TILE, cfg, &mut ws);
+    let outofcore_s = t0.elapsed().as_secs_f64();
+
+    OocRow {
+        dims,
+        ranks,
+        tensor_bytes,
+        limit_bytes,
+        pooled_bytes: ws.pooled_bytes(),
+        tile_len: TILE,
+        sweeps: SWEEPS,
+        err_incore,
+        err_outofcore: *ooc.errors.last().expect("at least one sweep"),
+        incore_s,
+        outofcore_s,
+    }
+}
+
+/// Sliding-window incremental Tucker vs per-push cold recompute.
+#[derive(Clone, Debug)]
+pub struct IncrementalRow {
+    /// Number of window advances.
+    pub pushes: usize,
+    /// Window shape.
+    pub window: Vec<usize>,
+    /// Frames appended per push.
+    pub slab_len: usize,
+    /// Total seconds across pushes, incremental arm.
+    pub inc_total_s: f64,
+    /// Total seconds across pushes, cold-recompute arm.
+    pub full_total_s: f64,
+    /// Total HOOI sweeps, incremental arm.
+    pub inc_sweeps: usize,
+    /// Total HOOI sweeps, cold arm.
+    pub full_sweeps: usize,
+    /// Worst per-push |err_incremental − err_cold|.
+    pub max_err_delta: f64,
+}
+
+/// Slide a 16-frame window over a 64-frame synthetic video one frame at a
+/// time; each push re-converges incrementally (Gram downdate/update +
+/// warm-started HOOI) and cold (STHOSVD + HOOI) under the same loop config.
+pub fn views_incremental_bench() -> IncrementalRow {
+    use tucker_core::executor::LoopCfg;
+    use tucker_core::{full_recompute, SlidingTucker};
+
+    let stream_dims = [32usize, 32, 64];
+    let window = vec![32usize, 32, 16];
+    let slab_len = 1usize;
+    let cfg = LoopCfg {
+        max_sweeps: 20,
+        tol: 1e-9,
+    };
+    let window_len = window[2];
+    let w0 = DenseTensor::from_fn(Shape::new(window.clone()), |c| {
+        crate::fields::video_field(c, &stream_dims)
+    });
+    let mut st = SlidingTucker::new(w0, vec![4, 4, 3], cfg);
+    let meta = st.meta().clone();
+    let mut row = IncrementalRow {
+        pushes: 0,
+        window,
+        slab_len,
+        inc_total_s: 0.0,
+        full_total_s: 0.0,
+        inc_sweeps: 0,
+        full_sweeps: 0,
+        max_err_delta: 0.0,
+    };
+    let mut push = 1usize;
+    while push * slab_len + window_len <= stream_dims[2] {
+        let t0 = push * slab_len;
+        let slab = DenseTensor::from_fn(Shape::new(vec![32, 32, slab_len]), |c| {
+            crate::fields::video_field(
+                &[c[0], c[1], c[2] + t0 + window_len - slab_len],
+                &stream_dims,
+            )
+        });
+        let tick = std::time::Instant::now();
+        let e_inc = st.push_slab(&slab);
+        row.inc_total_s += tick.elapsed().as_secs_f64();
+        row.inc_sweeps += st.sweeps_last_push();
+        let tick = std::time::Instant::now();
+        let (_, e_full, cold_sweeps) = full_recompute(st.window(), &meta, cfg);
+        row.full_total_s += tick.elapsed().as_secs_f64();
+        row.full_sweeps += cold_sweeps;
+        row.max_err_delta = row.max_err_delta.max((e_inc - e_full).abs());
+        row.pushes += 1;
+        push += 1;
+    }
+    row
 }
 
 #[cfg(test)]

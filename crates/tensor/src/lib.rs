@@ -36,10 +36,15 @@ pub mod subtensor;
 pub mod threads;
 pub mod ttm;
 pub mod unfold;
+pub mod view;
 
 pub use dense::{tensor_buffer_allocs, DenseTensor};
-pub use gram::{gram, gram_cols, gram_threads};
+pub use gram::{gram, gram_cols, gram_threads, gram_view, gram_view_cols, gram_view_threads};
 pub use shape::Shape;
 pub use threads::{heuristic_threads, host_threads, set_host_threads_override};
-pub use ttm::{ttm, ttm_chain, ttm_into, ttm_into_threads, TtmWorkspace};
+pub use ttm::{
+    ttm, ttm_chain, ttm_into, ttm_into_threads, ttm_view, ttm_view_into, ttm_view_into_threads,
+    TtmWorkspace,
+};
 pub use unfold::{fold, unfold};
+pub use view::{copy_into, view_bytes_copied, TensorView, TensorViewMut};

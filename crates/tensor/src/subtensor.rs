@@ -7,6 +7,7 @@
 
 use crate::dense::DenseTensor;
 use crate::shape::Shape;
+use crate::view::{copy_into, TensorView, TensorViewMut};
 
 /// An axis-aligned box `[start_n, start_n + len_n)` in every mode.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -67,29 +68,28 @@ impl Region {
     /// The region translated so that `origin` becomes coordinate zero.
     ///
     /// Used to convert a global-coordinate region into the local coordinates
-    /// of a block whose global start is `origin`.
+    /// of a block whose global start is `origin`. Consumes the region and
+    /// translates in place — no allocation, no extent clone.
     ///
     /// # Panics
     /// Panics if the region does not lie at or after `origin` in every mode.
-    pub fn relative_to(&self, origin: &[usize]) -> Region {
-        let start = self
-            .start
-            .iter()
-            .zip(origin)
-            .map(|(&s, &o)| {
-                assert!(s >= o, "region starts before origin");
-                s - o
-            })
-            .collect();
-        Region {
-            start,
-            len: self.len.clone(),
+    pub fn relative_to(mut self, origin: &[usize]) -> Region {
+        for (s, &o) in self.start.iter_mut().zip(origin) {
+            assert!(*s >= o, "region starts before origin");
+            *s -= o;
         }
+        self
     }
 
-    /// Shape of the region's extents.
+    /// Shape of the region's extents (clones them; see [`Region::into_shape`]
+    /// when the region is owned and done with).
     pub fn shape(&self) -> Shape {
         Shape::new(self.len.clone())
+    }
+
+    /// Shape of the region's extents, consuming the region (no clone).
+    pub fn into_shape(self) -> Shape {
+        Shape::new(self.len)
     }
 }
 
@@ -99,7 +99,27 @@ impl Region {
 /// # Panics
 /// Panics if the region does not fit inside `t`.
 pub fn extract(t: &DenseTensor, region: &Region) -> Vec<f64> {
-    let shape = t.shape();
+    check_region(t.shape(), region);
+    let src = TensorView::region(t, region);
+    let mut out = vec![0.0; region.cardinality()];
+    let mut dst = TensorViewMut::from_parts(&mut out, region.len.clone(), canonical(&region.len));
+    copy_into(&src, &mut dst);
+    out
+}
+
+/// Canonical (mode-0-fastest) strides of `dims`.
+fn canonical(dims: &[usize]) -> Vec<usize> {
+    let mut acc = 1usize;
+    dims.iter()
+        .map(|&d| {
+            let s = acc;
+            acc *= d;
+            s
+        })
+        .collect()
+}
+
+fn check_region(shape: &Shape, region: &Region) {
     assert_eq!(region.order(), shape.order(), "region order mismatch");
     for n in 0..shape.order() {
         assert!(
@@ -107,27 +127,6 @@ pub fn extract(t: &DenseTensor, region: &Region) -> Vec<f64> {
             "region exceeds tensor bounds in mode {n}"
         );
     }
-    let mut out = Vec::with_capacity(region.cardinality());
-    let src = t.as_slice();
-    // Rows along mode 0 are contiguous in both source and destination:
-    // iterate over the region's coordinates with mode 0 collapsed.
-    let row = region.len[0];
-    let outer = Shape::new(if region.order() == 1 {
-        vec![1]
-    } else {
-        region.len[1..].to_vec()
-    });
-    let strides = shape.strides();
-    for oc in outer.coords() {
-        let mut off = region.start[0] * strides[0];
-        if region.order() > 1 {
-            for (n, &c) in oc.iter().enumerate() {
-                off += (region.start[n + 1] + c) * strides[n + 1];
-            }
-        }
-        out.extend_from_slice(&src[off..off + row]);
-    }
-    out
 }
 
 /// Inverse of [`extract`]: write `data` (canonical layout of shape
@@ -136,34 +135,11 @@ pub fn extract(t: &DenseTensor, region: &Region) -> Vec<f64> {
 /// # Panics
 /// Panics if the region does not fit or `data` has the wrong length.
 pub fn insert(t: &mut DenseTensor, region: &Region, data: &[f64]) {
-    let shape = t.shape().clone();
-    assert_eq!(region.order(), shape.order(), "region order mismatch");
     assert_eq!(data.len(), region.cardinality(), "data length mismatch");
-    for n in 0..shape.order() {
-        assert!(
-            region.start[n] + region.len[n] <= shape.dim(n),
-            "region exceeds tensor bounds in mode {n}"
-        );
-    }
-    let dst = t.as_mut_slice();
-    let row = region.len[0];
-    let outer = Shape::new(if region.order() == 1 {
-        vec![1]
-    } else {
-        region.len[1..].to_vec()
-    });
-    let strides = shape.strides();
-    let mut src_off = 0;
-    for oc in outer.coords() {
-        let mut off = region.start[0] * strides[0];
-        if region.order() > 1 {
-            for (n, &c) in oc.iter().enumerate() {
-                off += (region.start[n + 1] + c) * strides[n + 1];
-            }
-        }
-        dst[off..off + row].copy_from_slice(&data[src_off..src_off + row]);
-        src_off += row;
-    }
+    check_region(t.shape(), region);
+    let src = TensorView::from_parts(data, region.len.clone(), canonical(&region.len));
+    let mut dst = TensorViewMut::region(t, region);
+    copy_into(&src, &mut dst);
 }
 
 #[cfg(test)]

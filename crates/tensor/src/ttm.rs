@@ -39,9 +39,10 @@
 use crate::dense::{note_buffer_alloc, DenseTensor};
 use crate::shape::Shape;
 use crate::unfold::{fold, unfold};
+use crate::view::{AxisSpan, TensorView};
 use rayon::prelude::*;
 use tucker_linalg::pack::{self, PackBuf, PackPair};
-use tucker_linalg::{gemm, Matrix, Transpose};
+use tucker_linalg::{gemm, unrolled_dot_strided, Matrix, Transpose};
 
 /// Minimum per-slab work before the slab loop goes parallel.
 const PAR_MIN_WORK: usize = 1 << 14;
@@ -142,15 +143,33 @@ fn ttm_into_impl(
         a.ncols()
     );
 
-    let inner = shape.inner_extent(n);
-    let outer = shape.outer_extent(n);
     let out_shape = shape.with_dim(n, k);
     if out.capacity() < out_shape.cardinality() {
         note_buffer_alloc();
     }
     out.clear();
     out.resize(out_shape.cardinality(), 0.0);
-    let src = t.as_slice();
+    ttm_src_body(t.as_slice(), shape.dims(), n, a, out, threads, packs);
+    out_shape
+}
+
+/// The canonical-layout TTM body on raw storage: `src`/`dims` describe a
+/// tensor in canonical layout (a tensor's buffer, or a contiguous view's
+/// window), `out` is already zeroed to the output cardinality. Shared by the
+/// dense entry points and the contiguous fast path of the view entry points.
+fn ttm_src_body(
+    src: &[f64],
+    dims: &[usize],
+    n: usize,
+    a: &Matrix,
+    out: &mut [f64],
+    threads: usize,
+    packs: &mut PackPair,
+) {
+    let ln = dims[n];
+    let k = a.nrows();
+    let inner: usize = dims[..n].iter().product();
+    let outer: usize = dims[n + 1..].iter().product();
     let a_buf = a.as_slice(); // column-major K x Ln: A[k,l] = a_buf[k + l*K]
 
     let in_slab = inner * ln;
@@ -162,7 +181,7 @@ fn ttm_into_impl(
     // small-inner shapes go through the slab-grouped staging path.
     if pack::use_packed(inner.saturating_mul(outer), k, ln) {
         ttm_packed(src, a_buf, inner, ln, k, outer, out, threads, packs);
-        return out_shape;
+        return;
     }
 
     // inner == 1 (mode 0): each slab is one contiguous fiber and each output
@@ -227,8 +246,240 @@ fn ttm_into_impl(
     } else {
         out.chunks_mut(out_slab).enumerate().for_each(do_slab);
     }
+}
 
+/// `Z = V ×_n A` over an arbitrary strided [`TensorView`] — **no
+/// extraction, no scratch tensor**. Thin allocating wrapper over
+/// [`ttm_view_into`].
+///
+/// # Panics
+/// Panics if `n` is out of range, `A.ncols()` does not match the view's
+/// mode-`n` extent, or the view is empty (the output shape would have a
+/// zero-length mode).
+pub fn ttm_view(v: &TensorView, n: usize, a: &Matrix) -> DenseTensor {
+    let mut out = Vec::new();
+    let shape = ttm_view_into(v, n, a, &mut out);
+    DenseTensor::from_vec(shape, out)
+}
+
+/// [`ttm_into`] over a strided view, heuristic worker count (workers only
+/// engage on the contiguous fast path; genuinely strided views run
+/// sequentially, where the result is worker-count-invariant anyway).
+///
+/// # Panics
+/// See [`ttm_view`].
+pub fn ttm_view_into(v: &TensorView, n: usize, a: &Matrix, out: &mut Vec<f64>) -> Shape {
+    assert!(n < v.order(), "mode {n} out of range for view");
+    let dims = v.dims();
+    let inner: usize = dims[..n].iter().product();
+    let outer: usize = dims[n + 1..].iter().product();
+    let work = inner * dims[n] * a.nrows();
+    let threads = if outer > 1 {
+        crate::threads::heuristic_threads(work, PAR_MIN_WORK)
+    } else {
+        1
+    };
+    ttm_view_into_threads(v, n, a, out, threads)
+}
+
+/// [`ttm_into_threads`] over a strided view. Contiguous views (including
+/// every full-tensor view) run the canonical slab kernels on the underlying
+/// storage directly — same speed, same bits, workers honored. Genuinely
+/// strided views run a sequential run-decomposition: the non-contracted
+/// index space is decomposed into maximal constant-stride runs, each fed to
+/// the packed micro-kernels (or the naive loops below the packing
+/// threshold) as a strided operand. Per-element accumulation order depends
+/// only on the `KC` blocking of the contracted extent `L_n`, which is never
+/// split, so the result is **bit-identical** to extracting the view and
+/// calling the dense kernel.
+///
+/// # Panics
+/// See [`ttm_view`].
+pub fn ttm_view_into_threads(
+    v: &TensorView,
+    n: usize,
+    a: &Matrix,
+    out: &mut Vec<f64>,
+    threads: usize,
+) -> Shape {
+    pack::with_thread_packs(|packs| ttm_view_into_impl(v, n, a, out, threads, packs))
+}
+
+/// Shared body of [`ttm_view_into_threads`] and
+/// [`TtmWorkspace::ttm_view`]: the caller chooses where the pack staging
+/// buffers live (thread-local pair vs. the workspace's pooled pair).
+fn ttm_view_into_impl(
+    v: &TensorView,
+    n: usize,
+    a: &Matrix,
+    out: &mut Vec<f64>,
+    threads: usize,
+    packs: &mut PackPair,
+) -> Shape {
+    assert!(n < v.order(), "mode {n} out of range for view");
+    let ln = v.dim(n);
+    let k = a.nrows();
+    assert_eq!(
+        a.ncols(),
+        ln,
+        "TTM mode-{n} operand must have {ln} columns, got {}",
+        a.ncols()
+    );
+    let mut od = v.dims().to_vec();
+    od[n] = k;
+    let out_shape = Shape::new(od); // rejects empty views (zero-length mode)
+    if out.capacity() < out_shape.cardinality() {
+        note_buffer_alloc();
+    }
+    out.clear();
+    out.resize(out_shape.cardinality(), 0.0);
+    if let Some(src) = v.contiguous_data() {
+        ttm_src_body(src, v.dims(), n, a, out, threads, packs);
+    } else {
+        ttm_view_strided(v, n, a, out, packs);
+    }
     out_shape
+}
+
+/// The strided-view TTM body: `out` is zeroed, shapes validated, view known
+/// non-contiguous. Sequential; see [`ttm_view_into_threads`] for the
+/// bit-exactness argument.
+fn ttm_view_strided(v: &TensorView, n: usize, a: &Matrix, out: &mut [f64], packs: &mut PackPair) {
+    let dims = v.dims();
+    let strides = v.strides();
+    let ln = dims[n];
+    let sn = strides[n];
+    let k = a.nrows();
+    let data = v.data();
+    let a_buf = a.as_slice();
+    let inner: usize = dims[..n].iter().product();
+    let outer: usize = dims[n + 1..].iter().product();
+    let out_slab = inner * k;
+
+    let outer_span = AxisSpan::over(dims, strides, |j| j > n);
+    let inner_span = AxisSpan::over(dims, strides, |j| j < n);
+    let (run, rstride, irest) = inner_span.split_run();
+
+    if pack::use_packed(inner.saturating_mul(outer), k, ln) {
+        if inner == 1 {
+            // Mode 0: Out = A · V(0) — one GEMM per maximal constant-stride
+            // column run of the outer space (a column split, which never
+            // changes the per-element KC accumulation order).
+            let (crun, cstride, orest) = outer_span.split_run();
+            let mut col = 0usize;
+            let mut grew = false;
+            for base in orest.offsets() {
+                let dst = &mut out[col * k..(col + crun) * k];
+                grew |= pack::gemm_packed(
+                    k,
+                    crun,
+                    ln,
+                    a_buf,
+                    1,
+                    k,
+                    &data[base..],
+                    sn,
+                    cstride,
+                    1.0,
+                    dst,
+                    k,
+                    packs,
+                );
+                col += crun;
+            }
+            if grew {
+                note_buffer_alloc();
+            }
+            return;
+        }
+
+        // General mode: pack Aᵀ once and stream it from one GEMM per
+        // (outer position × maximal inner run) — a row split of the slab
+        // GEMMs, equally harmless to the bits.
+        let bp_len = pack::packed_b_full_len(ln, k);
+        if packs.b.ensure(bp_len) {
+            note_buffer_alloc();
+        }
+        pack::pack_b_full(packs.b.slice_mut(bp_len), ln, k, a_buf, k, 1);
+        let bpack: &[f64] = packs.b.slice(bp_len);
+        let apack = &mut packs.a;
+        let mut grew = false;
+        for (o, obase) in outer_span.offsets().enumerate() {
+            let mut i0 = 0usize;
+            for ibase in irest.offsets() {
+                let dst = &mut out[o * out_slab + i0..][..(k - 1) * inner + run];
+                grew |= pack::gemm_prepacked_b(
+                    run,
+                    k,
+                    ln,
+                    &data[obase + ibase..],
+                    rstride,
+                    sn,
+                    bpack,
+                    1.0,
+                    dst,
+                    inner,
+                    apack,
+                );
+                i0 += run;
+            }
+        }
+        if grew {
+            note_buffer_alloc();
+        }
+        return;
+    }
+
+    // Naive branches: structural twins of the canonical slab loops, strided
+    // reads, identical per-element accumulation order and zero-skips.
+    let a_rows: Option<Matrix> = (inner == 1).then(|| a.transpose());
+    for (o, obase) in outer_span.offsets().enumerate() {
+        let dst = &mut out[o * out_slab..(o + 1) * out_slab];
+        if let Some(at) = &a_rows {
+            // dst[kk] = <A[kk, :], fiber> — eight-lane strided dot.
+            for (d, row) in dst.iter_mut().zip(at.as_slice().chunks_exact(ln)) {
+                *d = unrolled_dot_strided(row, 1, &data[obase..], sn, ln);
+            }
+        } else if inner >= 16 {
+            // Out_o(:, kk) += A[kk, l] * V_o(:, l) — axpys over the inner
+            // runs.
+            for l in 0..ln {
+                let acol = &a_buf[l * k..(l + 1) * k];
+                for (kk, &alk) in acol.iter().enumerate() {
+                    if alk == 0.0 {
+                        continue;
+                    }
+                    let dcol = &mut dst[kk * inner..(kk + 1) * inner];
+                    let mut i = 0usize;
+                    for ibase in irest.offsets() {
+                        let s0 = obase + ibase + l * sn;
+                        for t in 0..run {
+                            dcol[i + t] += alk * data[s0 + t * rstride];
+                        }
+                        i += run;
+                    }
+                }
+            }
+        } else {
+            // Small inner: iterate the interleaved fibers, axpys over K.
+            let mut i = 0usize;
+            for ibase in irest.offsets() {
+                for t in 0..run {
+                    for l in 0..ln {
+                        let x = data[obase + ibase + t * rstride + l * sn];
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let acol = &a_buf[l * k..(l + 1) * k];
+                        for (kk, &alk) in acol.iter().enumerate() {
+                            dst[i + t + kk * inner] += alk * x;
+                        }
+                    }
+                }
+                i += run;
+            }
+        }
+    }
 }
 
 /// The packed-kernel TTM body: `out` is zeroed, shapes validated.
@@ -605,6 +856,49 @@ impl TtmWorkspace {
         DenseTensor::from_vec(shape, buf)
     }
 
+    /// [`ttm_view`] drawing the output buffer from the pool and staging the
+    /// packed kernels through the workspace's pooled pack pair — the
+    /// streaming entry point of the out-of-core tiled sweeps, where each
+    /// tile of a larger-than-memory tensor enters the kernel as a borrowed
+    /// view and only tile-sized intermediates ever touch the pool.
+    ///
+    /// Contiguous views (every slab along the last mode is one) run the
+    /// canonical kernels with `threads` workers; genuinely strided views
+    /// run the sequential run-decomposition.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range, `A.ncols()` does not match the view's
+    /// mode-`n` extent, or the view is empty.
+    pub fn ttm_view_threads(
+        &mut self,
+        v: &TensorView,
+        n: usize,
+        a: &Matrix,
+        threads: usize,
+    ) -> DenseTensor {
+        assert!(n < v.order(), "mode {n} out of range for view");
+        let out_card = v.cardinality() / v.dim(n).max(1) * a.nrows();
+        let mut buf = self.acquire(out_card);
+        let shape = ttm_view_into_impl(v, n, a, &mut buf, threads, &mut self.packs);
+        DenseTensor::from_vec(shape, buf)
+    }
+
+    /// [`TtmWorkspace::ttm_view_threads`] with the same worker heuristic as
+    /// [`ttm_view_into`].
+    pub fn ttm_view(&mut self, v: &TensorView, n: usize, a: &Matrix) -> DenseTensor {
+        assert!(n < v.order(), "mode {n} out of range for view");
+        let dims = v.dims();
+        let inner: usize = dims[..n].iter().product();
+        let outer: usize = dims[n + 1..].iter().product();
+        let work = inner * dims[n] * a.nrows();
+        let threads = if outer > 1 {
+            crate::threads::heuristic_threads(work, PAR_MIN_WORK)
+        } else {
+            1
+        };
+        self.ttm_view_threads(v, n, a, threads)
+    }
+
     /// TTM-chain over distinct modes, ping-ponging between pooled buffers
     /// (intermediates are recycled as soon as the next step consumed them).
     ///
@@ -898,6 +1192,81 @@ mod tests {
                 let z = DenseTensor::from_vec(s, buf);
                 assert!(z.max_abs_diff(&reference) < 1e-12, "mode {n}, {w} workers");
             }
+        }
+    }
+
+    #[test]
+    fn view_full_tensor_ttm_is_bit_identical() {
+        let t = rand_tensor(&[6, 5, 4], 40);
+        let v = crate::view::TensorView::of(&t);
+        for n in 0..3 {
+            let a = rand_mat(3, t.shape().dim(n), 400 + n as u64);
+            let z = ttm_view(&v, n, &a);
+            assert_eq!(z.max_abs_diff(&ttm(&t, n, &a)), 0.0, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn view_region_ttm_matches_extract_bitwise() {
+        use crate::subtensor::{extract, Region};
+        let t = rand_tensor(&[7, 6, 5], 41);
+        let r = Region {
+            start: vec![1, 2, 0],
+            len: vec![5, 3, 4],
+        };
+        let v = crate::view::TensorView::region(&t, &r);
+        let c = DenseTensor::from_vec(r.shape(), extract(&t, &r));
+        for n in 0..3 {
+            let a = rand_mat(4, c.shape().dim(n), 410 + n as u64);
+            let mut b1 = Vec::new();
+            let s1 = ttm_view_into_threads(&v, n, &a, &mut b1, 1);
+            let mut b2 = Vec::new();
+            let s2 = ttm_into_threads(&c, n, &a, &mut b2, 1);
+            assert_eq!(s1.dims(), s2.dims(), "mode {n}");
+            let z1 = DenseTensor::from_vec(s1, b1);
+            let z2 = DenseTensor::from_vec(s2, b2);
+            assert_eq!(z1.max_abs_diff(&z2), 0.0, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn strided_view_ttm_packed_path_matches_bitwise() {
+        // Interior region of a tensor big enough for the packed dispatch on
+        // every mode (including the small-inner staging path on mode 1 of
+        // the stepped view below).
+        use crate::subtensor::{extract, Region};
+        let t = rand_tensor(&[24, 20, 18], 42);
+        let r = Region {
+            start: vec![1, 1, 1],
+            len: vec![20, 18, 16],
+        };
+        let v = crate::view::TensorView::region(&t, &r);
+        let c = DenseTensor::from_vec(r.shape(), extract(&t, &r));
+        for n in 0..3 {
+            let a = rand_mat(8, c.shape().dim(n), 420 + n as u64);
+            let mut b1 = Vec::new();
+            let s1 = ttm_view_into_threads(&v, n, &a, &mut b1, 1);
+            let mut b2 = Vec::new();
+            let s2 = ttm_into_threads(&c, n, &a, &mut b2, 1);
+            assert_eq!(s1.dims(), s2.dims(), "mode {n}");
+            let z1 = DenseTensor::from_vec(s1, b1);
+            let z2 = DenseTensor::from_vec(s2, b2);
+            assert_eq!(z1.max_abs_diff(&z2), 0.0, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn stepped_view_ttm_matches_copy_bitwise() {
+        let t = rand_tensor(&[12, 10, 8], 43);
+        let v = crate::view::TensorView::of(&t).step(0, 2).step(1, 3);
+        let c = v.to_tensor();
+        for n in 0..3 {
+            let a = rand_mat(5, c.shape().dim(n), 430 + n as u64);
+            let z1 = ttm_view(&v, n, &a);
+            let mut b2 = Vec::new();
+            let s2 = ttm_into_threads(&c, n, &a, &mut b2, 1);
+            let z2 = DenseTensor::from_vec(s2, b2);
+            assert_eq!(z1.max_abs_diff(&z2), 0.0, "mode {n}");
         }
     }
 
